@@ -1,0 +1,46 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+One :class:`ExperimentSuite` is shared across every benchmark module,
+so (workload, mode) simulations run exactly once per session no matter
+how many figures consume them — like a single simulation campaign.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``      — tiny / bench / full (default bench)
+* ``REPRO_BENCH_WORKLOADS``  — comma-separated subset (default: all 17)
+
+Each figure's rendered table is printed and also written to
+``benchmarks/results/<name>.txt`` so a ``--benchmark-only`` run leaves
+the reproduced evaluation on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import ExperimentSuite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    workloads = os.environ.get("REPRO_BENCH_WORKLOADS")
+    names = tuple(workloads.split(",")) if workloads else None
+    return ExperimentSuite(scale=scale, workloads=names)
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Writer that persists a rendered table and echoes it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _publish

@@ -1,0 +1,26 @@
+"""Fig. 10 — thread-construction feature ablations: (a) precomputation
+accuracy, (b) misprediction coverage, (c) timeliness (cycles saved).
+
+Paper shape: the full TEA configuration has ~99.3% accuracy and the
+highest coverage; removing all features drops coverage the most (76%
+-> 39%); each individual feature matters."""
+
+
+def test_fig10_feature_ablations(benchmark, suite, publish):
+    data = benchmark.pedantic(suite.fig10, rounds=1, iterations=1)
+    publish("fig10", suite.render_fig10())
+    means = data["means"]
+    benchmark.extra_info.update(
+        tea_accuracy=means["TEA"]["accuracy"],
+        tea_coverage=means["TEA"]["coverage"],
+        no_features_coverage=means["no features"]["coverage"],
+    )
+    # (a) full TEA is highly accurate.
+    assert means["TEA"]["accuracy"] > 90.0
+    # (b) the full configuration has the best average coverage, and
+    # stripping all features loses a substantial fraction of it.
+    for label in ("only loops", "no masks", "no mem", "no features"):
+        assert means["TEA"]["coverage"] >= means[label]["coverage"] - 2.0
+    assert means["no features"]["coverage"] < means["TEA"]["coverage"]
+    # (c) timeliness exists: covered branches save real cycles.
+    assert means["TEA"]["timeliness"] > 1.0

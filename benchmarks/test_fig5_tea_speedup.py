@@ -1,0 +1,13 @@
+"""Fig. 5 — performance benefit of precomputing branches with the TEA
+thread on on-core resources (paper: +10.1% geomean)."""
+
+
+def test_fig5_tea_speedup(benchmark, suite, publish):
+    data = benchmark.pedantic(suite.fig5, rounds=1, iterations=1)
+    publish("fig5", suite.render_fig5())
+    benchmark.extra_info["geomean_pct"] = data["geomean_pct"]
+    benchmark.extra_info["paper_geomean_pct"] = data["paper_geomean_pct"]
+    # Shape checks: TEA helps overall and on most benchmarks.
+    assert data["geomean_pct"] > 3.0
+    helped = sum(1 for v in data["speedup_pct"].values() if v > 0)
+    assert helped >= len(data["speedup_pct"]) * 0.7

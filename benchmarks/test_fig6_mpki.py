@@ -1,0 +1,14 @@
+"""Fig. 6 — direction + target mispredictions per kilo-instruction on
+the baseline core."""
+
+
+def test_fig6_mpki(benchmark, suite, publish):
+    data = benchmark.pedantic(suite.fig6, rounds=1, iterations=1)
+    publish("fig6", suite.render_fig6())
+    mpki = data["mpki"]
+    # Every evaluated benchmark exceeds the paper's 0.5 MPKI cutoff.
+    assert all(v > 0.5 for v in mpki.values())
+    # The graph kernels are among the most misprediction-heavy, as in
+    # the paper (bfs/cc/tc high, pr the lowest of GAP).
+    if {"tc", "pr"} <= set(mpki):
+        assert mpki["tc"] > mpki["pr"]

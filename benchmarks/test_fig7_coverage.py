@@ -1,0 +1,11 @@
+"""Fig. 7 — breakdown of branch mispredictions covered by the TEA
+thread (paper: 76% average coverage, <0.7% incorrect)."""
+
+
+def test_fig7_coverage_breakdown(benchmark, suite, publish):
+    data = benchmark.pedantic(suite.fig7, rounds=1, iterations=1)
+    publish("fig7", suite.render_fig7())
+    benchmark.extra_info["mean_coverage_pct"] = data["mean_coverage_pct"]
+    assert data["mean_coverage_pct"] > 30.0
+    for name, b in data["breakdown"].items():
+        assert b["incorrect"] < 25.0, f"{name}: too many incorrect precomputations"

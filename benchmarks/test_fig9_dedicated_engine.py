@@ -1,0 +1,12 @@
+"""Fig. 9 — TEA thread on a separate execution engine (paper: 12.3%,
+only marginally above the 10.1% on-core result)."""
+
+
+def test_fig9_dedicated_engine(benchmark, suite, publish):
+    data = benchmark.pedantic(suite.fig9, rounds=1, iterations=1)
+    publish("fig9", suite.render_fig9())
+    benchmark.extra_info["dedicated_geomean_pct"] = data["dedicated_geomean_pct"]
+    fig5 = suite.fig5()
+    # A dedicated engine never hurts much, and the increment over the
+    # on-core design stays modest (the paper's efficiency argument).
+    assert data["dedicated_geomean_pct"] > fig5["geomean_pct"] - 3.0

@@ -1,0 +1,19 @@
+"""§V-B check — TEA with early resolution disabled (prefetch side
+effect only).  Paper: just 1.2% geomean, proving the benefit comes
+from early flushes, not data prefetching."""
+
+
+def test_prefetch_only_side_effect(benchmark, suite, publish):
+    data = benchmark.pedantic(suite.prefetch_only, rounds=1, iterations=1)
+    rows = "\n".join(
+        f"  {name:12s} {value:+.2f}%" for name, value in data["speedup_pct"].items()
+    )
+    publish(
+        "secV_b_prefetch_only",
+        "SecV-B — TEA without early resolution (prefetch only)\n"
+        + rows
+        + f"\n  geomean {data['geomean_pct']:+.2f}% (paper: +1.2%)",
+    )
+    fig5 = suite.fig5()
+    # The prefetch-only benefit is a small fraction of the full benefit.
+    assert data["geomean_pct"] < fig5["geomean_pct"]

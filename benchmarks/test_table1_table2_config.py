@@ -1,0 +1,78 @@
+"""Tables I & II — machine configuration benchmarks.
+
+These verify (and time the construction of) the exact configurations
+the paper tabulates: the aggressive baseline core and the TEA thread
+structures.  There is nothing to "reproduce" numerically — the tables
+are inputs — so the benchmark asserts the parameter values and measures
+pipeline construction cost.
+"""
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.core.config import CoreConfig
+from repro.memory import MemoryConfig
+from repro.tea import TeaConfig
+
+
+def test_table1_core_parameters(benchmark, publish):
+    core = CoreConfig()
+    mem = MemoryConfig()
+    assert core.issue_width == 8
+    assert core.frontend_depth == 12
+    assert core.rob_entries == 512
+    assert core.rs_entries == 352
+    assert core.retire_width == 16
+    assert core.alu_ports + core.load_ports + core.fp_ports == 12
+    assert core.physical_registers == 400
+    assert core.load_queue == 256
+    assert core.store_queue == 192
+    assert mem.l1i_size == 32 * 1024 and mem.l1i_ways == 8
+    assert mem.l1d_size == 48 * 1024 and mem.l1d_ways == 12
+    assert mem.llc_size == 1024 * 1024 and mem.llc_ways == 16
+    assert mem.l1d_latency == 4 and mem.llc_latency == 18
+    assert mem.dram.channels == 2
+    assert (mem.dram.trp, mem.dram.tcl, mem.dram.trcd) == (16, 16, 16)
+
+    program = assemble("nop\nhalt")
+
+    def build():
+        return Pipeline(program, MemoryImage(), SimConfig())
+
+    pipeline = benchmark(build)
+    assert pipeline is not None
+    publish(
+        "table1",
+        "Table I — baseline core parameters verified "
+        "(8-wide, 512 ROB, 352 RS, 400 PRF, 12 ports, 12-cycle FE, "
+        "32KB L1I / 48KB L1D / 1MB LLC, DDR4-2400 16-16-16)",
+    )
+
+
+def test_table2_tea_structures(benchmark, publish):
+    tea = TeaConfig()
+    assert tea.rs_entries == 192
+    assert tea.physical_registers == 192
+    assert tea.frontend_delay == 9
+    assert tea.h2p_entries == 256 and tea.h2p_ways == 8
+    assert tea.h2p_decrement_period == 50_000
+    assert tea.fill_buffer_size == 512
+    assert tea.walk_cycles == 500
+    assert tea.mem_source_entries == 16
+    assert tea.block_cache_entries == 512
+    assert tea.empty_tag_entries == 256
+    assert tea.uops_per_entry == 8
+    assert tea.mask_reset_period == 500_000
+    assert tea.store_cache_halflines == 16
+
+    program = assemble("nop\nhalt")
+
+    def build():
+        return Pipeline(program, MemoryImage(), SimConfig(tea=TeaConfig()))
+
+    pipeline = benchmark(build)
+    assert pipeline.tea is not None
+    publish(
+        "table2",
+        "Table II — TEA structures verified (512-uop Fill Buffer, "
+        "512-entry Block Cache + 256 empty tags, 256-entry H2P table, "
+        "192 RS / 192 PR partition, 16 half-line store cache)",
+    )

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Sweep the TEA thread-construction features (the paper's Fig. 10).
+
+Runs one workload under every ablation configuration and prints the
+accuracy / coverage / timeliness triple the paper plots, plus IPC.
+Useful for exploring *why* each feature matters on a given kernel.
+
+Run:  python examples/ablation_sweep.py [workload] [scale]
+      (defaults: mcf tiny — mcf is the multi-control-flow showcase)
+"""
+
+import sys
+
+from repro.harness import run_workload, speedup_percent
+
+ABLATIONS = (
+    ("baseline", "baseline core"),
+    ("tea", "TEA (all features)"),
+    ("tea_only_loops", "only loops"),
+    ("tea_no_masks", "no masks"),
+    ("tea_no_mem", "no mem"),
+    ("tea_no_features", "no features"),
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+    print(f"workload: {name} ({scale} scale)\n")
+
+    results = {}
+    for mode, label in ABLATIONS:
+        print(f"  simulating {label} ...")
+        results[mode] = run_workload(name, mode, scale)
+
+    base_ipc = results["baseline"].ipc
+    print()
+    header = f"{'configuration':22s}{'IPC':>8s}{'speedup':>9s}{'accuracy':>10s}{'coverage':>10s}{'saved':>7s}"
+    print(header)
+    print("-" * len(header))
+    for mode, label in ABLATIONS:
+        stats = results[mode].stats
+        pct = speedup_percent(stats.ipc, base_ipc)
+        if mode == "baseline":
+            print(f"{label:22s}{stats.ipc:8.3f}{'':9s}{'':10s}{'':10s}")
+            continue
+        print(
+            f"{label:22s}{stats.ipc:8.3f}{pct:+8.1f}%"
+            f"{100 * stats.tea_accuracy:9.1f}%{100 * stats.coverage:9.1f}%"
+            f"{stats.avg_cycles_saved:7.1f}"
+        )
+    print()
+    print("accuracy  = fraction of TEA-precomputed branches that were correct")
+    print("coverage  = fraction of mispredictions resolved early by TEA")
+    print("saved     = average misprediction-penalty cycles saved per branch")
+
+
+if __name__ == "__main__":
+    main()

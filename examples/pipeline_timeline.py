@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Visualize the TEA thread racing the main thread through the pipe.
+
+Attaches a :class:`PipelineTracer` to a short H2P-loop run and renders
+two timelines: the main thread alone, then the same code with the TEA
+thread — whose copies of the H2P branch (rows marked ``~``) execute
+many cycles before the main-thread copies, triggering early flushes.
+
+Run:  python examples/pipeline_timeline.py
+"""
+
+import random
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.core import PipelineTracer
+from repro.tea import TeaConfig
+
+KERNEL = """
+    li r1, 0
+    li r2, 0
+    li r3, 400
+    li r4, 4096
+loop:
+    shli r5, r2, 3
+    add  r5, r5, r4
+    ld   r6, 0(r5)
+    blt  r6, r0, skip
+    add  r1, r1, r6
+skip:
+    addi r2, r2, 1
+    blt  r2, r3, loop
+    halt
+"""
+
+
+def build_memory() -> MemoryImage:
+    rng = random.Random(77)
+    memory = MemoryImage()
+    memory.write_array(4096, [rng.choice([-1, 1]) for _ in range(400)])
+    return memory
+
+
+def run_traced(tea: bool):
+    config = SimConfig(tea=TeaConfig() if tea else None)
+    pipeline = Pipeline(assemble(KERNEL), build_memory(), config)
+    tracer = PipelineTracer(limit=20_000)
+    tracer.attach(pipeline)
+    pipeline.run(max_cycles=200_000)
+    assert pipeline.halted
+    return pipeline, tracer
+
+
+def main() -> None:
+    print("legend: F fetch  R rename  E execute  C complete  T retire")
+    print("        '~' = TEA-thread copy, 'x' = squashed, '!' = mispredicted\n")
+
+    print("=== baseline (a misprediction mid-window forces a refetch) ===")
+    pipeline, tracer = run_traced(tea=False)
+    mispredicted = next(
+        r for r in tracer.uops() if r.mispredicted and not r.squashed and r.seq > 100
+    )
+    print(tracer.render(start_seq=mispredicted.seq - 6, count=16, width=72))
+
+    print("\n=== with the TEA thread ===")
+    pipeline, tracer = run_traced(tea=True)
+    tea_branches = [
+        r for r in tracer.uops() if r.is_tea and r.opcode == "blt" and r.complete > 0
+    ]
+    target = None
+    best_gap = 0
+    for record in tea_branches:
+        gap = tracer.branch_resolution_gap(record.seq)
+        if gap is not None and gap > best_gap:
+            best_gap, target = gap, record
+    if target is None:
+        print("(no paired TEA/main branch found in the trace window)")
+        return
+    print(tracer.render(start_seq=target.seq - 6, count=16, width=72))
+    print(f"\nTEA copy of branch seq={target.seq} completed {best_gap} cycles "
+          "before the main-thread copy —")
+    print("that difference is the misprediction penalty an early flush saves.")
+
+
+if __name__ == "__main__":
+    main()

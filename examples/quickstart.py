@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a hard-to-predict branch with and without the
+TEA precomputation thread.
+
+This is the paper's motivating scenario in miniature: a loop guarded by
+a branch whose direction depends on random data.  TAGE-SC-L cannot
+learn it, so the baseline core pays a full pipeline flush every other
+iteration.  The TEA thread precomputes the branch from its dependence
+chain and issues *early misprediction flushes*, recovering most of the
+penalty.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.tea import TeaConfig
+
+KERNEL = """
+    li r1, 0          # sum of non-negative entries
+    li r2, 0          # i
+    li r3, 4000       # n
+    li r4, 4096       # data[]
+loop:
+    shli r5, r2, 3
+    add  r5, r5, r4
+    ld   r6, 0(r5)    # data[i]
+    blt  r6, r0, skip # <- the H2P branch: sign of random data
+    add  r1, r1, r6
+skip:
+    addi r2, r2, 1
+    blt  r2, r3, loop
+    halt
+"""
+
+
+def build_memory() -> tuple[MemoryImage, int]:
+    rng = random.Random(2024)
+    values = [rng.choice([-1, 1]) * rng.randint(1, 9) for _ in range(4000)]
+    memory = MemoryImage()
+    memory.write_array(4096, values)
+    return memory, sum(v for v in values if v >= 0)
+
+
+def run(tea: bool):
+    memory, expected = build_memory()
+    config = SimConfig(tea=TeaConfig() if tea else None)
+    pipeline = Pipeline(assemble(KERNEL), memory, config)
+    stats = pipeline.run(max_cycles=5_000_000)
+    assert pipeline.halted, "kernel did not finish"
+    assert pipeline.architectural_register(1) == expected, "wrong result!"
+    return stats
+
+
+def main() -> None:
+    print("simulating baseline 8-wide OoO core ...")
+    base = run(tea=False)
+    print("simulating the same core + TEA thread ...")
+    tea = run(tea=True)
+
+    print()
+    print(f"{'':24s}{'baseline':>12s}{'with TEA':>12s}")
+    print(f"{'IPC':24s}{base.ipc:12.3f}{tea.ipc:12.3f}")
+    print(f"{'branch MPKI':24s}{base.mpki:12.1f}{tea.mpki:12.1f}")
+    print(f"{'pipeline flushes':24s}{base.flushes:12d}{tea.flushes:12d}")
+    print(f"{'early flushes (TEA)':24s}{0:12d}{tea.early_flushes:12d}")
+    print()
+    print(f"speedup:                 {tea.ipc / base.ipc:.2f}x")
+    print(f"misprediction coverage:  {100 * tea.coverage:.1f}%")
+    print(f"precomputation accuracy: {100 * tea.tea_accuracy:.2f}%")
+    print(f"avg cycles saved/branch: {tea.avg_cycles_saved:.1f}")
+    print()
+    print("Both runs computed the identical architectural result —")
+    print("the TEA thread is pure speculation, it only moves flushes earlier.")
+
+
+if __name__ == "__main__":
+    main()

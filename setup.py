@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable
+wheel.  ``python setup.py develop`` performs the equivalent legacy
+editable install; the Makefile-ish commands in README use it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — reproduction of "Timely, Efficient, and Accurate Branch
+Precomputation" (Deshmukh, Cai & Patt, MICRO 2024).
+
+The package provides an execution-driven cycle-level out-of-order core
+simulator with a decoupled TAGE-SC-L frontend, the TEA precomputation
+thread (the paper's contribution), a Branch Runahead baseline, the
+paper's workload suite as micro-ISA kernels, and a harness that
+regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import assemble, MemoryImage, Pipeline, SimConfig
+    from repro.tea import TeaConfig
+
+    program = assemble(SOURCE)
+    stats = Pipeline(program, MemoryImage(),
+                     SimConfig(tea=TeaConfig())).run(max_instructions=50_000)
+    print(stats.ipc, stats.coverage)
+"""
+
+from .core import CoreConfig, Pipeline, SimConfig, SimStats, SimulationError
+from .isa import AssemblerError, Instruction, Program, UopClass, assemble
+from .memory import MemoryImage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "Pipeline",
+    "SimConfig",
+    "SimStats",
+    "SimulationError",
+    "AssemblerError",
+    "Instruction",
+    "Program",
+    "UopClass",
+    "assemble",
+    "MemoryImage",
+    "__version__",
+]

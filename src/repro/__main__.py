@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      simulate one workload under one machine mode
+``compare``  simulate one workload under several modes side by side
+``list``     list workloads, scales, and machine modes
+``figure``   regenerate one paper figure/table on a workload subset
+
+Examples::
+
+    python -m repro list
+    python -m repro run bfs --mode tea --scale tiny
+    python -m repro compare mcf --modes baseline,tea,runahead
+    python -m repro figure fig8 --workloads bfs,mcf,xz --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import ExperimentSuite, MODES, run_workload, speedup_percent
+from .workloads import make_category, workload_names
+
+
+def _cmd_list(_args) -> int:
+    print("workloads (paper evaluation suite):")
+    for name in workload_names():
+        print(f"  {name:12s} [{make_category(name)} control flow]")
+    print("\nscales: tiny, bench, full")
+    print("modes:  " + ", ".join(MODES))
+    print("\nfigures: fig5 fig6 fig7 fig8 fig9 fig10 table3")
+    return 0
+
+
+def _print_stats(result) -> None:
+    stats = result.stats
+    print(f"  IPC               {stats.ipc:.3f}")
+    print(f"  cycles            {stats.cycles}")
+    print(f"  instructions      {stats.retired_instructions}")
+    print(f"  MPKI              {stats.mpki:.2f}")
+    print(f"  flushes           {stats.flushes}")
+    if stats.tea_resolved_branches:
+        print(f"  early flushes     {stats.early_flushes}")
+        print(f"  coverage          {100 * stats.coverage:.1f}%")
+        print(f"  accuracy          {100 * stats.tea_accuracy:.2f}%")
+        print(f"  avg cycles saved  {stats.avg_cycles_saved:.1f}")
+    if stats.runahead_overrides:
+        print(f"  BR overrides      {stats.runahead_overrides}"
+              f" (wrong: {stats.runahead_wrong_overrides})")
+    print(f"  validated         {result.validated}")
+
+
+def _cmd_run(args) -> int:
+    result = run_workload(args.workload, args.mode, args.scale)
+    print(f"{args.workload} under {args.mode} ({args.scale} scale):")
+    _print_stats(result)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    modes = args.modes.split(",")
+    results = {}
+    for mode in modes:
+        print(f"simulating {mode} ...", file=sys.stderr)
+        results[mode] = run_workload(args.workload, mode, args.scale)
+    base_ipc = results.get("baseline")
+    base_ipc = base_ipc.ipc if base_ipc else results[modes[0]].ipc
+    print(f"\n{args.workload} ({args.scale} scale):")
+    print(f"{'mode':20s}{'IPC':>8s}{'MPKI':>8s}{'speedup':>10s}")
+    for mode in modes:
+        stats = results[mode].stats
+        pct = speedup_percent(stats.ipc, base_ipc)
+        print(f"{mode:20s}{stats.ipc:8.3f}{stats.mpki:8.1f}{pct:+9.1f}%")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    workloads = tuple(args.workloads.split(",")) if args.workloads else None
+    suite = ExperimentSuite(scale=args.scale, workloads=workloads)
+    renderers = {
+        "fig5": suite.render_fig5,
+        "fig6": suite.render_fig6,
+        "fig7": suite.render_fig7,
+        "fig8": suite.render_fig8,
+        "fig9": suite.render_fig9,
+        "fig10": suite.render_fig10,
+        "table3": suite.render_table3,
+    }
+    try:
+        renderer = renderers[args.name]
+    except KeyError:
+        print(f"unknown figure {args.name!r}; one of {sorted(renderers)}",
+              file=sys.stderr)
+        return 2
+    print(renderer())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TEA branch-precomputation reproduction (MICRO 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, scales, modes").set_defaults(
+        func=_cmd_list
+    )
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload")
+    p_run.add_argument("--mode", default="baseline", choices=MODES)
+    p_run.add_argument("--scale", default="tiny")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare machine modes")
+    p_cmp.add_argument("workload")
+    p_cmp.add_argument("--modes", default="baseline,tea,runahead")
+    p_cmp.add_argument("--scale", default="tiny")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("name")
+    p_fig.add_argument("--workloads", default=None,
+                       help="comma-separated subset (default: all 17)")
+    p_fig.add_argument("--scale", default="tiny")
+    p_fig.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Core configuration (paper Table I) and whole-simulation config.
+
+The defaults model the paper's aggressive 8-wide OoO baseline: 512-entry
+ROB, 352 reservation stations, 400 physical registers, 12 execution
+ports (6 ALU, 2 LD, 2 LD/ST, 2 FP), 12-cycle frontend, 16-wide retire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.decoupled import FrontendConfig
+from ..memory.hierarchy import MemoryConfig
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (paper Table I)."""
+
+    fetch_width: int = 8
+    rename_width: int = 8
+    issue_width: int = 8
+    retire_width: int = 16
+    frontend_depth: int = 12        # cycles from fetch start to rename
+    rob_entries: int = 512
+    rs_entries: int = 352
+    physical_registers: int = 400
+    load_queue: int = 256
+    store_queue: int = 192
+    alu_ports: int = 6
+    load_ports: int = 4             # 2 LD + 2 LD/ST
+    store_ports: int = 2            # the 2 LD/ST ports' store side
+    fp_ports: int = 2
+    max_blocks_fetched_per_cycle: int = 1   # one fetch address / cycle
+    frontend_buffer: int = 64               # decode-pipe backpressure bound
+
+    @property
+    def total_ports(self) -> int:
+        return self.alu_ports + self.load_ports + self.fp_ports
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Top-level simulation configuration.
+
+    ``tea`` / ``runahead`` are optional feature configs (imported
+    lazily by the pipeline to avoid circular imports); ``None`` runs the
+    plain baseline core.
+    """
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    frontend: FrontendConfig = field(default_factory=FrontendConfig)
+    tea: object | None = None        # repro.tea.TeaConfig
+    runahead: object | None = None   # repro.runahead.RunaheadConfig
+    crisp: object | None = None      # repro.crisp.CrispConfig
+    max_instructions: int | None = None
+    max_cycles: int | None = None
+    warmup_instructions: int = 0

@@ -1,0 +1,70 @@
+"""In-flight branch queue (IFBQ).
+
+Tracks every in-flight main-thread branch that can mispredict, keyed by
+its synchronized timestamp (sequence number).  The TEA thread writes
+its precomputed direction/target into the entry when a TEA branch
+resolves (paper §IV-F); the main-thread branch reads the entry at
+execution to check whether its misprediction was already resolved —
+and to detect incorrect precomputations (the fail-safe path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend.decoupled import BranchInfo
+
+
+@dataclass
+class IfbqEntry:
+    """State for one in-flight (possibly not yet fetched) branch."""
+
+    branch: BranchInfo
+    renamed: bool = False
+    rat_checkpoint: tuple[int, ...] | None = None
+    # TEA precomputation results.
+    tea_resolved: bool = False
+    tea_taken: bool | None = None
+    tea_target: int | None = None
+    tea_resolve_cycle: int = -1
+    tea_flush_issued: bool = False
+    tea_blocked: bool = False          # poison-blocked from flushing
+    # Main-thread resolution.
+    main_resolved: bool = False
+    main_resolve_cycle: int = -1
+
+    @property
+    def seq(self) -> int:
+        return self.branch.seq
+
+
+class InFlightBranchQueue:
+    """seq -> entry map with timestamp-ordered flush support."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, IfbqEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, branch: BranchInfo) -> IfbqEntry:
+        entry = IfbqEntry(branch)
+        self._entries[branch.seq] = entry
+        return entry
+
+    def get(self, seq: int) -> IfbqEntry | None:
+        return self._entries.get(seq)
+
+    def remove(self, seq: int) -> None:
+        self._entries.pop(seq, None)
+
+    def squash_younger(self, seq: int) -> list[IfbqEntry]:
+        """Drop entries younger than ``seq``; returns what was removed."""
+        doomed = [s for s in self._entries if s > seq]
+        removed = []
+        for s in doomed:
+            removed.append(self._entries.pop(s))
+        return removed
+
+    def entries_younger(self, seq: int) -> list[IfbqEntry]:
+        return [e for s, e in self._entries.items() if s > seq]

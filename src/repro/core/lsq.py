@@ -1,0 +1,89 @@
+"""Load and store queues with store-to-load forwarding.
+
+Memory ordering policy: a load may issue only once every older store's
+address is resolved (conservative disambiguation — never a memory-order
+violation, so no replay machinery is needed).  The youngest older store
+to the same word forwards its data; if the data is not ready yet the
+load waits.
+
+TEA-thread loads bypass these queues entirely (paper §IV-E): they read
+committed memory plus the TEA store data cache.
+"""
+
+from __future__ import annotations
+
+from ..memory.memory_image import align_word
+from .dynamic_uop import DynUop
+
+
+class StoreQueue:
+    """In-order (by seq) queue of in-flight main-thread stores."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: list[DynUop] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def insert(self, uop: DynUop) -> None:
+        self.entries.append(uop)
+
+    def remove(self, uop: DynUop) -> None:
+        self.entries.remove(uop)
+
+    def squash_younger(self, seq: int) -> None:
+        self.entries = [u for u in self.entries if u.seq <= seq]
+
+    def addresses_resolved_before(self, seq: int) -> bool:
+        """True if every store older than ``seq`` knows its address."""
+        for store in self.entries:
+            if store.seq < seq and store.mem_addr is None:
+                return False
+        return True
+
+    def forward(self, addr: int, seq: int) -> tuple[str, int | float | None]:
+        """Look up forwarding for a load at ``seq`` reading ``addr``.
+
+        Returns one of ``("none", None)`` — no older store matches;
+        ``("hit", value)`` — forward this value; ``("wait", None)`` —
+        the matching store's data is not ready yet.
+        """
+        word = align_word(addr)
+        best: DynUop | None = None
+        for store in self.entries:
+            if store.seq < seq and store.mem_addr is not None:
+                if align_word(store.mem_addr) == word:
+                    if best is None or store.seq > best.seq:
+                        best = store
+        if best is None:
+            return ("none", None)
+        if best.store_value is None:
+            return ("wait", None)
+        return ("hit", best.store_value)
+
+
+class LoadQueue:
+    """Capacity tracking for in-flight main-thread loads."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: list[DynUop] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def insert(self, uop: DynUop) -> None:
+        self.entries.append(uop)
+
+    def remove(self, uop: DynUop) -> None:
+        self.entries.remove(uop)
+
+    def squash_younger(self, seq: int) -> None:
+        self.entries = [u for u in self.entries if u.seq <= seq]

@@ -1,0 +1,590 @@
+"""The out-of-order core: an execution-driven cycle-level pipeline.
+
+Stage order within :meth:`Pipeline.step` runs back-to-front (retire,
+complete, schedule, rename, TEA fetch, fetch, predict) so that results
+take at least one cycle to traverse each stage boundary.
+
+Thread model: the *main thread* fetches every predicted uop from the
+FTQ through a 12-cycle frontend into the shared backend; the optional
+*TEA thread* (installed by :mod:`repro.tea`) consumes the shadow FTQ,
+fetching only dependence-chain uops out of the Block Cache, renaming
+through a shadow RAT, and resolving H2P branches early.  Both threads
+share the physical register file values, execution ports, cache ports
+and MSHRs; RS/PRF capacity is partitioned (paper §IV-E).
+
+Flush machinery: every dynamic uop carries its FTQ sequence number
+(timestamp).  ``flush_at_branch`` squashes all uops younger than the
+branch's timestamp in *both* threads — including partial flushes of the
+frontend pipe and FTQ (paper §IV-F) — restores the RAT from the
+branch's checkpoint when the branch had been renamed, and repairs the
+decoupled predictor's speculative state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..frontend.decoupled import DecoupledFrontend, FetchBlock
+from ..isa import (
+    Program,
+    REG_ZERO,
+    UopClass,
+    branch_taken,
+    branch_target,
+    compute_result,
+    effective_address,
+)
+from ..isa.registers import NUM_ARCH_REGS
+from ..memory.cache import line_address
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.memory_image import MemoryImage
+from .config import SimConfig
+from .dynamic_uop import DynUop, UopState
+from .ifbq import InFlightBranchQueue
+from .lsq import LoadQueue, StoreQueue
+from .rename import (
+    PhysicalRegisterFile,
+    RegisterAliasTable,
+    rename_sources,
+)
+from .scheduler import Scheduler
+from .stats import SimStats
+
+_MEM_CLASSES = (UopClass.LOAD, UopClass.STORE)
+_NO_EXEC_CLASSES = (UopClass.NOP, UopClass.HALT)
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulated machine deadlocks (a model bug)."""
+
+
+class Pipeline:
+    """An 8-wide OoO core instance bound to one program + data image."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: MemoryImage,
+        config: SimConfig | None = None,
+    ):
+        self.config = config or SimConfig()
+        core = self.config.core
+        self.program = program
+        self.memory = memory
+        self.frontend = DecoupledFrontend(program, self.config.frontend)
+        self.hierarchy = MemoryHierarchy(self.config.memory)
+        tea_cfg = self.config.tea
+        tea_prf = tea_cfg.physical_registers if tea_cfg else 0
+        tea_rs = tea_cfg.rs_entries if tea_cfg else 0
+        tea_units = (
+            tea_cfg.dedicated_execution_units
+            if tea_cfg and tea_cfg.dedicated_engine
+            else 0
+        )
+        self.prf = PhysicalRegisterFile(core.physical_registers, tea_prf)
+        self.rat = RegisterAliasTable()
+        self.scheduler = Scheduler(core, tea_rs, tea_units)
+        self.rob: deque[DynUop] = deque()
+        self.lq = LoadQueue(core.load_queue)
+        self.sq = StoreQueue(core.store_queue)
+        self.ifbq = InFlightBranchQueue()
+        self.decode_pipe: deque[DynUop] = deque()
+        self.stats = SimStats()
+        self.cycle = 0
+        self.halted = False
+        self.retired_total = 0
+        self.last_renamed_seq = -1
+        self.committed_regs: list[int | float] = [0] * NUM_ARCH_REGS
+        self._executing: list[DynUop] = []
+        self._post_fetch_delay = max(
+            0, core.frontend_depth - self.config.memory.l1i_latency
+        )
+        # Main-thread fetch cursor into the FTQ head block.
+        self._cur_block: FetchBlock | None = None
+        self._cur_block_ready = 0
+        self._block_offset = 0
+        self._last_retire_cycle = 0
+        # Optional mechanisms, installed lazily to avoid import cycles.
+        self.tea = None
+        self.runahead = None
+        self.crisp = None
+        if tea_cfg is not None:
+            from ..tea.controller import TeaController
+
+            self.tea = TeaController(self, tea_cfg)
+        if self.config.runahead is not None:
+            from ..runahead.controller import RunaheadController
+
+            self.runahead = RunaheadController(self, self.config.runahead)
+        if self.config.crisp is not None:
+            from ..crisp.controller import CrispController
+
+            self.crisp = CrispController(self, self.config.crisp)
+
+    # ==================================================================
+    # Top-level control
+    # ==================================================================
+    def run(
+        self,
+        max_instructions: int | None = None,
+        max_cycles: int | None = None,
+    ) -> SimStats:
+        """Run until HALT retires or a limit is reached; returns stats.
+
+        Warmup handling: once ``config.warmup_instructions`` have
+        retired, all statistics are reset and measurement begins.
+        """
+        max_instructions = max_instructions or self.config.max_instructions
+        max_cycles = max_cycles or self.config.max_cycles
+        warmup = self.config.warmup_instructions
+        measurement_started = warmup == 0
+        if measurement_started:
+            self.stats.start_measurement()
+        while not self.halted:
+            self.step()
+            if not measurement_started and self.retired_total >= warmup:
+                self.stats.start_measurement()
+                measurement_started = True
+            if (
+                max_instructions is not None
+                and self.stats.retired_instructions >= max_instructions
+            ):
+                break
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+        return self.stats
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        self.cycle += 1
+        self._retire()
+        self._complete()
+        self._schedule()
+        self._rename()
+        if self.tea is not None:
+            self.tea.fetch()
+        self._fetch()
+        self._predict()
+        if self.runahead is not None:
+            self.runahead.tick()
+        self.stats.cycles += 1
+        if self.cycle - self._last_retire_cycle > 20000:
+            raise SimulationError(
+                f"no retirement for 20000 cycles at cycle {self.cycle}; "
+                f"rob={len(self.rob)} decode={len(self.decode_pipe)} "
+                f"ftq={len(self.frontend.ftq)} bp_stalled={self.frontend.stalled()}"
+            )
+
+    # ==================================================================
+    # Branch prediction (decoupled, runs ahead of fetch)
+    # ==================================================================
+    def _predict(self) -> None:
+        block = self.frontend.tick()
+        if block is None:
+            return
+        for fuop in block.uops:
+            if fuop.branch is not None and fuop.branch.can_mispredict:
+                self.ifbq.add(fuop.branch)
+                if self.runahead is not None:
+                    self.runahead.on_branch_predicted(fuop.branch)
+
+    # ==================================================================
+    # Main-thread fetch: FTQ -> I-cache -> frontend pipe
+    # ==================================================================
+    def _fetch(self) -> None:
+        core = self.config.core
+        budget = min(
+            core.fetch_width, core.frontend_buffer - len(self.decode_pipe)
+        )
+        blocks_finished = 0
+        while budget > 0 and blocks_finished < core.max_blocks_fetched_per_cycle:
+            ftq = self.frontend.ftq
+            if not ftq:
+                break
+            block = ftq[0]
+            if block is not self._cur_block:
+                self._cur_block = block
+                self._block_offset = 0
+                ready = self.hierarchy.access_ifetch(block.start_pc, self.cycle)
+                last_pc = block.uops[-1].instr.pc if block.uops else block.start_pc
+                if line_address(last_pc) != line_address(block.start_pc):
+                    ready = max(
+                        ready, self.hierarchy.access_ifetch(last_pc, self.cycle)
+                    )
+                self._cur_block_ready = ready
+            if self._cur_block_ready > self.cycle:
+                break
+            uops = block.uops
+            while budget > 0 and self._block_offset < len(uops):
+                fuop = uops[self._block_offset]
+                dyn = DynUop(fuop.seq, fuop.instr, fuop.branch, is_tea=False)
+                dyn.fetch_cycle = self.cycle
+                dyn.rename_ready_cycle = self.cycle + self._post_fetch_delay
+                if self.tea is not None and self.tea.is_chain_seq(fuop.seq):
+                    dyn.in_chain = True
+                self.decode_pipe.append(dyn)
+                self.stats.fetched_uops += 1
+                self._block_offset += 1
+                budget -= 1
+            if self._block_offset >= len(uops):
+                ftq.popleft()
+                self._cur_block = None
+                blocks_finished += 1
+            else:
+                break
+
+    # ==================================================================
+    # Rename / issue into the backend
+    # ==================================================================
+    def _rename(self) -> None:
+        core = self.config.core
+        width = core.rename_width
+        if self.tea is not None:
+            width = self.tea.rename_first(width)
+        while width > 0 and self.decode_pipe:
+            uop = self.decode_pipe[0]
+            if uop.rename_ready_cycle > self.cycle:
+                break
+            if not self._try_rename_main(uop):
+                break
+            self.decode_pipe.popleft()
+            width -= 1
+
+    def _try_rename_main(self, uop: DynUop) -> bool:
+        """Rename one main-thread uop; False on structural stall."""
+        if len(self.rob) >= self.config.core.rob_entries:
+            return False
+        instr = uop.instr
+        cls = instr.uop_class
+        needs_rs = cls not in _NO_EXEC_CLASSES
+        if needs_rs and not self.scheduler.main_has_space():
+            return False
+        if cls is UopClass.LOAD and self.lq.full():
+            return False
+        if cls is UopClass.STORE and self.sq.full():
+            return False
+        dst = instr.dst if instr.dst not in (None, REG_ZERO) else None
+        preg = None
+        if dst is not None:
+            preg = self.prf.allocate(tea=False)
+            if preg is None:
+                return False
+
+        uop.src_pregs = rename_sources(self.rat, instr.srcs)
+        if dst is not None:
+            uop.dst_preg = preg
+            uop.old_dst_preg = self.rat.set(dst, preg)
+        uop.state = UopState.RENAMED
+        uop.rename_cycle = self.cycle
+        self.rob.append(uop)
+        self.last_renamed_seq = uop.seq
+        if cls is UopClass.LOAD:
+            self.lq.insert(uop)
+        elif cls is UopClass.STORE:
+            self.sq.insert(uop)
+        if needs_rs:
+            self.scheduler.insert(uop)
+        else:
+            uop.state = UopState.DONE
+            uop.done_cycle = self.cycle
+        if uop.branch is not None and uop.branch.can_mispredict:
+            entry = self.ifbq.get(uop.seq)
+            if entry is not None:
+                entry.renamed = True
+                entry.rat_checkpoint = self.rat.checkpoint()
+        if self.tea is not None:
+            self.tea.on_main_rename(uop)
+        if self.crisp is not None:
+            self.crisp.on_main_rename(uop)
+        return True
+
+    # ==================================================================
+    # Schedule + execute
+    # ==================================================================
+    def _operands_ready(self, uop: DynUop) -> bool:
+        ready = self.prf.ready
+        for preg in uop.src_pregs:
+            if not ready[preg]:
+                return False
+        return True
+
+    def _ready_to_issue(self, uop: DynUop) -> bool:
+        if not self._operands_ready(uop):
+            return False
+        if uop.is_tea and uop.instr.uop_class is UopClass.LOAD:
+            # Intra-TEA store->load ordering (store cache visibility).
+            return self.tea.load_ordered(uop)
+        if uop.instr.uop_class is UopClass.LOAD and not uop.is_tea:
+            # Conservative disambiguation: wait for older store addresses.
+            if not self.sq.addresses_resolved_before(uop.seq):
+                return False
+            addr = effective_address(
+                uop.instr, tuple(self.prf.read(p) for p in uop.src_pregs)
+            )
+            status, _ = self.sq.forward(addr, uop.seq)
+            if status == "wait":
+                return False
+        return True
+
+    def _schedule(self) -> None:
+        picked = self.scheduler.select(self._ready_to_issue)
+        for uop in picked:
+            if not self._start_execution(uop):
+                # Structural retry (MSHRs full): put it back.
+                self.scheduler.insert(uop)
+
+    def _start_execution(self, uop: DynUop) -> bool:
+        instr = uop.instr
+        cls = instr.uop_class
+        values = tuple(self.prf.read(p) for p in uop.src_pregs)
+        if uop.is_tea and self.tea is not None:
+            self.tea.on_operands_read(uop)
+
+        if cls is UopClass.LOAD:
+            addr = effective_address(instr, values)
+            uop.mem_addr = addr
+            if uop.is_tea:
+                ready = self.hierarchy.access_load(addr, self.cycle)
+                if ready is None:
+                    return False
+                uop.result = self.tea.load_value(addr)
+                uop.done_cycle = ready
+            else:
+                status, value = self.sq.forward(addr, uop.seq)
+                if status == "hit":
+                    uop.result = value
+                    uop.load_forwarded = True
+                    uop.done_cycle = self.cycle + self.config.memory.l1d_latency
+                else:
+                    ready = self.hierarchy.access_load(addr, self.cycle)
+                    if ready is None:
+                        return False
+                    uop.result = self.memory.load(addr)
+                    uop.done_cycle = ready
+        elif cls is UopClass.STORE:
+            uop.mem_addr = effective_address(instr, values)
+            uop.store_value = values[0]
+            uop.done_cycle = self.cycle + 1
+        elif instr.is_branch:
+            taken = branch_taken(instr, values)
+            uop.br_taken = taken
+            uop.br_target = (
+                branch_target(instr, values) if taken else instr.fallthrough_pc
+            )
+            uop.result = compute_result(instr, values)
+            uop.done_cycle = self.cycle + 1
+        else:
+            uop.result = compute_result(instr, values)
+            uop.done_cycle = self.cycle + instr.latency
+        uop.state = UopState.EXECUTING
+        self._executing.append(uop)
+        return True
+
+    # ==================================================================
+    # Completion: writeback, branch resolution, flushes
+    # ==================================================================
+    def _complete(self) -> None:
+        finished: list[DynUop] = []
+        still: list[DynUop] = []
+        for uop in self._executing:
+            if uop.squashed:
+                continue
+            if uop.done_cycle <= self.cycle:
+                finished.append(uop)
+            else:
+                still.append(uop)
+        self._executing = still
+        # Resolve oldest-first; a flush squashes younger completions.
+        finished.sort(key=lambda u: (u.seq, u.is_tea))
+        for uop in finished:
+            if uop.squashed:
+                continue
+            uop.state = UopState.DONE
+            if uop.dst_preg is not None:
+                self.prf.write(uop.dst_preg, uop.result)
+            if uop.is_tea:
+                self._complete_tea(uop)
+            else:
+                if uop.branch is not None and uop.branch.can_mispredict:
+                    self._resolve_main_branch(uop)
+
+    def _complete_tea(self, uop: DynUop) -> None:
+        if uop.instr.is_store:
+            self.tea.store_to_cache(uop)
+        if uop.branch is not None and uop.branch.can_mispredict:
+            self.tea.on_tea_branch_resolved(uop)
+        self.tea.on_tea_uop_done(uop)
+
+    def _resolve_main_branch(self, uop: DynUop) -> None:
+        info = uop.branch
+        actual_taken = uop.br_taken
+        actual_next = uop.br_target
+        predicted_next = info.predicted_next_pc
+        direction_wrong = (
+            info.uop_class is UopClass.BR_COND and actual_taken != info.predicted_taken
+        )
+        target_wrong = (
+            info.uop_class is not UopClass.BR_COND and actual_next != predicted_next
+        )
+        mispredicted = direction_wrong or target_wrong or (
+            info.uop_class is UopClass.BR_COND
+            and actual_taken
+            and actual_next != info.predicted_target
+        )
+        uop.mispredicted = mispredicted
+        entry = self.ifbq.get(uop.seq)
+        if entry is not None:
+            entry.main_resolved = True
+            entry.main_resolve_cycle = self.cycle
+
+        tea_resolved = entry is not None and entry.tea_resolved
+        tea_flushed = entry is not None and entry.tea_flush_issued
+        if tea_resolved and (
+            entry.tea_taken != actual_taken or entry.tea_target != actual_next
+        ):
+            self.stats.tea_wrong_resolutions += 1
+        if tea_flushed:
+            tea_correct = (
+                entry.tea_taken == actual_taken and entry.tea_target == actual_next
+            )
+            if tea_correct:
+                if mispredicted:
+                    saved = max(0, self.cycle - entry.tea_resolve_cycle)
+                    self.stats.tea_cycles_saved += saved
+                    if saved >= 1:
+                        self.stats.covered_timely += 1
+                    else:
+                        self.stats.covered_late += 1
+            else:
+                # Incorrect precomputation slipped past the poison
+                # check: the fail-safe issues a corrective flush.
+                self.stats.extra_flushes += 1
+                if mispredicted:
+                    self.stats.incorrect_precomputations += 1
+                self.flush_at_branch(info, actual_taken, actual_next)
+            return
+
+        if mispredicted:
+            if tea_resolved:
+                # TEA resolved but did not flush: it either agreed with
+                # the (wrong) prediction or was poison-blocked.
+                self.stats.incorrect_precomputations += 1
+            else:
+                self.stats.uncovered_mispredicts += 1
+            self.flush_at_branch(info, actual_taken, actual_next)
+
+    # ==================================================================
+    # Flush machinery (shared by main resolution and TEA early flushes)
+    # ==================================================================
+    def flush_at_branch(self, info, actual_taken: bool, actual_target: int) -> None:
+        """Flush everything younger than ``info.seq`` and redirect.
+
+        Implements the paper's timestamp-based flush: backend squash,
+        partial frontend flush (only uops younger than the branch are
+        removed from the frontend pipe and FTQ), predictor state
+        repair, and RAT recovery from the branch's checkpoint when the
+        branch had been renamed.
+        """
+        seq = info.seq
+        self.stats.flushes += 1
+        entry = self.ifbq.get(seq)
+        # Backend squash (ROB is ordered by seq).
+        while self.rob and self.rob[-1].seq > seq:
+            self._squash(self.rob.pop())
+        if entry is not None and entry.renamed and entry.rat_checkpoint is not None:
+            self.rat.restore(entry.rat_checkpoint)
+        self.scheduler.squash_younger(seq)
+        self.lq.squash_younger(seq)
+        self.sq.squash_younger(seq)
+        # Partial frontend flush.
+        if self.decode_pipe and self.decode_pipe[-1].seq > seq:
+            kept = [u for u in self.decode_pipe if u.seq <= seq]
+            self.decode_pipe = deque(kept)
+        self.frontend.flush_at(info, actual_taken, actual_target)
+        # NOTE: the fetch cursor (_cur_block/_block_offset) survives a
+        # flush deliberately.  The FTQ head is the *oldest* block: a
+        # flush either truncates it at the branch (offset stays valid —
+        # this is the paper's partial FTQ flush) or removes it entirely
+        # because every uop in it is younger, in which case the next
+        # fetch sees a different head object and resets the cursor.
+        removed_branches = self.ifbq.squash_younger(seq)
+        if self.tea is not None:
+            self.tea.on_flush(seq)
+        if self.runahead is not None:
+            self.runahead.on_branches_squashed(removed_branches)
+            self.runahead.on_flush(seq)
+
+    def _squash(self, uop: DynUop) -> None:
+        uop.state = UopState.SQUASHED
+        if uop.dst_preg is not None:
+            self.prf.free(uop.dst_preg)
+
+    # ==================================================================
+    # Retire
+    # ==================================================================
+    def _retire(self) -> None:
+        core = self.config.core
+        retired = 0
+        while retired < core.retire_width and self.rob:
+            uop = self.rob[0]
+            if uop.state is not UopState.DONE:
+                break
+            self.rob.popleft()
+            uop.state = UopState.RETIRED
+            self._commit(uop)
+            retired += 1
+            self.retired_total += 1
+            self.stats.retired_instructions += 1
+            self._last_retire_cycle = self.cycle
+            if uop.instr.uop_class is UopClass.HALT:
+                self.halted = True
+                break
+
+    def _commit(self, uop: DynUop) -> None:
+        instr = uop.instr
+        if instr.is_store:
+            self.memory.store(uop.mem_addr, uop.store_value)
+            self.hierarchy.access_store_retire(uop.mem_addr)
+            self.sq.remove(uop)
+        elif instr.is_load:
+            self.lq.remove(uop)
+        dst = instr.dst if instr.dst not in (None, REG_ZERO) else None
+        if dst is not None and uop.dst_preg is not None:
+            self.committed_regs[dst] = self.prf.read(uop.dst_preg)
+        if uop.old_dst_preg is not None:
+            self.prf.free(uop.old_dst_preg)
+        if instr.is_branch and uop.branch is not None:
+            self.stats.retired_branches += 1
+            self.frontend.train_resolved(uop.branch, uop.br_taken, uop.br_target)
+            if uop.mispredicted:
+                if instr.uop_class is UopClass.BR_COND:
+                    self.stats.direction_mispredicts += 1
+                else:
+                    self.stats.target_mispredicts += 1
+                by_pc = self.stats.extra.setdefault("mispredicts_by_pc", {})
+                by_pc[instr.pc] = by_pc.get(instr.pc, 0) + 1
+            if uop.branch.can_mispredict:
+                self.ifbq.remove(uop.seq)
+        if self.tea is not None:
+            self.tea.on_retire(uop)
+        if self.runahead is not None:
+            self.runahead.on_retire(uop)
+        if self.crisp is not None:
+            self.crisp.on_retire(uop)
+
+    # ==================================================================
+    # Introspection helpers (tests, examples)
+    # ==================================================================
+    def architectural_register(self, arch_reg: int) -> int | float:
+        """Committed value of an architectural register."""
+        return self.committed_regs[arch_reg]
+
+    def top_mispredicting_branches(self, count: int = 10) -> list[tuple[int, int]]:
+        """The heaviest mispredictors: ``[(pc, mispredicts), ...]``.
+
+        Tracked at retirement; this is the oracle view of what the H2P
+        table approximates with its decaying counters.
+        """
+        table = self.stats.extra.get("mispredicts_by_pc", {})
+        ranked = sorted(table.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:count]

@@ -1,0 +1,104 @@
+"""Register renaming: physical register file, free lists, and RATs.
+
+One flat physical register file holds values for both threads; the
+main-thread pool occupies pregs ``1..main_size`` and the TEA partition
+(when configured) the pregs above it — the paper's "192 Physical
+Registers are reserved for the TEA thread when it is active".
+Preg 0 is the hardwired zero register: always ready, value 0, never
+allocated, and the permanent mapping of architectural ``r0``.
+
+The main RAT is checkpointed per predicted branch (at rename) for
+single-cycle misprediction recovery; the TEA shadow RAT is a plain copy
+of the main RAT taken at TEA initiation (paper §IV-D).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..isa import NUM_ARCH_REGS, REG_ZERO
+
+ZERO_PREG = 0
+
+
+class PhysicalRegisterFile:
+    """Values + ready bits for all physical registers (both pools)."""
+
+    def __init__(self, main_size: int, tea_size: int = 0):
+        total = 1 + main_size + tea_size  # +1 for the zero preg
+        self.main_size = main_size
+        self.tea_size = tea_size
+        self.values: list[int | float] = [0] * total
+        self.ready: list[bool] = [False] * total
+        self.ready[ZERO_PREG] = True
+        self.main_free: deque[int] = deque(range(1, 1 + main_size))
+        self.tea_free: deque[int] = deque(range(1 + main_size, total))
+
+    def allocate(self, tea: bool = False) -> int | None:
+        """Allocate a preg from the requested pool (None if exhausted)."""
+        pool = self.tea_free if tea else self.main_free
+        if not pool:
+            return None
+        preg = pool.popleft()
+        self.ready[preg] = False
+        self.values[preg] = 0
+        return preg
+
+    def free(self, preg: int) -> None:
+        """Return a preg to its pool (zero preg is never freed)."""
+        if preg == ZERO_PREG:
+            return
+        if preg <= self.main_size:
+            self.main_free.append(preg)
+        else:
+            self.tea_free.append(preg)
+
+    def is_tea_preg(self, preg: int) -> bool:
+        return preg > self.main_size
+
+    def write(self, preg: int, value: int | float) -> None:
+        if preg == ZERO_PREG:
+            return
+        self.values[preg] = value
+        self.ready[preg] = True
+
+    def read(self, preg: int) -> int | float:
+        return self.values[preg]
+
+    def main_available(self) -> int:
+        return len(self.main_free)
+
+    def tea_available(self) -> int:
+        return len(self.tea_free)
+
+
+class RegisterAliasTable:
+    """Architectural -> physical register map with cheap checkpoints."""
+
+    def __init__(self) -> None:
+        self.map: list[int] = [ZERO_PREG] * NUM_ARCH_REGS
+
+    def lookup(self, arch_reg: int) -> int:
+        return self.map[arch_reg]
+
+    def set(self, arch_reg: int, preg: int) -> int:
+        """Update a mapping; returns the previous preg."""
+        old = self.map[arch_reg]
+        self.map[arch_reg] = preg
+        return old
+
+    def checkpoint(self) -> tuple[int, ...]:
+        return tuple(self.map)
+
+    def restore(self, snap: tuple[int, ...]) -> None:
+        self.map = list(snap)
+
+    def copy_from(self, other: "RegisterAliasTable") -> None:
+        self.map = list(other.map)
+
+
+def rename_sources(rat: RegisterAliasTable, srcs: tuple[int, ...]) -> tuple[int, ...]:
+    """Map architectural sources to physical registers (r0 -> preg 0)."""
+    return tuple(
+        ZERO_PREG if reg == REG_ZERO else rat.lookup(reg) for reg in srcs
+    )

@@ -1,0 +1,138 @@
+"""Reservation stations and port-constrained instruction selection.
+
+The main thread owns ``rs_entries`` stations; the TEA thread owns its
+own partition (paper: 192 RS reserved when active).  Execution ports
+are shared — 6 ALU (also branches/mul/div), 4 load, 2 store, 2 FP —
+and selection gives the TEA thread priority (paper §IV-E: "prioritizes
+TEA thread instructions and uses the leftover Issue slots for the main
+thread"), oldest-first within each thread.
+
+With a *dedicated execution engine* (paper §V-D, Fig. 9) the TEA
+thread instead draws from its own pool of ``dedicated_units``
+any-class units and does not consume shared ports at all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..isa import UopClass
+from .config import CoreConfig
+from .dynamic_uop import DynUop
+
+_LOAD = UopClass.LOAD
+_STORE = UopClass.STORE
+_FP = UopClass.FP
+
+
+def _port_kind(uop: DynUop) -> str:
+    cls = uop.instr.uop_class
+    if cls is _LOAD:
+        return "load"
+    if cls is _STORE:
+        return "store"
+    if cls is _FP:
+        return "fp"
+    return "alu"
+
+
+class Scheduler:
+    """RS storage plus per-cycle select()."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        tea_rs_entries: int = 0,
+        tea_dedicated_units: int = 0,
+    ):
+        self.config = config
+        self.main_rs: list[DynUop] = []
+        self.tea_rs: list[DynUop] = []
+        self.tea_rs_entries = tea_rs_entries
+        self.tea_dedicated_units = tea_dedicated_units
+        # Optional criticality hook (CRISP/IBDA): main-thread uops for
+        # which it returns True are selected ahead of older uops.
+        self.priority_fn = None
+
+    # -- capacity -------------------------------------------------------
+    def main_has_space(self) -> bool:
+        return len(self.main_rs) < self.config.rs_entries
+
+    def tea_has_space(self) -> bool:
+        return len(self.tea_rs) < self.tea_rs_entries
+
+    def insert(self, uop: DynUop) -> None:
+        (self.tea_rs if uop.is_tea else self.main_rs).append(uop)
+
+    # -- flush support ----------------------------------------------------
+    def squash_younger(self, seq: int) -> None:
+        self.main_rs = [u for u in self.main_rs if u.seq <= seq]
+        self.tea_rs = [u for u in self.tea_rs if u.seq <= seq]
+
+    def clear_tea(self) -> None:
+        self.tea_rs = []
+
+    def drop(self, uop: DynUop) -> None:
+        rs = self.tea_rs if uop.is_tea else self.main_rs
+        if uop in rs:
+            rs.remove(uop)
+
+    # -- selection --------------------------------------------------------
+    def select(self, ready_fn: Callable[[DynUop], bool]) -> list[DynUop]:
+        """Pick uops to begin execution this cycle.
+
+        ``ready_fn`` decides operand/memory readiness.  Selected uops
+        are removed from their stations; the pipeline starts them.
+        """
+        cfg = self.config
+        ports = {
+            "alu": cfg.alu_ports,
+            "load": cfg.load_ports,
+            "store": cfg.store_ports,
+            "fp": cfg.fp_ports,
+        }
+        dedicated_left = self.tea_dedicated_units
+        picked: list[DynUop] = []
+
+        # RS lists are maintained in seq (age) order: rename inserts
+        # in order and flushes filter without reordering.  TEA first
+        # (issue priority), oldest first within each thread.
+        for uop in self.tea_rs:
+            if not ready_fn(uop):
+                continue
+            if self.tea_dedicated_units > 0:
+                if dedicated_left <= 0:
+                    break
+                dedicated_left -= 1
+                picked.append(uop)
+            else:
+                kind = _port_kind(uop)
+                if ports[kind] <= 0:
+                    continue
+                ports[kind] -= 1
+                picked.append(uop)
+
+        if self.priority_fn is None:
+            main_order = self.main_rs
+        else:
+            critical = [u for u in self.main_rs if self.priority_fn(u)]
+            rest = [u for u in self.main_rs if not self.priority_fn(u)]
+            main_order = critical + rest
+        for uop in main_order:
+            if not (ports["alu"] or ports["load"] or ports["store"] or ports["fp"]):
+                break
+            if not ready_fn(uop):
+                continue
+            kind = _port_kind(uop)
+            if ports[kind] <= 0:
+                continue
+            ports[kind] -= 1
+            picked.append(uop)
+
+        for uop in picked:
+            (self.tea_rs if uop.is_tea else self.main_rs).remove(uop)
+        return picked
+
+    @property
+    def occupancy(self) -> tuple[int, int]:
+        return len(self.main_rs), len(self.tea_rs)

@@ -1,0 +1,119 @@
+"""Simulation statistics: IPC, misprediction accounting, TEA metrics.
+
+All figures in the paper's evaluation derive from the counters here:
+
+* Fig. 5/8/9 — IPC (``ipc``) of different configurations;
+* Fig. 6 — ``mpki`` (direction + target mispredictions per kilo-instr);
+* Fig. 7/10b — the coverage breakdown counters;
+* Fig. 10a — precomputation accuracy;
+* Fig. 10c — ``tea_cycles_saved`` / covered branches;
+* Table III — fetched-uop footprint counters.
+
+Counters are only accumulated after the warmup boundary, which the
+pipeline signals via :meth:`start_measurement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Mutable counter block owned by one pipeline instance."""
+
+    measuring: bool = False
+    cycles: int = 0
+    retired_instructions: int = 0
+    retired_branches: int = 0
+    fetched_uops: int = 0            # main thread, includes wrong path
+    tea_fetched_uops: int = 0
+    # Misprediction accounting (measured at main-thread resolution).
+    direction_mispredicts: int = 0
+    target_mispredicts: int = 0
+    flushes: int = 0
+    early_flushes: int = 0           # issued by the TEA thread
+    extra_flushes: int = 0           # TEA precomputed wrong, main re-flushed
+    # TEA coverage breakdown over *mispredicted* branches.
+    covered_timely: int = 0          # early flush saved >= 1 cycle
+    covered_late: int = 0            # TEA resolved, saved 0 cycles
+    incorrect_precomputations: int = 0
+    uncovered_mispredicts: int = 0
+    # TEA precomputation volume (all resolutions, right or wrong preds).
+    tea_resolved_branches: int = 0
+    tea_wrong_resolutions: int = 0
+    tea_cycles_saved: int = 0
+    tea_terminations: int = 0
+    tea_poison_terminations: int = 0
+    tea_initiations: int = 0
+    tea_blocked_flushes: int = 0
+    # Branch Runahead counters.
+    runahead_overrides: int = 0
+    runahead_wrong_overrides: int = 0
+    runahead_chain_uops: int = 0
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def start_measurement(self) -> None:
+        """Reset counters at the warmup boundary and begin measuring."""
+        snapshot_extra = self.extra
+        self.__init__()
+        self.extra = snapshot_extra
+        self.measuring = True
+
+    # Derived metrics -------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        return self.retired_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_mispredicts(self) -> int:
+        return self.direction_mispredicts + self.target_mispredicts
+
+    @property
+    def mpki(self) -> float:
+        if not self.retired_instructions:
+            return 0.0
+        return 1000.0 * self.total_mispredicts / self.retired_instructions
+
+    @property
+    def tea_accuracy(self) -> float:
+        """Fraction of TEA branch resolutions that were correct."""
+        if not self.tea_resolved_branches:
+            return 1.0
+        return 1.0 - self.tea_wrong_resolutions / self.tea_resolved_branches
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of mispredictions the TEA thread resolved early."""
+        covered = self.covered_timely + self.covered_late
+        total = covered + self.uncovered_mispredicts + self.incorrect_precomputations
+        return covered / total if total else 0.0
+
+    @property
+    def avg_cycles_saved(self) -> float:
+        covered = self.covered_timely + self.covered_late
+        return self.tea_cycles_saved / covered if covered else 0.0
+
+    @property
+    def footprint_uops(self) -> int:
+        """Total dynamic uops fetched (main wrong-path included + TEA)."""
+        return self.fetched_uops + self.tea_fetched_uops
+
+    def as_dict(self) -> dict:
+        """Flat dict of raw + derived metrics (for reports and tests)."""
+        raw = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "extra"
+        }
+        raw.update(
+            ipc=self.ipc,
+            mpki=self.mpki,
+            total_mispredicts=self.total_mispredicts,
+            tea_accuracy=self.tea_accuracy,
+            coverage=self.coverage,
+            avg_cycles_saved=self.avg_cycles_saved,
+            footprint_uops=self.footprint_uops,
+        )
+        return raw

@@ -1,0 +1,197 @@
+"""Pipeline timeline tracing (a lightweight "pipeview").
+
+Attach a :class:`PipelineTracer` to a pipeline to record per-uop stage
+timestamps (fetch, rename, issue-to-execute, completion, retirement)
+and render them as a textual timeline — the classic way to *see* why a
+misprediction costs what it costs, or how far ahead the TEA thread's
+copy of a branch executes compared to the main thread's.
+
+Example::
+
+    tracer = PipelineTracer(limit=200)
+    pipeline = Pipeline(program, memory, config)
+    tracer.attach(pipeline)
+    pipeline.run()
+    print(tracer.render(start_seq=0, count=30))
+
+Tracing wraps two pipeline methods at attach time; overhead is a few
+dict operations per uop, so it is off by default and meant for short
+diagnostic runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class UopTrace:
+    """Stage timestamps for one dynamic uop (cycle numbers)."""
+
+    seq: int
+    pc: int
+    opcode: str
+    is_tea: bool
+    fetch: int = -1
+    rename: int = -1
+    execute: int = -1
+    complete: int = -1
+    retire: int = -1
+    squashed: bool = False
+    mispredicted: bool = False
+
+
+class PipelineTracer:
+    """Records stage timing for the first ``limit`` traced uops."""
+
+    def __init__(self, limit: int = 1000):
+        self.limit = limit
+        self.records: dict[tuple[int, bool], UopTrace] = {}
+        self._pipeline = None
+
+    # ------------------------------------------------------------------
+    def attach(self, pipeline) -> None:
+        """Hook the pipeline's per-cycle bookkeeping."""
+        if self._pipeline is not None:
+            raise RuntimeError("tracer is already attached")
+        self._pipeline = pipeline
+        original_step = pipeline.step
+
+        def traced_step():
+            original_step()
+            self._scan(pipeline)
+
+        pipeline.step = traced_step
+
+        # Retirement and squash remove uops from the scannable pools
+        # within a cycle, so those events are hooked directly.
+        original_commit = pipeline._commit
+
+        def traced_commit(uop):
+            original_commit(uop)
+            record = self.records.get(self._key(uop))
+            if record is not None:
+                record.retire = pipeline.cycle
+                record.mispredicted = record.mispredicted or uop.mispredicted
+                if record.complete < 0:
+                    record.complete = uop.done_cycle
+
+        pipeline._commit = traced_commit
+
+        original_squash = pipeline._squash
+
+        def traced_squash(uop):
+            original_squash(uop)
+            record = self.records.get(self._key(uop))
+            if record is not None:
+                record.squashed = True
+
+        pipeline._squash = traced_squash
+
+        if pipeline.tea is not None:
+            original_done = pipeline.tea.on_tea_uop_done
+
+            def traced_tea_done(uop):
+                record = self.records.get(self._key(uop))
+                if record is not None and record.complete < 0:
+                    record.complete = uop.done_cycle
+                original_done(uop)
+
+            pipeline.tea.on_tea_uop_done = traced_tea_done
+
+    def _key(self, uop) -> tuple[int, bool]:
+        return (uop.seq, uop.is_tea)
+
+    def _scan(self, pipeline) -> None:
+        from .dynamic_uop import UopState
+
+        cycle = pipeline.cycle
+        sources = [pipeline.decode_pipe, pipeline.rob, pipeline._executing]
+        if pipeline.tea is not None:
+            sources.append(pipeline.tea.live_uops)
+            sources.append(pipeline.tea.rename_pipe)
+        for source in sources:
+            for uop in source:
+                key = self._key(uop)
+                record = self.records.get(key)
+                if record is None:
+                    if len(self.records) >= self.limit:
+                        continue
+                    record = UopTrace(
+                        seq=uop.seq,
+                        pc=uop.instr.pc,
+                        opcode=uop.instr.opcode,
+                        is_tea=uop.is_tea,
+                    )
+                    self.records[key] = record
+                if record.fetch < 0 and uop.fetch_cycle >= 0:
+                    record.fetch = uop.fetch_cycle
+                if record.rename < 0 and uop.rename_cycle >= 0:
+                    record.rename = uop.rename_cycle
+                if record.execute < 0 and uop.state is UopState.EXECUTING:
+                    record.execute = cycle
+                if record.complete < 0 and uop.state is UopState.DONE:
+                    record.complete = uop.done_cycle
+                if uop.state is UopState.SQUASHED:
+                    record.squashed = True
+                if uop.state is UopState.RETIRED:
+                    record.retire = cycle
+                record.mispredicted = record.mispredicted or uop.mispredicted
+
+    # ------------------------------------------------------------------
+    def uops(self, include_tea: bool = True, include_squashed: bool = True):
+        """Traced records in fetch order."""
+        records = sorted(self.records.values(), key=lambda r: (r.seq, r.is_tea))
+        return [
+            r
+            for r in records
+            if (include_tea or not r.is_tea)
+            and (include_squashed or not r.squashed)
+        ]
+
+    def render(
+        self,
+        start_seq: int = 0,
+        count: int = 40,
+        width: int = 64,
+    ) -> str:
+        """ASCII timeline: one row per uop, one column per cycle.
+
+        Legend: ``F`` fetch, ``R`` rename, ``E`` execute start, ``C``
+        complete, ``T`` retire, ``x`` squashed; TEA uops are marked
+        with ``~`` after the opcode.
+        """
+        rows = [r for r in self.uops() if r.seq >= start_seq][:count]
+        if not rows:
+            return "(no traced uops in range)"
+        t0 = min(r.fetch for r in rows if r.fetch >= 0)
+        lines = [f"timeline from cycle {t0} (one column per cycle)"]
+        for r in rows:
+            lane = [" "] * width
+            for cycle, mark in (
+                (r.fetch, "F"),
+                (r.rename, "R"),
+                (r.execute, "E"),
+                (r.complete, "C"),
+                (r.retire, "T"),
+            ):
+                if cycle >= 0 and 0 <= cycle - t0 < width:
+                    lane[cycle - t0] = mark
+            flags = "~" if r.is_tea else " "
+            flags += "x" if r.squashed else " "
+            flags += "!" if r.mispredicted else " "
+            lines.append(
+                f"{r.seq:6d} {r.opcode:6s}{flags} |" + "".join(lane) + "|"
+            )
+        return "\n".join(lines)
+
+    def branch_resolution_gap(self, seq: int) -> int | None:
+        """Cycles between the TEA copy and the main copy of one branch
+        completing execution (positive = TEA resolved earlier)."""
+        main = self.records.get((seq, False))
+        tea = self.records.get((seq, True))
+        if not main or not tea:
+            return None
+        if main.complete < 0 or tea.complete < 0:
+            return None
+        return main.complete - tea.complete

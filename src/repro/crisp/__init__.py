@@ -1,0 +1,6 @@
+"""CRISP/IBDA-style critical-slice prioritization (paper §II prior work)."""
+
+from .config import CrispConfig
+from .controller import CrispController
+
+__all__ = ["CrispConfig", "CrispController"]

@@ -1,0 +1,23 @@
+"""Configuration for the CRISP/IBDA prior-work baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CrispConfig:
+    """Critical-slice identification + backend prioritization.
+
+    ``chain_capacity`` bounds the instruction-PC table that marks H2P
+    dependence-chain instructions (IBDA's per-level discovery walks
+    this up one producer level each time the slice executes).
+    """
+
+    chain_capacity: int = 512
+    # H2P identification (same scheme as the TEA thread).
+    h2p_entries: int = 256
+    h2p_ways: int = 8
+    h2p_counter_max: int = 7
+    h2p_threshold: int = 1
+    h2p_decrement_period: int = 50_000

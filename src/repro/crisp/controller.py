@@ -1,0 +1,100 @@
+"""CRISP/IBDA: identify H2P dependence-chain instructions via RAT
+writer-tagging and prioritize them in the backend scheduler.
+
+This models the prior-work family the paper positions itself against
+(§II): *Iterative Backward Dataflow Analysis* (Load Slice Core) tags
+each RAT entry with the PC of its last writer; every time an H2P branch
+renames, the writers of its sources join the chain-PC table, and —
+iteratively — the writers of already-marked instructions' sources join
+too, growing the slice one level per encounter.  CRISP then uses such a
+slice only for *scheduling priority*: chain uops issue ahead of other
+ready uops.
+
+The paper's critique, which this model reproduces, is that the benefit
+is limited — chains execute at most a few cycles earlier because they
+still fetch at main-thread speed and still pay the full misprediction
+flush (no early resolution, no run-ahead).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.dynamic_uop import DynUop
+from ..isa import REG_ZERO, UopClass
+from ..isa.registers import NUM_ARCH_REGS
+from ..tea.config import TeaConfig
+from ..tea.h2p_table import H2PTable
+from .config import CrispConfig
+
+
+class CrispController:
+    """Implements critical-slice prioritization on a pipeline."""
+
+    def __init__(self, pipeline, config: CrispConfig | None = None):
+        self.p = pipeline
+        self.config = config or CrispConfig()
+        cfg = self.config
+        self.h2p = H2PTable(
+            TeaConfig(
+                h2p_entries=cfg.h2p_entries,
+                h2p_ways=cfg.h2p_ways,
+                h2p_counter_max=cfg.h2p_counter_max,
+                h2p_threshold=cfg.h2p_threshold,
+                h2p_decrement_period=cfg.h2p_decrement_period,
+            )
+        )
+        # Architectural register -> PC of its last (renamed) writer.
+        self.last_writer_pc: list[int | None] = [None] * NUM_ARCH_REGS
+        # LRU table of instruction PCs in some H2P dependence chain.
+        self.chain_pcs: OrderedDict[int, bool] = OrderedDict()
+        self._retire_count = 0
+        self.marks = 0
+        pipeline.scheduler.priority_fn = self.is_critical
+
+    # ------------------------------------------------------------------
+    def is_critical(self, uop: DynUop) -> bool:
+        """Scheduler hook: should this uop issue ahead of its elders?"""
+        return uop.instr.pc in self.chain_pcs
+
+    def _mark(self, pc: int | None) -> None:
+        if pc is None:
+            return
+        if pc in self.chain_pcs:
+            self.chain_pcs.move_to_end(pc)
+            return
+        if len(self.chain_pcs) >= self.config.chain_capacity:
+            self.chain_pcs.popitem(last=False)
+        self.chain_pcs[pc] = True
+        self.marks += 1
+
+    # ------------------------------------------------------------------
+    def on_main_rename(self, uop: DynUop) -> None:
+        """RAT writer-tagging + one-level slice growth (IBDA)."""
+        instr = uop.instr
+        grow = False
+        if instr.is_branch and self.h2p.is_h2p(instr.pc):
+            grow = True
+        elif instr.pc in self.chain_pcs:
+            self.chain_pcs.move_to_end(instr.pc)
+            grow = True
+        if grow:
+            for reg in instr.srcs:
+                if reg != REG_ZERO:
+                    self._mark(self.last_writer_pc[reg])
+        dst = instr.dst if instr.dst not in (None, REG_ZERO) else None
+        if dst is not None:
+            self.last_writer_pc[dst] = instr.pc
+
+    def on_retire(self, uop: DynUop) -> None:
+        self._retire_count += 1
+        if self._retire_count % self.config.h2p_decrement_period == 0:
+            self.h2p.periodic_decrement()
+        instr = uop.instr
+        if (
+            instr.is_branch
+            and uop.branch is not None
+            and uop.branch.can_mispredict
+            and uop.mispredicted
+        ):
+            self.h2p.record_mispredict(instr.pc)

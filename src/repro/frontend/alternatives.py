@@ -1,0 +1,157 @@
+"""Alternative conditional direction predictors: perceptron and gshare.
+
+The paper frames H2P branches as those that defeat *both* modern
+predictor families — TAGE-SC-L [23] and perceptron [15].  These
+implementations let the harness demonstrate that claim: a branch that
+is H2P under TAGE-SC-L stays H2P under a hashed perceptron, so the TEA
+thread's benefit is not an artifact of one predictor choice.
+
+Both classes implement the same duck-typed interface as
+:class:`~repro.frontend.tagescl.TageScl` (``predict``/``train``/
+``predicted_taken``/spec-state snapshots), so the decoupled frontend
+can swap them in via ``FrontendConfig.conditional_predictor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .history import HistoryState
+from .tage import TagePrediction
+
+
+@dataclass(frozen=True)
+class PerceptronConfig:
+    """Hashed perceptron (O-GEHL-style) parameters."""
+
+    num_tables: int = 8
+    table_index_bits: int = 10
+    history_lengths: tuple[int, ...] = (0, 4, 8, 16, 32, 64, 128, 256)
+    weight_bits: int = 7
+    theta: int = 18
+
+
+class HashedPerceptron:
+    """Multi-table hashed perceptron direction predictor."""
+
+    def __init__(
+        self,
+        config: PerceptronConfig | None = None,
+        history: HistoryState | None = None,
+    ):
+        self.config = config or PerceptronConfig()
+        cfg = self.config
+        if len(cfg.history_lengths) != cfg.num_tables:
+            raise ValueError("history_lengths must match num_tables")
+        self.history = history if history is not None else HistoryState()
+        self._folds = [
+            self.history.register_fold(hlen, cfg.table_index_bits) if hlen else None
+            for hlen in cfg.history_lengths
+        ]
+        size = 1 << cfg.table_index_bits
+        self.tables = [[0] * size for _ in range(cfg.num_tables)]
+        self._wmax = (1 << (cfg.weight_bits - 1)) - 1
+        self._wmin = -(1 << (cfg.weight_bits - 1))
+        self.predictions = 0
+        self.mispredicts_trained = 0
+
+    def _indices(self, pc: int) -> list[int]:
+        cfg = self.config
+        mask = (1 << cfg.table_index_bits) - 1
+        pc_bits = pc >> 2
+        indices = []
+        for i, fold_idx in enumerate(self._folds):
+            folded = self.history.fold(fold_idx) if fold_idx is not None else 0
+            indices.append((pc_bits ^ (pc_bits >> (i + 3)) ^ folded) & mask)
+        return indices
+
+    def predict(self, pc: int, is_backward: bool = False) -> TagePrediction:
+        """Dot-product prediction; metadata rides in ``extra``."""
+        self.predictions += 1
+        indices = self._indices(pc)
+        total = sum(
+            table[idx] for table, idx in zip(self.tables, indices)
+        )
+        taken = total >= 0
+        pred = TagePrediction(taken=taken)
+        pred.extra["final_taken"] = taken
+        pred.extra["perceptron_indices"] = tuple(indices)
+        pred.extra["perceptron_sum"] = total
+        return pred
+
+    @staticmethod
+    def predicted_taken(pred: TagePrediction) -> bool:
+        return pred.extra.get("final_taken", pred.taken)
+
+    def train(self, pc: int, taken: bool, pred: TagePrediction) -> None:
+        """Perceptron rule: update on mispredict or weak confidence."""
+        total = pred.extra.get("perceptron_sum", 0)
+        predicted = pred.extra.get("final_taken", pred.taken)
+        if predicted != taken:
+            self.mispredicts_trained += 1
+        if predicted == taken and abs(total) > self.config.theta:
+            return
+        delta = 1 if taken else -1
+        for table, idx in zip(self.tables, pred.extra["perceptron_indices"]):
+            table[idx] = max(self._wmin, min(self._wmax, table[idx] + delta))
+
+    # Spec-state hooks (no loop predictor: nothing to snapshot).
+    def snapshot_spec_state(self):
+        return None
+
+    def restore_spec_state(self, snap) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class GshareConfig:
+    index_bits: int = 14
+    history_length: int = 14
+
+
+class Gshare:
+    """Classic gshare: 2-bit counters indexed by pc XOR history."""
+
+    def __init__(
+        self,
+        config: GshareConfig | None = None,
+        history: HistoryState | None = None,
+    ):
+        self.config = config or GshareConfig()
+        self.history = history if history is not None else HistoryState()
+        self._fold = self.history.register_fold(
+            self.config.history_length, self.config.index_bits
+        )
+        self.table = [1] * (1 << self.config.index_bits)  # weakly not-taken
+        self.predictions = 0
+        self.mispredicts_trained = 0
+
+    def _index(self, pc: int) -> int:
+        mask = (1 << self.config.index_bits) - 1
+        return ((pc >> 2) ^ self.history.fold(self._fold)) & mask
+
+    def predict(self, pc: int, is_backward: bool = False) -> TagePrediction:
+        self.predictions += 1
+        idx = self._index(pc)
+        taken = self.table[idx] >= 2
+        pred = TagePrediction(taken=taken)
+        pred.extra["final_taken"] = taken
+        pred.extra["gshare_index"] = idx
+        return pred
+
+    @staticmethod
+    def predicted_taken(pred: TagePrediction) -> bool:
+        return pred.extra.get("final_taken", pred.taken)
+
+    def train(self, pc: int, taken: bool, pred: TagePrediction) -> None:
+        if pred.extra.get("final_taken", pred.taken) != taken:
+            self.mispredicts_trained += 1
+        idx = pred.extra["gshare_index"]
+        counter = self.table[idx]
+        self.table[idx] = min(counter + 1, 3) if taken else max(counter - 1, 0)
+
+    def snapshot_spec_state(self):
+        return None
+
+    def restore_spec_state(self, snap) -> None:
+        pass

@@ -1,0 +1,366 @@
+"""Decoupled branch-prediction unit and fetch target queue (FTQ).
+
+The decoupled BP runs ahead of fetch, producing one *fetch block* per
+cycle: up to one predicted-taken branch or 32 sequential instructions
+(128 bytes), matching the paper's §III-B/IV-A.  Blocks are pushed into
+the main-thread FTQ (128 entries) and mirrored into a shadow FTQ for
+the TEA thread, which consumes the *same* block objects — this is how
+both threads see identical branch IDs ("synchronized timestamps").
+
+Every dynamic uop receives a monotonically increasing sequence number
+at prediction time; a branch's sequence number *is* its timestamp.  A
+misprediction flush truncates the FTQ at the branch's timestamp,
+restores the predictor's speculative state from the snapshot captured
+when the branch was predicted, re-applies the branch's actual outcome,
+and resumes prediction at the correct target.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..isa import INSTRUCTION_BYTES, Instruction, Program, UopClass
+from .btb import Btb, BtbConfig
+from .history import HistoryState
+from .ittage import Ittage, IttageConfig, IttagePrediction
+from .ras import ReturnAddressStack
+from .tagescl import TageScl, TageSclConfig
+from .tage import TagePrediction
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Decoupled-frontend parameters (paper Table I)."""
+
+    tagescl: TageSclConfig = field(default_factory=TageSclConfig)
+    ittage: IttageConfig = field(default_factory=IttageConfig)
+    btb: BtbConfig = field(default_factory=BtbConfig)
+    ras_depth: int = 32
+    max_block_uops: int = 32       # 128B / 4B
+    ftq_capacity: int = 128        # fetch addresses buffered for fetch
+    # Conditional direction predictor: "tagescl" (paper baseline),
+    # "perceptron", or "gshare" (comparison points).
+    conditional_predictor: str = "tagescl"
+
+
+@dataclass
+class BranchInfo:
+    """Everything the pipeline needs to verify/recover one branch."""
+
+    seq: int
+    pc: int
+    uop_class: UopClass
+    predicted_taken: bool
+    predicted_target: int
+    fallthrough: int
+    can_mispredict: bool
+    tage_pred: TagePrediction | None = None
+    ittage_pred: IttagePrediction | None = None
+    history_snapshot: tuple | None = None
+    ras_snapshot: object = None
+    loop_snapshot: object = None
+    btb_hit: bool = True
+    is_backward: bool = False
+    override_used: bool = False    # a precomputed outcome replaced TAGE
+
+    @property
+    def predicted_next_pc(self) -> int:
+        return self.predicted_target if self.predicted_taken else self.fallthrough
+
+
+@dataclass
+class FetchUop:
+    """A dynamic uop as produced by the decoupled BP."""
+
+    seq: int
+    instr: Instruction
+    branch: BranchInfo | None = None
+
+
+@dataclass
+class FetchBlock:
+    """One FTQ entry: a fetch address plus its predicted uop run."""
+
+    start_pc: int
+    uops: list[FetchUop]
+    next_fetch_pc: int | None
+
+    @property
+    def first_seq(self) -> int:
+        return self.uops[0].seq if self.uops else -1
+
+    @property
+    def last_seq(self) -> int:
+        return self.uops[-1].seq if self.uops else -1
+
+    def truncate_after(self, seq: int) -> None:
+        """Drop uops younger than ``seq`` (flush support)."""
+        keep = [u for u in self.uops if u.seq <= seq]
+        self.uops[:] = keep
+
+
+class DecoupledFrontend:
+    """Branch predictor + FTQ producer for both threads."""
+
+    def __init__(self, program: Program, config: FrontendConfig | None = None):
+        self.program = program
+        self.config = config or FrontendConfig()
+        self.history = HistoryState()
+        self.cond = self._build_conditional_predictor()
+        self.indirect = Ittage(self.config.ittage, self.history)
+        self.btb = Btb(self.config.btb)
+        self.ras = ReturnAddressStack(self.config.ras_depth)
+        self.ftq: deque[FetchBlock] = deque()
+        self.shadow_ftq: deque[FetchBlock] = deque()
+        self.next_pc: int | None = program.entry_pc
+        self._seq = 0
+        self.blocks_produced = 0
+        self.stall_cycles = 0
+        # Optional fetch-time direction override (Branch Runahead):
+        # called with the branch PC; a non-None return replaces the
+        # TAGE-SC-L direction and consumes one precomputed outcome.
+        self.direction_override = None
+
+    def _build_conditional_predictor(self):
+        kind = self.config.conditional_predictor
+        if kind == "tagescl":
+            return TageScl(self.config.tagescl, self.history)
+        if kind == "perceptron":
+            from .alternatives import HashedPerceptron
+
+            return HashedPerceptron(history=self.history)
+        if kind == "gshare":
+            from .alternatives import Gshare
+
+            return Gshare(history=self.history)
+        raise ValueError(f"unknown conditional predictor {kind!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def current_seq(self) -> int:
+        """The next sequence number to be assigned."""
+        return self._seq
+
+    def ftq_full(self) -> bool:
+        return len(self.ftq) >= self.config.ftq_capacity
+
+    def stalled(self) -> bool:
+        return self.next_pc is None
+
+    def tick(self) -> FetchBlock | None:
+        """Produce at most one fetch block per cycle."""
+        if self.stalled() or self.ftq_full():
+            self.stall_cycles += 1
+            return None
+        block = self._generate_block()
+        if block is None:
+            self.stall_cycles += 1
+            return None
+        self.ftq.append(block)
+        self.shadow_ftq.append(block)
+        self.blocks_produced += 1
+        return block
+
+    # ------------------------------------------------------------------
+    def _generate_block(self) -> FetchBlock | None:
+        start_pc = self.next_pc
+        assert start_pc is not None
+        pc = start_pc
+        uops: list[FetchUop] = []
+        next_fetch: int | None = None
+        for _ in range(self.config.max_block_uops):
+            instr = self.program.instruction_at(pc)
+            if instr is None:
+                # Predicted off the instruction image (wrong path, or
+                # fell past the end); stall until a flush redirects us.
+                self.next_pc = None
+                break
+            seq = self._seq
+            self._seq += 1
+            if instr.uop_class is UopClass.HALT:
+                uops.append(FetchUop(seq, instr))
+                self.next_pc = None
+                break
+            if not instr.is_branch:
+                uops.append(FetchUop(seq, instr))
+                pc += INSTRUCTION_BYTES
+                continue
+            branch = self._predict_branch(instr, seq)
+            uops.append(FetchUop(seq, instr, branch))
+            if branch.predicted_taken:
+                next_fetch = branch.predicted_target
+                self.next_pc = next_fetch
+                break
+            pc += INSTRUCTION_BYTES
+        else:
+            next_fetch = pc
+            self.next_pc = pc
+        if not uops:
+            return None
+        if next_fetch is None and self.next_pc is not None:
+            next_fetch = self.next_pc
+        return FetchBlock(start_pc, uops, next_fetch)
+
+    def _predict_branch(self, instr: Instruction, seq: int) -> BranchInfo:
+        cls = instr.uop_class
+        fallthrough = instr.fallthrough_pc
+        snapshot = self.history.snapshot()
+        ras_snap = self.ras.snapshot()
+        loop_snap = self.cond.snapshot_spec_state()
+
+        if cls is UopClass.BR_JUMP:
+            self.history.push_target(instr.pc, instr.target)
+            return BranchInfo(
+                seq,
+                instr.pc,
+                cls,
+                True,
+                instr.target,
+                fallthrough,
+                can_mispredict=False,
+                history_snapshot=snapshot,
+                ras_snapshot=ras_snap,
+                loop_snapshot=loop_snap,
+            )
+        if cls is UopClass.BR_CALL:
+            self.ras.push(fallthrough)
+            self.history.push_target(instr.pc, instr.target)
+            return BranchInfo(
+                seq,
+                instr.pc,
+                cls,
+                True,
+                instr.target,
+                fallthrough,
+                can_mispredict=False,
+                history_snapshot=snapshot,
+                ras_snapshot=ras_snap,
+                loop_snapshot=loop_snap,
+            )
+        if cls is UopClass.BR_RET:
+            target = self.ras.pop()
+            predicted = target if target is not None else fallthrough
+            self.history.push_target(instr.pc, predicted)
+            return BranchInfo(
+                seq,
+                instr.pc,
+                cls,
+                True,
+                predicted,
+                fallthrough,
+                can_mispredict=True,
+                history_snapshot=snapshot,
+                ras_snapshot=ras_snap,
+                loop_snapshot=loop_snap,
+            )
+        if cls is UopClass.BR_IND:
+            ipred = self.indirect.predict(instr.pc)
+            btb_target = self.btb.lookup(instr.pc)
+            target = ipred.target if ipred.target is not None else btb_target
+            predicted = target if target is not None else fallthrough
+            if instr.dst is not None:  # callr pushes the return address
+                self.ras.push(fallthrough)
+            self.history.push_target(instr.pc, predicted)
+            return BranchInfo(
+                seq,
+                instr.pc,
+                cls,
+                True,
+                predicted,
+                fallthrough,
+                can_mispredict=True,
+                ittage_pred=ipred,
+                history_snapshot=snapshot,
+                ras_snapshot=ras_snap,
+                loop_snapshot=loop_snap,
+                btb_hit=btb_target is not None,
+            )
+        # Conditional branch.
+        assert cls is UopClass.BR_COND and instr.target is not None
+        is_backward = instr.target < instr.pc
+        tpred = self.cond.predict(instr.pc, is_backward)
+        taken = self.cond.predicted_taken(tpred)
+        override_used = False
+        if self.direction_override is not None:
+            override = self.direction_override(instr.pc)
+            if override is not None:
+                taken = override
+                override_used = True
+        btb_hit = self.btb.lookup(instr.pc) is not None
+        if taken and not btb_hit:
+            # The frontend cannot redirect without a BTB target; the
+            # prediction degrades to fallthrough until the BTB trains.
+            taken = False
+        self.history.push_conditional(taken)
+        return BranchInfo(
+            seq,
+            instr.pc,
+            cls,
+            taken,
+            instr.target,
+            fallthrough,
+            can_mispredict=True,
+            tage_pred=tpred,
+            history_snapshot=snapshot,
+            ras_snapshot=ras_snap,
+            loop_snapshot=loop_snap,
+            btb_hit=btb_hit,
+            is_backward=is_backward,
+            override_used=override_used,
+        )
+
+    # ------------------------------------------------------------------
+    def flush_at(self, branch: BranchInfo, actual_taken: bool, actual_target: int) -> None:
+        """Recover the predictor after a misprediction at ``branch``.
+
+        Restores speculative state to just before the branch was
+        predicted, re-applies its now-known outcome, truncates both
+        FTQs, and resumes prediction at the correct next PC.
+        """
+        self._truncate_ftqs(branch.seq)
+        self.history.restore(branch.history_snapshot)
+        self.ras.restore(branch.ras_snapshot)
+        self.cond.restore_spec_state(branch.loop_snapshot)
+        self._apply_outcome(branch, actual_taken, actual_target)
+        self.next_pc = actual_target if actual_taken else branch.fallthrough
+
+    def _apply_outcome(self, branch: BranchInfo, taken: bool, target: int) -> None:
+        cls = branch.uop_class
+        if cls is UopClass.BR_COND:
+            self.history.push_conditional(taken)
+            return
+        if cls is UopClass.BR_CALL:
+            self.ras.push(branch.fallthrough)
+        elif cls is UopClass.BR_RET:
+            self.ras.pop()
+        elif cls is UopClass.BR_IND:
+            instr = self.program.instruction_at(branch.pc)
+            if instr is not None and instr.dst is not None:
+                self.ras.push(branch.fallthrough)
+        self.history.push_target(branch.pc, target)
+
+    def _truncate_ftqs(self, seq: int) -> None:
+        for queue in (self.ftq, self.shadow_ftq):
+            while queue and queue[-1].first_seq > seq:
+                queue.pop()
+            if queue and queue[-1].last_seq > seq:
+                queue[-1].truncate_after(seq)
+
+    # ------------------------------------------------------------------
+    def train_resolved(
+        self, branch: BranchInfo, actual_taken: bool, actual_target: int
+    ) -> None:
+        """Retirement-time training of all predictor components."""
+        cls = branch.uop_class
+        if cls is UopClass.BR_COND and branch.tage_pred is not None:
+            self.cond.train(branch.pc, actual_taken, branch.tage_pred)
+            if actual_taken:
+                self.btb.install(branch.pc, actual_target)
+        elif cls is UopClass.BR_IND:
+            if branch.ittage_pred is not None:
+                self.indirect.train(branch.pc, actual_target, branch.ittage_pred)
+            self.btb.install(branch.pc, actual_target)
+        elif cls in (UopClass.BR_JUMP, UopClass.BR_CALL):
+            self.btb.install(branch.pc, actual_target)
+        # Returns train only the RAS, which is updated speculatively.

@@ -1,0 +1,104 @@
+"""Speculative global branch history shared by TAGE, SC, and ITTAGE.
+
+The decoupled branch predictor updates this history *speculatively* as
+it predicts down the (possibly wrong) path.  Each predicted branch
+snapshots the history into its in-flight branch queue entry; a
+misprediction flush restores the snapshot and re-applies the correct
+outcome — this is the paper's "fix the branch predictor history" step.
+
+Geometric-history predictors need the global history *folded* down to
+table-index width.  Folding a 256-bit history on every prediction is
+the simulator's hottest loop, so — exactly like the hardware — we keep
+*incremental folded registers*: each predictor component registers its
+(length, width) pairs once, and every history push updates all folded
+registers in O(1) each (circular-shift folding, Seznec's scheme).  The
+folded values are part of the snapshot, so recovery is exact.
+"""
+
+from __future__ import annotations
+
+MAX_HISTORY_BITS = 512
+PATH_HISTORY_BITS = 32
+
+_GHR_MASK = (1 << MAX_HISTORY_BITS) - 1
+_PATH_MASK = (1 << PATH_HISTORY_BITS) - 1
+
+
+class HistoryState:
+    """Global direction history + path history + folded registers."""
+
+    __slots__ = ("ghr", "path", "_specs", "_folds")
+
+    def __init__(self, ghr: int = 0, path: int = 0):
+        self.ghr = ghr
+        self.path = path
+        self._specs: list[tuple[int, int, int, int]] = []
+        self._folds: list[int] = []
+
+    # -- folded register registry --------------------------------------
+    def register_fold(self, length: int, width: int) -> int:
+        """Register an incremental folded register; returns its index.
+
+        Must be called before any history is pushed (predictor
+        construction time).
+        """
+        if self.ghr:
+            raise ValueError("register_fold() requires pristine history")
+        if length <= 0 or width <= 0:
+            raise ValueError("fold length and width must be positive")
+        self._specs.append((length, width, length % width, (1 << width) - 1))
+        self._folds.append(0)
+        return len(self._specs) - 1
+
+    def fold(self, index: int) -> int:
+        """Current value of a registered folded register."""
+        return self._folds[index]
+
+    # -- speculative update ---------------------------------------------
+    def _push_bit(self, bit: int) -> None:
+        ghr = self.ghr
+        folds = self._folds
+        for i, (length, width, out_pos, mask) in enumerate(self._specs):
+            folded = (folds[i] << 1) | bit
+            folded ^= ((ghr >> (length - 1)) & 1) << out_pos
+            folded ^= folded >> width
+            folds[i] = folded & mask
+        self.ghr = ((ghr << 1) | bit) & _GHR_MASK
+
+    def push_conditional(self, taken: bool) -> None:
+        """Shift a conditional branch outcome into the GHR."""
+        self._push_bit(1 if taken else 0)
+
+    def push_target(self, pc: int, target: int) -> None:
+        """Record a taken control transfer (incl. unconditional and
+        indirect branches) in path and direction history."""
+        bits = ((pc >> 2) ^ (target >> 2)) & 0x7
+        self.path = ((self.path << 3) | bits) & _PATH_MASK
+        self._push_bit(1)
+
+    # -- recovery ----------------------------------------------------------
+    def snapshot(self) -> tuple[int, int, tuple[int, ...]]:
+        return (self.ghr, self.path, tuple(self._folds))
+
+    def restore(self, snap: tuple[int, int, tuple[int, ...]]) -> None:
+        self.ghr, self.path, folds = snap
+        self._folds = list(folds)
+
+
+def fold_history(history: int, length: int, width: int) -> int:
+    """Fold the low ``length`` bits of ``history`` into ``width`` bits.
+
+    Direct chunked-XOR fold, used for the short *path* history (cheap)
+    and as an independent mixing function in tests.  The incremental
+    registers above use circular-shift folding — a different but
+    equally valid hash; both are pure functions of the history window.
+    """
+    if length <= 0:
+        return 0
+    h = history & ((1 << length) - 1)
+    mask = (1 << width) - 1
+    folded = 0
+    while h:
+        folded ^= h & mask
+        h >>= width
+    return folded

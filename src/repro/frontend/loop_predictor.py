@@ -1,0 +1,100 @@
+"""Loop termination predictor (the "L" of TAGE-SC-L).
+
+Captures branches with constant trip counts: once a loop branch has
+exited with the same iteration count ``confidence_threshold`` times in
+a row, the predictor overrides TAGE on the exit iteration.  Speculative
+iteration counts are tracked at predict time and rolled back on flush
+via :meth:`snapshot`/:meth:`restore` (counts are kept in a small
+immutable-friendly dict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LoopPredictorConfig:
+    entries: int = 64
+    max_trip: int = 1 << 14
+    confidence_threshold: int = 3
+
+
+class _LoopEntry:
+    __slots__ = ("pc", "trip_count", "confidence", "last_count")
+
+    def __init__(self, pc: int) -> None:
+        self.pc = pc
+        self.trip_count = 0
+        self.confidence = 0
+        self.last_count = 0
+
+
+class LoopPredictor:
+    """Trip-count predictor for backward (loop) conditional branches."""
+
+    def __init__(self, config: LoopPredictorConfig | None = None):
+        self.config = config or LoopPredictorConfig()
+        self._entries: dict[int, _LoopEntry] = {}
+        # Speculative per-PC iteration counters (predict-time state).
+        self._spec_counts: dict[int, int] = {}
+        self.overrides = 0
+
+    # -- speculative prediction side ----------------------------------
+    def predict(self, pc: int) -> bool | None:
+        """Return a confident direction, or ``None`` to defer to TAGE.
+
+        Convention: a loop branch is *taken* while iterating and
+        not-taken on exit (backward conditional branches).
+        """
+        entry = self._entries.get(pc)
+        if entry is None or entry.confidence < self.config.confidence_threshold:
+            return None
+        count = self._spec_counts.get(pc, 0) + 1
+        self._spec_counts[pc] = count
+        # trip_count counts *taken* executions; the exit is the
+        # (trip_count + 1)-th dynamic instance.
+        if count > entry.trip_count:
+            self._spec_counts[pc] = 0
+            self.overrides += 1
+            return False  # predict loop exit
+        self.overrides += 1
+        return True
+
+    _EMPTY: dict[int, int] = {}
+
+    def snapshot(self) -> dict[int, int]:
+        # The empty-dict fast path avoids per-branch allocations in
+        # programs where no loop has stabilized yet (the common case).
+        if not self._spec_counts:
+            return self._EMPTY
+        return dict(self._spec_counts)
+
+    def restore(self, snap: dict[int, int]) -> None:
+        self._spec_counts = dict(snap) if snap else {}
+
+    # -- retirement-time training --------------------------------------
+    def train(self, pc: int, taken: bool) -> None:
+        """Observe a retired loop-candidate branch outcome."""
+        entry = self._entries.get(pc)
+        if entry is None:
+            if len(self._entries) >= self.config.entries:
+                # Evict the least-confident entry.
+                victim = min(self._entries.values(), key=lambda e: e.confidence)
+                del self._entries[victim.pc]
+            entry = _LoopEntry(pc)
+            self._entries[pc] = entry
+        if taken:
+            entry.last_count += 1
+            if entry.last_count > self.config.max_trip:
+                entry.confidence = 0
+                entry.last_count = 0
+        else:
+            if entry.last_count == entry.trip_count and entry.trip_count > 0:
+                entry.confidence = min(
+                    entry.confidence + 1, self.config.confidence_threshold
+                )
+            else:
+                entry.trip_count = entry.last_count
+                entry.confidence = 0
+            entry.last_count = 0

@@ -1,0 +1,79 @@
+"""Offline (trace-driven) predictor evaluation.
+
+The execution-driven pipeline is the ground truth, but predictor
+research iterates much faster on recorded outcome traces.  This module
+evaluates any conditional predictor (TAGE-SC-L, perceptron, gshare —
+anything with the ``predict``/``train``/``predicted_taken`` interface)
+against a branch trace collected by the golden-model interpreter
+(:func:`repro.isa.run_program` with ``collect_trace=True``), with
+in-order training — i.e. an idealized frontend with no wrong-path
+pollution.  Useful for sizing studies and for identifying which static
+branches are H2P before running the full machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .history import HistoryState
+from .tagescl import TageScl, TageSclConfig
+
+
+@dataclass
+class OfflineResult:
+    """Outcome of replaying a trace through one predictor."""
+
+    branches: int
+    mispredicts: int
+    by_pc: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.mispredicts / self.branches if self.branches else 1.0
+
+    @property
+    def mpkb(self) -> float:
+        """Mispredictions per kilo-branch."""
+        return 1000.0 * self.mispredicts / self.branches if self.branches else 0.0
+
+    def hardest_branches(self, count: int = 10) -> list[tuple[int, float, int]]:
+        """``[(pc, mispredict_rate, occurrences)]``, hardest first."""
+        ranked = []
+        for pc, (seen, missed) in self.by_pc.items():
+            ranked.append((pc, missed / seen, seen))
+        ranked.sort(key=lambda item: item[1] * item[2], reverse=True)
+        return ranked[:count]
+
+
+def evaluate_predictor(
+    trace: list[tuple[int, bool]],
+    predictor=None,
+    history: HistoryState | None = None,
+) -> OfflineResult:
+    """Replay ``(pc, taken)`` records through a conditional predictor.
+
+    With no ``predictor`` given, a fresh TAGE-SC-L (and its history) is
+    constructed.  When supplying your own predictor, pass the
+    :class:`HistoryState` it was registered on.
+    """
+    if predictor is None:
+        history = HistoryState()
+        predictor = TageScl(TageSclConfig(), history)
+    elif history is None:
+        history = getattr(predictor, "history", None)
+        if history is None:
+            raise ValueError("pass the HistoryState the predictor was built on")
+
+    result = OfflineResult(branches=0, mispredicts=0)
+    for pc, taken in trace:
+        pred = predictor.predict(pc)
+        predicted = predictor.predicted_taken(pred)
+        seen, missed = result.by_pc.get(pc, (0, 0))
+        wrong = predicted != taken
+        result.by_pc[pc] = (seen + 1, missed + (1 if wrong else 0))
+        result.branches += 1
+        if wrong:
+            result.mispredicts += 1
+        history.push_conditional(taken)
+        predictor.train(pc, taken, pred)
+    return result

@@ -1,0 +1,86 @@
+"""Statistical corrector (the "SC" of TAGE-SC-L), lightweight variant.
+
+The corrector learns statistically-biased branches that TAGE handles
+poorly: it sums small signed counters from a per-PC bias table and two
+global-history-indexed tables, and flips TAGE's prediction only when
+TAGE's provider is weak and the corrector's sum is confident.  This
+reproduces the role the SC plays in the paper's 64KB TAGE-SC-L without
+the full GEHL machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .history import HistoryState
+
+
+@dataclass(frozen=True)
+class StatisticalCorrectorConfig:
+    bias_bits: int = 11
+    history_bits: int = 10
+    history_lengths: tuple[int, ...] = (8, 21)
+    counter_bits: int = 6
+    flip_threshold: int = 3
+
+
+class StatisticalCorrector:
+    """Confidence-weighted corrector over TAGE's weak predictions."""
+
+    def __init__(
+        self,
+        config: StatisticalCorrectorConfig | None = None,
+        history: HistoryState | None = None,
+    ):
+        self.config = config or StatisticalCorrectorConfig()
+        cfg = self.config
+        self.history = history if history is not None else HistoryState()
+        self._folds = [
+            self.history.register_fold(hlen, cfg.history_bits)
+            for hlen in cfg.history_lengths
+        ]
+        self._bias = [0] * (1 << cfg.bias_bits)
+        self._tables = [
+            [0] * (1 << cfg.history_bits) for _ in cfg.history_lengths
+        ]
+        self._max = (1 << (cfg.counter_bits - 1)) - 1
+        self._min = -(1 << (cfg.counter_bits - 1))
+        self.flips = 0
+
+    def _indices(self, pc: int) -> tuple[int, list[int]]:
+        cfg = self.config
+        bias_idx = (pc >> 2) & ((1 << cfg.bias_bits) - 1)
+        hist_indices = []
+        for i in range(len(cfg.history_lengths)):
+            folded = self.history.fold(self._folds[i])
+            idx = ((pc >> 2) ^ folded ^ (i * 0x9E37)) & ((1 << cfg.history_bits) - 1)
+            hist_indices.append(idx)
+        return bias_idx, hist_indices
+
+    def correct(
+        self, pc: int, tage_taken: bool, tage_weak: bool
+    ) -> tuple[bool, dict]:
+        """Possibly flip TAGE's weak prediction; returns (taken, meta)."""
+        bias_idx, hist_indices = self._indices(pc)
+        total = self._bias[bias_idx]
+        for table, idx in zip(self._tables, hist_indices):
+            total += table[idx]
+        meta = {"sc_bias": bias_idx, "sc_hist": tuple(hist_indices)}
+        sc_taken = total >= 0
+        if tage_weak and abs(total) >= self.config.flip_threshold:
+            if sc_taken != tage_taken:
+                self.flips += 1
+            return sc_taken, meta
+        return tage_taken, meta
+
+    def train(self, meta: dict, taken: bool) -> None:
+        """Retirement-time counter update using predict-time indices."""
+        delta = 1 if taken else -1
+        bias_idx = meta["sc_bias"]
+        self._bias[bias_idx] = _clamp(self._bias[bias_idx] + delta, self._min, self._max)
+        for table, idx in zip(self._tables, meta["sc_hist"]):
+            table[idx] = _clamp(table[idx] + delta, self._min, self._max)
+
+
+def _clamp(value: int, low: int, high: int) -> int:
+    return max(low, min(high, value))

@@ -1,0 +1,268 @@
+"""TAGE conditional branch predictor (Seznec, MICRO 2011).
+
+A base bimodal table plus ``num_tables`` partially-tagged components
+with geometrically increasing history lengths.  The provider is the
+longest-history component whose tag matches; a "use alt on newly
+allocated" counter arbitrates between the provider and the alternate
+prediction when the provider entry is weak.
+
+Prediction happens in the decoupled frontend (speculative history);
+training happens at *retirement* using the :class:`TagePrediction`
+metadata captured at prediction time — the same structure Scarab and
+other decoupled-frontend simulators use, and the carrier of the paper's
+"synchronized timestamps" (the metadata rides in the in-flight branch
+queue entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .history import HistoryState, fold_history
+
+
+@dataclass(frozen=True)
+class TageConfig:
+    """Sizing knobs; defaults model a scaled-down 64KB TAGE-SC-L."""
+
+    num_tables: int = 8
+    table_index_bits: int = 10
+    tag_bits: int = 9
+    min_history: int = 4
+    max_history: int = 256
+    base_index_bits: int = 12
+    counter_bits: int = 3
+    useful_bits: int = 2
+    use_alt_bits: int = 4
+    useful_reset_period: int = 64 * 1024
+
+    def history_lengths(self) -> list[int]:
+        """Geometric history length series (min..max over num_tables)."""
+        if self.num_tables == 1:
+            return [self.min_history]
+        ratio = (self.max_history / self.min_history) ** (1 / (self.num_tables - 1))
+        lengths = []
+        for i in range(self.num_tables):
+            length = int(round(self.min_history * ratio**i))
+            if lengths and length <= lengths[-1]:
+                length = lengths[-1] + 1
+            lengths.append(length)
+        return lengths
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.ctr = 0      # signed: >=0 predicts taken
+        self.useful = 0
+
+
+@dataclass
+class TagePrediction:
+    """Metadata captured at predict time, needed to train at retire."""
+
+    taken: bool
+    provider: int = -1            # component index, -1 = bimodal base
+    provider_index: int = 0
+    provider_tag: int = 0
+    alt_taken: bool = False
+    alt_provider: int = -1
+    provider_weak: bool = True
+    indices: tuple[int, ...] = ()
+    tags: tuple[int, ...] = ()
+    base_index: int = 0
+    used_alt: bool = False
+    # Filled in by the SC/loop wrappers.
+    extra: dict = field(default_factory=dict)
+
+
+class Tage:
+    """The TAGE predictor proper (no SC/L — see :mod:`tagescl`).
+
+    The predictor is bound to one :class:`HistoryState`, on which it
+    registers incremental folded registers at construction (three per
+    component: index, tag, tag').
+    """
+
+    def __init__(
+        self,
+        config: TageConfig | None = None,
+        history: HistoryState | None = None,
+    ):
+        self.config = config or TageConfig()
+        cfg = self.config
+        self.history = history if history is not None else HistoryState()
+        self.histories = cfg.history_lengths()
+        self._idx_folds = [
+            self.history.register_fold(hlen, cfg.table_index_bits)
+            for hlen in self.histories
+        ]
+        self._tag_folds = [
+            self.history.register_fold(hlen, cfg.tag_bits)
+            for hlen in self.histories
+        ]
+        size = 1 << cfg.table_index_bits
+        self.tables: list[list[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(size)] for _ in range(cfg.num_tables)
+        ]
+        self.base = [0] * (1 << cfg.base_index_bits)  # 2-bit counters, 0..3
+        self._ctr_max = (1 << (cfg.counter_bits - 1)) - 1
+        self._ctr_min = -(1 << (cfg.counter_bits - 1))
+        self._useful_max = (1 << cfg.useful_bits) - 1
+        self.use_alt_on_na = 1 << (cfg.use_alt_bits - 1)
+        self._use_alt_max = (1 << cfg.use_alt_bits) - 1
+        self._updates = 0
+        self.predictions = 0
+        self.allocations = 0
+
+    # ------------------------------------------------------------------
+    def _compute_keys(self, pc: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        cfg = self.config
+        history = self.history
+        idx_mask = (1 << cfg.table_index_bits) - 1
+        tag_mask = (1 << cfg.tag_bits) - 1
+        pc_bits = pc >> 2
+        indices = []
+        tags = []
+        fold = history.fold
+        for i, hlen in enumerate(self.histories):
+            folded_path = fold_history(
+                history.path, min(hlen, 16), cfg.table_index_bits
+            )
+            folded_idx = fold(self._idx_folds[i])
+            idx = (
+                pc_bits ^ (pc_bits >> (i + 1)) ^ folded_idx ^ folded_path
+            ) & idx_mask
+            # The second tag hash reuses the index fold shifted by one —
+            # one register fewer than Seznec's tag' with equivalent
+            # mixing quality at these table sizes.
+            tag = (
+                pc_bits ^ fold(self._tag_folds[i]) ^ (folded_idx << 1)
+            ) & tag_mask
+            indices.append(idx)
+            tags.append(tag)
+        return tuple(indices), tuple(tags)
+
+    def _base_index(self, pc: int) -> int:
+        return (pc >> 2) & ((1 << self.config.base_index_bits) - 1)
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int) -> TagePrediction:
+        """Predict the direction of the conditional branch at ``pc``."""
+        self.predictions += 1
+        indices, tags = self._compute_keys(pc)
+        base_index = self._base_index(pc)
+        base_taken = self.base[base_index] >= 2
+
+        provider = -1
+        alt = -1
+        for i in range(self.config.num_tables - 1, -1, -1):
+            if self.tables[i][indices[i]].tag == tags[i]:
+                if provider < 0:
+                    provider = i
+                else:
+                    alt = i
+                    break
+
+        if provider < 0:
+            return TagePrediction(
+                taken=base_taken,
+                alt_taken=base_taken,
+                indices=indices,
+                tags=tags,
+                base_index=base_index,
+            )
+
+        entry = self.tables[provider][indices[provider]]
+        provider_taken = entry.ctr >= 0
+        weak = entry.ctr in (-1, 0)
+        if alt >= 0:
+            alt_taken = self.tables[alt][indices[alt]].ctr >= 0
+        else:
+            alt_taken = base_taken
+        use_alt = weak and self.use_alt_on_na >= (1 << (self.config.use_alt_bits - 1))
+        taken = alt_taken if use_alt else provider_taken
+        return TagePrediction(
+            taken=taken,
+            provider=provider,
+            provider_index=indices[provider],
+            provider_tag=tags[provider],
+            alt_taken=alt_taken,
+            alt_provider=alt,
+            provider_weak=weak,
+            indices=indices,
+            tags=tags,
+            base_index=base_index,
+            used_alt=use_alt,
+        )
+
+    # ------------------------------------------------------------------
+    def train(self, pc: int, taken: bool, pred: TagePrediction) -> None:
+        """Retirement-time update with the metadata from predict time."""
+        cfg = self.config
+        self._updates += 1
+        if self._updates % cfg.useful_reset_period == 0:
+            self._reset_useful()
+
+        if pred.provider >= 0:
+            entry = self.tables[pred.provider][pred.provider_index]
+            # Guard against the entry having been reallocated by a
+            # younger (wrong-path-trained) branch; tags disambiguate.
+            if entry.tag == pred.provider_tag:
+                self._update_ctr(entry, taken)
+                if pred.provider_weak:
+                    # Track whether the alternate would have been better.
+                    if pred.alt_taken == taken and pred.taken != taken:
+                        self.use_alt_on_na = min(
+                            self.use_alt_on_na + 1, self._use_alt_max
+                        )
+                    elif pred.alt_taken != taken and pred.taken == taken:
+                        self.use_alt_on_na = max(self.use_alt_on_na - 1, 0)
+                if pred.taken != pred.alt_taken:
+                    if pred.taken == taken:
+                        entry.useful = min(entry.useful + 1, self._useful_max)
+                    else:
+                        entry.useful = max(entry.useful - 1, 0)
+        else:
+            self._update_base(pred.base_index, taken)
+
+        mispredicted = pred.taken != taken
+        if mispredicted:
+            self._allocate(pred, taken)
+
+    def _update_base(self, index: int, taken: bool) -> None:
+        ctr = self.base[index]
+        self.base[index] = min(ctr + 1, 3) if taken else max(ctr - 1, 0)
+
+    def _update_ctr(self, entry: _TaggedEntry, taken: bool) -> None:
+        if taken:
+            entry.ctr = min(entry.ctr + 1, self._ctr_max)
+        else:
+            entry.ctr = max(entry.ctr - 1, self._ctr_min)
+
+    def _allocate(self, pred: TagePrediction, taken: bool) -> None:
+        """On a misprediction, allocate in a longer-history component."""
+        start = pred.provider + 1
+        candidates = [
+            i
+            for i in range(start, self.config.num_tables)
+            if self.tables[i][pred.indices[i]].useful == 0
+        ]
+        if not candidates:
+            for i in range(start, self.config.num_tables):
+                entry = self.tables[i][pred.indices[i]]
+                entry.useful = max(entry.useful - 1, 0)
+            return
+        target = candidates[0]
+        entry = self.tables[target][pred.indices[target]]
+        entry.tag = pred.tags[target]
+        entry.ctr = 0 if taken else -1
+        entry.useful = 0
+        self.allocations += 1
+
+    def _reset_useful(self) -> None:
+        for table in self.tables:
+            for entry in table:
+                entry.useful >>= 1

@@ -1,0 +1,28 @@
+"""Experiment harness: runner, per-figure experiments, reporting."""
+
+from .experiments import ExperimentSuite
+from .reporting import format_table, geomean, speedup_percent
+from .runner import MODES, RunResult, make_config, run_workload
+from .sweeps import (
+    block_cache_sweep,
+    ftq_sweep,
+    h2p_marking_sweep,
+    prior_work_comparison,
+    wide_frontend_comparison,
+)
+
+__all__ = [
+    "ExperimentSuite",
+    "block_cache_sweep",
+    "ftq_sweep",
+    "h2p_marking_sweep",
+    "prior_work_comparison",
+    "wide_frontend_comparison",
+    "format_table",
+    "geomean",
+    "speedup_percent",
+    "MODES",
+    "RunResult",
+    "make_config",
+    "run_workload",
+]

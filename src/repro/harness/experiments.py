@@ -1,0 +1,334 @@
+"""Per-figure/table experiment definitions (paper §V).
+
+The :class:`ExperimentSuite` runs (workload, mode) simulations lazily
+and caches results, so the figures share runs — Fig. 5, Fig. 7, and
+Table III all reuse the same ``tea`` runs, exactly as one simulation
+campaign would.
+
+Each ``fig*``/``table*`` method returns a plain dict of series (for
+tests and downstream tooling) and a ``render_*`` helper produces the
+paper-style text table.
+"""
+
+from __future__ import annotations
+
+from ..workloads import (
+    complex_control_flow_names,
+    simple_control_flow_names,
+    workload_names,
+)
+from .reporting import format_table, geomean, speedup_percent
+from .runner import RunResult, run_workload
+
+#: Paper-reported numbers for EXPERIMENTS.md comparisons.
+PAPER_GEOMEAN_TEA = 10.1
+PAPER_GEOMEAN_RUNAHEAD = 7.3
+PAPER_GEOMEAN_DEDICATED = 12.3
+PAPER_TEA_ACCURACY = 99.3
+PAPER_TEA_COVERAGE = 76.0
+PAPER_NO_FEATURES_COVERAGE = 39.0
+PAPER_FOOTPRINT_INCREASE = 31.9
+PAPER_PREFETCH_ONLY_GAIN = 1.2
+
+
+class ExperimentSuite:
+    """Lazily-cached simulation campaign over all workloads/modes."""
+
+    def __init__(self, scale: str = "bench", workloads: tuple[str, ...] | None = None):
+        self.scale = scale
+        self.workloads = tuple(workloads) if workloads else workload_names()
+        self._cache: dict[tuple[str, str], RunResult] = {}
+
+    def result(self, workload: str, mode: str) -> RunResult:
+        key = (workload, mode)
+        if key not in self._cache:
+            self._cache[key] = run_workload(workload, mode, self.scale)
+        return self._cache[key]
+
+    def _speedups(self, mode: str) -> dict[str, float]:
+        out = {}
+        for name in self.workloads:
+            base = self.result(name, "baseline").ipc
+            out[name] = speedup_percent(self.result(name, mode).ipc, base)
+        return out
+
+    # ==================================================================
+    # Fig. 5 — TEA speedup per benchmark (on-core)
+    # ==================================================================
+    def fig5(self) -> dict:
+        speedups = self._speedups("tea")
+        return {
+            "speedup_pct": speedups,
+            "geomean_pct": speedup_percent(
+                geomean([self.result(n, "tea").ipc for n in self.workloads]),
+                geomean([self.result(n, "baseline").ipc for n in self.workloads]),
+            ),
+            "paper_geomean_pct": PAPER_GEOMEAN_TEA,
+        }
+
+    def render_fig5(self) -> str:
+        data = self.fig5()
+        rows = [[n, data["speedup_pct"][n]] for n in self.workloads]
+        rows.append(["geomean", data["geomean_pct"]])
+        return format_table(
+            ["benchmark", "TEA speedup %"],
+            rows,
+            title="Fig. 5 — performance benefit of the TEA thread (on-core)",
+        )
+
+    # ==================================================================
+    # Fig. 6 — baseline MPKI per benchmark
+    # ==================================================================
+    def fig6(self) -> dict:
+        mpki = {n: self.result(n, "baseline").stats.mpki for n in self.workloads}
+        return {"mpki": mpki}
+
+    def render_fig6(self) -> str:
+        data = self.fig6()
+        rows = [[n, data["mpki"][n]] for n in self.workloads]
+        return format_table(
+            ["benchmark", "MPKI"],
+            rows,
+            title="Fig. 6 — direction+target mispredictions per kilo-instruction",
+        )
+
+    # ==================================================================
+    # Fig. 7 — misprediction coverage breakdown under TEA
+    # ==================================================================
+    def fig7(self) -> dict:
+        breakdown = {}
+        for name in self.workloads:
+            stats = self.result(name, "tea").stats
+            total = (
+                stats.covered_timely
+                + stats.covered_late
+                + stats.incorrect_precomputations
+                + stats.uncovered_mispredicts
+            )
+            total = max(total, 1)
+            breakdown[name] = {
+                "covered_timely": 100.0 * stats.covered_timely / total,
+                "covered_late": 100.0 * stats.covered_late / total,
+                "incorrect": 100.0 * stats.incorrect_precomputations / total,
+                "uncovered": 100.0 * stats.uncovered_mispredicts / total,
+                "coverage": 100.0 * stats.coverage,
+            }
+        mean_cov = sum(b["coverage"] for b in breakdown.values()) / len(breakdown)
+        return {
+            "breakdown": breakdown,
+            "mean_coverage_pct": mean_cov,
+            "paper_coverage_pct": PAPER_TEA_COVERAGE,
+        }
+
+    def render_fig7(self) -> str:
+        data = self.fig7()
+        rows = [
+            [
+                n,
+                b["covered_timely"],
+                b["covered_late"],
+                b["incorrect"],
+                b["uncovered"],
+            ]
+            for n, b in data["breakdown"].items()
+        ]
+        return format_table(
+            ["benchmark", "timely %", "late %", "incorrect %", "uncovered %"],
+            rows,
+            title="Fig. 7 — breakdown of branch mispredictions covered by TEA",
+        )
+
+    # ==================================================================
+    # Fig. 8 — TEA vs Branch Runahead, simple vs complex control flow
+    # ==================================================================
+    def fig8(self) -> dict:
+        tea = self._speedups("tea")
+        br = self._speedups("runahead")
+        simple = [n for n in self.workloads if n in simple_control_flow_names()]
+        complex_ = [n for n in self.workloads if n in complex_control_flow_names()]
+
+        def gm(mode: str, names) -> float:
+            if not names:
+                return 0.0
+            return speedup_percent(
+                geomean([self.result(n, mode).ipc for n in names]),
+                geomean([self.result(n, "baseline").ipc for n in names]),
+            )
+
+        return {
+            "tea_pct": tea,
+            "runahead_pct": br,
+            "simple_names": tuple(simple),
+            "complex_names": tuple(complex_),
+            "tea_geomean_pct": gm("tea", self.workloads),
+            "runahead_geomean_pct": gm("runahead", self.workloads),
+            "tea_simple_pct": gm("tea", simple),
+            "runahead_simple_pct": gm("runahead", simple),
+            "tea_complex_pct": gm("tea", complex_),
+            "runahead_complex_pct": gm("runahead", complex_),
+            "paper_tea_pct": PAPER_GEOMEAN_TEA,
+            "paper_runahead_pct": PAPER_GEOMEAN_RUNAHEAD,
+        }
+
+    def render_fig8(self) -> str:
+        data = self.fig8()
+        rows = []
+        for name in self.workloads:
+            category = "simple" if name in data["simple_names"] else "complex"
+            rows.append(
+                [name, category, data["tea_pct"][name], data["runahead_pct"][name]]
+            )
+        rows.append(["geomean(simple)", "", data["tea_simple_pct"], data["runahead_simple_pct"]])
+        rows.append(
+            ["geomean(complex)", "", data["tea_complex_pct"], data["runahead_complex_pct"]]
+        )
+        rows.append(["geomean(all)", "", data["tea_geomean_pct"], data["runahead_geomean_pct"]])
+        return format_table(
+            ["benchmark", "cfg", "TEA %", "Branch Runahead %"],
+            rows,
+            title="Fig. 8 — comparison against Branch Runahead",
+        )
+
+    # ==================================================================
+    # Fig. 9 — TEA with a dedicated execution engine
+    # ==================================================================
+    def fig9(self) -> dict:
+        dedicated = self._speedups("tea_dedicated")
+        oncore = self._speedups("tea")
+        return {
+            "dedicated_pct": dedicated,
+            "oncore_pct": oncore,
+            "dedicated_geomean_pct": speedup_percent(
+                geomean([self.result(n, "tea_dedicated").ipc for n in self.workloads]),
+                geomean([self.result(n, "baseline").ipc for n in self.workloads]),
+            ),
+            "paper_dedicated_pct": PAPER_GEOMEAN_DEDICATED,
+        }
+
+    def render_fig9(self) -> str:
+        data = self.fig9()
+        rows = [
+            [n, data["oncore_pct"][n], data["dedicated_pct"][n]]
+            for n in self.workloads
+        ]
+        rows.append(["geomean", "", data["dedicated_geomean_pct"]])
+        return format_table(
+            ["benchmark", "on-core %", "dedicated engine %"],
+            rows,
+            title="Fig. 9 — TEA thread on a separate execution engine",
+        )
+
+    # ==================================================================
+    # Fig. 10 — thread-construction feature ablations
+    # ==================================================================
+    ABLATION_MODES = (
+        ("tea", "TEA"),
+        ("tea_only_loops", "only loops"),
+        ("tea_no_masks", "no masks"),
+        ("tea_no_mem", "no mem"),
+        ("tea_no_features", "no features"),
+    )
+
+    def fig10(self) -> dict:
+        accuracy: dict[str, dict[str, float]] = {}
+        coverage: dict[str, dict[str, float]] = {}
+        timeliness: dict[str, dict[str, float]] = {}
+        for mode, label in self.ABLATION_MODES:
+            accuracy[label] = {}
+            coverage[label] = {}
+            timeliness[label] = {}
+            for name in self.workloads:
+                stats = self.result(name, mode).stats
+                accuracy[label][name] = 100.0 * stats.tea_accuracy
+                coverage[label][name] = 100.0 * stats.coverage
+                timeliness[label][name] = stats.avg_cycles_saved
+        means = {
+            label: {
+                "accuracy": sum(accuracy[label].values()) / len(self.workloads),
+                "coverage": sum(coverage[label].values()) / len(self.workloads),
+                "timeliness": sum(timeliness[label].values()) / len(self.workloads),
+            }
+            for _, label in self.ABLATION_MODES
+        }
+        return {
+            "accuracy_pct": accuracy,
+            "coverage_pct": coverage,
+            "cycles_saved": timeliness,
+            "means": means,
+            "paper_accuracy_pct": PAPER_TEA_ACCURACY,
+            "paper_no_features_coverage_pct": PAPER_NO_FEATURES_COVERAGE,
+        }
+
+    def render_fig10(self) -> str:
+        data = self.fig10()
+        labels = [label for _, label in self.ABLATION_MODES]
+        sections = []
+        for metric, key in (
+            ("(a) precomputation accuracy %", "accuracy_pct"),
+            ("(b) misprediction coverage %", "coverage_pct"),
+            ("(c) avg misprediction cycles saved", "cycles_saved"),
+        ):
+            rows = [
+                [n] + [data[key][label][n] for label in labels]
+                for n in self.workloads
+            ]
+            rows.append(
+                ["mean"]
+                + [
+                    sum(data[key][label].values()) / len(self.workloads)
+                    for label in labels
+                ]
+            )
+            sections.append(
+                format_table(
+                    ["benchmark"] + labels,
+                    rows,
+                    title=f"Fig. 10-{metric}",
+                )
+            )
+        return "\n\n".join(sections)
+
+    # ==================================================================
+    # Table III — dynamic instruction fetch footprint increase
+    # ==================================================================
+    def table3(self) -> dict:
+        increase = {}
+        for name in self.workloads:
+            base = self.result(name, "baseline").stats
+            tea = self.result(name, "tea").stats
+            if base.footprint_uops:
+                increase[name] = 100.0 * (
+                    tea.footprint_uops / base.footprint_uops - 1.0
+                )
+            else:
+                increase[name] = 0.0
+        return {
+            "footprint_increase_pct": increase,
+            "mean_pct": sum(increase.values()) / len(increase),
+            "paper_mean_pct": PAPER_FOOTPRINT_INCREASE,
+        }
+
+    def render_table3(self) -> str:
+        data = self.table3()
+        rows = [[n, data["footprint_increase_pct"][n]] for n in self.workloads]
+        rows.append(["mean", data["mean_pct"]])
+        return format_table(
+            ["benchmark", "fetch footprint increase %"],
+            rows,
+            title="Table III — increase in dynamic instructions fetched",
+        )
+
+    # ==================================================================
+    # §V-B — prefetch-only side-effect check
+    # ==================================================================
+    def prefetch_only(self) -> dict:
+        gains = self._speedups("tea_prefetch_only")
+        gm = speedup_percent(
+            geomean([self.result(n, "tea_prefetch_only").ipc for n in self.workloads]),
+            geomean([self.result(n, "baseline").ipc for n in self.workloads]),
+        )
+        return {
+            "speedup_pct": gains,
+            "geomean_pct": gm,
+            "paper_geomean_pct": PAPER_PREFETCH_ONLY_GAIN,
+        }

@@ -1,0 +1,50 @@
+"""Formatting helpers for experiment output (paper-style tables)."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; tolerates values <= 0 by flooring at 1e-9."""
+    values = [max(v, 1e-9) for v in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_percent(new_ipc: float, base_ipc: float) -> float:
+    """IPC improvement in percent (the paper's y-axis in Figs. 5/8/9)."""
+    if base_ipc <= 0:
+        return 0.0
+    return 100.0 * (new_ipc / base_ipc - 1.0)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table (stable output for tee'd logs)."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                floatfmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

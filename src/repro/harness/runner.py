@@ -1,0 +1,118 @@
+"""Simulation runner: named machine configurations + result records.
+
+The *modes* map one-to-one to the machine configurations evaluated in
+the paper:
+
+==================  ====================================================
+mode                paper artifact
+==================  ====================================================
+baseline            the aggressive 8-wide OoO core (Table I)
+tea                 TEA thread, on-core resources (Fig. 5)
+tea_dedicated       TEA thread on a dedicated execution engine (Fig. 9)
+tea_prefetch_only   TEA without early resolution — §V-B's 1.2% check
+tea_only_loops      Fig. 10 "only loops" ablation
+tea_no_masks        Fig. 10 "no masks" ablation
+tea_no_mem          Fig. 10 "no mem" ablation
+tea_no_features     Fig. 10 "no features" point (39% coverage)
+runahead            the Branch Runahead comparison baseline (Fig. 8)
+crisp               CRISP/IBDA critical-slice prioritization (§II)
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core import Pipeline, SimConfig, SimStats
+from ..runahead import RunaheadConfig
+from ..tea import TeaConfig, tea_ablation
+from ..workloads import Workload, make_workload
+
+
+def make_config(mode: str) -> SimConfig:
+    """Build the :class:`SimConfig` for a named machine mode."""
+    if mode == "baseline":
+        return SimConfig()
+    if mode == "tea":
+        return SimConfig(tea=TeaConfig())
+    if mode == "tea_dedicated":
+        return SimConfig(tea=replace(TeaConfig(), dedicated_engine=True))
+    if mode == "tea_prefetch_only":
+        return SimConfig(tea=replace(TeaConfig(), early_resolution=False))
+    if mode == "tea_only_loops":
+        return SimConfig(tea=tea_ablation("only_loops"))
+    if mode == "tea_no_masks":
+        return SimConfig(tea=tea_ablation("no_masks"))
+    if mode == "tea_no_mem":
+        return SimConfig(tea=tea_ablation("no_mem"))
+    if mode == "tea_no_features":
+        return SimConfig(tea=tea_ablation("no_features"))
+    if mode == "runahead":
+        return SimConfig(runahead=RunaheadConfig())
+    if mode == "crisp":
+        from ..crisp import CrispConfig
+
+        return SimConfig(crisp=CrispConfig())
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+MODES = (
+    "baseline",
+    "tea",
+    "tea_dedicated",
+    "tea_prefetch_only",
+    "tea_only_loops",
+    "tea_no_masks",
+    "tea_no_mem",
+    "tea_no_features",
+    "runahead",
+    "crisp",
+)
+
+
+@dataclass
+class RunResult:
+    """One (workload, mode) simulation outcome."""
+
+    workload: str
+    mode: str
+    stats: SimStats
+    validated: bool
+    halted: bool
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def run_workload(
+    workload: Workload | str,
+    mode: str = "baseline",
+    scale: str = "bench",
+    max_cycles: int = 30_000_000,
+) -> RunResult:
+    """Simulate one workload under one machine mode, to completion.
+
+    Functional validation runs whenever the workload halted and defines
+    a validator; a validation failure raises — a simulator that computes
+    wrong answers must never silently produce performance numbers.
+    """
+    if isinstance(workload, str):
+        workload = make_workload(workload, scale)
+    config = make_config(mode)
+    pipeline = Pipeline(workload.program, workload.fresh_memory(), config)
+    stats = pipeline.run(max_cycles=max_cycles)
+    validated = False
+    if pipeline.halted and workload.validate is not None:
+        validated = workload.validate(pipeline)
+        if not validated:
+            raise RuntimeError(
+                f"functional validation FAILED: {workload.name} under {mode}"
+            )
+    return RunResult(
+        workload=workload.name,
+        mode=mode,
+        stats=stats,
+        validated=validated,
+        halted=pipeline.halted,
+    )

@@ -1,0 +1,214 @@
+"""Two-pass assembler for the micro-ISA.
+
+Syntax (one statement per line, ``#`` starts a comment)::
+
+    loop:                      # labels end with ':'
+        li   r1, 100           # immediates: decimal or 0x hex
+        ld   r2, 8(r3)         # load:  rd, offset(base)
+        st   r2, 0(r3)         # store: rs, offset(base)
+        beq  r1, r2, done      # branches name a label
+        addi r1, r1, -1
+        jmp  loop
+    done:
+        call helper
+        halt
+
+Pseudo-instructions expanded by the assembler:
+
+* ``beqz/bnez/bltz/bgez rs, label`` — compare against ``zero``
+* ``inc rd`` / ``dec rd`` — ``addi rd, rd, ±1``
+* ``la rd, label`` — load a label's PC (for ``jr``/``callr`` tables)
+
+The assembler produces a :class:`~repro.isa.program.Program` with PCs
+assigned from ``entry_pc`` in 4-byte steps.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .instructions import INSTRUCTION_BYTES, Instruction, UopClass, opcode_signature
+from .program import Program
+from .registers import REG_RA, parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.]*)\s*:\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(\s*([A-Za-z0-9_]+)\s*\)$")
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or semantic error, with line information."""
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: bad immediate {text!r}") from None
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [op.strip() for op in rest.split(",")] if rest.strip() else []
+
+
+def assemble(
+    source: str,
+    entry_pc: int = 0,
+    symbols: dict[str, int] | None = None,
+) -> Program:
+    """Assemble micro-ISA source text into a :class:`Program`.
+
+    ``symbols`` supplies external names (e.g. data labels laid out by
+    :func:`repro.isa.data_directives.assemble_unit`) usable wherever an
+    immediate is accepted: ``li r1, my_array``.  Code labels shadow
+    external symbols.
+    """
+    statements: list[tuple[int, str, list[str]]] = []  # (line_no, opcode, operands)
+    labels: dict[str, int] = {}
+
+    # Pass 1: strip comments, collect labels, expand pseudo-ops.
+    pc = entry_pc
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                name = match.group(1)
+                if name in labels:
+                    raise AssemblerError(f"line {line_no}: duplicate label {name!r}")
+                labels[name] = pc
+                line = match.group(2).strip()
+                continue
+            break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        opcode = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        for expanded in _expand_pseudo(opcode, operands, line_no):
+            statements.append((line_no, expanded[0], expanded[1]))
+            pc += INSTRUCTION_BYTES
+
+    if not statements:
+        raise AssemblerError("empty program")
+
+    # Pass 2: encode.  Code labels take precedence over externals.
+    resolved = dict(symbols or {})
+    resolved.update(labels)
+    instructions: list[Instruction] = []
+    pc = entry_pc
+    for line_no, opcode, operands in statements:
+        instructions.append(_encode(opcode, operands, resolved, labels, pc, line_no))
+        pc += INSTRUCTION_BYTES
+    return Program(instructions, labels, entry_pc)
+
+
+def _expand_pseudo(
+    opcode: str, operands: list[str], line_no: int
+) -> list[tuple[str, list[str]]]:
+    if opcode == "beqz":
+        _require(operands, 2, opcode, line_no)
+        return [("beq", [operands[0], "zero", operands[1]])]
+    if opcode == "bnez":
+        _require(operands, 2, opcode, line_no)
+        return [("bne", [operands[0], "zero", operands[1]])]
+    if opcode == "bltz":
+        _require(operands, 2, opcode, line_no)
+        return [("blt", [operands[0], "zero", operands[1]])]
+    if opcode == "bgez":
+        _require(operands, 2, opcode, line_no)
+        return [("bge", [operands[0], "zero", operands[1]])]
+    if opcode == "inc":
+        _require(operands, 1, opcode, line_no)
+        return [("addi", [operands[0], operands[0], "1"])]
+    if opcode == "dec":
+        _require(operands, 1, opcode, line_no)
+        return [("addi", [operands[0], operands[0], "-1"])]
+    if opcode == "la":
+        _require(operands, 2, opcode, line_no)
+        return [("li", operands)]  # label resolved at encode time
+    return [(opcode, operands)]
+
+
+def _require(operands: list[str], count: int, opcode: str, line_no: int) -> None:
+    if len(operands) != count:
+        raise AssemblerError(
+            f"line {line_no}: {opcode} expects {count} operands, got {len(operands)}"
+        )
+
+
+def _encode(
+    opcode: str,
+    operands: list[str],
+    symbols: dict[str, int],
+    labels: dict[str, int],
+    pc: int,
+    line_no: int,
+) -> Instruction:
+    try:
+        cls, has_dst, num_srcs, has_imm = opcode_signature(opcode)
+    except ValueError as exc:
+        raise AssemblerError(f"line {line_no}: {exc}") from None
+
+    def resolve_value(text: str) -> int:
+        if text in symbols:
+            return symbols[text]
+        return _parse_int(text, line_no)
+
+    def resolve_label(text: str) -> int:
+        if text not in labels:
+            raise AssemblerError(f"line {line_no}: undefined label {text!r}")
+        return labels[text]
+
+    dst: int | None = None
+    srcs: tuple[int, ...] = ()
+    imm: int | None = None
+    target: int | None = None
+
+    if cls in (UopClass.LOAD, UopClass.STORE):
+        _require(operands, 2, opcode, line_no)
+        mem = _MEM_RE.match(operands[1].replace(" ", ""))
+        if not mem:
+            raise AssemblerError(
+                f"line {line_no}: expected offset(base) operand, got {operands[1]!r}"
+            )
+        imm = _parse_int(mem.group(1), line_no)
+        base = parse_register(mem.group(2))
+        if cls is UopClass.LOAD:
+            dst = parse_register(operands[0])
+            srcs = (base,)
+        else:
+            srcs = (parse_register(operands[0]), base)
+    elif cls is UopClass.BR_COND:
+        _require(operands, 3, opcode, line_no)
+        srcs = (parse_register(operands[0]), parse_register(operands[1]))
+        target = resolve_label(operands[2])
+    elif cls in (UopClass.BR_JUMP, UopClass.BR_CALL):
+        _require(operands, 1, opcode, line_no)
+        target = resolve_label(operands[0])
+        if cls is UopClass.BR_CALL:
+            dst = REG_RA
+    elif cls is UopClass.BR_RET:
+        _require(operands, 0, opcode, line_no)
+        srcs = (REG_RA,)
+    elif cls is UopClass.BR_IND:
+        _require(operands, 1, opcode, line_no)
+        srcs = (parse_register(operands[0]),)
+        if opcode == "callr":
+            dst = REG_RA
+    else:
+        expected = (1 if has_dst else 0) + num_srcs + (1 if has_imm else 0)
+        _require(operands, expected, opcode, line_no)
+        pos = 0
+        if has_dst:
+            dst = parse_register(operands[pos])
+            pos += 1
+        regs = []
+        for _ in range(num_srcs):
+            regs.append(parse_register(operands[pos]))
+            pos += 1
+        srcs = tuple(regs)
+        if has_imm:
+            imm = resolve_value(operands[pos])
+    return Instruction(
+        opcode=opcode, dst=dst, srcs=srcs, imm=imm, target=target, pc=pc
+    )

@@ -1,0 +1,121 @@
+"""``.data`` / ``.text`` sections: whole programs in one source file.
+
+The core assembler handles code only; workload builders lay out data
+with the :class:`~repro.workloads.base.Arena`.  For standalone programs
+(examples, user experiments) it is far more convenient to declare data
+inline::
+
+    .data
+    counts:  .word 3, 1, 4, 1, 5
+    total:   .word 0
+    scratch: .space 16          # 16 zeroed words
+    .text
+        la r1, counts
+        ld r2, 0(r1)
+        ...
+        halt
+
+Directives:
+
+* ``.word v0, v1, ...`` — consecutive 8-byte words (ints or floats),
+* ``.space N``          — N zeroed words,
+* ``.align``            — advance to the next 64B cache-line boundary.
+
+Data labels become assembler symbols usable as immediates in the text
+section (``li``/``la``), exactly like workload arena symbols.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..memory.memory_image import WORD_BYTES, MemoryImage
+from .assembler import AssemblerError, assemble
+from .program import Program
+
+DEFAULT_DATA_BASE = 0x0001_0000
+
+_DATA_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.]*)\s*:\s*(.*)$")
+
+
+@dataclass
+class AssembledUnit:
+    """A program together with its initialized data image."""
+
+    program: Program
+    memory: MemoryImage
+    symbols: dict[str, int]
+
+
+def _parse_value(text: str, line_no: int) -> int | float:
+    text = text.strip()
+    try:
+        if "." in text or "e" in text.lower() and not text.lower().startswith("0x"):
+            return float(text)
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: bad data value {text!r}") from None
+
+
+def assemble_unit(
+    source: str,
+    entry_pc: int = 0,
+    data_base: int = DEFAULT_DATA_BASE,
+) -> AssembledUnit:
+    """Assemble a two-section source into code + data.
+
+    Source without section markers is treated as pure text (the plain
+    :func:`~repro.isa.assembler.assemble` behaviour).
+    """
+    text_lines: list[str] = []
+    memory = MemoryImage()
+    symbols: dict[str, int] = {}
+    cursor = data_base
+    section = "text"
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].strip()
+        if stripped == ".data":
+            section = "data"
+            continue
+        if stripped == ".text":
+            section = "text"
+            continue
+        if section == "text":
+            text_lines.append(raw)
+            continue
+        if not stripped:
+            continue
+        match = _DATA_LABEL_RE.match(stripped)
+        if match:
+            name = match.group(1)
+            if name in symbols:
+                raise AssemblerError(f"line {line_no}: duplicate data label {name!r}")
+            symbols[name] = cursor
+            stripped = match.group(2).strip()
+            if not stripped:
+                continue
+        if stripped.startswith(".word"):
+            values = [
+                _parse_value(v, line_no)
+                for v in stripped[len(".word"):].split(",")
+                if v.strip()
+            ]
+            if not values:
+                raise AssemblerError(f"line {line_no}: .word needs values")
+            cursor = memory.write_array(cursor, values)
+        elif stripped.startswith(".space"):
+            count = int(stripped[len(".space"):].strip() or "0", 0)
+            if count <= 0:
+                raise AssemblerError(f"line {line_no}: .space needs a positive count")
+            cursor = memory.write_array(cursor, [0] * count)
+        elif stripped == ".align":
+            cursor = (cursor + 63) & ~63
+        else:
+            raise AssemblerError(
+                f"line {line_no}: unknown data directive {stripped.split()[0]!r}"
+            )
+
+    program = assemble("\n".join(text_lines), entry_pc, symbols)
+    return AssembledUnit(program=program, memory=memory, symbols=symbols)

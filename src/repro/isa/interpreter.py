@@ -1,0 +1,84 @@
+"""Reference functional interpreter for the micro-ISA.
+
+Executes a program sequentially with architectural semantics — no
+pipeline, no speculation.  It is the golden model: the execution-driven
+pipeline must commit exactly the architectural state this interpreter
+produces (property-tested in ``tests/test_pipeline_vs_interpreter.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memory.memory_image import MemoryImage
+from .instructions import INSTRUCTION_BYTES, UopClass
+from .program import Program
+from .registers import NUM_ARCH_REGS, REG_ZERO
+from .semantics import branch_taken, branch_target, compute_result, effective_address
+
+
+class InterpreterError(RuntimeError):
+    """Raised on runaway programs or control flow leaving the image."""
+
+
+@dataclass
+class InterpreterResult:
+    """Final architectural state after sequential execution."""
+
+    registers: list
+    memory: MemoryImage
+    instructions_executed: int
+    halted: bool
+    trace: list = field(default_factory=list)
+
+
+def run_program(
+    program: Program,
+    memory: MemoryImage | None = None,
+    max_steps: int = 5_000_000,
+    collect_trace: bool = False,
+) -> InterpreterResult:
+    """Run to HALT (or ``max_steps``); returns final state.
+
+    With ``collect_trace`` the result records ``(pc, taken)`` for every
+    control-flow instruction — handy for validating predictors against
+    ground-truth outcome streams.
+    """
+    memory = memory if memory is not None else MemoryImage()
+    regs: list = [0] * NUM_ARCH_REGS
+    pc = program.entry_pc
+    steps = 0
+    trace: list = []
+    while steps < max_steps:
+        instr = program.instruction_at(pc)
+        if instr is None:
+            raise InterpreterError(f"control flow left the image at {pc:#x}")
+        steps += 1
+        cls = instr.uop_class
+        if cls is UopClass.HALT:
+            return InterpreterResult(regs, memory, steps, True, trace)
+        if cls is UopClass.NOP:
+            pc += INSTRUCTION_BYTES
+            continue
+        values = tuple(regs[r] for r in instr.srcs)
+        if instr.is_branch:
+            taken = branch_taken(instr, values)
+            result = compute_result(instr, values)
+            if instr.dst is not None and result is not None and instr.dst != REG_ZERO:
+                regs[instr.dst] = result
+            if collect_trace:
+                trace.append((pc, taken))
+            pc = branch_target(instr, values) if taken else instr.fallthrough_pc
+            continue
+        if cls is UopClass.LOAD:
+            addr = effective_address(instr, values)
+            if instr.dst != REG_ZERO:
+                regs[instr.dst] = memory.load(addr)
+        elif cls is UopClass.STORE:
+            memory.store(effective_address(instr, values), values[0])
+        else:
+            result = compute_result(instr, values)
+            if instr.dst is not None and instr.dst != REG_ZERO:
+                regs[instr.dst] = result
+        pc += INSTRUCTION_BYTES
+    raise InterpreterError(f"program did not halt within {max_steps} steps")

@@ -1,0 +1,100 @@
+"""Static program representation: instruction memory and basic blocks.
+
+A :class:`Program` is the immutable instruction image the simulator
+fetches from.  Instructions live at ``entry_pc + 4*i``.  Basic blocks
+are derived once at construction: a *leader* is the entry PC, any
+control-flow target, or the instruction after any control-flow
+instruction.  Basic-block start PCs tag the TEA Block Cache entries
+(paper §III-A) and bound its per-block bit-masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .instructions import INSTRUCTION_BYTES, Instruction
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal single-entry straight-line region of the program."""
+
+    start_pc: int
+    end_pc: int  # PC of the *last* instruction in the block (inclusive)
+
+    @property
+    def num_instructions(self) -> int:
+        return (self.end_pc - self.start_pc) // INSTRUCTION_BYTES + 1
+
+    def pcs(self) -> range:
+        return range(self.start_pc, self.end_pc + 1, INSTRUCTION_BYTES)
+
+
+class Program:
+    """An assembled program: instructions, labels, and basic blocks."""
+
+    def __init__(
+        self,
+        instructions: list[Instruction],
+        labels: dict[str, int] | None = None,
+        entry_pc: int = 0,
+    ):
+        if not instructions:
+            raise ValueError("a program needs at least one instruction")
+        self.entry_pc = entry_pc
+        self.instructions = instructions
+        self.labels = dict(labels or {})
+        self._by_pc = {ins.pc: ins for ins in instructions}
+        self.end_pc = instructions[-1].pc
+        self._blocks = self._compute_blocks()
+        self._block_start_by_pc = {}
+        for block in self._blocks.values():
+            for pc in block.pcs():
+                self._block_start_by_pc[pc] = block.start_pc
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def instruction_at(self, pc: int) -> Instruction | None:
+        """The instruction at ``pc``, or ``None`` if outside the image."""
+        return self._by_pc.get(pc)
+
+    def contains(self, pc: int) -> bool:
+        return pc in self._by_pc
+
+    @property
+    def basic_blocks(self) -> dict[int, BasicBlock]:
+        """Mapping of start PC -> basic block."""
+        return self._blocks
+
+    def block_starting_at(self, pc: int) -> BasicBlock | None:
+        return self._blocks.get(pc)
+
+    def block_containing(self, pc: int) -> BasicBlock | None:
+        start = self._block_start_by_pc.get(pc)
+        return self._blocks.get(start) if start is not None else None
+
+    def label_pc(self, label: str) -> int:
+        return self.labels[label]
+
+    def _compute_blocks(self) -> dict[int, BasicBlock]:
+        leaders = {self.entry_pc}
+        for ins in self.instructions:
+            if ins.is_branch:
+                if ins.target is not None:
+                    leaders.add(ins.target)
+                fall = ins.fallthrough_pc
+                if fall in self._by_pc:
+                    leaders.add(fall)
+        # Every branch's fallthrough is a leader, so a branch is always
+        # the last instruction before the next leader; blocks therefore
+        # simply span leader-to-leader.
+        ordered = sorted(pc for pc in leaders if pc in self._by_pc)
+        blocks: dict[int, BasicBlock] = {}
+        for i, start in enumerate(ordered):
+            if i + 1 < len(ordered):
+                end = ordered[i + 1] - INSTRUCTION_BYTES
+            else:
+                end = self.end_pc
+            blocks[start] = BasicBlock(start, end)
+        return blocks

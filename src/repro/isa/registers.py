@@ -1,0 +1,78 @@
+"""Architectural register file definition for the micro-ISA.
+
+The ISA has 32 general-purpose integer registers (``r0``-``r31``) and 16
+floating-point registers (``f0``-``f15``).  ``r0`` is hardwired to zero,
+matching RISC conventions; writes to it are discarded.  A handful of
+integer registers have ABI aliases used by the assembler and the
+workload kernels:
+
+===========  =====  =========================================
+alias        reg    purpose
+===========  =====  =========================================
+``zero``     r0     constant zero
+``ra``       r31    return address (written by ``call``)
+``sp``       r30    stack pointer
+``fp``       r29    frame pointer
+``gp``       r28    global data pointer
+===========  =====  =========================================
+
+Architectural register *indices* are flat: integer registers occupy
+``0..31`` and float registers ``32..47``.  The flat index space is what
+the rename logic, the Backward Dataflow Walk's Source List bit-vector,
+and the TEA poison bits operate on.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 16
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+# Flat indices of the ABI-named registers.
+REG_ZERO = 0
+REG_RA = 31
+REG_SP = 30
+REG_FP = 29
+REG_GP = 28
+
+_ALIASES = {
+    "zero": REG_ZERO,
+    "ra": REG_RA,
+    "sp": REG_SP,
+    "fp": REG_FP,
+    "gp": REG_GP,
+}
+
+
+def parse_register(name: str) -> int:
+    """Return the flat architectural index for a register name.
+
+    Accepts ``rN`` (0..31), ``fN`` (0..15) and the ABI aliases listed in
+    the module docstring.  Raises ``ValueError`` for anything else.
+    """
+    name = name.strip().lower()
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if len(name) >= 2 and name[0] == "r" and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < NUM_INT_REGS:
+            return idx
+    if len(name) >= 2 and name[0] == "f" and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < NUM_FP_REGS:
+            return NUM_INT_REGS + idx
+    raise ValueError(f"unknown register name: {name!r}")
+
+
+def register_name(index: int) -> str:
+    """Return the canonical name (``rN``/``fN``) for a flat index."""
+    if 0 <= index < NUM_INT_REGS:
+        return f"r{index}"
+    if NUM_INT_REGS <= index < NUM_ARCH_REGS:
+        return f"f{index - NUM_INT_REGS}"
+    raise ValueError(f"register index out of range: {index}")
+
+
+def is_fp_register(index: int) -> bool:
+    """True if the flat index names a floating-point register."""
+    return NUM_INT_REGS <= index < NUM_ARCH_REGS

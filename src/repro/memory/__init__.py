@@ -1,0 +1,19 @@
+"""Memory subsystem: functional memory image + cache/DRAM timing."""
+
+from .cache import LINE_BYTES, Cache, line_address
+from .dram import DramConfig, DramModel
+from .hierarchy import MemoryConfig, MemoryHierarchy
+from .memory_image import WORD_BYTES, MemoryImage, align_word
+
+__all__ = [
+    "LINE_BYTES",
+    "Cache",
+    "line_address",
+    "DramConfig",
+    "DramModel",
+    "MemoryConfig",
+    "MemoryHierarchy",
+    "WORD_BYTES",
+    "MemoryImage",
+    "align_word",
+]

@@ -1,0 +1,93 @@
+"""Generic set-associative cache with true-LRU replacement.
+
+Used for the L1 I-cache, L1 D-cache, and the LLC.  The cache tracks
+*presence* only (tags, no data — data values live in the functional
+:class:`~repro.memory.memory_image.MemoryImage`); the timing model in
+:mod:`repro.memory.hierarchy` combines hit/miss results with latencies,
+MSHRs, and the DRAM model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+LINE_BYTES = 64
+
+
+def line_address(addr: int) -> int:
+    """Align a byte address down to its 64-byte cache line."""
+    return addr & ~(LINE_BYTES - 1)
+
+
+class Cache:
+    """A set-associative tag array with LRU replacement.
+
+    ``size_bytes`` / ``ways`` / 64B lines determine the set count, which
+    must be a power of two.
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int):
+        num_lines = size_bytes // LINE_BYTES
+        if num_lines % ways != 0:
+            raise ValueError(f"{name}: {num_lines} lines not divisible by {ways} ways")
+        self.name = name
+        self.ways = ways
+        self.num_sets = num_lines // ways
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: set count {self.num_sets} is not a power of two")
+        self._set_mask = self.num_sets - 1
+        # Each set is an OrderedDict of tag -> True; order encodes LRU
+        # (oldest first).
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int) -> tuple[OrderedDict[int, bool], int]:
+        line = addr >> 6
+        return self._sets[line & self._set_mask], line >> 0
+
+    def lookup(self, addr: int) -> bool:
+        """Probe without updating LRU or counters (for tests/telemetry)."""
+        cset, tag = self._locate(addr)
+        return tag in cset
+
+    def access(self, addr: int) -> bool:
+        """Access the line containing ``addr``; returns hit/miss.
+
+        A hit refreshes LRU.  A miss does *not* fill — call
+        :meth:`fill` when the fill actually arrives so that the timing
+        model controls when a line becomes visible.
+        """
+        cset, tag = self._locate(addr)
+        if tag in cset:
+            cset.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> None:
+        """Install the line containing ``addr``, evicting LRU if needed."""
+        cset, tag = self._locate(addr)
+        if tag in cset:
+            cset.move_to_end(tag)
+            return
+        if len(cset) >= self.ways:
+            cset.popitem(last=False)
+        cset[tag] = True
+
+    def invalidate_all(self) -> None:
+        for cset in self._sets:
+            cset.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,120 @@
+"""Banked row-buffer DRAM timing model (Ramulator substitute).
+
+Models the paper's DDR4-2400R configuration: 1 rank, 2 channels, 4 bank
+groups x 4 banks per channel, tRP-tCL-tRCD = 16-16-16 (DRAM cycles).
+The model captures the two effects the paper's results depend on:
+
+* the large latency spread between row-buffer hits and row conflicts
+  (H2P-guarded loads that miss the LLC are *expensive*), and
+* bank-level parallelism (resolving branches early exposes more
+  memory-level parallelism, the paper's §V-B explanation for mcf/bfs).
+
+All times are expressed in *core* cycles; DRAM-cycle parameters are
+scaled by ``core_per_dram_cycle`` (3.2 GHz core / 1.2 GHz DDR4-2400 bus
+= 2.67).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Timing and geometry parameters for the DRAM model."""
+
+    channels: int = 2
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    trp: int = 16     # precharge, DRAM cycles
+    trcd: int = 16    # activate-to-read, DRAM cycles
+    tcl: int = 16     # CAS latency, DRAM cycles
+    burst_cycles: int = 4          # data transfer per 64B line
+    core_per_dram_cycle: float = 2.67
+    row_bytes: int = 8192
+    base_queue_delay: int = 10     # controller queueing/cmd overhead (core cycles)
+
+    @property
+    def banks_per_channel(self) -> int:
+        return self.bank_groups * self.banks_per_group
+
+    def core_cycles(self, dram_cycles: int) -> int:
+        return int(round(dram_cycles * self.core_per_dram_cycle))
+
+
+class _Bank:
+    __slots__ = ("open_row", "ready_at")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        self.ready_at = 0
+
+
+class DramModel:
+    """Per-bank open-row timing with channel data-bus serialization."""
+
+    def __init__(self, config: DramConfig | None = None):
+        self.config = config or DramConfig()
+        total_banks = self.config.channels * self.config.banks_per_channel
+        self._banks = [_Bank() for _ in range(total_banks)]
+        self._channel_bus_free = [0] * self.config.channels
+        self.row_hits = 0
+        self.row_misses = 0
+        self.requests = 0
+
+    def _map(self, line_addr: int) -> tuple[int, int, int]:
+        """Map a line address to (channel, flat bank index, row)."""
+        cfg = self.config
+        line = line_addr >> 6
+        channel = line % cfg.channels
+        bank = (line // cfg.channels) % cfg.banks_per_channel
+        row = (line_addr // cfg.row_bytes) // cfg.channels
+        return channel, channel * cfg.banks_per_channel + bank, row
+
+    def request(self, line_addr: int, cycle: int) -> int:
+        """Issue a read for a cache line; returns its completion cycle."""
+        cfg = self.config
+        channel, bank_idx, row = self._map(line_addr)
+        bank = self._banks[bank_idx]
+        self.requests += 1
+
+        start = max(cycle + cfg.base_queue_delay, bank.ready_at)
+        if bank.open_row == row:
+            self.row_hits += 1
+            access = cfg.core_cycles(cfg.tcl)
+        elif bank.open_row is None:
+            self.row_misses += 1
+            access = cfg.core_cycles(cfg.trcd + cfg.tcl)
+        else:
+            self.row_misses += 1
+            access = cfg.core_cycles(cfg.trp + cfg.trcd + cfg.tcl)
+        bank.open_row = row
+
+        data_start = max(start + access, self._channel_bus_free[channel])
+        burst = cfg.core_cycles(cfg.burst_cycles)
+        done = data_start + burst
+        self._channel_bus_free[channel] = done
+        bank.ready_at = data_start
+        return done
+
+    def probe(self, line_addr: int, cycle: int) -> int:
+        """Latency estimate without reserving bank/bus resources.
+
+        Used by speculative helper engines (Branch Runahead's chain
+        engine) so their streams see realistic latency without being
+        able to congest the demand path unboundedly.
+        """
+        cfg = self.config
+        channel, bank_idx, row = self._map(line_addr)
+        bank = self._banks[bank_idx]
+        start = max(cycle + cfg.base_queue_delay, bank.ready_at)
+        if bank.open_row == row:
+            access = cfg.core_cycles(cfg.tcl)
+        else:
+            access = cfg.core_cycles(cfg.trp + cfg.trcd + cfg.tcl)
+        data_start = max(start + access, self._channel_bus_free[channel])
+        return data_start + cfg.core_cycles(cfg.burst_cycles)
+
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0

@@ -1,0 +1,165 @@
+"""Cache hierarchy timing model: L1I + L1D + shared LLC + DRAM + MSHRs.
+
+Latencies follow the paper's Table I: 4-cycle L1s, 18-cycle LLC, DDR4
+beyond.  The hierarchy answers *when* an access completes; data values
+come from the functional memory image.
+
+Simplifications (documented deliberately):
+
+* Lines are installed in the tag arrays at request time while the
+  *timing* of the fill is reported by the returned ready cycle (MSHR
+  merging returns the in-flight completion for the same line).  This
+  avoids a separate fill pipeline while keeping same-line timing exact.
+* Stores update the L1D at retirement without stalling retirement
+  (write-allocate, infinite write buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import Cache, line_address
+from .dram import DramConfig, DramModel
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Geometry and latency of the cache hierarchy (paper Table I)."""
+
+    l1i_size: int = 32 * 1024
+    l1i_ways: int = 8
+    l1i_latency: int = 4
+    l1d_size: int = 48 * 1024
+    l1d_ways: int = 12
+    l1d_latency: int = 4
+    llc_size: int = 1024 * 1024
+    llc_ways: int = 16
+    llc_latency: int = 18
+    mshr_entries: int = 32
+    # Next-line instruction prefetch reach: must cover DRAM latency at
+    # the frontend's consumption rate (~2 lines / 8 cycles) to stream
+    # cold code, as real sequential I-prefetchers do.
+    ifetch_prefetch_depth: int = 12
+    dram: DramConfig = field(default_factory=DramConfig)
+
+
+class MemoryHierarchy:
+    """Shared timing model for instruction and data accesses."""
+
+    def __init__(self, config: MemoryConfig | None = None):
+        self.config = config or MemoryConfig()
+        cfg = self.config
+        self.l1i = Cache("l1i", cfg.l1i_size, cfg.l1i_ways)
+        self.l1d = Cache("l1d", cfg.l1d_size, cfg.l1d_ways)
+        self.llc = Cache("llc", cfg.llc_size, cfg.llc_ways)
+        self.dram = DramModel(cfg.dram)
+        # In-flight misses: line address -> completion cycle.
+        self._mshrs: dict[int, int] = {}
+        self.mshr_full_events = 0
+        self.demand_loads = 0
+        self.loads_to_dram = 0
+
+    # ------------------------------------------------------------------
+    def _purge_mshrs(self, cycle: int) -> None:
+        if not self._mshrs:
+            return
+        done = [line for line, ready in self._mshrs.items() if ready <= cycle]
+        for line in done:
+            del self._mshrs[line]
+
+    def mshr_occupancy(self, cycle: int) -> int:
+        self._purge_mshrs(cycle)
+        return len(self._mshrs)
+
+    def _miss_to_llc(self, line: int, cycle: int, l1_latency: int) -> int:
+        """Handle an L1 miss: probe LLC, then DRAM; returns ready cycle."""
+        cfg = self.config
+        if self.llc.access(line):
+            return cycle + l1_latency + cfg.llc_latency
+        self.llc.fill(line)
+        dram_done = self.dram.request(line, cycle + l1_latency + cfg.llc_latency)
+        return dram_done
+
+    # ------------------------------------------------------------------
+    def access_ifetch(self, addr: int, cycle: int) -> int:
+        """Instruction fetch of the line containing ``addr``.
+
+        Instruction fetches always get service (no MSHR back-pressure on
+        the frontend); returns the cycle the line is available.
+        """
+        cfg = self.config
+        line = line_address(addr)
+        ready = self._demand_ifetch(line, cycle)
+        # Next-line prefetcher: real decoupled frontends stream
+        # sequential lines; without this every cold 64B of code would
+        # pay a serial DRAM round-trip.
+        for ahead in range(1, cfg.ifetch_prefetch_depth + 1):
+            next_line = line + ahead * 64
+            if next_line not in self._mshrs and not self.l1i.lookup(next_line):
+                self.l1i.fill(next_line)
+                self._mshrs[next_line] = self._miss_to_llc(
+                    next_line, cycle, cfg.l1i_latency
+                )
+        return ready
+
+    def _demand_ifetch(self, line: int, cycle: int) -> int:
+        cfg = self.config
+        in_flight = self._mshrs.get(line)
+        if in_flight is not None and in_flight > cycle:
+            return in_flight
+        if self.l1i.access(line):
+            return cycle + cfg.l1i_latency
+        self.l1i.fill(line)
+        ready = self._miss_to_llc(line, cycle, cfg.l1i_latency)
+        self._mshrs[line] = ready
+        return ready
+
+    def access_load(self, addr: int, cycle: int) -> int | None:
+        """Data load timing; ``None`` means MSHRs are full (retry later)."""
+        cfg = self.config
+        line = line_address(addr)
+        self.demand_loads += 1
+        # A line whose fill is still in flight must not appear as a
+        # full-speed hit: the MSHR merge check comes before the tag
+        # probe (the tag array is filled eagerly at request time).
+        self._purge_mshrs(cycle)
+        in_flight = self._mshrs.get(line)
+        if in_flight is not None:
+            return max(in_flight, cycle + cfg.l1d_latency)
+        if self.l1d.access(line):
+            return cycle + cfg.l1d_latency
+        if len(self._mshrs) >= cfg.mshr_entries:
+            self.mshr_full_events += 1
+            self.demand_loads -= 1
+            return None
+        self.l1d.fill(line)
+        llc_hit = self.llc.lookup(line)
+        ready = self._miss_to_llc(line, cycle, cfg.l1d_latency)
+        if not llc_hit:
+            self.loads_to_dram += 1
+        self._mshrs[line] = ready
+        return ready
+
+    def access_load_bypass_l1(self, addr: int, cycle: int) -> int:
+        """Load that does not allocate in the L1D (LLC only).
+
+        Used by the Branch Runahead chain engine: it has no L1 of its
+        own, and its speculative streams must not thrash the core's
+        L1D.  Still warms the LLC (the prefetch side-effect) and pays
+        DRAM latency on LLC misses.
+        """
+        cfg = self.config
+        line = line_address(addr)
+        if self.l1d.lookup(line):
+            return cycle + cfg.l1d_latency
+        if self.llc.access(line):
+            return cycle + cfg.l1d_latency + cfg.llc_latency
+        self.llc.fill(line)
+        return self.dram.probe(line, cycle + cfg.l1d_latency + cfg.llc_latency)
+
+    def access_store_retire(self, addr: int) -> None:
+        """Install the line written by a retiring store (no stall)."""
+        line = line_address(addr)
+        if not self.l1d.access(line):
+            self.l1d.fill(line)
+            self.llc.fill(line)

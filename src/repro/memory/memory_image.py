@@ -1,0 +1,63 @@
+"""Functional data memory for execution-driven simulation.
+
+The memory image holds the *architectural* memory state: 8-byte words
+addressed by byte address (aligned down to a word boundary).  Workload
+builders populate it with input data before simulation; the core writes
+it only when stores *retire*, so wrong-path and TEA-thread stores never
+corrupt it.  Loads of never-written words return 0 — wrong-path code
+must not crash the simulator.
+
+Values may be Python ints (wrapped to signed 64-bit by the ALU
+semantics) or floats (for ``fld``/``fst``).
+"""
+
+from __future__ import annotations
+
+WORD_BYTES = 8
+
+
+def align_word(addr: int) -> int:
+    """Align a byte address down to its containing 8-byte word."""
+    return addr & ~(WORD_BYTES - 1)
+
+
+class MemoryImage:
+    """Sparse word-addressable memory holding int/float values."""
+
+    def __init__(self, initial: dict[int, int | float] | None = None):
+        self._words: dict[int, int | float] = {}
+        if initial:
+            for addr, value in initial.items():
+                self.store(addr, value)
+
+    def load(self, addr: int) -> int | float:
+        """Read the word containing ``addr`` (0 if never written)."""
+        return self._words.get(align_word(addr), 0)
+
+    def store(self, addr: int, value: int | float) -> None:
+        """Write the word containing ``addr``."""
+        self._words[align_word(addr)] = value
+
+    def write_array(self, base: int, values) -> int:
+        """Store ``values`` as consecutive words starting at ``base``.
+
+        Returns the first byte address past the array, useful for
+        bump-allocating workload data regions.
+        """
+        addr = align_word(base)
+        for value in values:
+            self._words[addr] = value
+            addr += WORD_BYTES
+        return addr
+
+    def read_array(self, base: int, count: int) -> list[int | float]:
+        """Read ``count`` consecutive words starting at ``base``."""
+        addr = align_word(base)
+        return [self._words.get(addr + i * WORD_BYTES, 0) for i in range(count)]
+
+    def snapshot(self) -> dict[int, int | float]:
+        """A copy of all written words (for test assertions)."""
+        return dict(self._words)
+
+    def __len__(self) -> int:
+        return len(self._words)

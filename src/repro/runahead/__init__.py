@@ -1,0 +1,17 @@
+"""Branch Runahead: the prior state-of-the-art comparison baseline."""
+
+from .chains import ChainCaptureBuffer, ChainEntry, DependenceChainTable, RetiredUop
+from .config import RunaheadConfig
+from .controller import RunaheadController
+from .engine import ChainEngine, ChainRun
+
+__all__ = [
+    "ChainCaptureBuffer",
+    "ChainEntry",
+    "DependenceChainTable",
+    "RetiredUop",
+    "RunaheadConfig",
+    "RunaheadController",
+    "ChainEngine",
+    "ChainRun",
+]

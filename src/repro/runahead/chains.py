@@ -1,0 +1,265 @@
+"""Dependence-chain capture for Branch Runahead.
+
+A rolling post-retire buffer records retired uops.  When an H2P branch
+retires, a backward dataflow walk runs from that instance back to the
+*previous* dynamic instance of the same branch (the defining
+restriction of Branch Runahead: chains are confined to one loop
+iteration's worth of instructions).  The resulting static uop sequence
+is stored per branch PC together with a path signature; captures that
+keep producing the same signature mark the chain *stable* and enable
+it, while repeated signature changes (complex control flow) disable
+the branch entirely — reproducing BR's coverage collapse outside
+simple loops.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from ..isa import Instruction, REG_ZERO
+from ..memory.memory_image import align_word
+from .config import RunaheadConfig
+
+
+@dataclass(frozen=True)
+class RetiredUop:
+    """Minimal retired-uop record for the capture buffer."""
+
+    instr: Instruction
+    mem_addr: int | None
+
+
+@dataclass
+class ChainEntry:
+    """Per-branch-PC chain state in the Dependence Chain Table.
+
+    Captures are bucketed by *path signature* (the chain's static PC
+    sequence).  The majority signature provides the executable chain; a
+    minority path — e.g. the outer-loop boundary inside a nested loop —
+    only dilutes confidence, it never destroys the majority chain.
+    Branches without a dominant signature (complex control flow) never
+    enable, which is Branch Runahead's structural weakness (paper
+    Fig. 8).
+    """
+
+    branch_pc: int
+    sig_counts: dict = field(default_factory=dict)    # signature -> count
+    sig_chains: dict = field(default_factory=dict)    # signature -> chain
+    disabled: bool = False
+    override_correct: int = 0
+    override_wrong: int = 0
+    accuracy_strikes: int = 0
+    head_ok: int = 0
+    head_bad: int = 0
+
+    MAX_SIGNATURES = 4
+
+    @property
+    def total_captures(self) -> int:
+        return sum(self.sig_counts.values())
+
+    def majority(self) -> tuple[tuple[int, ...], int]:
+        """(signature, count) of the most frequent capture path."""
+        if not self.sig_counts:
+            return ((), 0)
+        sig = max(self.sig_counts, key=self.sig_counts.get)
+        return sig, self.sig_counts[sig]
+
+    @property
+    def chain(self) -> tuple[Instruction, ...]:
+        sig, count = self.majority()
+        return self.sig_chains.get(sig, ())
+
+    @property
+    def stable_count(self) -> int:
+        return self.majority()[1]
+
+    @property
+    def unstable_count(self) -> int:
+        sig, count = self.majority()
+        return self.total_captures - count
+
+    def observe(self, signature: tuple[int, ...], chain) -> None:
+        counts = self.sig_counts
+        if signature not in counts and len(counts) >= self.MAX_SIGNATURES:
+            victim = min(counts, key=counts.get)
+            del counts[victim]
+            self.sig_chains.pop(victim, None)
+        counts[signature] = counts.get(signature, 0) + 1
+        self.sig_chains[signature] = chain
+        # Decay keeps the majority adaptive across phase changes.
+        if self.total_captures >= 128:
+            for sig in list(counts):
+                counts[sig] >>= 1
+                if counts[sig] == 0:
+                    del counts[sig]
+                    self.sig_chains.pop(sig, None)
+
+    def record_override(self, correct: bool, config: RunaheadConfig) -> None:
+        """Accuracy gating: BR actively removes poorly-performing chains.
+
+        A bad accuracy window resets the chain (it must re-stabilize
+        before overriding again); repeated strikes disable the branch
+        for good.
+        """
+        if correct:
+            self.override_correct += 1
+        else:
+            self.override_wrong += 1
+        total = self.override_correct + self.override_wrong
+        if total >= config.accuracy_window:
+            accuracy = self.override_correct / total
+            if accuracy < config.accuracy_min:
+                self.accuracy_strikes += 1
+                # Force re-stabilization before overriding again.
+                self.sig_counts.clear()
+                self.sig_chains.clear()
+                if self.accuracy_strikes >= config.max_accuracy_strikes:
+                    self.disabled = True
+            self.override_correct = 0
+            self.override_wrong = 0
+
+    def record_head_check(self, correct: bool, config: RunaheadConfig) -> None:
+        """Gate on the engine's retire-time outcome validation.
+
+        A chain whose precomputed head keeps diverging from ground
+        truth (its context races architectural updates — heaps, graph
+        property arrays) causes restart storms; disable it.
+        """
+        if correct:
+            self.head_ok += 1
+        else:
+            self.head_bad += 1
+        total = self.head_ok + self.head_bad
+        if total >= config.accuracy_window:
+            if self.head_ok / total < config.head_accuracy_min:
+                self.accuracy_strikes += 1
+                self.sig_counts.clear()
+                self.sig_chains.clear()
+                if self.accuracy_strikes >= config.max_accuracy_strikes:
+                    self.disabled = True
+            self.head_ok = 0
+            self.head_bad = 0
+
+
+class ChainCaptureBuffer:
+    """Rolling buffer of retired uops (BR's post-retire buffer)."""
+
+    def __init__(self, config: RunaheadConfig | None = None):
+        self.config = config or RunaheadConfig()
+        self.entries: deque[RetiredUop] = deque(maxlen=self.config.retire_buffer_size)
+
+    def record(self, instr: Instruction, mem_addr: int | None) -> None:
+        self.entries.append(RetiredUop(instr, mem_addr))
+
+    def capture_chain(self, branch_pc: int) -> tuple[Instruction, ...] | None:
+        """Walk back from the newest instance of ``branch_pc``.
+
+        Returns the dependence chain (program order, branch last)
+        bounded by the previous instance of the same branch, or
+        ``None`` if no previous instance is in the buffer.
+        """
+        cfg = self.config
+        items = list(self.entries)
+        if not items or items[-1].instr.pc != branch_pc:
+            return None
+        # Find the previous instance.
+        prev_index = None
+        for i in range(len(items) - 2, -1, -1):
+            if items[i].instr.pc == branch_pc:
+                prev_index = i
+                break
+        if prev_index is None:
+            return None
+        window = items[prev_index + 1 : len(items)]
+        marked = self._walk(window)
+        chain = tuple(r.instr for r, m in zip(window, marked) if m)
+        if not chain or len(chain) > cfg.max_chain_uops:
+            return None
+        return chain
+
+    def _walk(self, window: list[RetiredUop]) -> list[bool]:
+        cfg = self.config
+        marked = [False] * len(window)
+        reg_sources = 0
+        mem_sources: OrderedDict[int, bool] = OrderedDict()
+
+        def mem_add(addr: int) -> None:
+            word = align_word(addr)
+            if word in mem_sources:
+                mem_sources.move_to_end(word)
+                return
+            if len(mem_sources) >= cfg.mem_source_entries:
+                mem_sources.popitem(last=False)
+            mem_sources[word] = True
+
+        for i in range(len(window) - 1, -1, -1):
+            record = window[i]
+            instr = record.instr
+            dst = instr.dst if instr.dst not in (None, REG_ZERO) else None
+            is_seed = i == len(window) - 1  # the H2P branch itself
+            writes_reg = dst is not None and (reg_sources >> dst) & 1
+            writes_mem = (
+                instr.is_store
+                and cfg.trace_memory
+                and record.mem_addr is not None
+                and align_word(record.mem_addr) in mem_sources
+            )
+            if not (is_seed or writes_reg or writes_mem):
+                continue
+            marked[i] = True
+            if dst is not None:
+                reg_sources &= ~(1 << dst)
+            if writes_mem:
+                mem_sources.pop(align_word(record.mem_addr), None)
+            for reg in instr.srcs:
+                if reg != REG_ZERO:
+                    reg_sources |= 1 << reg
+            if instr.is_load and cfg.trace_memory and record.mem_addr is not None:
+                mem_add(record.mem_addr)
+        return marked
+
+
+class DependenceChainTable:
+    """branch PC -> chain entry, with stability gating."""
+
+    def __init__(self, config: RunaheadConfig | None = None):
+        self.config = config or RunaheadConfig()
+        self.entries: dict[int, ChainEntry] = {}
+        self.captures = 0
+        self.unstable_events = 0
+
+    def get(self, branch_pc: int) -> ChainEntry | None:
+        return self.entries.get(branch_pc)
+
+    def is_enabled(self, branch_pc: int) -> bool:
+        """Confident, majority-stable, not accuracy-disabled.
+
+        The dominance requirement is the key control-flow gate: a
+        branch whose capture path keeps alternating (complex control
+        flow) never satisfies it — exactly Branch Runahead's weakness
+        the paper exploits in Fig. 8.
+        """
+        entry = self.entries.get(branch_pc)
+        if entry is None or entry.disabled:
+            return False
+        sig, count = entry.majority()
+        if count < self.config.stable_threshold:
+            return False
+        return count * 2 > entry.total_captures and bool(entry.sig_chains.get(sig))
+
+    def observe_capture(
+        self, branch_pc: int, chain: tuple[Instruction, ...]
+    ) -> ChainEntry:
+        """Record a freshly captured chain under its path signature."""
+        self.captures += 1
+        entry = self.entries.setdefault(branch_pc, ChainEntry(branch_pc))
+        if entry.disabled:
+            return entry
+        signature = tuple(instr.pc for instr in chain)
+        majority_before, _ = entry.majority()
+        entry.observe(signature, chain)
+        if majority_before and signature != majority_before:
+            self.unstable_events += 1
+        return entry

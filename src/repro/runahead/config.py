@@ -1,0 +1,43 @@
+"""Branch Runahead configuration (comparison baseline, paper §V-C).
+
+Branch Runahead (Pruett & Patt, MICRO 2021) captures the dependence
+chain between two consecutive dynamic instances of an H2P branch,
+executes it iteratively on a *dedicated* chain engine, and forwards
+precomputed directions through per-branch outcome queues that override
+the branch predictor at fetch time.  Its strengths and weaknesses in
+our model match the paper's characterization: chains confined to
+stable loop bodies are timely and accurate; unstable chains (complex
+control flow) are disabled, costing coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunaheadConfig:
+    """Chain capture + dedicated chain engine parameters."""
+
+    # H2P identification (same scheme as the TEA thread).
+    h2p_entries: int = 256
+    h2p_ways: int = 8
+    h2p_counter_max: int = 7
+    h2p_threshold: int = 1
+    h2p_decrement_period: int = 50_000
+    # Post-retire capture buffer and chain limits.
+    retire_buffer_size: int = 256
+    max_chain_uops: int = 64
+    trace_memory: bool = True
+    mem_source_entries: int = 16
+    # Chain stability / accuracy gating.
+    stable_threshold: int = 2       # identical captures before enabling
+    accuracy_window: int = 32
+    accuracy_min: float = 0.85
+    head_accuracy_min: float = 0.75
+    max_accuracy_strikes: int = 4
+    # Dedicated chain engine.
+    engine_width: int = 8           # uops started per cycle, all runs
+    engine_loads_per_cycle: int = 2  # cache-port budget for the engine
+    parallel_runs: int = 8          # concurrently executing chain runs
+    outcome_queue_capacity: int = 64

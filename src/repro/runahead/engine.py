@@ -1,0 +1,218 @@
+"""The dedicated dependence-chain execution engine of Branch Runahead.
+
+The real BR engine executes dependence chains as *dataflow*: successive
+iterations of a chain overlap, limited only by the loop-carried part of
+the chain (for an induction-driven branch, a 1-cycle ``addi``; for
+pointer chasing, a load).  We model this with a per-run *initiation
+interval* — the summed latency of the instructions feeding the
+loop-carried registers — and a per-iteration *completion latency* — the
+serial latency of the whole chain including measured cache latencies.
+Each launch functionally executes one chain iteration (contexts evolve
+sequentially, which is exact), and its branch outcome matures into the
+per-branch outcome queue after the completion latency.
+
+Loads go through the shared hierarchy, so chains prefetch and contend
+for MSHRs exactly as the paper's dedicated engine does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..isa import (
+    Instruction,
+    UopClass,
+    branch_taken,
+    compute_result,
+    effective_address,
+)
+from ..isa.registers import REG_ZERO
+from ..memory.memory_image import align_word
+from .config import RunaheadConfig
+
+_LOAD_ASSUMED_LATENCY = 4
+
+
+def loop_carried_interval(chain: tuple[Instruction, ...]) -> int:
+    """Initiation interval: latency of the loop-carried dataflow.
+
+    Loop-carried registers are chain live-ins that the chain itself
+    redefines (induction variables, chased pointers).  A backward walk
+    from those definitions sums the contributing latencies.
+    """
+    written = {i.dst for i in chain if i.dst is not None}
+    live_in: set[int] = set()
+    defined: set[int] = set()
+    for instr in chain:
+        for reg in instr.srcs:
+            if reg not in defined and reg != REG_ZERO:
+                live_in.add(reg)
+        if instr.dst is not None:
+            defined.add(instr.dst)
+    carried = live_in & written
+    if not carried:
+        return 1
+    sources = set(carried)
+    latency = 0
+    for instr in reversed(chain):
+        if instr.dst is not None and instr.dst in sources:
+            sources.discard(instr.dst)
+            sources.update(r for r in instr.srcs if r != REG_ZERO)
+            latency += _LOAD_ASSUMED_LATENCY if instr.is_load else instr.latency
+    return max(1, latency)
+
+
+@dataclass
+class ChainRun:
+    """One branch's pipelined chain execution state."""
+
+    branch_pc: int
+    chain: tuple[Instruction, ...]
+    regs: list
+    interval: int
+    next_launch_cycle: int = 0
+    last_delivery_cycle: int = 0
+    iterations: int = 0
+    scratch: dict = field(default_factory=dict)   # chain-local store data
+    pending: deque = field(default_factory=deque)  # (deliver_cycle, outcome)
+
+
+class ChainEngine:
+    """Dedicated execution engine + per-branch outcome queues."""
+
+    def __init__(self, config: RunaheadConfig, hierarchy, memory):
+        self.config = config
+        self.hierarchy = hierarchy
+        self.memory = memory
+        self.runs: dict[int, ChainRun] = {}
+        self.outcomes: dict[int, deque[bool]] = {}
+        self.uops_executed = 0
+        self.iterations_completed = 0
+        self._rotate = 0  # fair launch order across runs
+
+    # ------------------------------------------------------------------
+    def start_run(
+        self, branch_pc: int, chain: tuple[Instruction, ...], committed_regs
+    ) -> None:
+        """(Re)start iterative execution for a branch from retired state."""
+        if branch_pc in self.runs:
+            return  # already running ahead for this branch
+        if len(self.runs) >= self.config.parallel_runs:
+            return
+        self.runs[branch_pc] = ChainRun(
+            branch_pc=branch_pc,
+            chain=chain,
+            regs=list(committed_regs),
+            interval=loop_carried_interval(chain),
+        )
+        self.outcomes.setdefault(branch_pc, deque())
+
+    def outcome_at(self, branch_pc: int, index: int) -> bool | None:
+        """Predicted direction for the instance ``index`` positions
+        past the last retired instance (0 = next to retire)."""
+        queue = self.outcomes.get(branch_pc)
+        if queue is not None and index < len(queue):
+            return queue[index]
+        return None
+
+    def pop_retired(self, branch_pc: int) -> bool | None:
+        """Consume the head outcome as one instance retires."""
+        queue = self.outcomes.get(branch_pc)
+        if queue:
+            return queue.popleft()
+        return None
+
+    def queue_depth(self, branch_pc: int) -> int:
+        queue = self.outcomes.get(branch_pc)
+        return len(queue) if queue else 0
+
+    def clear(self) -> None:
+        self.runs.clear()
+        self.outcomes.clear()
+
+    def drop_branch(self, branch_pc: int) -> None:
+        self.runs.pop(branch_pc, None)
+        self.outcomes.pop(branch_pc, None)
+
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Deliver matured outcomes and launch new chain iterations.
+
+        The launch order rotates across runs each cycle so a long
+        chain sharing the engine with short ones still gets launch
+        slots; a launch may overdraw the remaining width once (chains
+        longer than the engine width still execute, just not every
+        cycle).
+        """
+        budget = self.config.engine_width
+        load_budget = self.config.engine_loads_per_cycle
+        runs = list(self.runs.values())
+        if not runs:
+            return
+        self._rotate = (self._rotate + 1) % len(runs)
+        ordered = runs[self._rotate:] + runs[: self._rotate]
+        for run in ordered:
+            queue = self.outcomes.setdefault(run.branch_pc, deque())
+            while run.pending and run.pending[0][0] <= cycle:
+                queue.append(run.pending.popleft()[1])
+            if budget <= 0:
+                continue
+            loads_in_chain = sum(1 for i in run.chain if i.is_load)
+            if loads_in_chain > load_budget:
+                if load_budget <= 0:
+                    continue
+                # Long chains still launch, just not every cycle.
+            if cycle < run.next_launch_cycle:
+                continue
+            if len(queue) + len(run.pending) >= self.config.outcome_queue_capacity:
+                continue
+            outcome, latency = self._execute_iteration(run, cycle)
+            deliver = max(cycle + latency, run.last_delivery_cycle + 1)
+            run.last_delivery_cycle = deliver
+            run.pending.append((deliver, outcome))
+            run.next_launch_cycle = cycle + run.interval
+            run.iterations += 1
+            self.iterations_completed += 1
+            budget -= len(run.chain)
+            load_budget -= loads_in_chain
+
+    def _execute_iteration(self, run: ChainRun, cycle: int) -> tuple[bool, int]:
+        """Functionally execute one chain iteration; returns
+        (branch outcome, serial completion latency)."""
+        regs = run.regs
+        latency = 0
+        outcome = False
+        for instr in run.chain:
+            values = tuple(regs[r] for r in instr.srcs)
+            cls = instr.uop_class
+            self.uops_executed += 1
+            if cls is UopClass.LOAD:
+                addr = effective_address(instr, values)
+                ready = self.hierarchy.access_load_bypass_l1(addr, cycle)
+                latency += max(1, ready - cycle)
+                word = align_word(addr)
+                value = run.scratch.get(word)
+                if value is None:
+                    value = self.memory.load(addr)
+                if instr.dst is not None:
+                    regs[instr.dst] = value
+            elif cls is UopClass.STORE:
+                addr = effective_address(instr, values)
+                run.scratch[align_word(addr)] = values[0]
+                latency += 1
+            elif instr.is_branch:
+                if cls is UopClass.BR_COND and instr.pc == run.branch_pc:
+                    outcome = branch_taken(instr, values)
+                result = compute_result(instr, values)
+                if instr.dst is not None and result is not None:
+                    regs[instr.dst] = result
+                latency += 1
+            else:
+                result = compute_result(instr, values)
+                if instr.dst is not None and result is not None:
+                    regs[instr.dst] = result
+                latency += instr.latency
+            if regs[REG_ZERO] != 0:
+                regs[REG_ZERO] = 0
+        return outcome, latency

@@ -1,0 +1,111 @@
+"""Block Cache: per-basic-block dependence-chain bit-masks (§IV-C).
+
+Each entry is tagged by a basic block's start PC and holds a bit-mask
+over the block's instructions (bit set = instruction is in some H2P
+dependence chain).  Storage is counted in 8-uop data entries: a block
+whose mask selects ``k`` uops costs ``ceil(k/8)`` entries out of 512.
+Blocks whose mask is empty live in a separate 256-entry tag-only store
+(the paper's optimization for perlbench/gcc/omnetpp/deepsjeng/leela):
+an empty hit tells the TEA thread to keep going, costing no data
+storage.
+
+With the masks feature on, a new mask ORs into the existing one
+(combining chains across control flows, §III-E); with it off the new
+mask replaces the old (the "no masks" ablation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .config import TeaConfig
+
+
+class BlockCache:
+    """Mask store with LRU eviction in data-entry units."""
+
+    def __init__(self, config: TeaConfig | None = None):
+        self.config = config or TeaConfig()
+        # bb_start -> mask (non-empty); OrderedDict order is LRU.
+        self._main: OrderedDict[int, int] = OrderedDict()
+        self._main_cost = 0
+        # bb_start -> True for empty-mask blocks.
+        self._empty: OrderedDict[int, bool] = OrderedDict()
+        self.hits = 0
+        self.empty_hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.mask_resets = 0
+
+    # ------------------------------------------------------------------
+    def _cost(self, mask: int) -> int:
+        uops = bin(mask).count("1")
+        return max(1, -(-uops // self.config.uops_per_entry))
+
+    def lookup(self, bb_start: int) -> int | None:
+        """Mask for a block: ``None`` = miss, ``0`` = empty-tag hit."""
+        mask = self._main.get(bb_start)
+        if mask is not None:
+            self._main.move_to_end(bb_start)
+            self.hits += 1
+            return mask
+        if bb_start in self._empty:
+            self._empty.move_to_end(bb_start)
+            self.empty_hits += 1
+            return 0
+        self.misses += 1
+        return None
+
+    def peek(self, bb_start: int) -> int | None:
+        """Lookup without LRU/stat side effects (used by tests)."""
+        mask = self._main.get(bb_start)
+        if mask is not None:
+            return mask
+        return 0 if bb_start in self._empty else None
+
+    # ------------------------------------------------------------------
+    def insert(self, bb_start: int, mask: int) -> None:
+        """Install/merge the mask for a basic block."""
+        self.insertions += 1
+        existing = self._main.pop(bb_start, None)
+        if existing is not None:
+            self._main_cost -= self._cost(existing)
+        else:
+            self._empty.pop(bb_start, None)
+        if self.config.use_masks and existing is not None:
+            mask |= existing
+        if mask == 0:
+            self._empty[bb_start] = True
+            while len(self._empty) > self.config.empty_tag_entries:
+                self._empty.popitem(last=False)
+                self.evictions += 1
+            return
+        self._main[bb_start] = mask
+        self._main_cost += self._cost(mask)
+        while self._main_cost > self.config.block_cache_entries and self._main:
+            _, victim_mask = self._main.popitem(last=False)
+            self._main_cost -= self._cost(victim_mask)
+            self.evictions += 1
+
+    def reset_masks(self) -> None:
+        """Periodic phase-change reset (paper: every 500k instrs).
+
+        Drops all entries; chains are quickly re-learned by subsequent
+        Backward Dataflow Walks.  (The paper resets the bit-masks; we
+        drop the tags too, which converges to the same state after one
+        walk and avoids tracking stale tag-only entries.)
+        """
+        self._main.clear()
+        self._empty.clear()
+        self._main_cost = 0
+        self.mask_resets += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> tuple[int, int]:
+        """(data-entry cost used, empty-tag entries used)."""
+        return self._main_cost, len(self._empty)
+
+    def __len__(self) -> int:
+        return len(self._main) + len(self._empty)

@@ -1,0 +1,81 @@
+"""TEA thread configuration (paper Table II + §III feature knobs).
+
+The feature flags map one-to-one to the ablation configurations of the
+paper's Fig. 10:
+
+* ``trace_memory``  — "no mem" when False (§III-D);
+* ``use_masks``     — "no masks" when False: Block Cache entries are
+  overwritten instead of OR-combined and Backward Dataflow Walks may
+  only start at H2P branches (§III-C/E);
+* ``only_loops``    — chains recorded only between two consecutive
+  instances of an H2P branch (§V-E);
+* ``early_resolution`` — False gives the prefetch-only mode of §V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TeaConfig:
+    """Structures and policies of the TEA thread."""
+
+    # Backend partition (paper §IV-E).
+    rs_entries: int = 192
+    physical_registers: int = 192
+    dedicated_engine: bool = False
+    dedicated_execution_units: int = 16
+    # Frontend.
+    frontend_delay: int = 9
+    fetch_width: int = 8
+    rename_pipe_capacity: int = 64
+    # H2P table (paper §IV-B).
+    h2p_entries: int = 256
+    h2p_ways: int = 8
+    h2p_counter_max: int = 7       # 3-bit counter
+    h2p_threshold: int = 1         # H2P when counter > threshold
+    h2p_decrement_period: int = 50_000
+    # Fill Buffer + Backward Dataflow Walk (paper §IV-C).
+    fill_buffer_size: int = 512
+    walk_cycles: int = 500
+    mem_source_entries: int = 16
+    # Block Cache (paper §IV-C).
+    block_cache_entries: int = 512
+    empty_tag_entries: int = 256
+    uops_per_entry: int = 8
+    mask_reset_period: int = 500_000
+    # Store data cache (paper §IV-E).
+    store_cache_halflines: int = 16
+    # Termination policy (paper §V-B).
+    max_late_resolutions: int = 4
+    # Thread-construction features (paper §III, ablated in Fig. 10).
+    trace_memory: bool = True
+    use_masks: bool = True
+    only_loops: bool = False
+    early_resolution: bool = True
+
+
+def tea_ablation(name: str) -> TeaConfig:
+    """Named ablation configs used by Fig. 10 experiments.
+
+    ``tea`` (all features), ``only_loops``, ``no_masks``, ``no_mem``,
+    and ``no_features`` (everything off, the paper's 39%-coverage
+    point).
+    """
+    base = TeaConfig()
+    variants = {
+        "tea": base,
+        "only_loops": replace(base, only_loops=True),
+        "no_masks": replace(base, use_masks=False),
+        "no_mem": replace(base, trace_memory=False),
+        "no_features": replace(
+            base, only_loops=True, use_masks=False, trace_memory=False
+        ),
+    }
+    try:
+        return variants[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ablation {name!r}; choose from {sorted(variants)}"
+        ) from None

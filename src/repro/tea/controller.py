@@ -1,0 +1,529 @@
+"""The TEA thread controller: construction, fetch, execution, flushes.
+
+This object plugs into the :class:`~repro.core.pipeline.Pipeline` via
+narrow hooks and implements the paper's mechanism end to end:
+
+* **Construction** (§III-A, §IV-C): retired uops sample into the Fill
+  Buffer; full buffers trigger a ~500-cycle Backward Dataflow Walk
+  whose marks are grouped into per-basic-block bit-masks and merged
+  into the Block Cache.
+* **Fetch** (§III-B, §IV-D): the shadow FTQ (same blocks, same
+  timestamps as the main thread) drives Block Cache lookups; chain
+  uops flow through a 9-cycle shadow frontend into a shadow RAT.
+* **Execution** (§IV-E): chain uops use the TEA RS/PRF partition with
+  issue priority; physical registers are freed by the valid-bit +
+  reference-counter scheme; stores go to the TEA store cache.
+* **Early flushes** (§IV-F): a resolved TEA branch updates the IFBQ
+  entry for its timestamp; a disagreement with the recorded prediction
+  triggers a misprediction flush through the existing flush datapath.
+* **Termination** (§IV-G): Block Cache misses drain the thread; RAT
+  poisoning preempts incorrect chains, blocking younger TEA flushes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.dynamic_uop import DynUop, UopState
+from ..core.rename import RegisterAliasTable, ZERO_PREG, rename_sources
+from ..isa import INSTRUCTION_BYTES, REG_ZERO, UopClass
+from ..isa.registers import NUM_ARCH_REGS
+from .block_cache import BlockCache
+from .config import TeaConfig
+from .fill_buffer import FillBuffer, FillEntry
+from .h2p_table import H2PTable
+from .store_cache import TeaStoreCache
+
+_REFCOUNT_MAX = 31  # 5-bit reference counter (paper §IV-E)
+
+
+class TeaController:
+    """Implements the TEA thread on top of a pipeline instance."""
+
+    def __init__(self, pipeline, config: TeaConfig | None = None):
+        self.p = pipeline
+        self.config = config or TeaConfig()
+        cfg = self.config
+        self.h2p = H2PTable(cfg)
+        self.fill_buffer = FillBuffer(cfg)
+        self.block_cache = BlockCache(cfg)
+        self.store_cache = TeaStoreCache(cfg)
+        self.shadow_rat = RegisterAliasTable()
+        # Thread state.
+        self.active = False
+        self.draining = False
+        # Initiation synchronization: the shadow RAT copy happens at
+        # the exact point the main thread has renamed everything older
+        # than the TEA thread's first uop (paper §IV-D: "before the
+        # first TEA thread instruction is renamed").
+        self.rat_synced = False
+        self.start_seq: int | None = None
+        self.rename_pipe: deque[DynUop] = deque()
+        self.live_uops: list[DynUop] = []
+        # In-flight TEA stores, for intra-thread store->load ordering:
+        # a TEA load waits for older TEA stores so chains that pass
+        # values through memory (§III-D: push/pop argument passing)
+        # read the store cache, not stale committed state.
+        self.pending_stores: list[DynUop] = []
+        self.chain_seqs: dict[int, bool] = {}
+        self.poison = [False] * NUM_ARCH_REGS
+        self.poison_block_seq: int | None = None
+        self.late_count = 0
+        # TEA preg bookkeeping: valid bit + 5-bit refcount per preg.
+        self._valid: dict[int, bool] = {}
+        self._refcount: dict[int, int] = {}
+        self._refcount_saturated: set[int] = set()
+        # Mid-block fetch cursor (a block's chain segment can exceed
+        # the 8-uop fetch width).
+        self._pending_block = None
+        self._pending_index = 0
+        # Deferred walk results: the walk occupies the state machine
+        # for ~walk_cycles; Block Cache updates land at completion.
+        self._walk_done_cycle = -1
+        self._pending_walk: tuple[list[FillEntry], list[bool], int] | None = None
+        self._retire_count = 0
+
+    # ==================================================================
+    # Retirement side: H2P training + Fill Buffer + periodic tasks
+    # ==================================================================
+    def on_retire(self, uop: DynUop) -> None:
+        cfg = self.config
+        self._retire_count += 1
+        instr = uop.instr
+        if instr.is_branch and uop.branch is not None and uop.branch.can_mispredict:
+            if uop.mispredicted:
+                self.h2p.record_mispredict(instr.pc)
+        if self._retire_count % cfg.h2p_decrement_period == 0:
+            self.h2p.periodic_decrement()
+        if self._retire_count % cfg.mask_reset_period == 0:
+            self.block_cache.reset_masks()
+        self._maybe_finish_walk()
+        if self.p.cycle < self._walk_done_cycle:
+            return  # retired uops during a walk are discarded (§IV-C)
+        if instr.uop_class in (UopClass.NOP, UopClass.HALT):
+            return
+        block = self.p.program.block_containing(instr.pc)
+        if block is None:
+            return
+        self.fill_buffer.insert(
+            FillEntry(
+                pc=instr.pc,
+                dst=instr.dst if instr.dst not in (None, REG_ZERO) else None,
+                srcs=instr.srcs,
+                is_load=instr.is_load,
+                is_store=instr.is_store,
+                mem_addr=uop.mem_addr,
+                is_h2p_branch=instr.is_branch and self.h2p.is_h2p(instr.pc),
+                chain_seed=uop.in_chain,
+                bb_start=block.start_pc,
+                bb_offset=(instr.pc - block.start_pc) // INSTRUCTION_BYTES,
+            )
+        )
+        if self.fill_buffer.full():
+            entries, result = self.fill_buffer.run_walk()
+            self._walk_done_cycle = self.p.cycle + cfg.walk_cycles
+            self._pending_walk = (entries, result.marked, result.stop_index)
+
+    def _maybe_finish_walk(self) -> None:
+        if self._pending_walk is None or self.p.cycle < self._walk_done_cycle:
+            return
+        entries, marked, stop_index = self._pending_walk
+        self._pending_walk = None
+        masks: dict[int, int] = {}
+        for i in range(stop_index, len(entries)):
+            entry = entries[i]
+            masks.setdefault(entry.bb_start, 0)
+            if marked[i]:
+                masks[entry.bb_start] |= 1 << entry.bb_offset
+        for bb_start, mask in masks.items():
+            self.block_cache.insert(bb_start, mask)
+
+    # ==================================================================
+    # Shadow fetch: shadow FTQ -> Block Cache -> rename pipe
+    # ==================================================================
+    def fetch(self) -> None:
+        self._maybe_finish_walk()
+        if self.draining:
+            self._check_drain_complete()
+            if self.draining:
+                self._discard_stale_blocks()
+                return
+        if len(self.rename_pipe) >= self.config.rename_pipe_capacity:
+            return
+        if self.active:
+            self._fetch_active()
+        else:
+            self._scan_for_initiation()
+
+    def _discard_stale_blocks(self) -> None:
+        """While not fetching, keep the shadow FTQ from backing up."""
+        shadow = self.p.frontend.shadow_ftq
+        while shadow and shadow[0].last_seq <= self.p.last_renamed_seq:
+            shadow.popleft()
+
+    def _scan_for_initiation(self) -> None:
+        """Inactive: look for a Block Cache hit ahead of main rename."""
+        shadow = self.p.frontend.shadow_ftq
+        self._discard_stale_blocks()
+        scanned = 0
+        while shadow and scanned < 8:
+            block = shadow[0]
+            if not block.uops:
+                shadow.popleft()
+                continue
+            if block.first_seq <= self.p.last_renamed_seq:
+                shadow.popleft()
+                continue
+            if self._block_has_chain_uops(block):
+                self._initiate(block.first_seq)
+                self._fetch_active()
+                return
+            shadow.popleft()
+            scanned += 1
+
+    def _block_has_chain_uops(self, block) -> bool:
+        for bb_start in self._block_bb_starts(block):
+            mask = self.block_cache.peek(bb_start)
+            if mask:
+                return True
+        return False
+
+    def _block_bb_starts(self, block) -> list[int]:
+        starts = []
+        last = None
+        by_pc = self.p.program._block_start_by_pc
+        for fuop in block.uops:
+            start = by_pc.get(fuop.instr.pc)
+            if start is not None and start != last:
+                starts.append(start)
+                last = start
+        return starts
+
+    def _initiate(self, start_seq: int) -> None:
+        """Start the TEA thread; the RAT copy waits for rename sync.
+
+        Fetch begins immediately (the shadow frontend buffers chain
+        uops), but renaming is held until the main thread has renamed
+        exactly the uops older than ``start_seq`` — at that instant the
+        main RAT is copied into the shadow RAT, so both threads start
+        from an identical register view and the poison bits cover all
+        later divergence.
+        """
+        self.poison = [False] * NUM_ARCH_REGS
+        self.poison_block_seq = None
+        self.late_count = 0
+        self._reset_tea_pregs()
+        self.store_cache.clear()
+        self.active = True
+        self.start_seq = start_seq
+        if self.p.last_renamed_seq == start_seq - 1:
+            self.shadow_rat.copy_from(self.p.rat)
+            self.rat_synced = True
+        else:
+            self.rat_synced = False
+        self.p.stats.tea_initiations += 1
+
+    def _fetch_active(self) -> None:
+        """Fetch up to ``fetch_width`` chain uops from one block."""
+        budget = self.config.fetch_width
+        if self._pending_block is not None:
+            budget = self._fetch_from_block(self._pending_block, budget)
+            if self._pending_block is not None or budget <= 0:
+                return
+        shadow = self.p.frontend.shadow_ftq
+        if not shadow:
+            return
+        block = shadow.popleft()
+        # Per-basic-block Block Cache lookups; a miss terminates.
+        for bb_start in self._block_bb_starts(block):
+            if self.block_cache.lookup(bb_start) is None:
+                self._terminate(drain=True)
+                return
+        self._pending_block = block
+        self._pending_index = 0
+        self._fetch_from_block(block, budget)
+
+    def _fetch_from_block(self, block, budget: int) -> int:
+        by_pc = self.p.program._block_start_by_pc
+        uops = block.uops
+        while self._pending_index < len(uops) and budget > 0:
+            fuop = uops[self._pending_index]
+            bb_start = by_pc.get(fuop.instr.pc)
+            if bb_start is None:
+                self._pending_index += 1
+                continue
+            mask = self.block_cache.peek(bb_start) or 0
+            offset = (fuop.instr.pc - bb_start) // INSTRUCTION_BYTES
+            if (mask >> offset) & 1:
+                dyn = DynUop(fuop.seq, fuop.instr, fuop.branch, is_tea=True)
+                dyn.fetch_cycle = self.p.cycle
+                dyn.rename_ready_cycle = self.p.cycle + self.config.frontend_delay
+                dyn.in_chain = True
+                self.rename_pipe.append(dyn)
+                self.chain_seqs[fuop.seq] = True
+                self.p.stats.tea_fetched_uops += 1
+                budget -= 1
+            self._pending_index += 1
+        if self._pending_index >= len(uops):
+            self._pending_block = None
+            self._pending_index = 0
+        return budget
+
+    # ==================================================================
+    # Shadow rename (issue priority: runs before main rename)
+    # ==================================================================
+    def rename_first(self, width: int) -> int:
+        """Rename TEA uops; returns issue slots left for the main thread.
+
+        With a dedicated execution engine the TEA thread has its own
+        rename/issue bandwidth and the main thread keeps full width.
+        """
+        budget = self.config.fetch_width if self.config.dedicated_engine else width
+        used = 0
+        while budget > 0 and self.rename_pipe:
+            uop = self.rename_pipe[0]
+            if uop.rename_ready_cycle > self.p.cycle:
+                break
+            if not self._try_rename_tea(uop):
+                break
+            self.rename_pipe.popleft()
+            budget -= 1
+            used += 1
+        if self.config.dedicated_engine:
+            return width
+        return width - used
+
+    def _try_rename_tea(self, uop: DynUop) -> bool:
+        if not self.rat_synced:
+            return False
+        sched = self.p.scheduler
+        if not sched.tea_has_space():
+            return False
+        instr = uop.instr
+        dst = instr.dst if instr.dst not in (None, REG_ZERO) else None
+        preg = None
+        if dst is not None:
+            preg = self.p.prf.allocate(tea=True)
+            if preg is None:
+                return False
+        uop.src_pregs = rename_sources(self.shadow_rat, instr.srcs)
+        for src in uop.src_pregs:
+            self._add_reference(src)
+        if dst is not None:
+            uop.dst_preg = preg
+            self._valid[preg] = True
+            self._refcount.setdefault(preg, 0)
+            old = self.shadow_rat.set(dst, preg)
+            self._release_mapping(old)
+        uop.state = UopState.RENAMED
+        uop.rename_cycle = self.p.cycle
+        sched.insert(uop)
+        self.live_uops.append(uop)
+        if instr.is_store:
+            self.pending_stores.append(uop)
+        return True
+
+    def load_ordered(self, uop: DynUop) -> bool:
+        """May this TEA load issue? (all older TEA stores executed)"""
+        for store in self.pending_stores:
+            if store.seq < uop.seq and store.state is UopState.RENAMED:
+                return False
+        return True
+
+    # -- physical register reference counting --------------------------
+    def _is_tea_preg(self, preg: int) -> bool:
+        return preg != ZERO_PREG and self.p.prf.is_tea_preg(preg)
+
+    def _add_reference(self, preg: int) -> None:
+        if not self._is_tea_preg(preg):
+            return
+        count = self._refcount.get(preg, 0)
+        if count >= _REFCOUNT_MAX:
+            # 5-bit counter saturates; the preg is pinned until the
+            # thread resets (safe side of the paper's rare overflow).
+            self._refcount_saturated.add(preg)
+            return
+        self._refcount[preg] = count + 1
+
+    def on_operands_read(self, uop: DynUop) -> None:
+        """Called when a TEA uop reads its sources (enter execution)."""
+        for preg in uop.src_pregs:
+            if not self._is_tea_preg(preg):
+                continue
+            if preg in self._refcount_saturated:
+                continue
+            count = self._refcount.get(preg, 0)
+            if count > 0:
+                self._refcount[preg] = count - 1
+                if count - 1 == 0 and not self._valid.get(preg, True):
+                    self._free_tea_preg(preg)
+
+    def _release_mapping(self, old_preg: int) -> None:
+        """A shadow-RAT mapping was overwritten; maybe free the preg."""
+        if not self._is_tea_preg(old_preg):
+            return
+        self._valid[old_preg] = False
+        if (
+            self._refcount.get(old_preg, 0) == 0
+            and old_preg not in self._refcount_saturated
+        ):
+            self._free_tea_preg(old_preg)
+
+    def _free_tea_preg(self, preg: int) -> None:
+        self._valid.pop(preg, None)
+        self._refcount.pop(preg, None)
+        self.p.prf.free(preg)
+
+    def _reset_tea_pregs(self) -> None:
+        prf = self.p.prf
+        total = 1 + prf.main_size + prf.tea_size
+        prf.tea_free = deque(range(1 + prf.main_size, total))
+        self._valid.clear()
+        self._refcount.clear()
+        self._refcount_saturated.clear()
+
+    # ==================================================================
+    # Main-thread rename hook: bit-mask tagging + RAT poisoning
+    # ==================================================================
+    def is_chain_seq(self, seq: int) -> bool:
+        return seq in self.chain_seqs
+
+    def on_main_rename(self, uop: DynUop) -> None:
+        self.chain_seqs.pop(uop.seq, None)
+        if not (self.active or self.draining):
+            return
+        if self.active and not self.rat_synced:
+            # Sequence numbers can have gaps (squashed uops never
+            # rename), so sync on the first rename at or past the
+            # boundary.  If that uop already belongs to the TEA region
+            # (seq >= start_seq) its own destination write must be
+            # excluded from the copy: the TEA thread re-executes it.
+            if self.start_seq is None or uop.seq < self.start_seq - 1:
+                return
+            self.shadow_rat.copy_from(self.p.rat)
+            if uop.seq >= self.start_seq and uop.old_dst_preg is not None:
+                undo_dst = uop.instr.dst
+                if undo_dst not in (None, REG_ZERO):
+                    self.shadow_rat.set(undo_dst, uop.old_dst_preg)
+            self.rat_synced = True
+            if uop.seq < self.start_seq:
+                return
+            # Fall through: this uop is in the TEA region, apply the
+            # poison bookkeeping to it as well.
+        instr = uop.instr
+        dst = instr.dst if instr.dst not in (None, REG_ZERO) else None
+        if uop.in_chain:
+            for reg in instr.srcs:
+                if reg != REG_ZERO and self.poison[reg]:
+                    self._poison_violation(uop.seq)
+                    break
+            if dst is not None:
+                self.poison[dst] = False
+        else:
+            if dst is not None:
+                self.poison[dst] = True
+
+    def _poison_violation(self, seq: int) -> None:
+        """A chain uop consumed a non-chain value: preempt the thread."""
+        self.p.stats.tea_poison_terminations += 1
+        if self.poison_block_seq is None or seq < self.poison_block_seq:
+            self.poison_block_seq = seq
+        self._terminate(drain=True)
+
+    # ==================================================================
+    # TEA execution callbacks
+    # ==================================================================
+    def load_value(self, addr: int):
+        """TEA loads see the TEA store cache, then committed memory."""
+        value = self.store_cache.load(addr)
+        if value is not None:
+            return value
+        return self.p.memory.load(addr)
+
+    def store_to_cache(self, uop: DynUop) -> None:
+        self.store_cache.store(uop.mem_addr, uop.store_value)
+
+    def on_tea_branch_resolved(self, uop: DynUop) -> None:
+        """A TEA copy of an H2P branch finished execution (§IV-F)."""
+        stats = self.p.stats
+        stats.tea_resolved_branches += 1
+        entry = self.p.ifbq.get(uop.seq)
+        if entry is None or entry.main_resolved:
+            # Late precomputation: the main branch got there first.
+            self.late_count += 1
+            if self.late_count > self.config.max_late_resolutions:
+                self._terminate(drain=True)
+            return
+        entry.tea_resolved = True
+        entry.tea_taken = uop.br_taken
+        entry.tea_target = uop.br_target
+        entry.tea_resolve_cycle = self.p.cycle
+        if not self.config.early_resolution:
+            return  # prefetch-only mode (§V-B)
+        if self.poison_block_seq is not None and uop.seq > self.poison_block_seq:
+            entry.tea_blocked = True
+            stats.tea_blocked_flushes += 1
+            return
+        info = entry.branch
+        disagrees = uop.br_taken != info.predicted_taken or (
+            uop.br_taken and uop.br_target != info.predicted_target
+        )
+        if disagrees:
+            entry.tea_flush_issued = True
+            stats.early_flushes += 1
+            self.p.flush_at_branch(info, uop.br_taken, uop.br_target)
+
+    def on_tea_uop_done(self, uop: DynUop) -> None:
+        if uop in self.live_uops:
+            self.live_uops.remove(uop)
+        if uop.instr.is_store and uop in self.pending_stores:
+            self.pending_stores.remove(uop)
+        self._check_drain_complete()
+
+    # ==================================================================
+    # Termination and flush recovery
+    # ==================================================================
+    def _terminate(self, drain: bool) -> None:
+        """Stop fetching; in-flight uops drain out (§IV-G)."""
+        if self.active:
+            self.p.stats.tea_terminations += 1
+        self.active = False
+        self._pending_block = None
+        self._pending_index = 0
+        if drain and (self.live_uops or self.rename_pipe):
+            # Uops still in the shadow frontend never issue; discard.
+            self.rename_pipe.clear()
+            self.draining = True
+        else:
+            self._finish_drain()
+
+    def _check_drain_complete(self) -> None:
+        if self.draining and not self.live_uops:
+            self._finish_drain()
+
+    def _finish_drain(self) -> None:
+        self.draining = False
+        self.poison_block_seq = None
+        self.pending_stores.clear()
+        self._reset_tea_pregs()
+        self.store_cache.clear()
+
+    def on_flush(self, seq: int) -> None:
+        """Any pipeline flush resets the TEA thread (resynchronized)."""
+        for uop in self.live_uops:
+            uop.state = UopState.SQUASHED
+        self.live_uops.clear()
+        self.pending_stores.clear()
+        self.rename_pipe.clear()
+        self.p.scheduler.clear_tea()
+        self.active = False
+        self.draining = False
+        self.rat_synced = False
+        self.start_seq = None
+        self._pending_block = None
+        self._pending_index = 0
+        self.poison_block_seq = None
+        self._reset_tea_pregs()
+        self.store_cache.clear()
+        # Chain-seq tags younger than the flush are stale.
+        self.chain_seqs = {s: True for s in self.chain_seqs if s <= seq}

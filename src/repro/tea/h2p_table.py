@@ -1,0 +1,80 @@
+"""H2P branch identification table (paper §IV-B).
+
+An 8-way set-associative table of 3-bit saturating misprediction
+counters indexed by branch PC.  An entry is created at counter value 1
+when a branch mispredicts; the counter increments on every further
+misprediction.  A branch is H2P while its counter exceeds the
+threshold.  Every 50k retired instructions all counters decrement by
+one, so branches below ~0.02 MPKI decay out; zero-counter entries are
+preferred victims.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .config import TeaConfig
+
+
+class H2PTable:
+    """Per-branch misprediction counters with periodic decay."""
+
+    def __init__(self, config: TeaConfig | None = None):
+        self.config = config or TeaConfig()
+        cfg = self.config
+        self.num_sets = max(1, cfg.h2p_entries // cfg.h2p_ways)
+        # Sets keyed by pc; OrderedDict order is LRU (oldest first).
+        self._sets: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.insertions = 0
+        self.evictions = 0
+
+    def _set_for(self, pc: int) -> OrderedDict[int, int]:
+        return self._sets[(pc >> 2) % self.num_sets]
+
+    def record_mispredict(self, pc: int) -> None:
+        """Train on a retired misprediction of the branch at ``pc``."""
+        cset = self._set_for(pc)
+        if pc in cset:
+            cset[pc] = min(cset[pc] + 1, self.config.h2p_counter_max)
+            cset.move_to_end(pc)
+            return
+        if len(cset) >= self.config.h2p_ways:
+            self._evict(cset)
+        cset[pc] = 1
+        self.insertions += 1
+
+    def _evict(self, cset: OrderedDict[int, int]) -> None:
+        # Prefer a zero-counter victim; otherwise LRU.
+        for pc, counter in cset.items():
+            if counter == 0:
+                del cset[pc]
+                self.evictions += 1
+                return
+        cset.popitem(last=False)
+        self.evictions += 1
+
+    def is_h2p(self, pc: int) -> bool:
+        """True when the branch is currently classified hard-to-predict."""
+        counter = self._set_for(pc).get(pc)
+        return counter is not None and counter > self.config.h2p_threshold
+
+    def counter(self, pc: int) -> int:
+        return self._set_for(pc).get(pc, 0)
+
+    def periodic_decrement(self) -> None:
+        """Decay pass run every ``h2p_decrement_period`` instructions."""
+        for cset in self._sets:
+            for pc in list(cset):
+                if cset[pc] > 0:
+                    cset[pc] -= 1
+
+    def h2p_pcs(self) -> set[int]:
+        """All PCs currently classified as H2P (telemetry/tests)."""
+        return {
+            pc
+            for cset in self._sets
+            for pc, counter in cset.items()
+            if counter > self.config.h2p_threshold
+        }

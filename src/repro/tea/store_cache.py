@@ -1,0 +1,60 @@
+"""TEA store data cache (paper §IV-E).
+
+TEA-thread stores must not touch architectural memory; they write into
+a tiny buffer holding the last 16 half-lines (32 bytes) written by TEA
+stores.  TEA loads consult this buffer before committed memory, giving
+the thread store-to-load visibility within its own speculative stream.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..memory.memory_image import align_word
+from .config import TeaConfig
+
+HALF_LINE_BYTES = 32
+
+
+def _half_line(addr: int) -> int:
+    return addr & ~(HALF_LINE_BYTES - 1)
+
+
+class TeaStoreCache:
+    """FIFO cache of half-lines written by TEA stores."""
+
+    def __init__(self, config: TeaConfig | None = None):
+        self.config = config or TeaConfig()
+        # half-line base -> {word address -> value}
+        self._lines: OrderedDict[int, dict[int, int | float]] = OrderedDict()
+        self.stores = 0
+        self.load_hits = 0
+        self.evictions = 0
+
+    def store(self, addr: int, value: int | float) -> None:
+        base = _half_line(addr)
+        line = self._lines.get(base)
+        if line is None:
+            if len(self._lines) >= self.config.store_cache_halflines:
+                self._lines.popitem(last=False)
+                self.evictions += 1
+            line = {}
+            self._lines[base] = line
+        line[align_word(addr)] = value
+        self.stores += 1
+
+    def load(self, addr: int) -> int | float | None:
+        """Value previously stored by the TEA thread, else ``None``."""
+        line = self._lines.get(_half_line(addr))
+        if line is None:
+            return None
+        value = line.get(align_word(addr))
+        if value is not None:
+            self.load_hits += 1
+        return value
+
+    def clear(self) -> None:
+        self._lines.clear()
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,43 @@
+"""Workloads: GAP kernels and SPEC CPU2017 proxies in the micro-ISA."""
+
+from .base import COMPLEX, SIMPLE, Arena, Workload, build
+from .data import (
+    CsrGraph,
+    random_floats,
+    random_ints,
+    random_permutation,
+    random_signs,
+    uniform_graph,
+)
+from .registry import (
+    ALL_NAMES,
+    GAP_NAMES,
+    SPEC_NAMES,
+    complex_control_flow_names,
+    make_category,
+    make_workload,
+    simple_control_flow_names,
+    workload_names,
+)
+
+__all__ = [
+    "COMPLEX",
+    "SIMPLE",
+    "Arena",
+    "Workload",
+    "build",
+    "CsrGraph",
+    "random_floats",
+    "random_ints",
+    "random_permutation",
+    "random_signs",
+    "uniform_graph",
+    "ALL_NAMES",
+    "GAP_NAMES",
+    "SPEC_NAMES",
+    "complex_control_flow_names",
+    "make_category",
+    "make_workload",
+    "simple_control_flow_names",
+    "workload_names",
+]

@@ -1,0 +1,86 @@
+"""Workload infrastructure: arena allocation, the Workload record.
+
+A workload bundles an assembled program, a populated memory image, a
+control-flow *category* (the paper's Fig. 8 split into simple/complex
+control flow), and an optional functional validator that checks
+committed architectural state after the run — the execution-driven
+simulator computes real results, so kernels can be verified end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..isa import Program, assemble
+from ..memory import MemoryImage
+
+SIMPLE = "simple"
+COMPLEX = "complex"
+
+DATA_BASE = 0x0001_0000
+STACK_TOP = 0x0100_0000
+
+
+class Arena:
+    """Bump allocator laying out arrays in a memory image."""
+
+    def __init__(self, memory: MemoryImage, base: int = DATA_BASE):
+        self.memory = memory
+        self._next = base
+
+    def alloc(self, values) -> int:
+        """Store ``values`` as consecutive words; returns base address."""
+        base = self._next
+        self._next = self.memory.write_array(base, values)
+        # Pad to a cache line so arrays do not share lines.
+        self._next = (self._next + 63) & ~63
+        return base
+
+    def reserve(self, count: int) -> int:
+        """Reserve ``count`` zeroed words; returns base address."""
+        return self.alloc([0] * count)
+
+
+@dataclass
+class Workload:
+    """A runnable benchmark: program + data + metadata."""
+
+    name: str
+    program: Program
+    memory: MemoryImage
+    category: str                      # SIMPLE or COMPLEX control flow
+    description: str = ""
+    validate: Callable | None = field(default=None, repr=False)
+
+    def fresh_memory(self) -> MemoryImage:
+        """An isolated copy of the input image (runs mutate memory)."""
+        return MemoryImage(self.memory.snapshot())
+
+
+def build(
+    name: str,
+    source: str,
+    populate: Callable[[Arena], dict],
+    category: str,
+    description: str = "",
+    validate: Callable | None = None,
+) -> Workload:
+    """Assemble + populate a workload.
+
+    ``populate`` receives an :class:`Arena` and returns a dict of
+    symbol -> value substituted into the assembly source via
+    ``str.format`` (so kernels reference data addresses symbolically).
+    """
+    memory = MemoryImage()
+    arena = Arena(memory)
+    symbols = populate(arena)
+    program = assemble(source.format(**symbols))
+    return Workload(
+        name=name,
+        program=program,
+        memory=memory,
+        category=category,
+        description=description,
+        validate=validate,
+    )

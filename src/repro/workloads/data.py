@@ -1,0 +1,88 @@
+"""Deterministic input-data generators for the workload kernels.
+
+Everything is seeded: the same workload name and scale always produce
+the same memory image, so simulation results are exactly reproducible.
+Graphs are synthetic uniform-random digraphs in CSR form — the same
+family the GAP benchmark suite's ``-u`` generator produces (the paper
+uses g=19; we scale the node count down to keep Python simulation
+tractable, as documented in DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CsrGraph:
+    """Compressed-sparse-row directed graph."""
+
+    num_nodes: int
+    offsets: tuple[int, ...]     # len = num_nodes + 1
+    neighbors: tuple[int, ...]   # len = num_edges
+    weights: tuple[int, ...]     # parallel to neighbors
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.neighbors)
+
+    def out_neighbors(self, node: int) -> tuple[int, ...]:
+        return self.neighbors[self.offsets[node] : self.offsets[node + 1]]
+
+    def out_weights(self, node: int) -> tuple[int, ...]:
+        return self.weights[self.offsets[node] : self.offsets[node + 1]]
+
+
+def uniform_graph(
+    num_nodes: int,
+    avg_degree: int,
+    seed: int,
+    sorted_adjacency: bool = False,
+    max_weight: int = 100,
+) -> CsrGraph:
+    """Uniform-random digraph in CSR form (GAP's synthetic family)."""
+    rng = random.Random(seed)
+    offsets = [0]
+    neighbors: list[int] = []
+    weights: list[int] = []
+    for node in range(num_nodes):
+        degree = rng.randint(max(0, avg_degree - 2), avg_degree + 2)
+        outs = set()
+        while len(outs) < min(degree, num_nodes - 1):
+            other = rng.randrange(num_nodes)
+            if other != node:
+                outs.add(other)
+        ordered = sorted(outs) if sorted_adjacency else list(outs)
+        if not sorted_adjacency:
+            rng.shuffle(ordered)
+        neighbors.extend(ordered)
+        weights.extend(rng.randint(1, max_weight) for _ in ordered)
+        offsets.append(len(neighbors))
+    return CsrGraph(num_nodes, tuple(offsets), tuple(neighbors), tuple(weights))
+
+
+def random_ints(count: int, lo: int, hi: int, seed: int) -> list[int]:
+    """Seeded uniform integers in [lo, hi]."""
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(count)]
+
+
+def random_signs(count: int, magnitude: int, seed: int) -> list[int]:
+    """Values uniformly in ±[1, magnitude] — a 50/50 H2P generator."""
+    rng = random.Random(seed)
+    return [rng.choice([-1, 1]) * rng.randint(1, magnitude) for _ in range(count)]
+
+
+def random_floats(count: int, seed: int, scale: float = 1.0) -> list[float]:
+    """Seeded uniform floats in [0, scale)."""
+    rng = random.Random(seed)
+    return [rng.random() * scale for _ in range(count)]
+
+
+def random_permutation(count: int, seed: int) -> list[int]:
+    """Seeded permutation of range(count) (cache-hostile orderings)."""
+    rng = random.Random(seed)
+    perm = list(range(count))
+    rng.shuffle(perm)
+    return perm

@@ -1,0 +1,646 @@
+"""GAP benchmark suite kernels (bfs, bc, cc, pr, sssp, tc).
+
+These are the actual GAP algorithms implemented in the micro-ISA over
+seeded synthetic uniform graphs (DESIGN.md §5).  They all share the
+control-flow pattern of the paper's Fig. 1: a tight loop whose body is
+guarded by a *data-dependent* branch (visited check, label compare,
+distance relax, adjacency intersection) that TAGE cannot learn — the
+paper classifies all six as *simple control flow* applications.
+
+Every kernel carries a validator that re-runs the algorithm in Python
+on the same inputs and compares the committed memory arrays, so the
+execution-driven simulator is functionally verified end to end.
+"""
+
+from __future__ import annotations
+
+from .base import SIMPLE, Arena, Workload, build
+from .data import CsrGraph, uniform_graph
+
+_INF = 1 << 40
+
+
+def _read_words(pipeline, base: int, count: int) -> list:
+    return pipeline.memory.read_array(base, count)
+
+
+# ======================================================================
+# bfs — frontier-queue breadth-first search
+# ======================================================================
+_BFS_SRC = """
+    li  r1, {queue}
+    li  r2, {parent}
+    li  r3, {offsets}
+    li  r4, {neighbors}
+    li  r5, 0            # head
+    li  r6, 1            # tail
+outer:
+    bge r5, r6, done
+    shli r7, r5, 3
+    add r7, r7, r1
+    ld  r8, 0(r7)        # u = queue[head]
+    addi r5, r5, 1
+    shli r9, r8, 3
+    add r9, r9, r3
+    ld  r10, 0(r9)       # e = offsets[u]
+    ld  r11, 8(r9)       # end = offsets[u+1]
+inner:
+    bge r10, r11, outer
+    shli r12, r10, 3
+    add r12, r12, r4
+    ld  r13, 0(r12)      # v = neighbors[e]
+    addi r10, r10, 1
+    shli r14, r13, 3
+    add r14, r14, r2
+    ld  r15, 0(r14)      # parent[v]
+    bge r15, r0, inner   # H2P: already visited?
+    st  r8, 0(r14)       # parent[v] = u
+    shli r16, r6, 3
+    add r16, r16, r1
+    st  r13, 0(r16)      # queue[tail] = v
+    addi r6, r6, 1
+    jmp inner
+done:
+    halt
+"""
+
+
+def _bfs_reference(graph: CsrGraph, source: int) -> list[int]:
+    parent = [-1] * graph.num_nodes
+    parent[source] = source
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        for v in graph.out_neighbors(u):
+            if parent[v] < 0:
+                parent[v] = u
+                queue.append(v)
+    return parent
+
+
+def bfs(num_nodes: int = 1200, avg_degree: int = 8, seed: int = 11) -> Workload:
+    """Breadth-first search; H2P = the visited check (paper Fig. 1)."""
+    graph = uniform_graph(num_nodes, avg_degree, seed)
+    source = 0
+    symbols: dict[str, int] = {}
+
+    def populate(arena: Arena) -> dict:
+        parent_init = [-1] * num_nodes
+        parent_init[source] = source
+        symbols["offsets"] = arena.alloc(graph.offsets)
+        symbols["neighbors"] = arena.alloc(graph.neighbors)
+        symbols["parent"] = arena.alloc(parent_init)
+        queue_init = [0] * (num_nodes + 4)
+        queue_init[0] = source
+        symbols["queue"] = arena.alloc(queue_init)
+        return symbols
+
+    def validate(pipeline) -> bool:
+        expected = _bfs_reference(graph, source)
+        got = _read_words(pipeline, symbols["parent"], num_nodes)
+        # Parent choice depends on visitation order, which the kernel
+        # shares with the reference (FIFO queue) — exact match.
+        return got == expected
+
+    return build(
+        "bfs",
+        _BFS_SRC,
+        populate,
+        SIMPLE,
+        "frontier-queue BFS; visited-check H2P branch",
+        validate,
+    )
+
+
+# ======================================================================
+# cc — connected components via label propagation
+# ======================================================================
+_CC_SRC = """
+    li  r1, {labels}
+    li  r3, {offsets}
+    li  r4, {neighbors}
+    li  r17, {num_nodes}
+    li  r18, {max_iters}
+    li  r19, 0           # iteration
+iter_loop:
+    bge r19, r18, done
+    li  r20, 0           # changed flag
+    li  r8, 0            # u
+node_loop:
+    bge r8, r17, iter_end
+    shli r9, r8, 3
+    add r21, r9, r1
+    ld  r22, 0(r21)      # lu = labels[u]
+    add r9, r9, r3
+    ld  r10, 0(r9)       # e
+    ld  r11, 8(r9)       # end
+edge_loop:
+    bge r10, r11, node_end
+    shli r12, r10, 3
+    add r12, r12, r4
+    ld  r13, 0(r12)      # v
+    addi r10, r10, 1
+    shli r14, r13, 3
+    add r14, r14, r1
+    ld  r15, 0(r14)      # lv = labels[v]
+    bge r15, r22, edge_loop   # H2P: is neighbor label smaller?
+    mov r22, r15
+    li  r20, 1
+    jmp edge_loop
+node_end:
+    st  r22, 0(r21)      # labels[u] = lu
+    addi r8, r8, 1
+    jmp node_loop
+iter_end:
+    addi r19, r19, 1
+    bnez r20, iter_loop  # continue while labels changed
+done:
+    halt
+"""
+
+
+def _cc_reference(graph: CsrGraph, max_iters: int) -> list[int]:
+    labels = list(range(graph.num_nodes))
+    for _ in range(max_iters):
+        changed = False
+        for u in range(graph.num_nodes):
+            lu = labels[u]
+            for v in graph.out_neighbors(u):
+                if labels[v] < lu:
+                    lu = labels[v]
+                    changed = True
+            labels[u] = lu
+        if not changed:
+            break
+    return labels
+
+
+def cc(num_nodes: int = 700, avg_degree: int = 6, seed: int = 23,
+       max_iters: int = 6) -> Workload:
+    """Label-propagation connected components; H2P = label compare."""
+    graph = uniform_graph(num_nodes, avg_degree, seed)
+    symbols: dict[str, int] = {}
+
+    def populate(arena: Arena) -> dict:
+        symbols["offsets"] = arena.alloc(graph.offsets)
+        symbols["neighbors"] = arena.alloc(graph.neighbors)
+        symbols["labels"] = arena.alloc(list(range(num_nodes)))
+        symbols["num_nodes"] = num_nodes
+        symbols["max_iters"] = max_iters
+        return symbols
+
+    def validate(pipeline) -> bool:
+        expected = _cc_reference(graph, max_iters)
+        return _read_words(pipeline, symbols["labels"], num_nodes) == expected
+
+    return build(
+        "cc",
+        _CC_SRC,
+        populate,
+        SIMPLE,
+        "label-propagation connected components; label-compare H2P",
+        validate,
+    )
+
+
+# ======================================================================
+# sssp — Bellman-Ford relaxation rounds
+# ======================================================================
+_SSSP_SRC = """
+    li  r1, {dist}
+    li  r3, {offsets}
+    li  r4, {neighbors}
+    li  r5, {weights}
+    li  r17, {num_nodes}
+    li  r18, {rounds}
+    li  r19, 0
+round_loop:
+    bge r19, r18, done
+    li  r8, 0            # u
+node_loop:
+    bge r8, r17, round_end
+    shli r9, r8, 3
+    add r21, r9, r1
+    ld  r22, 0(r21)      # du = dist[u]
+    add r9, r9, r3
+    ld  r10, 0(r9)       # e
+    ld  r11, 8(r9)       # end
+    li  r23, {inf}
+    bge r22, r23, node_next   # unreachable so far: skip edges
+edge_loop:
+    bge r10, r11, node_next
+    shli r12, r10, 3
+    add r13, r12, r4
+    ld  r13, 0(r13)      # v
+    add r14, r12, r5
+    ld  r14, 0(r14)      # w
+    addi r10, r10, 1
+    add r15, r22, r14    # nd = du + w
+    shli r16, r13, 3
+    add r16, r16, r1
+    ld  r24, 0(r16)      # dist[v]
+    bge r15, r24, edge_loop   # H2P: does the edge relax?
+    st  r15, 0(r16)
+    jmp edge_loop
+node_next:
+    addi r8, r8, 1
+    jmp node_loop
+round_end:
+    addi r19, r19, 1
+    jmp round_loop
+done:
+    halt
+"""
+
+
+def _sssp_reference(graph: CsrGraph, source: int, rounds: int) -> list[int]:
+    dist = [_INF] * graph.num_nodes
+    dist[source] = 0
+    for _ in range(rounds):
+        for u in range(graph.num_nodes):
+            du = dist[u]
+            if du >= _INF:
+                continue
+            for v, w in zip(graph.out_neighbors(u), graph.out_weights(u)):
+                nd = du + w
+                if nd < dist[v]:
+                    dist[v] = nd
+    return dist
+
+
+def sssp(num_nodes: int = 600, avg_degree: int = 6, seed: int = 37,
+         rounds: int = 4) -> Workload:
+    """Bellman-Ford rounds; H2P = the relaxation compare."""
+    graph = uniform_graph(num_nodes, avg_degree, seed)
+    source = 0
+    symbols: dict[str, int] = {}
+
+    def populate(arena: Arena) -> dict:
+        dist_init = [_INF] * num_nodes
+        dist_init[source] = 0
+        symbols["offsets"] = arena.alloc(graph.offsets)
+        symbols["neighbors"] = arena.alloc(graph.neighbors)
+        symbols["weights"] = arena.alloc(graph.weights)
+        symbols["dist"] = arena.alloc(dist_init)
+        symbols["num_nodes"] = num_nodes
+        symbols["rounds"] = rounds
+        symbols["inf"] = _INF
+        return symbols
+
+    def validate(pipeline) -> bool:
+        expected = _sssp_reference(graph, source, rounds)
+        return _read_words(pipeline, symbols["dist"], num_nodes) == expected
+
+    return build(
+        "sssp",
+        _SSSP_SRC,
+        populate,
+        SIMPLE,
+        "Bellman-Ford relaxation; relax-compare H2P",
+        validate,
+    )
+
+
+# ======================================================================
+# pr — PageRank (push), fixed-point arithmetic
+# ======================================================================
+_PR_SRC = """
+    li  r1, {rank}
+    li  r2, {nxt}
+    li  r3, {offsets}
+    li  r4, {neighbors}
+    li  r17, {num_nodes}
+    li  r18, {iters}
+    li  r19, 0
+iter_loop:
+    bge r19, r18, done
+    li  r8, 0
+push_loop:
+    bge r8, r17, scale_init
+    shli r9, r8, 3
+    add r21, r9, r1
+    ld  r22, 0(r21)      # rank[u] (fixed point)
+    add r9, r9, r3
+    ld  r10, 0(r9)       # e
+    ld  r11, 8(r9)       # end
+    sub r23, r11, r10    # degree
+    beqz r23, push_next
+    div r24, r22, r23    # contribution = rank[u] / degree
+edge_loop:
+    bge r10, r11, push_next
+    shli r12, r10, 3
+    add r12, r12, r4
+    ld  r13, 0(r12)      # v
+    addi r10, r10, 1
+    shli r14, r13, 3
+    add r14, r14, r2
+    ld  r15, 0(r14)
+    add r15, r15, r24
+    st  r15, 0(r14)      # nxt[v] += contribution
+    jmp edge_loop
+push_next:
+    addi r8, r8, 1
+    jmp push_loop
+scale_init:
+    li  r8, 0
+scale_loop:
+    bge r8, r17, iter_end
+    shli r9, r8, 3
+    add r14, r9, r2
+    ld  r15, 0(r14)      # accumulated
+    li  r26, {damping}
+    mul r15, r15, r26
+    li  r26, 100
+    div r15, r15, r26    # * damping (0.85 as 85/100)
+    addi r15, r15, {base}
+    add r9, r9, r1
+    st  r15, 0(r9)       # rank[u] = base + d * acc
+    st  r0, 0(r14)       # nxt[u] = 0
+    addi r8, r8, 1
+    jmp scale_loop
+iter_end:
+    addi r19, r19, 1
+    jmp iter_loop
+done:
+    halt
+"""
+
+
+def _pr_reference(graph: CsrGraph, iters: int, base: int, damping: int) -> list[int]:
+    scale_one = 1_000_000
+    rank = [scale_one] * graph.num_nodes
+    for _ in range(iters):
+        nxt = [0] * graph.num_nodes
+        for u in range(graph.num_nodes):
+            deg = graph.offsets[u + 1] - graph.offsets[u]
+            if deg == 0:
+                continue
+            contribution = _py_div(rank[u], deg)
+            for v in graph.out_neighbors(u):
+                nxt[v] += contribution
+        rank = [base + _py_div(acc * damping, 100) for acc in nxt]
+    return rank
+
+
+def _py_div(a: int, b: int) -> int:
+    """Match the ISA's truncating signed division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def pr(num_nodes: int = 600, avg_degree: int = 8, seed: int = 41,
+       iters: int = 3) -> Workload:
+    """PageRank (push, fixed point); degree-varying loop trip counts."""
+    graph = uniform_graph(num_nodes, avg_degree, seed)
+    scale_one = 1_000_000
+    base = 150_000       # (1-d)/N scaled; exact value irrelevant
+    damping = 85
+    symbols: dict[str, int] = {}
+
+    def populate(arena: Arena) -> dict:
+        symbols["offsets"] = arena.alloc(graph.offsets)
+        symbols["neighbors"] = arena.alloc(graph.neighbors)
+        symbols["rank"] = arena.alloc([scale_one] * num_nodes)
+        symbols["nxt"] = arena.alloc([0] * num_nodes)
+        symbols["num_nodes"] = num_nodes
+        symbols["iters"] = iters
+        symbols["base"] = base
+        symbols["damping"] = damping
+        return symbols
+
+    def validate(pipeline) -> bool:
+        expected = _pr_reference(graph, iters, base, damping)
+        return _read_words(pipeline, symbols["rank"], num_nodes) == expected
+
+    return build(
+        "pr",
+        _PR_SRC,
+        populate,
+        SIMPLE,
+        "PageRank push iterations; degree-dependent inner loops",
+        validate,
+    )
+
+
+# ======================================================================
+# bc — betweenness-centrality forward pass (BFS + path counting)
+# ======================================================================
+_BC_SRC = """
+    li  r1, {queue}
+    li  r2, {depth}
+    li  r3, {offsets}
+    li  r4, {neighbors}
+    li  r7, {sigma}
+    li  r5, 0            # head
+    li  r6, 1            # tail
+outer:
+    bge r5, r6, done
+    shli r8, r5, 3
+    add r8, r8, r1
+    ld  r9, 0(r8)        # u
+    addi r5, r5, 1
+    shli r10, r9, 3
+    add r22, r10, r2
+    ld  r23, 0(r22)      # du = depth[u]
+    add r24, r10, r7
+    ld  r25, 0(r24)      # su = sigma[u]
+    add r10, r10, r3
+    ld  r11, 0(r10)      # e
+    ld  r12, 8(r10)      # end
+    addi r23, r23, 1     # du + 1
+inner:
+    bge r11, r12, outer
+    shli r13, r11, 3
+    add r13, r13, r4
+    ld  r14, 0(r13)      # v
+    addi r11, r11, 1
+    shli r15, r14, 3
+    add r16, r15, r2
+    ld  r17, 0(r16)      # depth[v]
+    bge r17, r0, check   # H2P: visited?
+    st  r23, 0(r16)      # depth[v] = du+1
+    shli r18, r6, 3
+    add r18, r18, r1
+    st  r14, 0(r18)      # enqueue v
+    addi r6, r6, 1
+    add r19, r15, r7
+    ld  r20, 0(r19)
+    add r20, r20, r25
+    st  r20, 0(r19)      # sigma[v] += sigma[u]
+    jmp inner
+check:
+    bne r17, r23, inner  # H2P: same-depth path?
+    add r19, r15, r7
+    ld  r20, 0(r19)
+    add r20, r20, r25
+    st  r20, 0(r19)      # sigma[v] += sigma[u]
+    jmp inner
+done:
+    halt
+"""
+
+
+def _bc_reference(graph: CsrGraph, source: int) -> tuple[list[int], list[int]]:
+    depth = [-1] * graph.num_nodes
+    sigma = [0] * graph.num_nodes
+    depth[source] = 0
+    sigma[source] = 1
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        du1 = depth[u] + 1
+        su = sigma[u]
+        for v in graph.out_neighbors(u):
+            if depth[v] < 0:
+                depth[v] = du1
+                queue.append(v)
+                sigma[v] += su
+            elif depth[v] == du1:
+                sigma[v] += su
+    return depth, sigma
+
+
+def bc(num_nodes: int = 1000, avg_degree: int = 8, seed: int = 53) -> Workload:
+    """BC forward pass: BFS with shortest-path counting; two H2Ps."""
+    graph = uniform_graph(num_nodes, avg_degree, seed)
+    source = 0
+    symbols: dict[str, int] = {}
+
+    def populate(arena: Arena) -> dict:
+        depth_init = [-1] * num_nodes
+        depth_init[source] = 0
+        sigma_init = [0] * num_nodes
+        sigma_init[source] = 1
+        queue_init = [0] * (num_nodes + 4)
+        queue_init[0] = source
+        symbols["offsets"] = arena.alloc(graph.offsets)
+        symbols["neighbors"] = arena.alloc(graph.neighbors)
+        symbols["depth"] = arena.alloc(depth_init)
+        symbols["sigma"] = arena.alloc(sigma_init)
+        symbols["queue"] = arena.alloc(queue_init)
+        return symbols
+
+    def validate(pipeline) -> bool:
+        depth, sigma = _bc_reference(graph, source)
+        got_depth = _read_words(pipeline, symbols["depth"], num_nodes)
+        got_sigma = _read_words(pipeline, symbols["sigma"], num_nodes)
+        return got_depth == depth and got_sigma == sigma
+
+    return build(
+        "bc",
+        _BC_SRC,
+        populate,
+        SIMPLE,
+        "betweenness-centrality forward pass; visited + same-depth H2Ps",
+        validate,
+    )
+
+
+# ======================================================================
+# tc — triangle counting by sorted-adjacency intersection
+# ======================================================================
+_TC_SRC = """
+    li  r1, {offsets}
+    li  r2, {neighbors}
+    li  r3, {result}
+    li  r17, {num_nodes}
+    li  r20, 0           # triangle count
+    li  r8, 0            # u
+u_loop:
+    bge r8, r17, done
+    shli r9, r8, 3
+    add r9, r9, r1
+    ld  r10, 0(r9)       # ue = offsets[u]
+    ld  r11, 8(r9)       # uend
+v_loop:
+    bge r10, r11, u_next
+    shli r12, r10, 3
+    add r12, r12, r2
+    ld  r13, 0(r12)      # v = neighbors[ue]
+    addi r10, r10, 1
+    ble r13, r8, v_loop  # only v > u
+    shli r14, r13, 3
+    add r14, r14, r1
+    ld  r15, 0(r14)      # ve
+    ld  r16, 8(r14)      # vend
+    ld  r21, 0(r9)       # i = offsets[u]
+    mov r22, r15         # j = offsets[v]
+isect:
+    bge r21, r11, v_loop
+    bge r22, r16, v_loop
+    shli r23, r21, 3
+    add r23, r23, r2
+    ld  r24, 0(r23)      # a = neighbors[i]
+    shli r25, r22, 3
+    add r25, r25, r2
+    ld  r26, 0(r25)      # b = neighbors[j]
+    beq r24, r26, match
+    blt r24, r26, step_i # H2P: data-dependent merge step
+    addi r22, r22, 1
+    jmp isect
+step_i:
+    addi r21, r21, 1
+    jmp isect
+match:
+    addi r20, r20, 1
+    addi r21, r21, 1
+    addi r22, r22, 1
+    jmp isect
+u_next:
+    addi r8, r8, 1
+    jmp u_loop
+done:
+    st  r20, 0(r3)
+    halt
+"""
+
+
+def _tc_reference(graph: CsrGraph) -> int:
+    count = 0
+    for u in range(graph.num_nodes):
+        for v in graph.out_neighbors(u):
+            if v <= u:
+                continue
+            a = graph.out_neighbors(u)
+            b = graph.out_neighbors(v)
+            i = j = 0
+            while i < len(a) and j < len(b):
+                if a[i] == b[j]:
+                    count += 1
+                    i += 1
+                    j += 1
+                elif a[i] < b[j]:
+                    i += 1
+                else:
+                    j += 1
+    return count
+
+
+def tc(num_nodes: int = 260, avg_degree: int = 10, seed: int = 67) -> Workload:
+    """Triangle counting; merge-intersection compare is a classic H2P."""
+    graph = uniform_graph(num_nodes, avg_degree, seed, sorted_adjacency=True)
+    symbols: dict[str, int] = {}
+
+    def populate(arena: Arena) -> dict:
+        symbols["offsets"] = arena.alloc(graph.offsets)
+        symbols["neighbors"] = arena.alloc(graph.neighbors)
+        symbols["result"] = arena.alloc([0])
+        symbols["num_nodes"] = num_nodes
+        return symbols
+
+    def validate(pipeline) -> bool:
+        expected = _tc_reference(graph)
+        return _read_words(pipeline, symbols["result"], 1)[0] == expected
+
+    return build(
+        "tc",
+        _TC_SRC,
+        populate,
+        SIMPLE,
+        "triangle counting via sorted intersection; merge-step H2P",
+        validate,
+    )

@@ -1,0 +1,187 @@
+"""Workload registry: names, categories, and scaled construction.
+
+``make_workload(name, scale)`` builds a deterministic workload at one
+of three scales:
+
+* ``tiny``  — seconds-long runs for unit/integration tests,
+* ``bench`` — the default used by the benchmark harness (tens of
+  thousands of instructions; large enough for H2P training, Fill
+  Buffer walks, and stable IPC),
+* ``full``  — larger runs for offline studies.
+
+The paper's Fig. 8 category split is exposed via
+:func:`simple_control_flow_names` / :func:`complex_control_flow_names`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import gap, spec
+from .base import SIMPLE, Workload
+
+# name -> {scale -> kwargs}
+_SCALES: dict[str, dict[str, dict]] = {
+    "bfs": {
+        "tiny": dict(num_nodes=150, avg_degree=5, seed=11),
+        "bench": dict(num_nodes=700, avg_degree=8, seed=11),
+        "full": dict(num_nodes=4000, avg_degree=10, seed=11),
+    },
+    "cc": {
+        "tiny": dict(num_nodes=80, avg_degree=4, seed=23, max_iters=3),
+        "bench": dict(num_nodes=320, avg_degree=6, seed=23, max_iters=4),
+        "full": dict(num_nodes=1500, avg_degree=8, seed=23, max_iters=8),
+    },
+    "sssp": {
+        "tiny": dict(num_nodes=80, avg_degree=4, seed=37, rounds=2),
+        "bench": dict(num_nodes=300, avg_degree=6, seed=37, rounds=3),
+        "full": dict(num_nodes=1200, avg_degree=8, seed=37, rounds=6),
+    },
+    "pr": {
+        "tiny": dict(num_nodes=80, avg_degree=5, seed=41, iters=2),
+        "bench": dict(num_nodes=260, avg_degree=8, seed=41, iters=2),
+        "full": dict(num_nodes=1200, avg_degree=10, seed=41, iters=4),
+    },
+    "bc": {
+        "tiny": dict(num_nodes=150, avg_degree=5, seed=53),
+        "bench": dict(num_nodes=650, avg_degree=8, seed=53),
+        "full": dict(num_nodes=4000, avg_degree=10, seed=53),
+    },
+    "tc": {
+        "tiny": dict(num_nodes=60, avg_degree=6, seed=67),
+        "bench": dict(num_nodes=150, avg_degree=10, seed=67),
+        "full": dict(num_nodes=500, avg_degree=14, seed=67),
+    },
+    "mcf": {
+        "tiny": dict(count=600, arcs=8192, seed=101),
+        "bench": dict(count=3500, arcs=65536, seed=101),
+        "full": dict(count=20000, arcs=262144, seed=101),
+    },
+    "gcc": {
+        "tiny": dict(count=800, seed=113),
+        "bench": dict(count=4500, seed=113),
+        "full": dict(count=25000, seed=113),
+    },
+    "omnetpp": {
+        "tiny": dict(count=200, heap_size=128, seed=127),
+        "bench": dict(count=1100, heap_size=512, seed=127),
+        "full": dict(count=6000, heap_size=2048, seed=127),
+    },
+    "deepsjeng": {
+        "tiny": dict(depth=5, seed=131),
+        "bench": dict(depth=7, seed=131),
+        "full": dict(depth=9, seed=131),
+    },
+    "leela": {
+        "tiny": dict(playouts=60, seed=139),
+        "bench": dict(playouts=330, seed=139),
+        "full": dict(playouts=2000, seed=139),
+    },
+    "perlbench": {
+        "tiny": dict(count=700, seed=149),
+        "bench": dict(count=4000, seed=149),
+        "full": dict(count=20000, seed=149),
+    },
+    "xalancbmk": {
+        "tiny": dict(num_nodes=800, seed=151),
+        "bench": dict(num_nodes=4500, seed=151),
+        "full": dict(num_nodes=20000, seed=151),
+    },
+    "xz": {
+        "tiny": dict(positions=400, seed=157),
+        "bench": dict(positions=2200, seed=157),
+        "full": dict(positions=12000, seed=157),
+    },
+    "x264": {
+        "tiny": dict(blocks=120, seed=163),
+        "bench": dict(blocks=700, seed=163),
+        "full": dict(blocks=4000, seed=163),
+    },
+    "exchange2": {
+        "tiny": dict(size=5, seed=167),
+        "bench": dict(size=6, seed=167),
+        "full": dict(size=8, seed=167),
+    },
+    "nab": {
+        "tiny": dict(num_pairs=600, num_atoms=8192, seed=173),
+        "bench": dict(num_pairs=3200, num_atoms=32768, seed=173),
+        "full": dict(num_pairs=18000, num_atoms=131072, seed=173),
+    },
+}
+
+_BUILDERS: dict[str, Callable[..., Workload]] = {
+    "bfs": gap.bfs,
+    "cc": gap.cc,
+    "sssp": gap.sssp,
+    "pr": gap.pr,
+    "bc": gap.bc,
+    "tc": gap.tc,
+    "mcf": spec.mcf,
+    "gcc": spec.gcc,
+    "omnetpp": spec.omnetpp,
+    "deepsjeng": spec.deepsjeng,
+    "leela": spec.leela,
+    "perlbench": spec.perlbench,
+    "xalancbmk": spec.xalancbmk,
+    "xz": spec.xz,
+    "x264": spec.x264,
+    "exchange2": spec.exchange2,
+    "nab": spec.nab,
+}
+
+GAP_NAMES = ("bfs", "bc", "cc", "pr", "sssp", "tc")
+SPEC_NAMES = (
+    "mcf",
+    "gcc",
+    "omnetpp",
+    "deepsjeng",
+    "leela",
+    "perlbench",
+    "xalancbmk",
+    "xz",
+    "x264",
+    "exchange2",
+    "nab",
+)
+ALL_NAMES = SPEC_NAMES + GAP_NAMES
+
+
+def workload_names() -> tuple[str, ...]:
+    """All workload names, SPEC first then GAP (paper figure order)."""
+    return ALL_NAMES
+
+
+def make_workload(name: str, scale: str = "bench") -> Workload:
+    """Construct a workload by name at the given scale."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; see workload_names()") from None
+    try:
+        kwargs = _SCALES[name][scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; use tiny/bench/full") from None
+    return builder(**kwargs)
+
+
+def simple_control_flow_names() -> tuple[str, ...]:
+    """Paper §V-C: all GAP benchmarks plus xz."""
+    return tuple(
+        name for name in ALL_NAMES if make_category(name) == SIMPLE
+    )
+
+
+def complex_control_flow_names() -> tuple[str, ...]:
+    """Paper §V-C: every non-GAP benchmark except xz."""
+    return tuple(
+        name for name in ALL_NAMES if make_category(name) != SIMPLE
+    )
+
+
+_CATEGORY = {name: (SIMPLE if name in GAP_NAMES + ("xz",) else "complex")
+             for name in ALL_NAMES}
+
+
+def make_category(name: str) -> str:
+    """Control-flow category without building the workload."""
+    return _CATEGORY[name]

@@ -1,0 +1,92 @@
+"""Unit tests for the Block Cache (masks, empty-tag store, eviction)."""
+
+from repro.tea import BlockCache, TeaConfig
+
+
+class TestLookups:
+    def test_miss_vs_empty_hit_vs_hit(self):
+        bc = BlockCache()
+        assert bc.lookup(0x100) is None          # miss
+        bc.insert(0x100, 0)
+        assert bc.lookup(0x100) == 0             # empty-tag hit
+        bc.insert(0x200, 0b101)
+        assert bc.lookup(0x200) == 0b101         # data hit
+        assert bc.misses == 1
+        assert bc.empty_hits == 1
+        assert bc.hits == 1
+
+    def test_peek_has_no_side_effects(self):
+        bc = BlockCache()
+        bc.insert(0x100, 0b1)
+        bc.peek(0x100)
+        bc.peek(0x999)
+        assert bc.hits == 0 and bc.misses == 0
+
+
+class TestMaskCombining:
+    def test_masks_or_combined(self):
+        """§III-E: chains from multiple control flows are merged."""
+        bc = BlockCache()
+        bc.insert(0x100, 0b1000)   # path A-B-D
+        bc.insert(0x100, 0b0100)   # path A-C-D
+        assert bc.peek(0x100) == 0b1100
+
+    def test_no_masks_ablation_overwrites(self):
+        bc = BlockCache(TeaConfig(use_masks=False))
+        bc.insert(0x100, 0b1000)
+        bc.insert(0x100, 0b0100)
+        assert bc.peek(0x100) == 0b0100
+
+    def test_mask_going_empty_moves_to_empty_store(self):
+        bc = BlockCache(TeaConfig(use_masks=False))
+        bc.insert(0x100, 0b1)
+        bc.insert(0x100, 0)
+        assert bc.peek(0x100) == 0
+        assert bc.occupancy[0] == 0  # no data-entry cost
+
+
+class TestCapacity:
+    def test_data_cost_in_8_uop_entries(self):
+        bc = BlockCache(TeaConfig(block_cache_entries=2))
+        bc.insert(0x100, (1 << 9) - 1)  # 9 uops -> 2 entries
+        bc.insert(0x200, 0b1)           # 1 uop -> 1 entry; evicts LRU
+        assert bc.peek(0x100) is None
+        assert bc.peek(0x200) == 0b1
+        assert bc.evictions == 1
+
+    def test_lru_refresh_on_lookup(self):
+        bc = BlockCache(TeaConfig(block_cache_entries=2))
+        bc.insert(0x100, 0b1)
+        bc.insert(0x200, 0b1)
+        bc.lookup(0x100)           # refresh
+        bc.insert(0x300, 0b1)      # evicts 0x200
+        assert bc.peek(0x100) == 0b1
+        assert bc.peek(0x200) is None
+
+    def test_empty_store_capacity(self):
+        bc = BlockCache(TeaConfig(empty_tag_entries=2))
+        for addr in (0x100, 0x200, 0x300):
+            bc.insert(addr, 0)
+        assert bc.peek(0x100) is None
+        assert bc.peek(0x300) == 0
+
+    def test_empty_entries_cost_no_data_storage(self):
+        """The paper's optimization: empty blocks use the tag-only
+        store, preserving data capacity."""
+        bc = BlockCache(TeaConfig(block_cache_entries=1, empty_tag_entries=8))
+        bc.insert(0x100, 0b1)
+        for addr in (0x200, 0x300, 0x400):
+            bc.insert(addr, 0)
+        assert bc.peek(0x100) == 0b1  # survived
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        bc = BlockCache()
+        bc.insert(0x100, 0b1)
+        bc.insert(0x200, 0)
+        bc.reset_masks()
+        assert bc.peek(0x100) is None
+        assert bc.peek(0x200) is None
+        assert bc.mask_resets == 1
+        assert len(bc) == 0

@@ -1,0 +1,94 @@
+"""Unit + property tests for the set-associative cache tag array."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import LINE_BYTES, Cache, line_address
+
+import pytest
+
+
+def small_cache(ways=2, sets=4):
+    return Cache("test", LINE_BYTES * ways * sets, ways)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = Cache("l1", 32 * 1024, 8)
+        assert cache.num_sets == 64
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            Cache("bad", LINE_BYTES * 3, 1)
+
+    def test_line_address(self):
+        assert line_address(0) == 0
+        assert line_address(63) == 0
+        assert line_address(64) == 64
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit_after_fill(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+        cache.fill(0)
+        assert cache.access(0) is True
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_same_line_different_offsets(self):
+        cache = small_cache()
+        cache.fill(128)
+        assert cache.access(128 + 63) is True
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(ways=2, sets=1)
+        a, b, c = 0, 64, 128  # all map to set 0
+        cache.fill(a)
+        cache.fill(b)
+        cache.access(a)      # refresh a; b is now LRU
+        cache.fill(c)        # evicts b
+        assert cache.lookup(a)
+        assert not cache.lookup(b)
+        assert cache.lookup(c)
+
+    def test_lookup_has_no_side_effects(self):
+        cache = small_cache()
+        cache.lookup(0)
+        assert cache.accesses == 0
+
+    def test_invalidate_all(self):
+        cache = small_cache()
+        cache.fill(0)
+        cache.invalidate_all()
+        assert not cache.lookup(0)
+        assert cache.hit_rate() == 0.0
+
+
+class TestOccupancyInvariant:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=63).map(lambda line: line * 64),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=50)
+    def test_sets_never_exceed_ways(self, addresses):
+        cache = small_cache(ways=2, sets=4)
+        for addr in addresses:
+            if not cache.access(addr):
+                cache.fill(addr)
+        for cset in cache._sets:
+            assert len(cset) <= cache.ways
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 20),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_refill_always_makes_line_present(self, addresses):
+        cache = small_cache(ways=4, sets=8)
+        for addr in addresses:
+            cache.fill(addr)
+            assert cache.lookup(addr)

@@ -1,0 +1,70 @@
+"""Tests for campaign persistence and regression diffing."""
+
+import pytest
+
+from repro.harness import ExperimentSuite
+from repro.harness.campaign import (
+    campaign_to_dict,
+    diff_campaigns,
+    load_campaign,
+    save_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    suite = ExperimentSuite(scale="tiny", workloads=("xz",))
+    suite.result("xz", "baseline")
+    suite.result("xz", "tea")
+    return suite
+
+
+class TestSerialization:
+    def test_roundtrip(self, small_suite, tmp_path):
+        path = save_campaign(small_suite, tmp_path / "campaign.json")
+        data = load_campaign(path)
+        assert data["scale"] == "tiny"
+        assert "xz/baseline" in data["runs"]
+        assert "xz/tea" in data["runs"]
+
+    def test_run_payload_complete(self, small_suite):
+        data = campaign_to_dict(small_suite)
+        run = data["runs"]["xz/tea"]
+        for key in ("ipc", "mpki", "coverage", "accuracy", "early_flushes"):
+            assert key in run
+        assert run["validated"] is True
+
+    def test_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99, "runs": {}}')
+        with pytest.raises(ValueError, match="schema"):
+            load_campaign(path)
+
+
+class TestDiff:
+    def test_identical_campaigns_no_movements(self, small_suite):
+        data = campaign_to_dict(small_suite)
+        assert diff_campaigns(data, data) == []
+
+    def test_regression_detected(self, small_suite):
+        before = campaign_to_dict(small_suite)
+        after = campaign_to_dict(small_suite)
+        after["runs"]["xz/tea"] = dict(after["runs"]["xz/tea"])
+        after["runs"]["xz/tea"]["ipc"] *= 0.9
+        movements = diff_campaigns(before, after)
+        assert movements
+        assert movements[0]["run"] == "xz/tea"
+        assert movements[0]["delta_pct"] == pytest.approx(-10.0, abs=0.1)
+
+    def test_threshold_filters_noise(self, small_suite):
+        before = campaign_to_dict(small_suite)
+        after = campaign_to_dict(small_suite)
+        after["runs"]["xz/tea"] = dict(after["runs"]["xz/tea"])
+        after["runs"]["xz/tea"]["ipc"] *= 1.005
+        assert diff_campaigns(before, after, threshold_pct=1.0) == []
+
+    def test_new_runs_ignored(self, small_suite):
+        before = campaign_to_dict(small_suite)
+        after = campaign_to_dict(small_suite)
+        after["runs"]["new/one"] = {"ipc": 1.0}
+        assert diff_campaigns(before, after) == []

@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "bfs"])
+        assert args.mode == "baseline"
+        assert args.scale == "tiny"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bfs", "--mode", "bogus"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs" in out and "mcf" in out
+        assert "tea_dedicated" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "xz", "--mode", "tea", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "coverage" in out
+        assert "validated         True" in out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "xz", "--modes", "baseline,tea"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "tea" in out
+        assert "speedup" in out
+
+    def test_figure(self, capsys):
+        code = main(["figure", "fig6", "--workloads", "xz", "--scale", "tiny"])
+        assert code == 0
+        assert "MPKI" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99", "--workloads", "xz"]) == 2

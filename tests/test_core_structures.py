@@ -1,0 +1,257 @@
+"""Unit tests for rename structures, LSQ, scheduler, IFBQ, stats."""
+
+from repro.core import (
+    DynUop,
+    InFlightBranchQueue,
+    LoadQueue,
+    PhysicalRegisterFile,
+    RegisterAliasTable,
+    Scheduler,
+    SimStats,
+    StoreQueue,
+    ZERO_PREG,
+)
+from repro.core.config import CoreConfig
+from repro.core.rename import rename_sources
+from repro.frontend.decoupled import BranchInfo
+from repro.isa import Instruction, UopClass
+
+
+def make_uop(seq, opcode="add", dst=1, srcs=(2, 3), is_tea=False, pc=0):
+    instr = Instruction(opcode=opcode, dst=dst, srcs=srcs, pc=pc)
+    return DynUop(seq, instr, is_tea=is_tea)
+
+
+class TestPhysicalRegisterFile:
+    def test_zero_preg_always_ready_zero(self):
+        prf = PhysicalRegisterFile(8)
+        assert prf.ready[ZERO_PREG]
+        prf.write(ZERO_PREG, 99)
+        assert prf.read(ZERO_PREG) == 0
+
+    def test_allocate_until_exhausted(self):
+        prf = PhysicalRegisterFile(2)
+        assert prf.allocate() is not None
+        assert prf.allocate() is not None
+        assert prf.allocate() is None
+
+    def test_free_recycles(self):
+        prf = PhysicalRegisterFile(1)
+        preg = prf.allocate()
+        assert prf.allocate() is None
+        prf.free(preg)
+        assert prf.allocate() == preg
+
+    def test_tea_pool_is_separate(self):
+        prf = PhysicalRegisterFile(2, tea_size=2)
+        main = prf.allocate()
+        tea = prf.allocate(tea=True)
+        assert prf.is_tea_preg(tea)
+        assert not prf.is_tea_preg(main)
+        prf.free(tea)
+        assert prf.tea_available() == 2
+
+    def test_write_sets_ready(self):
+        prf = PhysicalRegisterFile(4)
+        preg = prf.allocate()
+        assert not prf.ready[preg]
+        prf.write(preg, 42)
+        assert prf.ready[preg]
+        assert prf.read(preg) == 42
+
+
+class TestRat:
+    def test_set_returns_old_mapping(self):
+        rat = RegisterAliasTable()
+        assert rat.set(5, 7) == ZERO_PREG
+        assert rat.set(5, 9) == 7
+        assert rat.lookup(5) == 9
+
+    def test_checkpoint_restore(self):
+        rat = RegisterAliasTable()
+        rat.set(1, 10)
+        snap = rat.checkpoint()
+        rat.set(1, 20)
+        rat.restore(snap)
+        assert rat.lookup(1) == 10
+
+    def test_copy_from_is_independent(self):
+        a, b = RegisterAliasTable(), RegisterAliasTable()
+        a.set(3, 4)
+        b.copy_from(a)
+        a.set(3, 5)
+        assert b.lookup(3) == 4
+
+    def test_rename_sources_zero_register(self):
+        rat = RegisterAliasTable()
+        rat.set(1, 10)
+        assert rename_sources(rat, (0, 1)) == (ZERO_PREG, 10)
+
+
+class TestStoreQueue:
+    def _store(self, seq, addr=None, value=None):
+        uop = make_uop(seq, "st", dst=None, srcs=(1, 2))
+        uop.mem_addr = addr
+        uop.store_value = value
+        return uop
+
+    def test_forward_from_youngest_older(self):
+        sq = StoreQueue(8)
+        sq.insert(self._store(1, 64, 10))
+        sq.insert(self._store(2, 64, 20))
+        status, value = sq.forward(64, seq=5)
+        assert (status, value) == ("hit", 20)
+
+    def test_forward_ignores_younger_stores(self):
+        sq = StoreQueue(8)
+        sq.insert(self._store(9, 64, 99))
+        assert sq.forward(64, seq=5) == ("none", None)
+
+    def test_forward_waits_for_data(self):
+        sq = StoreQueue(8)
+        sq.insert(self._store(1, 64, None))
+        assert sq.forward(64, seq=5) == ("wait", None)
+
+    def test_addresses_resolved_gate(self):
+        sq = StoreQueue(8)
+        sq.insert(self._store(1, None))
+        assert not sq.addresses_resolved_before(5)
+        assert sq.addresses_resolved_before(1)  # only strictly older
+        sq.entries[0].mem_addr = 64
+        assert sq.addresses_resolved_before(5)
+
+    def test_squash_younger(self):
+        sq = StoreQueue(8)
+        sq.insert(self._store(1, 64, 1))
+        sq.insert(self._store(5, 64, 2))
+        sq.squash_younger(3)
+        assert len(sq) == 1
+
+    def test_word_granularity_match(self):
+        sq = StoreQueue(8)
+        sq.insert(self._store(1, 64, 7))
+        assert sq.forward(68, seq=2) == ("hit", 7)  # same 8B word
+        assert sq.forward(72, seq=2) == ("none", None)
+
+
+class TestLoadQueue:
+    def test_capacity(self):
+        lq = LoadQueue(2)
+        lq.insert(make_uop(1, "ld", dst=1, srcs=(2,)))
+        lq.insert(make_uop(2, "ld", dst=1, srcs=(2,)))
+        assert lq.full()
+        lq.squash_younger(1)
+        assert not lq.full()
+
+
+class TestScheduler:
+    def _config(self):
+        return CoreConfig(alu_ports=2, load_ports=1, store_ports=1, fp_ports=1)
+
+    def test_port_limits_respected(self):
+        sched = Scheduler(self._config())
+        for seq in range(5):
+            sched.insert(make_uop(seq))
+        picked = sched.select(lambda u: True)
+        assert len(picked) == 2  # only 2 ALU ports
+
+    def test_oldest_first(self):
+        sched = Scheduler(self._config())
+        for seq in (1, 2, 3):
+            sched.insert(make_uop(seq))
+        picked = sched.select(lambda u: True)
+        assert [u.seq for u in picked] == [1, 2]
+
+    def test_tea_priority(self):
+        sched = Scheduler(self._config(), tea_rs_entries=8)
+        sched.insert(make_uop(10))
+        sched.insert(make_uop(11))
+        sched.insert(make_uop(50, is_tea=True))
+        picked = sched.select(lambda u: True)
+        assert picked[0].seq == 50  # TEA first despite being youngest
+
+    def test_dedicated_units_do_not_consume_ports(self):
+        sched = Scheduler(self._config(), tea_rs_entries=8, tea_dedicated_units=4)
+        for seq in (1, 2):
+            sched.insert(make_uop(seq))
+        for seq in (10, 11):
+            sched.insert(make_uop(seq, is_tea=True))
+        picked = sched.select(lambda u: True)
+        assert len(picked) == 4  # 2 TEA on dedicated units + 2 main on ALU
+
+    def test_not_ready_skipped(self):
+        sched = Scheduler(self._config())
+        sched.insert(make_uop(1))
+        sched.insert(make_uop(2))
+        picked = sched.select(lambda u: u.seq != 1)
+        assert [u.seq for u in picked] == [2]
+        assert len(sched.main_rs) == 1
+
+    def test_squash_younger_both_partitions(self):
+        sched = Scheduler(self._config(), tea_rs_entries=8)
+        sched.insert(make_uop(1))
+        sched.insert(make_uop(5))
+        sched.insert(make_uop(6, is_tea=True))
+        sched.squash_younger(3)
+        assert sched.occupancy == (1, 0)
+
+
+class TestIfbq:
+    def _info(self, seq, pc=0x40):
+        return BranchInfo(
+            seq=seq,
+            pc=pc,
+            uop_class=UopClass.BR_COND,
+            predicted_taken=False,
+            predicted_target=0x80,
+            fallthrough=pc + 4,
+            can_mispredict=True,
+        )
+
+    def test_add_get_remove(self):
+        ifbq = InFlightBranchQueue()
+        entry = ifbq.add(self._info(5))
+        assert ifbq.get(5) is entry
+        ifbq.remove(5)
+        assert ifbq.get(5) is None
+
+    def test_squash_younger_returns_removed(self):
+        ifbq = InFlightBranchQueue()
+        for seq in (1, 5, 9):
+            ifbq.add(self._info(seq))
+        removed = ifbq.squash_younger(5)
+        assert sorted(e.seq for e in removed) == [9]
+        assert len(ifbq) == 2
+
+
+class TestStats:
+    def test_derived_metrics(self):
+        stats = SimStats()
+        stats.cycles = 100
+        stats.retired_instructions = 250
+        stats.direction_mispredicts = 5
+        assert stats.ipc == 2.5
+        assert stats.mpki == 20.0
+
+    def test_coverage_and_accuracy(self):
+        stats = SimStats()
+        stats.covered_timely = 6
+        stats.covered_late = 2
+        stats.incorrect_precomputations = 1
+        stats.uncovered_mispredicts = 1
+        stats.tea_resolved_branches = 10
+        stats.tea_wrong_resolutions = 1
+        assert stats.coverage == 0.8
+        assert stats.tea_accuracy == 0.9
+
+    def test_start_measurement_resets(self):
+        stats = SimStats()
+        stats.cycles = 99
+        stats.start_measurement()
+        assert stats.cycles == 0
+        assert stats.measuring
+
+    def test_as_dict_has_derived_keys(self):
+        data = SimStats().as_dict()
+        for key in ("ipc", "mpki", "coverage", "tea_accuracy", "footprint_uops"):
+            assert key in data

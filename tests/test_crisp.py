@@ -1,0 +1,60 @@
+"""Tests for the CRISP/IBDA critical-slice prioritization baseline."""
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.crisp import CrispConfig
+from repro.harness import run_workload
+
+from tests.conftest import h2p_loop_workload
+
+
+def crisp_run(source, mem, config=None, max_cycles=3_000_000):
+    pipeline = Pipeline(
+        assemble(source), mem, SimConfig(crisp=config or CrispConfig())
+    )
+    pipeline.run(max_cycles=max_cycles)
+    assert pipeline.halted
+    return pipeline
+
+
+class TestSliceIdentification:
+    def test_chain_pcs_grow_from_h2p_branch(self):
+        source, mem, expected = h2p_loop_workload(n=1000, seed=61)
+        pipeline = crisp_run(source, mem)
+        assert pipeline.architectural_register(1) == expected
+        crisp = pipeline.crisp
+        assert crisp.chain_pcs, "no slice instructions identified"
+        # IBDA must have walked up past one level: the load *and* its
+        # address producers belong to the slice.
+        program = pipeline.program
+        opcodes = {program.instruction_at(pc).opcode for pc in crisp.chain_pcs}
+        assert "ld" in opcodes
+        assert {"shli", "add"} & opcodes
+
+    def test_capacity_bounded(self):
+        source, mem, _ = h2p_loop_workload(n=800, seed=61)
+        pipeline = crisp_run(source, mem, CrispConfig(chain_capacity=2))
+        assert len(pipeline.crisp.chain_pcs) <= 2
+
+
+class TestBehaviour:
+    def test_architectural_results_unchanged(self):
+        source, mem, expected = h2p_loop_workload(n=1000, seed=61)
+        pipeline = crisp_run(source, mem)
+        assert pipeline.architectural_register(1) == expected
+
+    def test_limited_benefit_vs_tea(self):
+        """The paper's §II critique: scheduling priority alone saves at
+        most a few cycles per branch; the TEA thread's early flushes
+        save far more."""
+        base = run_workload("bfs", "baseline", "tiny")
+        crisp = run_workload("bfs", "crisp", "tiny")
+        tea = run_workload("bfs", "tea", "tiny")
+        crisp_gain = crisp.ipc / base.ipc
+        tea_gain = tea.ipc / base.ipc
+        assert tea_gain > crisp_gain
+        # CRISP must not be harmful either.
+        assert crisp_gain > 0.9
+
+    def test_mode_available_in_runner(self):
+        result = run_workload("xz", "crisp", "tiny")
+        assert result.validated

@@ -1,0 +1,124 @@
+"""Tests for .data/.text sections and external assembler symbols."""
+
+import pytest
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.isa import AssemblerError, assemble_unit, run_program
+
+
+class TestDataLayout:
+    def test_words_and_labels(self):
+        unit = assemble_unit(
+            """
+            .data
+            a: .word 10, 20
+            b: .word -5
+            .text
+                li r1, a
+                li r2, b
+                halt
+            """
+        )
+        a = unit.symbols["a"]
+        b = unit.symbols["b"]
+        assert unit.memory.read_array(a, 2) == [10, 20]
+        assert unit.memory.load(b) == -5
+        assert b == a + 16
+
+    def test_space_zeroes(self):
+        unit = assemble_unit(".data\nbuf: .space 4\n.text\nhalt")
+        assert unit.memory.read_array(unit.symbols["buf"], 4) == [0, 0, 0, 0]
+
+    def test_align_to_cache_line(self):
+        unit = assemble_unit(
+            ".data\na: .word 1\n.align\nb: .word 2\n.text\nhalt"
+        )
+        assert unit.symbols["b"] % 64 == 0
+
+    def test_float_values(self):
+        unit = assemble_unit(".data\nf: .word 2.5\n.text\nhalt")
+        assert unit.memory.load(unit.symbols["f"]) == 2.5
+
+    def test_symbols_usable_as_immediates(self):
+        unit = assemble_unit(
+            """
+            .data
+            arr: .word 7, 8, 9
+            .text
+                li r1, arr
+                ld r2, 8(r1)
+                halt
+            """
+        )
+        result = run_program(unit.program, unit.memory)
+        assert result.registers[2] == 8
+
+    def test_full_pipeline_run(self):
+        unit = assemble_unit(
+            """
+            .data
+            data: .word 5, -3, 8, -1, 2
+            out:  .word 0
+            .text
+                li r1, data
+                li r2, 0
+                li r3, 5
+                li r5, 0
+            top:
+                shli r4, r2, 3
+                add r4, r4, r1
+                ld r6, 0(r4)
+                blt r6, r0, skip
+                add r5, r5, r6
+            skip:
+                addi r2, r2, 1
+                blt r2, r3, top
+                li r7, out
+                st r5, 0(r7)
+                halt
+            """
+        )
+        pipeline = Pipeline(unit.program, unit.memory, SimConfig())
+        pipeline.run(max_cycles=100_000)
+        assert pipeline.halted
+        assert pipeline.memory.load(unit.symbols["out"]) == 15
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            ".data\nx: .word\n.text\nhalt",          # no values
+            ".data\nx: .space 0\n.text\nhalt",       # non-positive
+            ".data\nx: .blob 3\n.text\nhalt",        # unknown directive
+            ".data\nx: .word 1\nx: .word 2\n.text\nhalt",  # duplicate
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(AssemblerError):
+            assemble_unit(bad)
+
+    def test_code_label_shadows_data_symbol(self):
+        unit = assemble_unit(
+            """
+            .data
+            spot: .word 42
+            .text
+            spot: nop
+                la r1, spot
+                halt
+            """
+        )
+        # `la` resolves to the *code* label.
+        assert unit.program.instructions[1].imm == unit.program.labels["spot"]
+
+
+class TestExternalSymbols:
+    def test_assemble_accepts_symbols(self):
+        program = assemble("li r1, magic\nhalt", symbols={"magic": 1234})
+        assert program.instructions[0].imm == 1234
+
+    def test_pure_text_source_unchanged(self):
+        unit = assemble_unit("li r1, 7\nhalt")
+        assert len(unit.memory) == 0
+        assert unit.program.instructions[0].imm == 7

@@ -1,0 +1,45 @@
+"""Determinism: identical configurations produce bit-identical runs.
+
+The whole experimental methodology depends on this — figures must be
+exactly reproducible, and (workload, mode) results cacheable.
+"""
+
+import pytest
+
+from repro import Pipeline
+from repro.harness import make_config
+from repro.workloads import make_workload
+
+
+def run_twice(name: str, mode: str):
+    results = []
+    for _ in range(2):
+        wl = make_workload(name, "tiny")
+        pipeline = Pipeline(wl.program, wl.fresh_memory(), make_config(mode))
+        stats = pipeline.run(max_cycles=5_000_000)
+        results.append(
+            (
+                stats.cycles,
+                stats.retired_instructions,
+                stats.total_mispredicts,
+                stats.flushes,
+                stats.early_flushes,
+                stats.tea_resolved_branches,
+                stats.runahead_overrides,
+            )
+        )
+    return results
+
+
+@pytest.mark.parametrize("mode", ["baseline", "tea", "runahead"])
+def test_bit_identical_reruns(mode):
+    first, second = run_twice("xz", mode)
+    assert first == second
+
+
+def test_different_seeds_differ():
+    from repro.workloads import gap
+
+    a = gap.bfs(num_nodes=100, seed=1)
+    b = gap.bfs(num_nodes=100, seed=2)
+    assert a.memory.snapshot() != b.memory.snapshot()

@@ -1,0 +1,90 @@
+"""Unit tests for the banked row-buffer DRAM model."""
+
+from repro.memory import DramConfig, DramModel
+
+
+def make_model(**kwargs):
+    return DramModel(DramConfig(**kwargs))
+
+
+class TestRowBuffer:
+    def test_first_access_opens_row(self):
+        dram = make_model()
+        done = dram.request(0, 0)
+        assert done > 0
+        assert dram.row_misses == 1
+        assert dram.row_hits == 0
+
+    def test_second_access_same_row_is_faster(self):
+        dram = make_model()
+        first = dram.request(0, 0)
+        second_start = first + 100
+        second = dram.request(0, second_start)
+        assert dram.row_hits == 1
+        assert (second - second_start) < first  # row hit is cheaper
+
+    def test_row_conflict_is_slowest(self):
+        cfg = DramConfig()
+        dram = DramModel(cfg)
+        dram.request(0, 0)
+        # Same bank, different row: row_bytes * channels apart.
+        conflict_addr = cfg.row_bytes * cfg.channels
+        start = 10_000
+        conflict_done = dram.request(conflict_addr, start)
+        hit_model = DramModel(cfg)
+        hit_model.request(0, 0)
+        hit_done = hit_model.request(0, start)
+        assert (conflict_done - start) > (hit_done - start)
+
+    def test_row_hit_rate(self):
+        dram = make_model()
+        dram.request(0, 0)
+        dram.request(0, 1000)
+        dram.request(0, 2000)
+        assert dram.row_hit_rate() == 2 / 3
+
+
+class TestParallelism:
+    def test_different_banks_overlap(self):
+        """Two requests to different banks complete closer together
+        than two to the same bank."""
+        cfg = DramConfig()
+        same = DramModel(cfg)
+        base = cfg.row_bytes * cfg.channels  # same bank, new row
+        s1 = same.request(0, 0)
+        s2 = same.request(base, 0)
+
+        diff = DramModel(cfg)
+        d1 = diff.request(0, 0)
+        d2 = diff.request(cfg.channels * 64, 0)  # next bank
+        assert max(d1, d2) <= max(s1, s2)
+
+    def test_channel_bus_serializes(self):
+        dram = make_model(channels=1, bank_groups=1, banks_per_group=1)
+        first = dram.request(0, 0)
+        second = dram.request(0, 0)
+        assert second > first  # burst transfers serialize
+
+    def test_completion_monotonic_with_cycle(self):
+        dram = make_model()
+        early = dram.request(0, 0)
+        late = dram.request(64 * 2, early + 500)
+        assert late > early
+
+
+class TestProbe:
+    def test_probe_does_not_mutate(self):
+        dram = make_model()
+        dram.request(0, 0)
+        before = (dram.row_hits, dram.row_misses, dram.requests)
+        estimate = dram.probe(0, 1000)
+        assert estimate > 1000
+        assert (dram.row_hits, dram.row_misses, dram.requests) == before
+
+    def test_probe_tracks_open_row(self):
+        dram = make_model()
+        dram.request(0, 0)
+        hit_estimate = dram.probe(0, 10_000)
+        cfg = dram.config
+        conflict = dram.probe(cfg.row_bytes * cfg.channels, 10_000)
+        assert conflict > hit_estimate

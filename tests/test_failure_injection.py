@@ -1,0 +1,150 @@
+"""Failure-injection and stress tests: tiny TEA structures, reference
+counter saturation, Block Cache thrash, loop-predictor integration,
+and the misprediction telemetry."""
+
+import random
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.tea import TeaConfig
+
+from tests.conftest import h2p_loop_workload
+
+
+def run_tea(source, mem, tea_config, max_cycles=3_000_000):
+    pipeline = Pipeline(assemble(source), mem, SimConfig(tea=tea_config))
+    pipeline.run(max_cycles=max_cycles)
+    assert pipeline.halted
+    return pipeline
+
+
+class TestTinyTeaStructures:
+    """Shrunken structures must degrade performance, never correctness."""
+
+    def test_tiny_block_cache(self):
+        source, mem, expected = h2p_loop_workload(n=800, seed=41)
+        pipeline = run_tea(
+            source, mem, TeaConfig(block_cache_entries=2, empty_tag_entries=2)
+        )
+        assert pipeline.architectural_register(1) == expected
+
+    def test_tiny_fill_buffer(self):
+        source, mem, expected = h2p_loop_workload(n=800, seed=41)
+        pipeline = run_tea(source, mem, TeaConfig(fill_buffer_size=16))
+        assert pipeline.architectural_register(1) == expected
+        assert pipeline.tea.fill_buffer.walks_performed > 5
+
+    def test_tiny_tea_partition(self):
+        source, mem, expected = h2p_loop_workload(n=800, seed=41)
+        pipeline = run_tea(
+            source, mem, TeaConfig(rs_entries=4, physical_registers=4)
+        )
+        assert pipeline.architectural_register(1) == expected
+
+    def test_tiny_store_cache(self):
+        source, mem, expected = h2p_loop_workload(n=600, seed=41)
+        pipeline = run_tea(source, mem, TeaConfig(store_cache_halflines=1))
+        assert pipeline.architectural_register(1) == expected
+
+    def test_instant_walks(self):
+        source, mem, expected = h2p_loop_workload(n=600, seed=41)
+        pipeline = run_tea(source, mem, TeaConfig(walk_cycles=0))
+        assert pipeline.architectural_register(1) == expected
+
+    def test_aggressive_mask_reset(self):
+        source, mem, expected = h2p_loop_workload(n=1200, seed=41)
+        pipeline = run_tea(source, mem, TeaConfig(mask_reset_period=500))
+        assert pipeline.architectural_register(1) == expected
+        assert pipeline.tea.block_cache.mask_resets > 0
+
+    def test_zero_late_tolerance(self):
+        source, mem, expected = h2p_loop_workload(n=600, seed=41)
+        pipeline = run_tea(source, mem, TeaConfig(max_late_resolutions=0))
+        assert pipeline.architectural_register(1) == expected
+
+
+class TestRefcountSaturation:
+    def test_saturated_pregs_are_pinned_not_corrupted(self):
+        """Force the 5-bit reference counter toward saturation by
+        renaming many readers of one TEA value; the pool must pin the
+        preg rather than double-free it."""
+        source, mem, expected = h2p_loop_workload(n=800, seed=43)
+        pipeline = run_tea(source, mem, TeaConfig())
+        assert pipeline.architectural_register(1) == expected
+        # Whatever happened internally, the free list can never exceed
+        # the pool size and never contain duplicates.
+        free = list(pipeline.prf.tea_free)
+        assert len(free) == len(set(free))
+        assert len(free) <= pipeline.prf.tea_size
+
+
+class TestBlockCacheThrash:
+    def test_many_basic_blocks_thrash_gracefully(self):
+        """A branchy program with far more blocks than Block Cache
+        entries: the TEA thread keeps terminating on misses but must
+        never wedge the machine."""
+        rng = random.Random(5)
+        chunks = []
+        for k in range(60):
+            chunks.append(f"""
+            blt r6, r0, neg{k}
+            addi r1, r1, 1
+            jmp join{k}
+        neg{k}:
+            subi r1, r1, 1
+        join{k}:
+            shli r5, r2, 3
+            add r5, r5, r4
+            ld r6, 0(r5)
+            addi r2, r2, 1
+            """)
+        source = (
+            "li r1, 0\nli r2, 0\nli r4, 4096\nli r7, 6\nli r8, 0\n"
+            "ld r6, 0(r4)\n"
+            "top:\n" + "\n".join(chunks)
+            + "\naddi r8, r8, 1\nblt r8, r7, top\nhalt"
+        )
+        mem = MemoryImage()
+        mem.write_array(4096, [rng.choice([-1, 1]) for _ in range(600)])
+        pipeline = run_tea(
+            source, mem, TeaConfig(block_cache_entries=8, empty_tag_entries=8)
+        )
+        assert pipeline.stats.retired_instructions > 1000
+
+
+class TestLoopPredictorIntegration:
+    def test_constant_trip_inner_loop_stops_mispredicting(self):
+        """A fixed 7-iteration inner loop: after warmup, the loop
+        predictor should remove the per-trip exit mispredictions."""
+        source = """
+            li r1, 0
+            li r2, 120
+        outer:
+            li r3, 0
+        inner:
+            addi r3, r3, 1
+            li r4, 7
+            blt r3, r4, inner
+            addi r1, r1, 1
+            blt r1, r2, outer
+            halt
+        """
+        pipeline = Pipeline(assemble(source), MemoryImage(), SimConfig())
+        stats = pipeline.run(max_cycles=1_000_000)
+        assert pipeline.halted
+        # 120 loop exits; far fewer than 120 mispredictions overall
+        # means the exits are being predicted.
+        assert stats.total_mispredicts < 40
+
+
+class TestTelemetry:
+    def test_top_mispredicting_branches(self):
+        source, mem, _ = h2p_loop_workload(n=800, seed=47)
+        program = assemble(source)
+        pipeline = Pipeline(program, mem, SimConfig())
+        pipeline.run(max_cycles=3_000_000)
+        top = pipeline.top_mispredicting_branches(3)
+        assert top, "no mispredictions recorded"
+        pc, count = top[0]
+        # The heaviest mispredictor is the data-dependent blt.
+        assert program.instruction_at(pc).opcode == "blt"
+        assert count > 100

@@ -1,0 +1,183 @@
+"""Unit tests for the Fill Buffer and the Backward Dataflow Walk.
+
+The walk scenarios mirror the paper's running examples: Fig. 1's
+load-compare-branch chain, §III-C's re-seeding from TEA-marked uops,
+§III-D's memory dependencies, and the Fig. 10 ablation flags.
+"""
+
+from repro.tea import FillBuffer, FillEntry, TeaConfig, backward_dataflow_walk
+
+
+def entry(
+    pc,
+    dst=None,
+    srcs=(),
+    load=False,
+    store=False,
+    addr=None,
+    h2p=False,
+    seed=False,
+    bb=0,
+    offset=0,
+):
+    return FillEntry(
+        pc=pc,
+        dst=dst,
+        srcs=srcs,
+        is_load=load,
+        is_store=store,
+        mem_addr=addr,
+        is_h2p_branch=h2p,
+        chain_seed=seed,
+        bb_start=bb,
+        bb_offset=offset,
+    )
+
+
+def walk(entries, **cfg_kwargs):
+    config = TeaConfig(**cfg_kwargs)
+    return backward_dataflow_walk(entries, config)
+
+
+class TestRegisterChains:
+    def test_paper_fig1_chain(self):
+        """ld -> cmp -> H2P branch: all three marked, loop counter too."""
+        entries = [
+            entry(0x00, dst=2, srcs=(2,)),          # i++ (part of chain via r2)
+            entry(0x04, dst=5, srcs=(2,)),          # addr = f(i)
+            entry(0x08, dst=6, srcs=(5,), load=True, addr=4096),   # ld r6
+            entry(0x0C, srcs=(6,), h2p=True),       # H2P branch on r6
+        ]
+        result = walk(entries)
+        assert result.marked == [True, True, True, True]
+
+    def test_unrelated_instructions_not_marked(self):
+        entries = [
+            entry(0x00, dst=9, srcs=(9,)),          # unrelated
+            entry(0x04, dst=6, srcs=(7,)),
+            entry(0x08, srcs=(6,), h2p=True),
+        ]
+        result = walk(entries)
+        assert result.marked == [False, True, True]
+
+    def test_no_h2p_marks_nothing(self):
+        entries = [entry(0x00, dst=1, srcs=(2,)), entry(0x04, dst=2, srcs=(1,))]
+        result = walk(entries)
+        assert result.marked == [False, False]
+        assert result.initiations == 0
+
+    def test_source_list_removes_overwritten_destination(self):
+        """r6's older producer is dead once a younger write to r6 is
+        found between it and the branch — only the younger one marks."""
+        entries = [
+            entry(0x00, dst=6, srcs=(1,)),          # dead producer
+            entry(0x04, dst=6, srcs=(2,)),          # live producer
+            entry(0x08, srcs=(6,), h2p=True),
+        ]
+        result = walk(entries)
+        assert result.marked == [False, True, True]
+
+    def test_self_update_keeps_tracing(self):
+        """addi r2, r2, 1 consumes and produces r2: older producers
+        of r2 stay in the chain (induction variables, §III-C)."""
+        entries = [
+            entry(0x00, dst=2, srcs=(3,)),          # r2 = f(r3)
+            entry(0x04, dst=2, srcs=(2,)),          # r2++
+            entry(0x08, srcs=(2,), h2p=True),
+        ]
+        result = walk(entries)
+        assert result.marked == [True, True, True]
+
+    def test_multiple_h2p_instances_traced_together(self):
+        entries = [
+            entry(0x00, dst=5, srcs=(1,)),
+            entry(0x04, srcs=(5,), h2p=True),
+            entry(0x00, dst=5, srcs=(1,)),
+            entry(0x04, srcs=(5,), h2p=True),
+        ]
+        result = walk(entries)
+        assert result.marked == [True, True, True, True]
+
+
+class TestMemoryDependencies:
+    def _store_load_chain(self):
+        return [
+            entry(0x00, dst=7, srcs=(8,)),                      # value producer
+            entry(0x04, srcs=(7, 9), store=True, addr=4096),    # st r7 -> [a]
+            entry(0x08, dst=6, srcs=(9,), load=True, addr=4096),  # ld r6 <- [a]
+            entry(0x0C, srcs=(6,), h2p=True),
+        ]
+
+    def test_store_to_load_traced(self):
+        result = walk(self._store_load_chain())
+        assert result.marked == [True, True, True, True]
+
+    def test_no_mem_ablation_breaks_the_chain(self):
+        result = walk(self._store_load_chain(), trace_memory=False)
+        # The store and its producer are invisible without mem tracing.
+        assert result.marked == [False, False, True, True]
+
+    def test_store_to_different_address_not_marked(self):
+        entries = [
+            entry(0x04, srcs=(7, 9), store=True, addr=8192),
+            entry(0x08, dst=6, srcs=(9,), load=True, addr=4096),
+            entry(0x0C, srcs=(6,), h2p=True),
+        ]
+        result = walk(entries)
+        assert result.marked[0] is False
+
+    def test_mem_buffer_capacity_bounded(self):
+        config = TeaConfig(mem_source_entries=2)
+        entries = [
+            entry(0x10 + 4 * i, dst=6, srcs=(9,), load=True, addr=4096 + 64 * i)
+            for i in range(6)
+        ] + [entry(0x40, srcs=(6,), h2p=True)]
+        result = backward_dataflow_walk(entries, config)
+        assert result.marked[-1]  # walk completes without error
+
+
+class TestSeedingAndAblations:
+    def test_chain_seed_initiates_with_masks(self):
+        """§III-C: TEA-fetched uops re-seed the walk, growing chains."""
+        entries = [
+            entry(0x00, dst=3, srcs=(4,)),
+            entry(0x04, dst=2, srcs=(3,), seed=True),  # previously in chain
+        ]
+        result = walk(entries)
+        assert result.marked == [True, True]
+
+    def test_chain_seed_ignored_without_masks(self):
+        entries = [
+            entry(0x00, dst=3, srcs=(4,)),
+            entry(0x04, dst=2, srcs=(3,), seed=True),
+        ]
+        result = walk(entries, use_masks=False)
+        assert result.marked == [False, False]
+
+    def test_only_loops_stops_at_previous_instance(self):
+        """Chains must not cross a previous dynamic instance of the
+        same H2P branch in the only-loops ablation."""
+        entries = [
+            entry(0x00, dst=5, srcs=(1,)),
+            entry(0x04, srcs=(5,), h2p=True),   # previous instance
+            entry(0x00, dst=5, srcs=(1,)),
+            entry(0x04, srcs=(5,), h2p=True),   # youngest instance
+        ]
+        full = walk(entries)
+        limited = walk(entries, only_loops=True)
+        assert sum(full.marked) == 4
+        assert limited.marked == [False, False, True, True]
+        assert limited.stop_index == 1
+
+
+class TestFillBufferLifecycle:
+    def test_full_and_walk_clears(self):
+        config = TeaConfig(fill_buffer_size=4)
+        fb = FillBuffer(config)
+        for i in range(4):
+            fb.insert(entry(4 * i, dst=1, srcs=(2,)))
+        assert fb.full()
+        entries, result = fb.run_walk()
+        assert len(entries) == 4
+        assert len(fb) == 0
+        assert fb.walks_performed == 1

@@ -1,0 +1,86 @@
+"""Unit tests for the H2P branch identification table (paper §IV-B)."""
+
+from repro.tea import H2PTable, TeaConfig
+
+
+class TestClassification:
+    def test_single_mispredict_is_not_h2p(self):
+        table = H2PTable()
+        table.record_mispredict(0x40)
+        assert not table.is_h2p(0x40)
+        assert table.counter(0x40) == 1
+
+    def test_repeated_mispredicts_become_h2p(self):
+        table = H2PTable()
+        table.record_mispredict(0x40)
+        table.record_mispredict(0x40)
+        assert table.is_h2p(0x40)
+
+    def test_counter_saturates_at_3_bits(self):
+        table = H2PTable()
+        for _ in range(100):
+            table.record_mispredict(0x40)
+        assert table.counter(0x40) == 7
+
+    def test_unknown_branch(self):
+        table = H2PTable()
+        assert not table.is_h2p(0x123 << 2)
+        assert table.counter(0x123 << 2) == 0
+
+
+class TestDecay:
+    def test_periodic_decrement_demotes(self):
+        table = H2PTable()
+        table.record_mispredict(0x40)
+        table.record_mispredict(0x40)
+        assert table.is_h2p(0x40)
+        table.periodic_decrement()
+        assert not table.is_h2p(0x40)  # counter back to 1
+
+    def test_decrement_floors_at_zero(self):
+        table = H2PTable()
+        table.record_mispredict(0x40)
+        for _ in range(5):
+            table.periodic_decrement()
+        assert table.counter(0x40) == 0
+
+    def test_infrequent_mispredictors_decay_out(self):
+        """The paper's rationale: < 0.02 MPKI branches tend to zero."""
+        table = H2PTable()
+        for _ in range(3):
+            table.record_mispredict(0x40)
+            table.periodic_decrement()
+            table.periodic_decrement()
+        assert not table.is_h2p(0x40)
+
+
+class TestReplacement:
+    def test_zero_counter_victims_preferred(self):
+        config = TeaConfig(h2p_entries=8, h2p_ways=8)
+        table = H2PTable(config)  # one set
+        pcs = [i << 2 for i in range(8)]
+        for pc in pcs:
+            table.record_mispredict(pc)
+            table.record_mispredict(pc)
+        table.periodic_decrement()
+        table.periodic_decrement()  # pcs[0..7] all at 0
+        table.record_mispredict(pcs[1])  # bump one back up
+        table.record_mispredict(0x1000)  # needs a victim
+        assert table.counter(pcs[1]) == 1  # survivor (non-zero)
+        assert table.counter(0x1000) == 1
+
+    def test_capacity_respected(self):
+        config = TeaConfig(h2p_entries=8, h2p_ways=2)
+        table = H2PTable(config)
+        for i in range(40):
+            table.record_mispredict(i << 2)
+        for cset in table._sets:
+            assert len(cset) <= 2
+
+    def test_h2p_pcs_listing(self):
+        table = H2PTable()
+        for pc in (0x40, 0x80):
+            table.record_mispredict(pc)
+            table.record_mispredict(pc)
+        table.record_mispredict(0xC0)
+        assert table.h2p_pcs() == {0x40, 0x80}

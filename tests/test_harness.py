@@ -1,0 +1,135 @@
+"""Tests for the experiment harness: runner modes, suite caching,
+reporting helpers."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentSuite,
+    MODES,
+    format_table,
+    geomean,
+    make_config,
+    run_workload,
+    speedup_percent,
+)
+
+
+class TestReporting:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([5.0]) == pytest.approx(5.0)
+        assert geomean([]) == 0.0
+
+    def test_geomean_tolerates_zero(self):
+        assert geomean([0.0, 4.0]) >= 0.0
+
+    def test_speedup_percent(self):
+        assert speedup_percent(1.1, 1.0) == pytest.approx(10.0)
+        assert speedup_percent(1.0, 0.0) == 0.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "x"], [["a", 1.5], ["bb", 20.25]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in text and "20.25" in text
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows aligned
+
+
+class TestModes:
+    def test_every_mode_builds(self):
+        for mode in MODES:
+            config = make_config(mode)
+            assert config is not None
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_config("warp_drive")
+
+    def test_mode_semantics(self):
+        assert make_config("baseline").tea is None
+        assert make_config("tea").tea is not None
+        assert make_config("tea_dedicated").tea.dedicated_engine
+        assert not make_config("tea_prefetch_only").tea.early_resolution
+        assert make_config("tea_only_loops").tea.only_loops
+        assert not make_config("tea_no_masks").tea.use_masks
+        assert not make_config("tea_no_mem").tea.trace_memory
+        assert make_config("runahead").runahead is not None
+
+
+class TestRunner:
+    def test_run_workload_validates(self):
+        result = run_workload("xz", "baseline", "tiny")
+        assert result.validated
+        assert result.halted
+        assert result.ipc > 0
+
+    def test_accepts_workload_object(self):
+        from repro.workloads import make_workload
+
+        wl = make_workload("xz", "tiny")
+        result = run_workload(wl, "baseline")
+        assert result.workload == "xz"
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return ExperimentSuite(scale="tiny", workloads=("xz", "mcf"))
+
+    def test_result_caching(self, suite):
+        first = suite.result("xz", "baseline")
+        second = suite.result("xz", "baseline")
+        assert first is second
+
+    def test_fig5_structure(self, suite):
+        data = suite.fig5()
+        assert set(data["speedup_pct"]) == {"xz", "mcf"}
+        assert "geomean_pct" in data
+        assert data["paper_geomean_pct"] == 10.1
+
+    def test_fig6_mpki_positive(self, suite):
+        data = suite.fig6()
+        assert all(v > 0 for v in data["mpki"].values())
+
+    def test_fig7_breakdown_sums_to_100(self, suite):
+        data = suite.fig7()
+        for name, b in data["breakdown"].items():
+            total = (
+                b["covered_timely"] + b["covered_late"] + b["incorrect"] + b["uncovered"]
+            )
+            assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_fig8_categories(self, suite):
+        data = suite.fig8()
+        assert "xz" in data["simple_names"]
+        assert "mcf" in data["complex_names"]
+
+    def test_fig10_modes_present(self, suite):
+        data = suite.fig10()
+        assert set(data["accuracy_pct"]) == {
+            "TEA",
+            "only loops",
+            "no masks",
+            "no mem",
+            "no features",
+        }
+
+    def test_table3_footprint(self, suite):
+        data = suite.table3()
+        # The TEA thread always fetches *something* extra.
+        assert data["mean_pct"] > 0
+
+    def test_renderers_produce_tables(self, suite):
+        for render in (
+            suite.render_fig5,
+            suite.render_fig6,
+            suite.render_fig7,
+            suite.render_fig8,
+            suite.render_fig9,
+            suite.render_fig10,
+            suite.render_table3,
+        ):
+            text = render()
+            assert "benchmark" in text
+            assert "xz" in text

@@ -1,0 +1,98 @@
+"""Unit tests for the cache hierarchy timing model."""
+
+from repro.memory import MemoryConfig, MemoryHierarchy
+
+
+def make_hierarchy(**kwargs):
+    return MemoryHierarchy(MemoryConfig(**kwargs))
+
+
+class TestLoadPath:
+    def test_l1_hit_latency(self):
+        h = make_hierarchy()
+        h.l1d.fill(0)
+        assert h.access_load(0, 100) == 100 + h.config.l1d_latency
+
+    def test_llc_hit_latency(self):
+        h = make_hierarchy()
+        h.llc.fill(0)
+        ready = h.access_load(0, 100)
+        assert ready == 100 + h.config.l1d_latency + h.config.llc_latency
+
+    def test_miss_goes_to_dram(self):
+        h = make_hierarchy()
+        ready = h.access_load(0, 100)
+        assert ready > 100 + h.config.l1d_latency + h.config.llc_latency
+        assert h.loads_to_dram == 1
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        first = h.access_load(0, 0)
+        second = h.access_load(8, first)  # same line
+        assert second == first + h.config.l1d_latency
+
+
+class TestMshrs:
+    def test_merge_same_line(self):
+        h = make_hierarchy()
+        first = h.access_load(0, 0)
+        merged = h.access_load(32, 1)  # same 64B line, still in flight
+        assert merged == first
+
+    def test_full_mshrs_reject(self):
+        h = make_hierarchy(mshr_entries=2)
+        assert h.access_load(0 * 64, 0) is not None
+        assert h.access_load(1 * 64, 0) is not None
+        assert h.access_load(2 * 64, 0) is None
+        assert h.mshr_full_events == 1
+
+    def test_mshrs_release_over_time(self):
+        h = make_hierarchy(mshr_entries=1)
+        ready = h.access_load(0, 0)
+        assert h.access_load(64, 1) is None
+        assert h.access_load(64, ready + 1) is not None
+
+    def test_occupancy(self):
+        h = make_hierarchy()
+        h.access_load(0, 0)
+        assert h.mshr_occupancy(0) == 1
+        assert h.mshr_occupancy(10**9) == 0
+
+
+class TestIfetch:
+    def test_ifetch_has_no_mshr_backpressure(self):
+        h = make_hierarchy(mshr_entries=1)
+        h.access_load(0, 0)
+        # I-fetch must always get a completion time.
+        assert h.access_ifetch(4096, 0) is not None
+
+    def test_ifetch_hit(self):
+        h = make_hierarchy()
+        h.l1i.fill(0)
+        assert h.access_ifetch(0, 50) == 50 + h.config.l1i_latency
+
+    def test_icache_and_dcache_are_separate(self):
+        h = make_hierarchy()
+        h.l1d.fill(0)
+        ready = h.access_ifetch(0, 0)
+        assert ready > h.config.l1i_latency  # not an L1I hit
+
+
+class TestStoresAndBypass:
+    def test_store_retire_installs_line(self):
+        h = make_hierarchy()
+        h.access_store_retire(128)
+        assert h.l1d.lookup(128)
+        assert h.llc.lookup(128)
+
+    def test_bypass_load_does_not_fill_l1(self):
+        h = make_hierarchy()
+        h.access_load_bypass_l1(256, 0)
+        assert not h.l1d.lookup(256)
+        assert h.llc.lookup(256)
+
+    def test_bypass_load_sees_l1_without_touching_lru(self):
+        h = make_hierarchy()
+        h.l1d.fill(256)
+        ready = h.access_load_bypass_l1(256, 10)
+        assert ready == 10 + h.config.l1d_latency

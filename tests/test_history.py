@@ -1,0 +1,114 @@
+"""Unit + property tests for speculative history and folded registers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import HistoryState, fold_history
+
+import pytest
+
+
+class TestBasicHistory:
+    def test_push_conditional_shifts(self):
+        h = HistoryState()
+        h.push_conditional(True)
+        h.push_conditional(False)
+        h.push_conditional(True)
+        assert h.ghr & 0b111 == 0b101
+
+    def test_push_target_updates_path_and_ghr(self):
+        h = HistoryState()
+        h.push_target(0x104, 0x200)
+        assert h.ghr & 1 == 1
+        assert h.path != 0
+
+    def test_snapshot_restore_roundtrip(self):
+        h = HistoryState()
+        h.register_fold(8, 4)
+        for bit in (1, 0, 1, 1, 0):
+            h.push_conditional(bool(bit))
+        snap = h.snapshot()
+        h.push_conditional(True)
+        h.push_target(4, 8)
+        h.restore(snap)
+        assert h.snapshot() == snap
+
+
+class TestFoldedRegisters:
+    def test_register_after_push_rejected(self):
+        h = HistoryState()
+        h.push_conditional(True)
+        with pytest.raises(ValueError):
+            h.register_fold(8, 4)
+
+    def test_bad_spec_rejected(self):
+        h = HistoryState()
+        with pytest.raises(ValueError):
+            h.register_fold(0, 4)
+        with pytest.raises(ValueError):
+            h.register_fold(8, 0)
+
+    def test_fold_width_bound(self):
+        h = HistoryState()
+        idx = h.register_fold(12, 5)
+        for _ in range(100):
+            h.push_conditional(True)
+            assert 0 <= h.fold(idx) < (1 << 5)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=60)
+    def test_fold_is_pure_function_of_history_window(self, bits):
+        """Two histories that agree on the last L bits agree on the fold."""
+        length, width = 8, 3
+        a = HistoryState()
+        ia = a.register_fold(length, width)
+        b = HistoryState()
+        ib = b.register_fold(length, width)
+        # b sees a different prefix first, then the same last `length` bits.
+        for bit in (True, False, True, True, False, False, True, False):
+            b.push_conditional(bit)
+        window = bits[-length:]
+        prefix = bits[:-length]
+        for bit in prefix:
+            a.push_conditional(bit)
+        for bit in window:
+            a.push_conditional(bit)
+            b.push_conditional(bit)
+        if len(bits) >= length:
+            assert a.fold(ia) == b.fold(ib)
+
+    @given(st.lists(st.booleans(), max_size=100), st.lists(st.booleans(), max_size=20))
+    @settings(max_examples=60)
+    def test_restore_then_replay_is_deterministic(self, prefix, suffix):
+        h = HistoryState()
+        idx = h.register_fold(16, 6)
+        for bit in prefix:
+            h.push_conditional(bit)
+        snap = h.snapshot()
+        for bit in suffix:
+            h.push_conditional(bit)
+        after_first = (h.ghr, h.fold(idx))
+        h.restore(snap)
+        for bit in suffix:
+            h.push_conditional(bit)
+        assert (h.ghr, h.fold(idx)) == after_first
+
+
+class TestFoldHistoryFunction:
+    def test_zero_cases(self):
+        assert fold_history(0b1010, 0, 4) == 0
+        assert fold_history(0, 16, 4) == 0
+
+    def test_short_history_identity(self):
+        assert fold_history(0b101, 3, 4) == 0b101
+
+    def test_chunked_xor(self):
+        # 8 bits folded to 4: low nibble XOR high nibble.
+        assert fold_history(0xA5, 8, 4) == 0xA ^ 0x5
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_result_in_range(self, history, length, width):
+        assert 0 <= fold_history(history, length, width) < (1 << width)

@@ -1,0 +1,125 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, INSTRUCTION_BYTES, UopClass, assemble
+from repro.isa.registers import REG_RA
+
+
+class TestBasicEncoding:
+    def test_pcs_are_sequential(self):
+        program = assemble("li r1, 1\nli r2, 2\nhalt")
+        assert [i.pc for i in program.instructions] == [0, 4, 8]
+
+    def test_alu_register_form(self):
+        program = assemble("add r1, r2, r3\nhalt")
+        instr = program.instructions[0]
+        assert instr.opcode == "add"
+        assert instr.dst == 1
+        assert instr.srcs == (2, 3)
+
+    def test_immediates_decimal_hex_negative(self):
+        program = assemble("li r1, 0x10\nli r2, -3\nhalt")
+        assert program.instructions[0].imm == 16
+        assert program.instructions[1].imm == -3
+
+    def test_load_store_operands(self):
+        program = assemble("ld r1, 8(r2)\nst r3, -16(r4)\nhalt")
+        load, store = program.instructions[:2]
+        assert load.dst == 1 and load.srcs == (2,) and load.imm == 8
+        assert store.dst is None and store.srcs == (3, 4) and store.imm == -16
+
+    def test_fp_load_store(self):
+        program = assemble("fld f1, 0(r2)\nfst f1, 8(r2)\nhalt")
+        assert program.instructions[0].dst == 32 + 1
+        assert program.instructions[1].srcs[0] == 32 + 1
+
+
+class TestLabelsAndBranches:
+    def test_forward_and_backward_labels(self):
+        program = assemble(
+            """
+            start:
+                beq r1, r2, end
+                jmp start
+            end:
+                halt
+            """
+        )
+        beq, jmp, halt = program.instructions
+        assert beq.target == halt.pc
+        assert jmp.target == beq.pc
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("top: addi r1, r1, 1\njmp top\nhalt")
+        assert program.labels["top"] == 0
+        assert program.instructions[1].target == 0
+
+    def test_call_writes_ra_and_ret_reads_it(self):
+        program = assemble("call fn\nhalt\nfn: ret")
+        call, _, ret = program.instructions
+        assert call.dst == REG_RA
+        assert ret.srcs == (REG_RA,)
+
+    def test_la_loads_label_address(self):
+        program = assemble("la r1, fn\njr r1\nfn: halt")
+        assert program.instructions[0].opcode == "li"
+        assert program.instructions[0].imm == program.labels["fn"]
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a: nop\na: halt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble("jmp nowhere\nhalt")
+
+
+class TestPseudoInstructions:
+    def test_beqz_expands_to_beq_zero(self):
+        program = assemble("t: beqz r5, t\nhalt")
+        instr = program.instructions[0]
+        assert instr.opcode == "beq"
+        assert instr.srcs == (5, 0)
+
+    def test_inc_dec(self):
+        program = assemble("inc r3\ndec r4\nhalt")
+        inc, dec = program.instructions[:2]
+        assert (inc.opcode, inc.imm) == ("addi", 1)
+        assert (dec.opcode, dec.imm) == ("addi", -1)
+        assert inc.dst == 3 and inc.srcs == (3,)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r1, r2",        # unknown opcode
+            "add r1, r2",               # wrong operand count
+            "ld r1, r2",                # malformed memory operand
+            "beq r1, r2",               # missing label
+            "",                         # empty program
+            "   # only a comment",      # still empty
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(AssemblerError):
+            assemble(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1\nhalt")
+
+
+class TestCommentsAndFormatting:
+    def test_comments_ignored(self):
+        program = assemble("# header\nnop  # tail comment\nhalt")
+        assert len(program) == 2
+
+    def test_classes_assigned(self):
+        program = assemble("jmp x\nx: call y\ny: ret")
+        classes = [i.uop_class for i in program.instructions]
+        assert classes == [UopClass.BR_JUMP, UopClass.BR_CALL, UopClass.BR_RET]
+
+    def test_instruction_bytes_constant(self):
+        assert INSTRUCTION_BYTES == 4

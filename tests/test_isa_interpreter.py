@@ -1,0 +1,100 @@
+"""Unit tests for the reference interpreter (the golden model)."""
+
+import pytest
+
+from repro.isa import InterpreterError, assemble, run_program
+from repro.memory import MemoryImage
+
+
+class TestStraightLine:
+    def test_arithmetic(self):
+        result = run_program(assemble("li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt"))
+        assert result.registers[3] == 42
+        assert result.halted
+
+    def test_zero_register_is_immutable(self):
+        result = run_program(assemble("li r0, 99\nadd r1, r0, r0\nhalt"))
+        assert result.registers[0] == 0
+        assert result.registers[1] == 0
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        src = """
+            li r1, 0
+            li r2, 10
+        top:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+        """
+        result = run_program(assemble(src))
+        assert result.registers[1] == 10
+
+    def test_call_ret(self):
+        src = """
+            li sp, 1024
+            li r1, 5
+            call double
+            halt
+        double:
+            add r1, r1, r1
+            ret
+        """
+        result = run_program(assemble(src))
+        assert result.registers[1] == 10
+
+    def test_indirect_jump(self):
+        src = """
+            la r1, there
+            jr r1
+            li r2, 111
+        there:
+            li r2, 222
+            halt
+        """
+        result = run_program(assemble(src))
+        assert result.registers[2] == 222
+
+    def test_trace_collects_branch_outcomes(self):
+        src = """
+            li r1, 0
+        top:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+        """
+        mem = MemoryImage()
+        result = run_program(assemble(src), mem, collect_trace=True)
+        # r2 = 0, so the branch executes exactly once, not taken.
+        assert result.trace == [(4 + 4, False)]
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        src = """
+            li r1, 4096
+            li r2, 77
+            st r2, 0(r1)
+            ld r3, 0(r1)
+            halt
+        """
+        result = run_program(assemble(src))
+        assert result.registers[3] == 77
+        assert result.memory.load(4096) == 77
+
+    def test_preloaded_memory(self):
+        mem = MemoryImage({4096: 5, 4104: 6})
+        src = "li r1, 4096\nld r2, 0(r1)\nld r3, 8(r1)\nadd r4, r2, r3\nhalt"
+        result = run_program(assemble(src), mem)
+        assert result.registers[4] == 11
+
+
+class TestFailureModes:
+    def test_runaway_raises(self):
+        with pytest.raises(InterpreterError, match="did not halt"):
+            run_program(assemble("x: jmp x"), max_steps=100)
+
+    def test_falling_off_image_raises(self):
+        with pytest.raises(InterpreterError, match="left the image"):
+            run_program(assemble("nop\nnop"))  # no halt

@@ -1,0 +1,92 @@
+"""Unit tests for the Program container and basic-block derivation."""
+
+from repro.isa import assemble
+
+
+class TestBasicBlocks:
+    def test_single_block_program(self):
+        program = assemble("li r1, 1\nadd r2, r1, r1\nhalt")
+        blocks = program.basic_blocks
+        assert list(blocks) == [0]
+        assert blocks[0].num_instructions == 3
+
+    def test_branch_splits_blocks(self):
+        program = assemble(
+            """
+            li r1, 0
+        top:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+            """
+        )
+        # Blocks: [li], [addi, blt], [halt]
+        starts = sorted(program.basic_blocks)
+        assert starts == [0, 4, 12]
+        assert program.basic_blocks[4].end_pc == 8
+
+    def test_branch_target_is_leader(self):
+        program = assemble(
+            """
+            beq r1, r2, mid
+            nop
+        mid:
+            nop
+            halt
+            """
+        )
+        assert program.labels["mid"] in program.basic_blocks
+
+    def test_block_containing(self):
+        program = assemble(
+            """
+            li r1, 0
+        top:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+            """
+        )
+        block = program.block_containing(8)  # the blt
+        assert block is not None
+        assert block.start_pc == 4
+
+    def test_every_pc_maps_to_exactly_one_block(self):
+        program = assemble(
+            """
+            li r1, 5
+        a:  beq r1, r0, b
+            addi r1, r1, -1
+            jmp a
+        b:  call c
+            halt
+        c:  ret
+            """
+        )
+        covered = []
+        for block in program.basic_blocks.values():
+            covered.extend(block.pcs())
+        assert sorted(covered) == [i.pc for i in program.instructions]
+
+    def test_fallthrough_after_branch_is_leader(self):
+        program = assemble("beq r1, r2, x\nnop\nx: halt")
+        assert 4 in program.basic_blocks  # the nop after the branch
+
+
+class TestLookups:
+    def test_instruction_at(self):
+        program = assemble("nop\nhalt")
+        assert program.instruction_at(0).opcode == "nop"
+        assert program.instruction_at(4).opcode == "halt"
+        assert program.instruction_at(8) is None
+        assert program.instruction_at(2) is None  # unaligned
+
+    def test_contains_and_len(self):
+        program = assemble("nop\nnop\nhalt")
+        assert len(program) == 3
+        assert program.contains(8)
+        assert not program.contains(12)
+
+    def test_label_pc(self):
+        program = assemble("nop\nx: halt")
+        assert program.label_pc("x") == 4

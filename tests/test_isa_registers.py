@@ -1,0 +1,69 @@
+"""Unit tests for architectural register naming and indexing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    is_fp_register,
+    parse_register,
+    register_name,
+)
+
+
+class TestParseRegister:
+    def test_integer_registers(self):
+        assert parse_register("r0") == 0
+        assert parse_register("r31") == 31
+
+    def test_fp_registers_are_offset(self):
+        assert parse_register("f0") == NUM_INT_REGS
+        assert parse_register("f15") == NUM_INT_REGS + 15
+
+    def test_aliases(self):
+        assert parse_register("zero") == REG_ZERO
+        assert parse_register("ra") == REG_RA
+        assert parse_register("sp") == REG_SP
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_register(" R7 ") == 7
+        assert parse_register("ZERO") == 0
+
+    @pytest.mark.parametrize("bad", ["r32", "f16", "x1", "r-1", "", "r", "reg1"])
+    def test_rejects_invalid_names(self, bad):
+        with pytest.raises(ValueError):
+            parse_register(bad)
+
+
+class TestRegisterName:
+    def test_roundtrip_all_registers(self):
+        for idx in range(NUM_ARCH_REGS):
+            assert parse_register(register_name(idx)) == idx
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_name(NUM_ARCH_REGS)
+        with pytest.raises(ValueError):
+            register_name(-1)
+
+
+class TestFpPredicate:
+    def test_boundary(self):
+        assert not is_fp_register(NUM_INT_REGS - 1)
+        assert is_fp_register(NUM_INT_REGS)
+        assert is_fp_register(NUM_ARCH_REGS - 1)
+
+    @given(st.integers(min_value=0, max_value=NUM_ARCH_REGS - 1))
+    def test_matches_name_prefix(self, idx):
+        assert is_fp_register(idx) == register_name(idx).startswith("f")
+
+
+def test_register_file_sizes():
+    assert NUM_ARCH_REGS == NUM_INT_REGS + NUM_FP_REGS
+    assert NUM_INT_REGS == 32
+    assert NUM_FP_REGS == 16

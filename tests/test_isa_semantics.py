@@ -1,0 +1,147 @@
+"""Unit + property tests for the functional instruction semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Instruction, branch_taken, branch_target, to_signed64
+from repro.isa.semantics import compute_result, effective_address
+
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+def _instr(opcode, dst=None, srcs=(), imm=None, target=None, pc=0):
+    return Instruction(opcode=opcode, dst=dst, srcs=srcs, imm=imm, target=target, pc=pc)
+
+
+class TestIntegerAlu:
+    @pytest.mark.parametrize(
+        "opcode,a,b,expected",
+        [
+            ("add", 2, 3, 5),
+            ("sub", 2, 3, -1),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 4, 16),
+            ("slt", -1, 0, 1),
+            ("slt", 1, 0, 0),
+            ("sltu", -1, 0, 0),  # -1 is the max unsigned value
+            ("min", 4, -2, -2),
+            ("max", 4, -2, 4),
+            ("mul", -3, 7, -21),
+        ],
+    )
+    def test_binary_ops(self, opcode, a, b, expected):
+        assert compute_result(_instr(opcode, dst=1, srcs=(2, 3)), (a, b)) == expected
+
+    def test_shr_is_logical(self):
+        # -1 shifted right pulls in zeros (unsigned shift).
+        result = compute_result(_instr("shr", dst=1, srcs=(2, 3)), (-1, 60))
+        assert result == 15
+
+    @pytest.mark.parametrize(
+        "a,b,q,r", [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)]
+    )
+    def test_division_truncates_toward_zero(self, a, b, q, r):
+        assert compute_result(_instr("div", dst=1, srcs=(2, 3)), (a, b)) == q
+        assert compute_result(_instr("rem", dst=1, srcs=(2, 3)), (a, b)) == r
+
+    def test_division_by_zero_yields_zero(self):
+        assert compute_result(_instr("div", dst=1, srcs=(2, 3)), (5, 0)) == 0
+        assert compute_result(_instr("rem", dst=1, srcs=(2, 3)), (5, 0)) == 0
+
+    def test_immediates(self):
+        assert compute_result(_instr("addi", dst=1, srcs=(2,), imm=-5), (3,)) == -2
+        assert compute_result(_instr("li", dst=1, imm=42), ()) == 42
+        assert compute_result(_instr("mov", dst=1, srcs=(2,)), (9,)) == 9
+
+    @given(i64, i64)
+    def test_add_wraps_to_64_bits(self, a, b):
+        result = compute_result(_instr("add", dst=1, srcs=(2, 3)), (a, b))
+        assert result == to_signed64(a + b)
+        assert -(2**63) <= result < 2**63
+
+    @given(i64, i64)
+    def test_div_rem_identity(self, a, b):
+        q = compute_result(_instr("div", dst=1, srcs=(2, 3)), (a, b))
+        r = compute_result(_instr("rem", dst=1, srcs=(2, 3)), (a, b))
+        if b != 0:
+            assert to_signed64(q * b + r) == a
+
+
+class TestFloatingPoint:
+    def test_basic_arith(self):
+        assert compute_result(_instr("fadd", dst=33, srcs=(34, 35)), (1.5, 2.5)) == 4.0
+        assert compute_result(_instr("fdiv", dst=33, srcs=(34, 35)), (1.0, 0.0)) == 0.0
+
+    def test_fli_scales_by_256(self):
+        assert compute_result(_instr("fli", dst=33, imm=256), ()) == 1.0
+        assert compute_result(_instr("fli", dst=33, imm=128), ()) == 0.5
+
+    def test_conversions(self):
+        assert compute_result(_instr("itof", dst=33, srcs=(2,)), (7,)) == 7.0
+        assert compute_result(_instr("ftoi", dst=1, srcs=(33,)), (7.9,)) == 7
+
+    def test_fcmplt_returns_int(self):
+        assert compute_result(_instr("fcmplt", dst=1, srcs=(33, 34)), (1.0, 2.0)) == 1
+        assert compute_result(_instr("fcmplt", dst=1, srcs=(33, 34)), (2.0, 1.0)) == 0
+
+
+class TestBranches:
+    @pytest.mark.parametrize(
+        "opcode,a,b,taken",
+        [
+            ("beq", 1, 1, True),
+            ("beq", 1, 2, False),
+            ("bne", 1, 2, True),
+            ("blt", -1, 0, True),
+            ("bge", 0, 0, True),
+            ("ble", 1, 1, True),
+            ("bgt", 2, 1, True),
+            ("bgt", 1, 1, False),
+        ],
+    )
+    def test_conditionals(self, opcode, a, b, taken):
+        instr = _instr(opcode, srcs=(1, 2), target=100)
+        assert branch_taken(instr, (a, b)) is taken
+
+    def test_unconditional_always_taken(self):
+        assert branch_taken(_instr("jmp", target=64), ()) is True
+        assert branch_taken(_instr("ret", srcs=(31,)), (80,)) is True
+
+    def test_direct_target(self):
+        assert branch_target(_instr("beq", srcs=(1, 2), target=200), (0, 0)) == 200
+
+    def test_indirect_target_from_register(self):
+        assert branch_target(_instr("jr", srcs=(5,)), (0x140,)) == 0x140
+
+    def test_call_produces_return_address(self):
+        instr = _instr("call", dst=31, target=400, pc=96)
+        assert compute_result(instr, ()) == 100
+
+
+class TestEffectiveAddress:
+    def test_load_uses_first_source(self):
+        instr = _instr("ld", dst=1, srcs=(2,), imm=16)
+        assert effective_address(instr, (1000,)) == 1016
+
+    def test_store_uses_second_source(self):
+        instr = _instr("st", srcs=(1, 2), imm=-8)
+        assert effective_address(instr, (555, 1000)) == 992
+
+    @given(i64, st.integers(min_value=-4096, max_value=4096))
+    def test_address_wraps(self, base, offset):
+        instr = _instr("ld", dst=1, srcs=(2,), imm=offset)
+        assert effective_address(instr, (base,)) == to_signed64(base + offset)
+
+
+class TestToSigned64:
+    @given(st.integers())
+    def test_range_and_idempotence(self, value):
+        wrapped = to_signed64(value)
+        assert -(2**63) <= wrapped < 2**63
+        assert to_signed64(wrapped) == wrapped
+
+    @given(i64)
+    def test_identity_in_range(self, value):
+        assert to_signed64(value) == value

@@ -1,0 +1,75 @@
+"""Unit + property tests for the functional memory image."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory import WORD_BYTES, MemoryImage, align_word
+
+
+class TestAlignment:
+    def test_align_word(self):
+        assert align_word(0) == 0
+        assert align_word(7) == 0
+        assert align_word(8) == 8
+        assert align_word(4097) == 4096
+
+    def test_unaligned_access_hits_containing_word(self):
+        mem = MemoryImage()
+        mem.store(4096, 42)
+        assert mem.load(4099) == 42
+        mem.store(4103, 43)  # same word
+        assert mem.load(4096) == 43
+
+
+class TestBasicOps:
+    def test_unwritten_reads_zero(self):
+        assert MemoryImage().load(123456) == 0
+
+    def test_store_load_roundtrip(self):
+        mem = MemoryImage()
+        mem.store(64, -17)
+        assert mem.load(64) == -17
+
+    def test_float_values(self):
+        mem = MemoryImage()
+        mem.store(8, 2.5)
+        assert mem.load(8) == 2.5
+
+    def test_initial_contents(self):
+        mem = MemoryImage({0: 1, 8: 2})
+        assert mem.load(0) == 1
+        assert mem.load(8) == 2
+        assert len(mem) == 2
+
+
+class TestArrays:
+    def test_write_array_returns_next_address(self):
+        mem = MemoryImage()
+        end = mem.write_array(100, [1, 2, 3])  # aligns 100 -> 96
+        assert end == 96 + 3 * WORD_BYTES
+        assert mem.read_array(96, 3) == [1, 2, 3]
+
+    def test_read_array_fills_zeros(self):
+        mem = MemoryImage()
+        mem.store(0, 5)
+        assert mem.read_array(0, 3) == [5, 0, 0]
+
+    @given(st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1), max_size=50))
+    def test_array_roundtrip(self, values):
+        mem = MemoryImage()
+        mem.write_array(4096, values)
+        assert mem.read_array(4096, len(values)) == values
+
+
+class TestSnapshot:
+    def test_snapshot_is_independent_copy(self):
+        mem = MemoryImage()
+        mem.store(0, 1)
+        snap = mem.snapshot()
+        mem.store(0, 2)
+        assert snap[0] == 1
+
+    def test_snapshot_rebuilds_identical_image(self):
+        mem = MemoryImage()
+        mem.write_array(0, [1, 2, 3])
+        clone = MemoryImage(mem.snapshot())
+        assert clone.read_array(0, 3) == [1, 2, 3]

@@ -1,0 +1,170 @@
+"""Tests for misprediction detection, flush recovery, and penalties."""
+
+import random
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+
+
+def run_pipeline(source, mem=None, **cfg):
+    program = assemble(source)
+    pipeline = Pipeline(program, mem or MemoryImage(), SimConfig(**cfg))
+    pipeline.run(max_cycles=2_000_000)
+    assert pipeline.halted
+    return pipeline
+
+
+class TestMispredictionAccounting:
+    def test_predictable_loop_has_few_mispredicts(self):
+        src = """
+            li r1, 0
+            li r2, 200
+        top:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+        """
+        pipeline = run_pipeline(src)
+        # Cold BTB + loop exit: a handful of mispredicts, not hundreds.
+        assert pipeline.stats.total_mispredicts <= 6
+
+    def test_random_branch_mispredicts_heavily(self):
+        rng = random.Random(9)
+        mem = MemoryImage({4096 + 8 * i: rng.choice([-1, 1]) for i in range(400)})
+        src = """
+            li r1, 0
+            li r2, 400
+            li r3, 4096
+        top:
+            shli r4, r1, 3
+            add r4, r4, r3
+            ld r5, 0(r4)
+            blt r5, r0, neg
+            addi r6, r6, 1
+        neg:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+        """
+        pipeline = run_pipeline(src, mem)
+        assert pipeline.stats.direction_mispredicts > 100
+
+    def test_indirect_target_mispredicts_counted(self):
+        """An indirect jump alternating targets unpredictably."""
+        rng = random.Random(4)
+        sel = {4096 + 8 * i: rng.randint(0, 1) for i in range(150)}
+        src = """
+            li r1, 0
+            li r2, 150
+            li r3, 4096
+            la r8, t0
+            la r9, t1
+        top:
+            shli r4, r1, 3
+            add r4, r4, r3
+            ld r5, 0(r4)
+            beqz r5, use0
+            mov r10, r9
+            jmp go
+        use0:
+            mov r10, r8
+        go:
+            jr r10
+        t0: addi r6, r6, 1
+            jmp next
+        t1: addi r7, r7, 1
+        next:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+        """
+        pipeline = run_pipeline(src, MemoryImage(sel))
+        assert pipeline.stats.retired_branches > 0
+        # Both handlers ran the right number of times despite chaos.
+        ones = sum(sel.values())
+        assert pipeline.architectural_register(7) == ones
+        assert pipeline.architectural_register(6) == 150 - ones
+
+
+class TestFlushPenalty:
+    def test_mispredict_costs_at_least_frontend_depth(self):
+        """One guaranteed misprediction must cost ~the pipeline depth."""
+        predictable = """
+            li r1, 0
+            li r2, 60
+        top:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+        """
+        pipeline = run_pipeline(predictable)
+        base_cycles = pipeline.stats.cycles
+        base_mispredicts = pipeline.stats.total_mispredicts
+        assert base_mispredicts <= 4
+
+    def test_flush_restores_rat_mappings(self):
+        """After a mispredicted branch, younger register writes must
+        not be visible to the re-fetched correct path."""
+        rng = random.Random(11)
+        mem = MemoryImage({4096 + 8 * i: rng.choice([0, 1]) for i in range(100)})
+        src = """
+            li r1, 0
+            li r2, 100
+            li r3, 4096
+            li r6, 0
+        top:
+            shli r4, r1, 3
+            add r4, r4, r3
+            ld r5, 0(r4)
+            beqz r5, skip       # H2P: ~50% taken
+            addi r6, r6, 1      # only on r5 != 0
+        skip:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+        """
+        pipeline = run_pipeline(src, mem)
+        expected = sum(1 for v in mem.snapshot().values() if v)
+        assert pipeline.architectural_register(6) == expected
+
+
+class TestWrongPathContainment:
+    def test_wrong_path_loads_do_not_crash(self):
+        """Wrong-path execution may compute garbage addresses; the
+        machine must survive and commit correct results."""
+        rng = random.Random(5)
+        mem = MemoryImage({4096 + 8 * i: rng.choice([-1, 1]) for i in range(80)})
+        src = """
+            li r1, 0
+            li r2, 80
+            li r3, 4096
+            li r7, 0
+        top:
+            shli r4, r1, 3
+            add r4, r4, r3
+            ld r5, 0(r4)
+            bge r5, r0, pos
+            ld r6, 0(r5)        # address from data (-1!) on this path
+            add r7, r7, r6
+        pos:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+        """
+        pipeline = run_pipeline(src, mem)
+        assert pipeline.halted
+
+    def test_bp_stall_off_image_recovers(self):
+        """If the predictor runs off the end of the program on the
+        wrong path it stalls until the flush redirects it."""
+        src = """
+            li r1, 1
+            beqz r1, off      # never taken, but cold-predicted...
+            jmp good
+        off:
+            nop               # falls toward the end of the image
+            nop
+        good:
+            halt
+        """
+        pipeline = run_pipeline(src)
+        assert pipeline.halted

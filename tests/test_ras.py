@@ -1,0 +1,101 @@
+"""Unit + property tests for the persistent return-address stack."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import ReturnAddressStack
+
+
+class TestBasicStack:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack()
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack()
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_peek_and_depth(self):
+        ras = ReturnAddressStack()
+        assert ras.peek() is None
+        ras.push(0x40)
+        assert ras.peek() == 0x40
+        assert ras.depth == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(max_depth=3)
+        for addr in (1, 2, 3, 4):
+            ras.push(addr)
+        assert ras.depth == 3
+        assert ras.pop() == 4
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # 1 was dropped
+
+
+class TestSnapshots:
+    def test_snapshot_is_o1_and_immutable(self):
+        ras = ReturnAddressStack()
+        ras.push(0x10)
+        snap = ras.snapshot()
+        ras.push(0x20)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert ras.pop() == 0x10
+
+    def test_snapshot_survives_pops(self):
+        """The persistent structure means a snapshot taken before pops
+        still sees the popped entries (hardware checkpointing)."""
+        ras = ReturnAddressStack()
+        for addr in (1, 2, 3):
+            ras.push(addr)
+        snap = ras.snapshot()
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        ras.restore(snap)
+        assert ras.pop() == 3
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.integers(min_value=0, max_value=2**20)),
+                st.tuples(st.just("pop"), st.none()),
+            ),
+            max_size=60,
+        ),
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.integers(min_value=0, max_value=2**20)),
+                st.tuples(st.just("pop"), st.none()),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=60)
+    def test_restore_equals_reference_model(self, ops, wrong_path):
+        """Snapshot/restore behaves exactly like a plain-list model."""
+        ras = ReturnAddressStack(max_depth=1000)
+        model: list[int] = []
+        for op, value in ops:
+            if op == "push":
+                ras.push(value)
+                model.append(value)
+            else:
+                got = ras.pop()
+                expected = model.pop() if model else None
+                assert got == expected
+        snap = ras.snapshot()
+        for op, value in wrong_path:
+            if op == "push":
+                ras.push(value)
+            else:
+                ras.pop()
+        ras.restore(snap)
+        # Drain both and compare exactly.
+        while model:
+            assert ras.pop() == model.pop()
+        assert ras.pop() is None

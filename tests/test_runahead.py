@@ -1,0 +1,170 @@
+"""Unit + integration tests for the Branch Runahead baseline."""
+
+import random
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.isa import Instruction
+from repro.runahead import (
+    ChainCaptureBuffer,
+    DependenceChainTable,
+    RunaheadConfig,
+)
+from repro.runahead.engine import loop_carried_interval
+
+from tests.conftest import h2p_loop_workload
+
+
+def _instr(opcode, dst=None, srcs=(), imm=None, pc=0, target=None):
+    return Instruction(opcode=opcode, dst=dst, srcs=srcs, imm=imm, pc=pc, target=target)
+
+
+class TestChainCapture:
+    def _loop_records(self, iterations=3):
+        """Simulated retire stream of a simple induction loop:
+        addi r2,r2,1 ; shli r5,r2,3 ; ld r6 ; blt r6,r0 (H2P)."""
+        records = []
+        for _ in range(iterations):
+            records.append((_instr("addi", dst=2, srcs=(2,), imm=1, pc=0x00), None))
+            records.append((_instr("shli", dst=5, srcs=(2,), imm=3, pc=0x04), None))
+            records.append((_instr("ld", dst=6, srcs=(5,), imm=0, pc=0x08), 4096))
+            records.append((_instr("blt", srcs=(6, 0), pc=0x0C, target=0x0), None))
+        return records
+
+    def test_capture_between_consecutive_instances(self):
+        buf = ChainCaptureBuffer()
+        for instr, addr in self._loop_records():
+            buf.record(instr, addr)
+        chain = buf.capture_chain(0x0C)
+        assert chain is not None
+        assert [i.pc for i in chain] == [0x00, 0x04, 0x08, 0x0C]
+
+    def test_no_previous_instance_returns_none(self):
+        buf = ChainCaptureBuffer()
+        for instr, addr in self._loop_records(iterations=1):
+            buf.record(instr, addr)
+        assert buf.capture_chain(0x0C) is None
+
+    def test_unrelated_instructions_excluded(self):
+        buf = ChainCaptureBuffer()
+        records = self._loop_records(2)
+        # Inject an unrelated instruction between the instances.
+        records.insert(5, (_instr("add", dst=9, srcs=(9, 9), pc=0x20), None))
+        for instr, addr in records:
+            buf.record(instr, addr)
+        chain = buf.capture_chain(0x0C)
+        assert 0x20 not in [i.pc for i in chain]
+
+
+class TestChainTable:
+    def _chain(self, pcs):
+        return tuple(_instr("addi", dst=2, srcs=(2,), imm=1, pc=pc) for pc in pcs)
+
+    def test_stable_captures_enable(self):
+        table = DependenceChainTable(RunaheadConfig(stable_threshold=2))
+        for _ in range(2):
+            table.observe_capture(0x40, self._chain([0, 4]))
+        assert table.is_enabled(0x40)
+
+    def test_alternating_signatures_never_enable(self):
+        """The complex-control-flow gate (paper Fig. 8)."""
+        table = DependenceChainTable(RunaheadConfig(stable_threshold=2))
+        for i in range(20):
+            sig = [0, 4] if i % 2 == 0 else [8, 12]
+            table.observe_capture(0x40, self._chain(sig))
+        assert not table.is_enabled(0x40)
+
+    def test_minority_path_does_not_destroy_majority(self):
+        table = DependenceChainTable(RunaheadConfig(stable_threshold=2))
+        for i in range(20):
+            sig = [0, 4] if i % 5 else [8, 12]  # 80/20 mix
+            table.observe_capture(0x40, self._chain(sig))
+        assert table.is_enabled(0x40)
+        entry = table.get(0x40)
+        assert [i.pc for i in entry.chain] == [0, 4]
+
+    def test_accuracy_strikes_disable(self):
+        config = RunaheadConfig(accuracy_window=4, max_accuracy_strikes=2)
+        table = DependenceChainTable(config)
+        for _ in range(3):
+            table.observe_capture(0x40, self._chain([0, 4]))
+        entry = table.get(0x40)
+        for _ in range(8):
+            entry.record_override(False, config)
+        assert entry.disabled
+        assert not table.is_enabled(0x40)
+
+    def test_head_divergence_disables(self):
+        config = RunaheadConfig(accuracy_window=4, max_accuracy_strikes=2)
+        table = DependenceChainTable(config)
+        entry = table.observe_capture(0x40, self._chain([0, 4]))
+        for _ in range(8):
+            entry.record_head_check(False, config)
+        assert entry.disabled
+
+
+class TestLoopCarriedInterval:
+    def test_induction_only_is_one_cycle(self):
+        chain = (
+            _instr("addi", dst=2, srcs=(2,), imm=1, pc=0),
+            _instr("shli", dst=5, srcs=(2,), imm=3, pc=4),
+            _instr("ld", dst=6, srcs=(5,), imm=0, pc=8),
+            _instr("blt", srcs=(6, 0), pc=12, target=0),
+        )
+        assert loop_carried_interval(chain) == 1
+
+    def test_pointer_chase_includes_load_latency(self):
+        chain = (
+            _instr("ld", dst=2, srcs=(2,), imm=0, pc=0),   # p = *p
+            _instr("blt", srcs=(2, 0), pc=4, target=0),
+        )
+        assert loop_carried_interval(chain) >= 4
+
+    def test_no_loop_carried_regs(self):
+        chain = (_instr("blt", srcs=(6, 0), pc=4, target=0),)
+        assert loop_carried_interval(chain) == 1
+
+
+class TestIntegration:
+    def test_runahead_improves_h2p_loop(self):
+        source, mem, expected = h2p_loop_workload(n=2500, seed=21)
+        base = Pipeline(assemble(source), MemoryImage(mem.snapshot()), SimConfig())
+        base_stats = base.run(max_cycles=3_000_000)
+        ra = Pipeline(
+            assemble(source), MemoryImage(mem.snapshot()),
+            SimConfig(runahead=RunaheadConfig()),
+        )
+        ra_stats = ra.run(max_cycles=3_000_000)
+        assert ra.halted and base.halted
+        assert ra.architectural_register(1) == expected
+        # The H2P loop is BR's best case: big MPKI reduction.
+        assert ra_stats.mpki < base_stats.mpki * 0.5
+        assert ra_stats.ipc > base_stats.ipc * 1.3
+        assert ra_stats.runahead_overrides > 0
+
+    def test_architectural_state_never_corrupted(self):
+        """Overrides only steer speculation; results must be exact."""
+        rng = random.Random(17)
+        n = 800
+        values = [rng.randint(-5, 5) for _ in range(n)]
+        mem = MemoryImage()
+        mem.write_array(4096, values)
+        source = f"""
+            li r1, 0
+            li r2, 0
+            li r3, {n}
+            li r4, 4096
+        loop:
+            shli r5, r2, 3
+            add r5, r5, r4
+            ld r6, 0(r5)
+            ble r6, r0, skip
+            add r1, r1, r6
+        skip:
+            addi r2, r2, 1
+            blt r2, r3, loop
+            halt
+        """
+        pipeline = Pipeline(assemble(source), mem, SimConfig(runahead=RunaheadConfig()))
+        pipeline.run(max_cycles=3_000_000)
+        assert pipeline.halted
+        assert pipeline.architectural_register(1) == sum(v for v in values if v > 0)

@@ -1,0 +1,48 @@
+"""Unit tests for the TEA store data cache (paper §IV-E)."""
+
+from repro.tea import TeaConfig, TeaStoreCache
+
+
+class TestBasic:
+    def test_store_then_load(self):
+        cache = TeaStoreCache()
+        cache.store(4096, 42)
+        assert cache.load(4096) == 42
+        assert cache.load_hits == 1
+
+    def test_load_miss_returns_none(self):
+        cache = TeaStoreCache()
+        assert cache.load(4096) is None
+
+    def test_word_granularity_within_half_line(self):
+        cache = TeaStoreCache()
+        cache.store(4096, 1)
+        cache.store(4104, 2)   # same 32B half-line, different word
+        assert cache.load(4096) == 1
+        assert cache.load(4104) == 2
+        assert cache.load(4112) is None
+
+    def test_overwrite_same_word(self):
+        cache = TeaStoreCache()
+        cache.store(4096, 1)
+        cache.store(4096, 2)
+        assert cache.load(4096) == 2
+
+
+class TestCapacity:
+    def test_sixteen_half_lines_fifo(self):
+        cache = TeaStoreCache(TeaConfig(store_cache_halflines=2))
+        cache.store(0, 10)     # half-line 0
+        cache.store(32, 20)    # half-line 1
+        cache.store(64, 30)    # evicts half-line 0
+        assert cache.load(0) is None
+        assert cache.load(32) == 20
+        assert cache.load(64) == 30
+        assert cache.evictions == 1
+
+    def test_clear(self):
+        cache = TeaStoreCache()
+        cache.store(0, 1)
+        cache.clear()
+        assert cache.load(0) is None
+        assert len(cache) == 0

@@ -1,0 +1,118 @@
+"""Structural-hazard tests: tiny resource configurations must stall,
+never deadlock or corrupt state."""
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.core.config import CoreConfig
+from repro.memory import MemoryConfig
+
+
+def run_with_core(source, core, mem=None, memory_cfg=None):
+    config = SimConfig(core=core, memory=memory_cfg or MemoryConfig())
+    pipeline = Pipeline(assemble(source), mem or MemoryImage(), config)
+    pipeline.run(max_cycles=2_000_000)
+    assert pipeline.halted, "tiny-resource machine deadlocked"
+    return pipeline
+
+
+LONG_CHAIN = "\n".join(
+    ["li r1, 1"] + [f"add r{2 + i % 6}, r1, r{2 + (i + 1) % 6}" for i in range(60)]
+) + "\nhalt"
+
+LOOP = """
+    li r1, 0
+    li r2, 30
+top:
+    shli r3, r1, 3
+    addi r4, r3, 4096
+    ld r5, 0(r4)
+    st r5, 512(r4)
+    addi r1, r1, 1
+    blt r1, r2, top
+    halt
+"""
+
+
+class TestTinyResources:
+    def test_tiny_rob(self):
+        core = CoreConfig(rob_entries=8)
+        pipeline = run_with_core(LONG_CHAIN, core)
+        assert pipeline.stats.retired_instructions == 62
+
+    def test_tiny_rs(self):
+        core = CoreConfig(rs_entries=4)
+        run_with_core(LONG_CHAIN, core)
+
+    def test_tiny_prf(self):
+        # Just enough pregs beyond the architectural mappings in use.
+        core = CoreConfig(physical_registers=12)
+        run_with_core(LONG_CHAIN, core)
+
+    def test_tiny_lsq(self):
+        core = CoreConfig(load_queue=2, store_queue=2)
+        pipeline = run_with_core(LOOP, core)
+        assert pipeline.memory.load(4096 + 512) == 0  # data[0] was 0
+
+    def test_single_wide_machine(self):
+        core = CoreConfig(
+            fetch_width=1, rename_width=1, issue_width=1, retire_width=1,
+            alu_ports=1, load_ports=1, store_ports=1, fp_ports=1,
+        )
+        pipeline = run_with_core(LOOP, core)
+        assert pipeline.stats.ipc <= 1.0
+
+    def test_tiny_frontend_buffer(self):
+        core = CoreConfig(frontend_buffer=4)
+        run_with_core(LOOP, core)
+
+    def test_tiny_mshrs(self):
+        memory_cfg = MemoryConfig(mshr_entries=1)
+        mem = MemoryImage({4096 + 8 * i: i for i in range(30)})
+        pipeline = run_with_core(LOOP, CoreConfig(), mem, memory_cfg)
+        assert pipeline.hierarchy.mshr_full_events >= 0
+
+    def test_deep_frontend(self):
+        core = CoreConfig(frontend_depth=30)
+        pipeline = run_with_core(LOOP, core)
+        # Deeper frontend -> strictly more cycles than the default.
+        shallow = run_with_core(LOOP, CoreConfig())
+        assert pipeline.stats.cycles > shallow.stats.cycles
+
+
+class TestIpcSanity:
+    def test_wide_machine_exploits_ilp(self):
+        """Independent instructions in a warm loop reach IPC > 2."""
+        body = "\n".join(f"li r{1 + i % 14}, {i}" for i in range(60))
+        source = f"""
+            li r20, 0
+            li r21, 40
+        top:
+            {body}
+            addi r20, r20, 1
+            blt r20, r21, top
+            halt
+        """
+        pipeline = run_with_core(source, CoreConfig())
+        assert pipeline.stats.ipc > 2.0
+
+    def test_serial_chain_is_ipc_bound(self):
+        """A fully serial dependence chain cannot exceed IPC 1."""
+        body = "li r1, 1\n" + "\n".join("add r1, r1, r1" for _ in range(300))
+        pipeline = run_with_core(body + "\nhalt", CoreConfig())
+        assert pipeline.stats.ipc <= 1.1
+
+    def test_load_latency_visible(self):
+        """Pointer-chasing loads serialize at L1 latency or worse."""
+        mem = MemoryImage({4096 + 8 * i: 4096 + 8 * (i + 1) for i in range(64)})
+        source = """
+            li r1, 4096
+            li r2, 0
+        top:
+            ld r1, 0(r1)
+            addi r2, r2, 1
+            li r3, 60
+            blt r2, r3, top
+            halt
+        """
+        pipeline = run_with_core(source, CoreConfig(), mem)
+        cycles_per_load = pipeline.stats.cycles / 60
+        assert cycles_per_load >= 3.5  # ~L1 latency per chased load

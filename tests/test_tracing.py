@@ -1,0 +1,82 @@
+"""Tests for the pipeline timeline tracer."""
+
+import pytest
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.core.tracing import PipelineTracer
+from repro.tea import TeaConfig
+
+from tests.conftest import h2p_loop_workload
+
+
+def traced_run(source, mem=None, config=None, limit=500):
+    pipeline = Pipeline(assemble(source), mem or MemoryImage(), config or SimConfig())
+    tracer = PipelineTracer(limit=limit)
+    tracer.attach(pipeline)
+    pipeline.run(max_cycles=1_000_000)
+    assert pipeline.halted
+    return pipeline, tracer
+
+
+SIMPLE_SRC = """
+    li r1, 1
+    add r2, r1, r1
+    mul r3, r2, r2
+    halt
+"""
+
+
+class TestStageOrdering:
+    def test_stages_monotonic(self):
+        _, tracer = traced_run(SIMPLE_SRC)
+        for record in tracer.uops():
+            stages = [record.fetch, record.rename, record.execute, record.complete]
+            present = [s for s in stages if s >= 0]
+            assert present == sorted(present), record
+
+    def test_frontend_depth_visible(self):
+        pipeline, tracer = traced_run(SIMPLE_SRC)
+        record = tracer.uops()[0]
+        depth = pipeline.config.core.frontend_depth
+        icache = pipeline.config.memory.l1i_latency
+        assert record.rename - record.fetch >= depth - icache
+
+    def test_retire_recorded(self):
+        _, tracer = traced_run(SIMPLE_SRC)
+        committed = [r for r in tracer.uops() if not r.squashed]
+        assert all(r.retire >= 0 for r in committed[:-1])
+
+
+class TestRender:
+    def test_render_contains_marks(self):
+        _, tracer = traced_run(SIMPLE_SRC)
+        text = tracer.render(count=5, width=120)
+        assert "F" in text and "R" in text
+        assert "mul" in text
+
+    def test_render_empty_range(self):
+        _, tracer = traced_run(SIMPLE_SRC)
+        assert "no traced uops" in tracer.render(start_seq=10**9)
+
+    def test_double_attach_rejected(self):
+        pipeline = Pipeline(assemble(SIMPLE_SRC), MemoryImage(), SimConfig())
+        tracer = PipelineTracer()
+        tracer.attach(pipeline)
+        with pytest.raises(RuntimeError):
+            tracer.attach(pipeline)
+
+
+class TestTeaVisibility:
+    def test_tea_copies_traced_and_resolve_earlier(self):
+        source, mem, _ = h2p_loop_workload(n=400, seed=51)
+        _, tracer = traced_run(source, mem, SimConfig(tea=TeaConfig()), limit=4000)
+        tea_records = [r for r in tracer.uops() if r.is_tea]
+        assert tea_records, "no TEA uops traced"
+        # At least one branch must show the TEA copy completing before
+        # the main copy (that is the whole mechanism).
+        gaps = []
+        for record in tea_records:
+            gap = tracer.branch_resolution_gap(record.seq)
+            if gap is not None:
+                gaps.append(gap)
+        assert gaps and max(gaps) > 0

@@ -1,0 +1,112 @@
+"""Unit tests for workload-construction internals: the arena allocator,
+symbol substitution, jump-table patching, and reference algorithms."""
+
+from repro import MemoryImage
+from repro.isa import UopClass
+from repro.workloads import Arena, build, make_workload
+from repro.workloads.gap import _bfs_reference, _cc_reference, _sssp_reference
+from repro.workloads.data import uniform_graph
+
+
+class TestArena:
+    def test_alloc_returns_line_padded_bases(self):
+        mem = MemoryImage()
+        arena = Arena(mem, base=0x1000)
+        a = arena.alloc([1, 2, 3])
+        b = arena.alloc([4])
+        assert a == 0x1000
+        assert b % 64 == 0
+        assert b >= a + 3 * 8
+        assert mem.read_array(a, 3) == [1, 2, 3]
+
+    def test_reserve_zeroes(self):
+        mem = MemoryImage()
+        arena = Arena(mem)
+        base = arena.reserve(4)
+        assert mem.read_array(base, 4) == [0, 0, 0, 0]
+
+    def test_arrays_never_overlap(self):
+        mem = MemoryImage()
+        arena = Arena(mem)
+        bases = [arena.alloc(list(range(n))) for n in (1, 17, 3, 64)]
+        spans = sorted((b, b + 8 * n) for b, n in zip(bases, (1, 17, 3, 64)))
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+
+class TestBuild:
+    def test_symbol_substitution(self):
+        def populate(arena):
+            return {"base": arena.alloc([7]), "count": 5}
+
+        workload = build(
+            "sub", "li r1, {base}\nli r2, {count}\nhalt", populate, "simple"
+        )
+        assert workload.program.instructions[1].imm == 5
+        base = workload.program.instructions[0].imm
+        assert workload.memory.load(base) == 7
+
+
+class TestJumpTablePatching:
+    def test_gcc_table_points_at_handlers(self):
+        workload = make_workload("gcc", "tiny")
+        labels = workload.program.labels
+        # The dispatch table in memory must hold the handler PCs.
+        table_base = None
+        for instr in workload.program.instructions:
+            if instr.opcode == "li" and instr.imm is not None:
+                values = workload.memory.read_array(instr.imm, 8)
+                if values == [labels[f"h{k}"] for k in range(8)]:
+                    table_base = instr.imm
+                    break
+        assert table_base is not None, "patched jump table not found"
+
+    def test_perlbench_table_points_at_handlers(self):
+        workload = make_workload("perlbench", "tiny")
+        labels = workload.program.labels
+        expected = [
+            labels["op_push"], labels["op_add"], labels["op_hash"],
+            labels["op_cmp"], labels["op_xor"], labels["op_store"],
+        ]
+        found = False
+        for instr in workload.program.instructions:
+            if instr.opcode == "li" and instr.imm is not None:
+                if workload.memory.read_array(instr.imm, 6) == expected:
+                    found = True
+                    break
+        assert found
+
+    def test_indirect_dispatch_present(self):
+        for name in ("gcc", "perlbench"):
+            workload = make_workload(name, "tiny")
+            classes = {i.uop_class for i in workload.program.instructions}
+            assert UopClass.BR_IND in classes, f"{name} lost its dispatch"
+
+
+class TestReferenceAlgorithms:
+    def test_bfs_reference_visits_reachable_set(self):
+        graph = uniform_graph(40, 4, seed=5)
+        parent = _bfs_reference(graph, 0)
+        assert parent[0] == 0
+        # Every visited node's parent must also be visited.
+        for node, p in enumerate(parent):
+            if p >= 0 and node != 0:
+                assert parent[p] >= 0
+                assert node in graph.out_neighbors(p)
+
+    def test_cc_reference_is_fixed_point_bounded(self):
+        graph = uniform_graph(30, 4, seed=6)
+        labels = _cc_reference(graph, max_iters=50)
+        # At convergence, no edge can lower a label further.
+        for u in range(30):
+            for v in graph.out_neighbors(u):
+                assert labels[u] <= labels[v]
+
+    def test_sssp_reference_respects_triangle_inequality(self):
+        graph = uniform_graph(30, 4, seed=7)
+        dist = _sssp_reference(graph, 0, rounds=30)
+        for u in range(30):
+            if dist[u] >= 1 << 40:
+                continue
+            for v, w in zip(graph.out_neighbors(u), graph.out_weights(u)):
+                assert dist[v] <= dist[u] + w

@@ -1,0 +1,91 @@
+"""Workload-suite tests: every kernel validates functionally at tiny
+scale on the baseline core, and the registry/category metadata is
+consistent with the paper's Fig. 8 split."""
+
+import pytest
+
+from repro import Pipeline, SimConfig
+from repro.workloads import (
+    ALL_NAMES,
+    GAP_NAMES,
+    SIMPLE,
+    SPEC_NAMES,
+    complex_control_flow_names,
+    make_category,
+    make_workload,
+    simple_control_flow_names,
+    uniform_graph,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_all_names_cover_gap_and_spec(self):
+        assert set(workload_names()) == set(GAP_NAMES) | set(SPEC_NAMES)
+        assert len(workload_names()) == 17
+
+    def test_category_split_matches_paper(self):
+        """§V-C: all GAP + xz are simple; everything else complex."""
+        simple = set(simple_control_flow_names())
+        assert simple == set(GAP_NAMES) | {"xz"}
+        assert set(complex_control_flow_names()) == set(ALL_NAMES) - simple
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("doom")
+        with pytest.raises(ValueError, match="unknown scale"):
+            make_workload("bfs", "galactic")
+
+    def test_workload_construction_is_deterministic(self):
+        a = make_workload("bfs", "tiny")
+        b = make_workload("bfs", "tiny")
+        assert a.memory.snapshot() == b.memory.snapshot()
+        assert [i.opcode for i in a.program.instructions] == [
+            i.opcode for i in b.program.instructions
+        ]
+
+    def test_fresh_memory_isolated(self):
+        wl = make_workload("bfs", "tiny")
+        mem = wl.fresh_memory()
+        mem.store(0, 123)
+        assert wl.memory.load(0) != 123 or wl.memory.load(0) == 0
+
+
+class TestGraphGenerator:
+    def test_csr_consistency(self):
+        g = uniform_graph(50, 4, seed=1)
+        assert len(g.offsets) == 51
+        assert g.offsets[0] == 0
+        assert g.offsets[-1] == g.num_edges
+        assert all(0 <= v < 50 for v in g.neighbors)
+        assert len(g.weights) == g.num_edges
+
+    def test_no_self_loops(self):
+        g = uniform_graph(50, 6, seed=2)
+        for u in range(50):
+            assert u not in g.out_neighbors(u)
+
+    def test_sorted_adjacency_option(self):
+        g = uniform_graph(40, 8, seed=3, sorted_adjacency=True)
+        for u in range(40):
+            ns = g.out_neighbors(u)
+            assert list(ns) == sorted(ns)
+
+    def test_determinism(self):
+        assert uniform_graph(30, 4, seed=9) == uniform_graph(30, 4, seed=9)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_workload_validates_on_baseline(name):
+    """Every kernel halts, produces the reference answer, and shows
+    measurable branchiness (the paper excludes <0.5 MPKI benchmarks)."""
+    wl = make_workload(name, "tiny")
+    pipeline = Pipeline(wl.program, wl.fresh_memory(), SimConfig())
+    stats = pipeline.run(max_cycles=8_000_000)
+    assert pipeline.halted, f"{name} did not halt"
+    assert wl.validate is not None
+    assert wl.validate(pipeline), f"{name} produced wrong results"
+    assert stats.retired_branches > 0
+    assert stats.retired_instructions > 1000
+    assert stats.mpki > 0.5, f"{name} MPKI too low: {stats.mpki}"
+    assert wl.category == make_category(name)
