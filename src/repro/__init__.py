@@ -21,6 +21,7 @@ Quick start::
 from .core import CoreConfig, Pipeline, SimConfig, SimStats, SimulationError
 from .isa import AssemblerError, Instruction, Program, UopClass, assemble
 from .memory import MemoryImage
+from .obs import Observation
 
 __version__ = "1.0.0"
 
@@ -30,6 +31,7 @@ __all__ = [
     "SimConfig",
     "SimStats",
     "SimulationError",
+    "Observation",
     "AssemblerError",
     "Instruction",
     "Program",

@@ -4,6 +4,7 @@ Commands
 --------
 ``run``      simulate one workload under one machine mode
 ``compare``  simulate one workload under several modes side by side
+``stats``    run with full telemetry and print the observability report
 ``list``     list workloads, scales, and machine modes
 ``figure``   regenerate one paper figure/table on a workload subset
 
@@ -11,6 +12,8 @@ Examples::
 
     python -m repro list
     python -m repro run bfs --mode tea --scale tiny
+    python -m repro run mcf --mode tea --trace-out trace.json
+    python -m repro stats mcf --mode tea --top 10
     python -m repro compare mcf --modes baseline,tea,runahead
     python -m repro figure fig8 --workloads bfs,mcf,xz --scale tiny
 """
@@ -18,6 +21,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .harness import ExperimentSuite, MODES, run_workload, speedup_percent
@@ -53,9 +57,48 @@ def _print_stats(result) -> None:
 
 
 def _cmd_run(args) -> int:
-    result = run_workload(args.workload, args.mode, args.scale)
+    observe = bool(args.events_out or args.trace_out or args.stats_out)
+    result = run_workload(args.workload, args.mode, args.scale, observe=observe)
     print(f"{args.workload} under {args.mode} ({args.scale} scale):")
     _print_stats(result)
+    obs = result.observation
+    if obs is not None:
+        if args.events_out:
+            count = obs.write_events_jsonl(args.events_out)
+            print(f"  wrote {count} events to {args.events_out}")
+        if args.trace_out:
+            trace = obs.write_chrome_trace(args.trace_out)
+            print(f"  wrote {len(trace['traceEvents'])} trace events to "
+                  f"{args.trace_out} (open in ui.perfetto.dev)")
+        if args.stats_out:
+            obs.write_metrics_snapshot(args.stats_out, result.stats)
+            print(f"  wrote metrics snapshot to {args.stats_out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    result = run_workload(args.workload, args.mode, args.scale, observe=True)
+    obs = result.observation
+    if args.json:
+        print(json.dumps(obs.metrics_snapshot(result.stats), indent=2,
+                         sort_keys=True))
+        return 0
+    print(f"{args.workload} under {args.mode} ({args.scale} scale):")
+    _print_stats(result)
+    print("\nevent counts:")
+    for type_, count in obs.event_type_counts().items():
+        print(f"  {type_:20s} {count:8d}")
+    snapshot = obs.metrics.snapshot()
+    populated = {
+        name: h for name, h in snapshot["histograms"].items() if h["count"]
+    }
+    if populated:
+        print("\nhistograms:")
+        for name, hist in populated.items():
+            print(f"  {name}: n={hist['count']} mean={hist['mean']:.1f} "
+                  f"min={hist['min']} max={hist['max']}")
+    print()
+    print(obs.attribution.report(args.top))
     return 0
 
 
@@ -113,7 +156,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("workload")
     p_run.add_argument("--mode", default="baseline", choices=MODES)
     p_run.add_argument("--scale", default="tiny")
+    p_run.add_argument("--events-out", default=None, metavar="PATH",
+                       help="write the telemetry event stream as JSONL")
+    p_run.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace_event JSON (Perfetto)")
+    p_run.add_argument("--stats-out", default=None, metavar="PATH",
+                       help="write a flat JSON metrics snapshot")
     p_run.set_defaults(func=_cmd_run)
+
+    p_stats = sub.add_parser(
+        "stats", help="run with telemetry and print the full report"
+    )
+    p_stats.add_argument("workload")
+    p_stats.add_argument("--mode", default="tea", choices=MODES)
+    p_stats.add_argument("--scale", default="tiny")
+    p_stats.add_argument("--top", type=int, default=10,
+                         help="rows in the per-branch offender table")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the flat metrics snapshot as JSON")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_cmp = sub.add_parser("compare", help="compare machine modes")
     p_cmp.add_argument("workload")

@@ -104,6 +104,10 @@ class Pipeline:
         self._cur_block_ready = 0
         self._block_offset = 0
         self._last_retire_cycle = 0
+        # Observability: an optional repro.obs EventBus.  ``None`` by
+        # default; every emission site guards on it so the disabled
+        # cost is one attribute load + is-None check.
+        self.obs = None
         # Optional mechanisms, installed lazily to avoid import cycles.
         self.tea = None
         self.runahead = None
@@ -140,11 +144,15 @@ class Pipeline:
         measurement_started = warmup == 0
         if measurement_started:
             self.stats.start_measurement()
+            if self.obs is not None:
+                self.obs.emit("measurement_start")
         while not self.halted:
             self.step()
             if not measurement_started and self.retired_total >= warmup:
                 self.stats.start_measurement()
                 measurement_started = True
+                if self.obs is not None:
+                    self.obs.emit("measurement_start")
             if (
                 max_instructions is not None
                 and self.stats.retired_instructions >= max_instructions
@@ -168,6 +176,9 @@ class Pipeline:
         if self.runahead is not None:
             self.runahead.tick()
         self.stats.cycles += 1
+        obs = self.obs
+        if obs is not None and obs.wants("cycle_end"):
+            obs.emit("cycle_end")
         if self.cycle - self._last_retire_cycle > 20000:
             raise SimulationError(
                 f"no retirement for 20000 cycles at cycle {self.cycle}; "
@@ -413,6 +424,9 @@ class Pipeline:
             self.tea.store_to_cache(uop)
         if uop.branch is not None and uop.branch.can_mispredict:
             self.tea.on_tea_branch_resolved(uop)
+        obs = self.obs
+        if obs is not None and obs.wants("tea_uop_done"):
+            obs.emit("tea_uop_done", uop=uop)
         self.tea.on_tea_uop_done(uop)
 
     def _resolve_main_branch(self, uop: DynUop) -> None:
@@ -439,6 +453,10 @@ class Pipeline:
 
         tea_resolved = entry is not None and entry.tea_resolved
         tea_flushed = entry is not None and entry.tea_flush_issued
+        obs = self.obs
+        gap = None
+        if tea_resolved and entry.tea_resolve_cycle >= 0:
+            gap = self.cycle - entry.tea_resolve_cycle
         if tea_resolved and (
             entry.tea_taken != actual_taken or entry.tea_target != actual_next
         ):
@@ -453,14 +471,32 @@ class Pipeline:
                     self.stats.tea_cycles_saved += saved
                     if saved >= 1:
                         self.stats.covered_timely += 1
+                        outcome = "covered_timely"
                     else:
                         self.stats.covered_late += 1
+                        outcome = "covered_late"
+                    if obs is not None:
+                        self._emit_branch_resolved(
+                            obs, uop, outcome, tea_resolved, saved, gap
+                        )
             else:
                 # Incorrect precomputation slipped past the poison
                 # check: the fail-safe issues a corrective flush.
                 self.stats.extra_flushes += 1
                 if mispredicted:
                     self.stats.incorrect_precomputations += 1
+                if obs is not None:
+                    if mispredicted:
+                        self._emit_branch_resolved(
+                            obs, uop, "incorrect", tea_resolved, 0, gap
+                        )
+                    obs.emit(
+                        "mispredict_flush",
+                        pc=info.pc,
+                        seq=info.seq,
+                        penalty=self._flush_penalty(uop),
+                        corrective=True,
+                    )
                 self.flush_at_branch(info, actual_taken, actual_next)
             return
 
@@ -469,9 +505,32 @@ class Pipeline:
                 # TEA resolved but did not flush: it either agreed with
                 # the (wrong) prediction or was poison-blocked.
                 self.stats.incorrect_precomputations += 1
+                outcome = "incorrect"
             else:
                 self.stats.uncovered_mispredicts += 1
+                outcome = "uncovered"
+            if obs is not None:
+                self._emit_branch_resolved(obs, uop, outcome, tea_resolved, 0, gap)
+                obs.emit(
+                    "mispredict_flush",
+                    pc=info.pc,
+                    seq=info.seq,
+                    penalty=self._flush_penalty(uop),
+                    corrective=False,
+                )
             self.flush_at_branch(info, actual_taken, actual_next)
+
+    @staticmethod
+    def _flush_penalty(uop: DynUop) -> int:
+        """Cycles of wrong-path exposure: resolve cycle - fetch cycle."""
+        return max(0, uop.done_cycle - uop.fetch_cycle) if uop.fetch_cycle >= 0 else 0
+
+    @staticmethod
+    def _emit_branch_resolved(obs, uop, outcome, tea_resolved, saved, gap):
+        data = {"outcome": outcome, "tea_resolved": tea_resolved, "saved": saved}
+        if gap is not None:
+            data["gap"] = gap
+        obs.emit("branch_resolved", pc=uop.instr.pc, seq=uop.seq, **data)
 
     # ==================================================================
     # Flush machinery (shared by main resolution and TEA early flushes)
@@ -489,17 +548,29 @@ class Pipeline:
         self.stats.flushes += 1
         entry = self.ifbq.get(seq)
         # Backend squash (ROB is ordered by seq).
+        squashed_backend = 0
         while self.rob and self.rob[-1].seq > seq:
             self._squash(self.rob.pop())
+            squashed_backend += 1
         if entry is not None and entry.renamed and entry.rat_checkpoint is not None:
             self.rat.restore(entry.rat_checkpoint)
         self.scheduler.squash_younger(seq)
         self.lq.squash_younger(seq)
         self.sq.squash_younger(seq)
         # Partial frontend flush.
+        squashed_frontend = 0
         if self.decode_pipe and self.decode_pipe[-1].seq > seq:
             kept = [u for u in self.decode_pipe if u.seq <= seq]
+            squashed_frontend = len(self.decode_pipe) - len(kept)
             self.decode_pipe = deque(kept)
+        if self.obs is not None:
+            self.obs.emit(
+                "flush",
+                pc=info.pc,
+                seq=seq,
+                squashed_backend=squashed_backend,
+                squashed_frontend=squashed_frontend,
+            )
         self.frontend.flush_at(info, actual_taken, actual_target)
         # NOTE: the fetch cursor (_cur_block/_block_offset) survives a
         # flush deliberately.  The FTQ head is the *oldest* block: a
@@ -518,6 +589,9 @@ class Pipeline:
         uop.state = UopState.SQUASHED
         if uop.dst_preg is not None:
             self.prf.free(uop.dst_preg)
+        obs = self.obs
+        if obs is not None and obs.wants("uop_squash"):
+            obs.emit("uop_squash", uop=uop)
 
     # ==================================================================
     # Retire
@@ -565,12 +639,24 @@ class Pipeline:
                 by_pc[instr.pc] = by_pc.get(instr.pc, 0) + 1
             if uop.branch.can_mispredict:
                 self.ifbq.remove(uop.seq)
+                if self.obs is not None:
+                    self.obs.emit(
+                        "branch_retire",
+                        pc=instr.pc,
+                        seq=uop.seq,
+                        mispredicted=uop.mispredicted,
+                        direction=instr.uop_class is UopClass.BR_COND,
+                        taken=bool(uop.br_taken),
+                    )
         if self.tea is not None:
             self.tea.on_retire(uop)
         if self.runahead is not None:
             self.runahead.on_retire(uop)
         if self.crisp is not None:
             self.crisp.on_retire(uop)
+        obs = self.obs
+        if obs is not None and obs.wants("uop_commit"):
+            obs.emit("uop_commit", uop=uop)
 
     # ==================================================================
     # Introspection helpers (tests, examples)

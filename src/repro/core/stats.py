@@ -15,7 +15,7 @@ pipeline signals via :meth:`start_measurement`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import MISSING, dataclass, field, fields
 
 
 @dataclass
@@ -55,10 +55,20 @@ class SimStats:
 
     # ------------------------------------------------------------------
     def start_measurement(self) -> None:
-        """Reset counters at the warmup boundary and begin measuring."""
-        snapshot_extra = self.extra
-        self.__init__()
-        self.extra = snapshot_extra
+        """Reset counters at the warmup boundary and begin measuring.
+
+        Every dataclass field (including any added by subclasses) is
+        reset to its declared default — except ``extra``, whose contents
+        are preserved across the boundary (it holds cross-measurement
+        context such as the per-PC misprediction map).
+        """
+        for spec in fields(self):
+            if spec.name == "extra":
+                continue
+            if spec.default is not MISSING:
+                setattr(self, spec.name, spec.default)
+            else:
+                setattr(self, spec.name, spec.default_factory())
         self.measuring = True
 
     # Derived metrics -------------------------------------------------
@@ -117,3 +127,14 @@ class SimStats:
             footprint_uops=self.footprint_uops,
         )
         return raw
+
+    def publish_to(self, registry, namespace: str = "sim") -> None:
+        """Publish raw + derived values into a metrics registry.
+
+        This is the bridge to :mod:`repro.obs`: the hot-path counter
+        block stays a plain dataclass (cheap increments), and the
+        registry ingests a snapshot under ``<namespace>.<name>`` gauges
+        whenever an exporter asks for one.
+        """
+        for name, value in self.as_dict().items():
+            registry.gauge(f"{namespace}.{name}").set(value)

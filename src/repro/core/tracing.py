@@ -13,15 +13,24 @@ Example::
     tracer.attach(pipeline)
     pipeline.run()
     print(tracer.render(start_seq=0, count=30))
+    tracer.detach()
 
-Tracing wraps two pipeline methods at attach time; overhead is a few
-dict operations per uop, so it is off by default and meant for short
-diagnostic runs.
+The tracer subscribes to the :mod:`repro.obs` event bus (the firehose
+events ``cycle_end`` / ``uop_commit`` / ``uop_squash`` /
+``tea_uop_done``) instead of monkey-patching pipeline methods; those
+events are only emitted while something subscribes to them, so tracing
+is off by default and costs nothing when detached.  ``attach`` installs
+a bus on the pipeline if none is present, and composes with an already
+attached :class:`~repro.obs.Observation`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from ..obs.events import EventBus
+
+_FIREHOSE = ("cycle_end", "uop_commit", "uop_squash", "tea_uop_done")
 
 
 @dataclass
@@ -48,56 +57,56 @@ class PipelineTracer:
         self.limit = limit
         self.records: dict[tuple[int, bool], UopTrace] = {}
         self._pipeline = None
+        self._bus: EventBus | None = None
 
     # ------------------------------------------------------------------
     def attach(self, pipeline) -> None:
-        """Hook the pipeline's per-cycle bookkeeping."""
+        """Subscribe to the pipeline's event bus (installing one if
+        the pipeline has no observer yet)."""
         if self._pipeline is not None:
             raise RuntimeError("tracer is already attached")
+        bus = pipeline.obs
+        if bus is None:
+            bus = EventBus()
+            bus.bind_clock(lambda: pipeline.cycle)
+            pipeline.obs = bus
+            pipeline.frontend.obs = bus
         self._pipeline = pipeline
-        original_step = pipeline.step
+        self._bus = bus
+        bus.subscribe(self._on_event, _FIREHOSE)
 
-        def traced_step():
-            original_step()
-            self._scan(pipeline)
+    def detach(self) -> None:
+        """Stop tracing; recorded uops are kept.  The pipeline's event
+        bus stays in place (firehose emission turns itself off once
+        nothing subscribes), and the tracer can be re-attached."""
+        if self._pipeline is None:
+            raise RuntimeError("tracer is not attached")
+        self._bus.unsubscribe(self._on_event)
+        self._pipeline = None
+        self._bus = None
 
-        pipeline.step = traced_step
-
-        # Retirement and squash remove uops from the scannable pools
-        # within a cycle, so those events are hooked directly.
-        original_commit = pipeline._commit
-
-        def traced_commit(uop):
-            original_commit(uop)
-            record = self.records.get(self._key(uop))
-            if record is not None:
-                record.retire = pipeline.cycle
-                record.mispredicted = record.mispredicted or uop.mispredicted
-                if record.complete < 0:
-                    record.complete = uop.done_cycle
-
-        pipeline._commit = traced_commit
-
-        original_squash = pipeline._squash
-
-        def traced_squash(uop):
-            original_squash(uop)
-            record = self.records.get(self._key(uop))
-            if record is not None:
-                record.squashed = True
-
-        pipeline._squash = traced_squash
-
-        if pipeline.tea is not None:
-            original_done = pipeline.tea.on_tea_uop_done
-
-            def traced_tea_done(uop):
-                record = self.records.get(self._key(uop))
-                if record is not None and record.complete < 0:
-                    record.complete = uop.done_cycle
-                original_done(uop)
-
-            pipeline.tea.on_tea_uop_done = traced_tea_done
+    # ------------------------------------------------------------------
+    def _on_event(self, event) -> None:
+        type_ = event.type
+        if type_ == "cycle_end":
+            self._scan(self._pipeline)
+            return
+        uop = event.data["uop"]
+        record = self.records.get(self._key(uop))
+        if record is None:
+            return
+        if type_ == "uop_commit":
+            record.retire = event.cycle
+            record.mispredicted = record.mispredicted or uop.mispredicted
+            if record.complete < 0:
+                record.complete = uop.done_cycle
+        elif type_ == "uop_squash":
+            record.squashed = True
+        elif type_ == "tea_uop_done":
+            # TEA uops leave the controller's live pools within the
+            # completion cycle, before the cycle-end scan sees them.
+            if record.complete < 0:
+                record.complete = uop.done_cycle
 
     def _key(self, uop) -> tuple[int, bool]:
         return (uop.seq, uop.is_tea)
@@ -162,9 +171,10 @@ class PipelineTracer:
         with ``~`` after the opcode.
         """
         rows = [r for r in self.uops() if r.seq >= start_seq][:count]
-        if not rows:
+        fetch_cycles = [r.fetch for r in rows if r.fetch >= 0]
+        if not fetch_cycles:
             return "(no traced uops in range)"
-        t0 = min(r.fetch for r in rows if r.fetch >= 0)
+        t0 = min(fetch_cycles)
         lines = [f"timeline from cycle {t0} (one column per cycle)"]
         for r in rows:
             lane = [" "] * width

@@ -121,6 +121,8 @@ class DecoupledFrontend:
         # called with the branch PC; a non-None return replaces the
         # TAGE-SC-L direction and consumes one precomputed outcome.
         self.direction_override = None
+        # Observability: shares the pipeline's repro.obs EventBus.
+        self.obs = None
 
     def _build_conditional_predictor(self):
         kind = self.config.conditional_predictor
@@ -324,6 +326,14 @@ class DecoupledFrontend:
         self.cond.restore_spec_state(branch.loop_snapshot)
         self._apply_outcome(branch, actual_taken, actual_target)
         self.next_pc = actual_target if actual_taken else branch.fallthrough
+        if self.obs is not None:
+            self.obs.emit(
+                "frontend_redirect",
+                pc=branch.pc,
+                seq=branch.seq,
+                taken=actual_taken,
+                target=self.next_pc,
+            )
 
     def _apply_outcome(self, branch: BranchInfo, taken: bool, target: int) -> None:
         cls = branch.uop_class

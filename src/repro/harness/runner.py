@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..core import Pipeline, SimConfig, SimStats
+from ..obs import Observation
 from ..runahead import RunaheadConfig
 from ..tea import TeaConfig, tea_ablation
 from ..workloads import Workload, make_workload
@@ -79,6 +80,7 @@ class RunResult:
     stats: SimStats
     validated: bool
     halted: bool
+    observation: Observation | None = None
 
     @property
     def ipc(self) -> float:
@@ -90,17 +92,30 @@ def run_workload(
     mode: str = "baseline",
     scale: str = "bench",
     max_cycles: int = 30_000_000,
+    observe: Observation | bool | None = None,
 ) -> RunResult:
     """Simulate one workload under one machine mode, to completion.
 
     Functional validation runs whenever the workload halted and defines
     a validator; a validation failure raises — a simulator that computes
     wrong answers must never silently produce performance numbers.
+
+    ``observe`` attaches the :mod:`repro.obs` telemetry layer: pass an
+    :class:`~repro.obs.Observation` to configure it, or ``True`` for the
+    defaults; the attached hub comes back on ``RunResult.observation``.
+    Observation is off by default and costs nothing when off.
     """
     if isinstance(workload, str):
         workload = make_workload(workload, scale)
     config = make_config(mode)
     pipeline = Pipeline(workload.program, workload.fresh_memory(), config)
+    observation: Observation | None = None
+    if observe is True:
+        observation = Observation()
+    elif observe:
+        observation = observe
+    if observation is not None:
+        observation.attach(pipeline)
     stats = pipeline.run(max_cycles=max_cycles)
     validated = False
     if pipeline.halted and workload.validate is not None:
@@ -115,4 +130,5 @@ def run_workload(
         stats=stats,
         validated=validated,
         halted=pipeline.halted,
+        observation=observation,
     )

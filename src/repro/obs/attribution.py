@@ -1,0 +1,172 @@
+"""Per-static-branch attribution: who actually costs the cycles.
+
+"Branch Prediction Is Not a Solved Problem" (Lin & Tarsa) observes that
+a handful of static H2P branches dominate MPKI; the paper's anatomy
+discussion (and LDBP's methodology) drive design from exactly this
+per-PC lens.  The :class:`AttributionTable` subscribes to the event bus
+and keeps, for every static can-mispredict branch PC:
+
+* retirement count and misprediction count (split direction/target),
+* the TEA coverage breakdown (timely / late / incorrect / uncovered),
+* TEA resolution volume and cycles saved.
+
+The table resets on the ``measurement_start`` event — the same warmup
+boundary at which :class:`~repro.core.stats.SimStats` resets — so its
+per-PC misprediction counts sum *exactly* to
+``SimStats.total_mispredicts`` (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BranchAttribution:
+    """Accumulated telemetry for one static branch PC."""
+
+    pc: int
+    retired: int = 0
+    mispredicts: int = 0
+    direction_mispredicts: int = 0
+    target_mispredicts: int = 0
+    covered_timely: int = 0
+    covered_late: int = 0
+    incorrect: int = 0
+    uncovered: int = 0
+    tea_resolutions: int = 0
+    cycles_saved: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Prediction accuracy of this static branch."""
+        if not self.retired:
+            return 1.0
+        return 1.0 - self.mispredicts / self.retired
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of this branch's mispredictions TEA resolved early."""
+        covered = self.covered_timely + self.covered_late
+        total = covered + self.uncovered + self.incorrect
+        return covered / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "pc": self.pc,
+            "retired": self.retired,
+            "mispredicts": self.mispredicts,
+            "direction_mispredicts": self.direction_mispredicts,
+            "target_mispredicts": self.target_mispredicts,
+            "accuracy": self.accuracy,
+            "covered_timely": self.covered_timely,
+            "covered_late": self.covered_late,
+            "incorrect": self.incorrect,
+            "uncovered": self.uncovered,
+            "coverage": self.coverage,
+            "tea_resolutions": self.tea_resolutions,
+            "cycles_saved": self.cycles_saved,
+        }
+
+
+class AttributionTable:
+    """Event-bus subscriber building the per-PC attribution view."""
+
+    #: The event types this table must be subscribed to.
+    SUBSCRIBED_TYPES = ("branch_retire", "branch_resolved", "measurement_start")
+
+    def __init__(self):
+        self._by_pc: dict[int, BranchAttribution] = {}
+
+    # -- event-bus callbacks -------------------------------------------
+    def on_event(self, event) -> None:
+        if event.type == "branch_retire":
+            self._on_retire(event)
+        elif event.type == "branch_resolved":
+            self._on_resolved(event)
+        elif event.type == "measurement_start":
+            self._by_pc.clear()
+
+    def _entry(self, pc: int) -> BranchAttribution:
+        entry = self._by_pc.get(pc)
+        if entry is None:
+            entry = self._by_pc[pc] = BranchAttribution(pc)
+        return entry
+
+    def _on_retire(self, event) -> None:
+        entry = self._entry(event.pc)
+        entry.retired += 1
+        if event.data.get("mispredicted"):
+            entry.mispredicts += 1
+            if event.data.get("direction"):
+                entry.direction_mispredicts += 1
+            else:
+                entry.target_mispredicts += 1
+
+    def _on_resolved(self, event) -> None:
+        entry = self._entry(event.pc)
+        outcome = event.data.get("outcome")
+        if outcome == "covered_timely":
+            entry.covered_timely += 1
+        elif outcome == "covered_late":
+            entry.covered_late += 1
+        elif outcome == "incorrect":
+            entry.incorrect += 1
+        elif outcome == "uncovered":
+            entry.uncovered += 1
+        if event.data.get("tea_resolved"):
+            entry.tea_resolutions += 1
+        entry.cycles_saved += event.data.get("saved", 0)
+
+    # -- queries --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_pc)
+
+    def get(self, pc: int) -> BranchAttribution | None:
+        return self._by_pc.get(pc)
+
+    @property
+    def total_mispredicts(self) -> int:
+        """Must reconcile exactly with ``SimStats.total_mispredicts``."""
+        return sum(e.mispredicts for e in self._by_pc.values())
+
+    @property
+    def total_retired(self) -> int:
+        return sum(e.retired for e in self._by_pc.values())
+
+    def top(self, count: int = 10) -> list[BranchAttribution]:
+        """The heaviest mispredictors — the "top-N H2P offenders"."""
+        ranked = sorted(
+            self._by_pc.values(), key=lambda e: (-e.mispredicts, e.pc)
+        )
+        return ranked[:count]
+
+    def as_dict(self) -> dict:
+        """``{hex_pc: entry_dict}`` sorted by misprediction weight."""
+        return {
+            f"{e.pc:#x}": e.as_dict()
+            for e in sorted(
+                self._by_pc.values(), key=lambda e: (-e.mispredicts, e.pc)
+            )
+        }
+
+    def report(self, count: int = 10) -> str:
+        """Human-readable "top-N H2P offenders" table."""
+        rows = self.top(count)
+        if not rows:
+            return "(no branches attributed)"
+        lines = [
+            f"top-{min(count, len(rows))} H2P offenders "
+            f"({self.total_mispredicts} mispredicts over {len(self)} static branches)",
+            f"{'pc':>10s} {'retired':>8s} {'mispred':>8s} {'acc':>7s} "
+            f"{'cover':>7s} {'timely':>7s} {'late':>6s} {'wrong':>6s} "
+            f"{'miss':>6s} {'saved':>8s}",
+        ]
+        for e in rows:
+            lines.append(
+                f"{e.pc:#10x} {e.retired:8d} {e.mispredicts:8d} "
+                f"{100 * e.accuracy:6.1f}% {100 * e.coverage:6.1f}% "
+                f"{e.covered_timely:7d} {e.covered_late:6d} {e.incorrect:6d} "
+                f"{e.uncovered:6d} {e.cycles_saved:8d}"
+            )
+        return "\n".join(lines)

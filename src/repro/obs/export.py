@@ -1,0 +1,221 @@
+"""Exporters: JSONL event dumps, Chrome trace_event timelines, metrics.
+
+Three output formats:
+
+* **JSONL** — one JSON object per taxonomy event, streaming-friendly
+  and ``jq``-able (``write_events_jsonl`` / ``read_events_jsonl``).
+* **Chrome trace** — the ``trace_event`` format consumed by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``: TEA-active and
+  backward-walk spans as ``X`` duration events, flushes / H2P
+  identifications / poison terminations as ``i`` instants, Block Cache
+  hit/miss totals as ``C`` counter tracks.  One simulated cycle maps to
+  one trace microsecond.
+* **Flat metrics JSON** — the registry's one-level dict, intended for
+  ``benchmarks/`` and trajectory tooling to diff run-over-run.
+"""
+
+from __future__ import annotations
+
+import json
+
+# trace_event thread ids (pid is always 0: one simulated core).
+TID_MAIN = 0
+TID_TEA = 1
+TID_WALK = 2
+
+_THREAD_NAMES = {
+    TID_MAIN: "main-thread",
+    TID_TEA: "tea-thread",
+    TID_WALK: "walk-engine",
+}
+
+#: event type -> thread id for instant events.
+_INSTANT_TIDS = {
+    "h2p_identified": TID_MAIN,
+    "mispredict_flush": TID_MAIN,
+    "frontend_redirect": TID_MAIN,
+    "measurement_start": TID_MAIN,
+    "early_flush": TID_TEA,
+    "poison_term": TID_TEA,
+    "tea_resolve": TID_TEA,
+    "block_cache_evict": TID_WALK,
+}
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def events_to_jsonl(events) -> str:
+    """Serialize taxonomy events, one JSON object per line."""
+    return "\n".join(json.dumps(e.as_dict(), sort_keys=True) for e in events)
+
+
+def write_events_jsonl(events, path: str) -> int:
+    """Write events as JSONL; returns the number of lines written."""
+    text = events_to_jsonl(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        if text:
+            handle.write(text)
+            handle.write("\n")
+    return len(events)
+
+
+def read_events_jsonl(path: str) -> list[dict]:
+    """Parse a JSONL event dump back into dicts (round-trip tested)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def _meta(name: str, tid: int, value: str) -> dict:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": 0,
+        "tid": tid,
+        "args": {"name": value},
+    }
+
+
+def events_to_chrome_trace(events, final_cycle: int | None = None) -> dict:
+    """Build a ``trace_event``-format dict from a taxonomy event list.
+
+    ``final_cycle`` closes spans (TEA activity, walks) still open when
+    the simulation ended; it defaults to the last event's cycle.
+    """
+    if final_cycle is None:
+        final_cycle = max((e.cycle for e in events), default=0)
+    trace: list[dict] = [
+        _meta("process_name", TID_MAIN, "repro-sim"),
+    ]
+    for tid, name in _THREAD_NAMES.items():
+        trace.append(_meta("thread_name", tid, name))
+
+    tea_open: int | None = None
+    bc_hits = 0
+    bc_misses = 0
+    for event in events:
+        type_ = event.type
+        if type_ == "tea_initiate":
+            tea_open = event.cycle
+        elif type_ == "tea_terminate":
+            start = tea_open if tea_open is not None else event.cycle
+            trace.append(
+                {
+                    "name": "tea_active",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": TID_TEA,
+                    "ts": start,
+                    "dur": max(event.cycle - start, 1),
+                    "args": dict(event.data),
+                }
+            )
+            tea_open = None
+        elif type_ == "walk_finish":
+            start = event.data.get("start_cycle", event.cycle)
+            trace.append(
+                {
+                    "name": "backward_walk",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": TID_WALK,
+                    "ts": start,
+                    "dur": max(event.cycle - start, 1),
+                    "args": {
+                        k: v for k, v in event.data.items() if k != "start_cycle"
+                    },
+                }
+            )
+        elif type_ in ("block_cache_hit", "block_cache_miss"):
+            if type_ == "block_cache_hit":
+                bc_hits += 1
+            else:
+                bc_misses += 1
+            trace.append(
+                {
+                    "name": "block_cache",
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": TID_WALK,
+                    "ts": event.cycle,
+                    "args": {"hits": bc_hits, "misses": bc_misses},
+                }
+            )
+        elif type_ in _INSTANT_TIDS:
+            args = dict(event.data)
+            if event.pc >= 0:
+                args["pc"] = f"{event.pc:#x}"
+            if event.seq >= 0:
+                args["seq"] = event.seq
+            trace.append(
+                {
+                    "name": type_,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": _INSTANT_TIDS[type_],
+                    "ts": event.cycle,
+                    "args": args,
+                }
+            )
+        # walk_start / shadow_fetch / branch_retire / branch_resolved /
+        # flush / tea_initiate are represented by the spans and counters
+        # above (or are too dense to chart as instants).
+    if tea_open is not None:
+        trace.append(
+            {
+                "name": "tea_active",
+                "ph": "X",
+                "pid": 0,
+                "tid": TID_TEA,
+                "ts": tea_open,
+                "dur": max(final_cycle - tea_open, 1),
+                "args": {"reason": "simulation_end"},
+            }
+        )
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "1 cycle = 1 trace microsecond"},
+    }
+
+
+def write_chrome_trace(events, path: str, final_cycle: int | None = None) -> dict:
+    """Write a Perfetto-loadable trace file; returns the trace dict."""
+    trace = events_to_chrome_trace(events, final_cycle)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+    return trace
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Raise ``ValueError`` unless ``trace`` is structurally valid
+    ``trace_event`` JSON (the loadability contract Perfetto needs)."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("missing traceEvents array")
+    for entry in trace["traceEvents"]:
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in entry:
+                raise ValueError(f"trace event missing {field!r}: {entry}")
+        if entry["ph"] != "M" and "ts" not in entry:
+            raise ValueError(f"non-metadata event missing ts: {entry}")
+        if entry["ph"] == "X" and "dur" not in entry:
+            raise ValueError(f"duration event missing dur: {entry}")
+
+
+# ----------------------------------------------------------------------
+# Metrics snapshot
+# ----------------------------------------------------------------------
+def write_metrics_snapshot(flat: dict, path: str) -> None:
+    """Write the flat metrics dict as pretty, stable-ordered JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(flat, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,161 @@
+"""The :class:`Observation` hub: one object that wires the whole layer.
+
+Attach one to a pipeline and it
+
+* installs the :class:`~repro.obs.events.EventBus` on the pipeline and
+  its decoupled frontend (``pipeline.obs`` / ``frontend.obs``), clocked
+  by ``pipeline.cycle``;
+* records the taxonomy event stream (optional, default on);
+* feeds the :class:`~repro.obs.attribution.AttributionTable`;
+* populates the standard histograms (flush-penalty cycles, chain
+  length, walk depth, cycles saved, resolution gap) in a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Usage::
+
+    obs = Observation()
+    pipeline = Pipeline(program, memory, SimConfig(tea=TeaConfig()))
+    obs.attach(pipeline)
+    stats = pipeline.run()
+    print(obs.attribution.report(10))
+    obs.write_events_jsonl("events.jsonl")
+    obs.write_chrome_trace("trace.json")     # open in ui.perfetto.dev
+
+or via the harness: ``run_workload("mcf", "tea", observe=True)``.
+"""
+
+from __future__ import annotations
+
+from .attribution import AttributionTable
+from .events import EVENT_TYPES, Event, EventBus
+from .export import (
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_snapshot,
+)
+from .metrics import MetricsRegistry
+
+#: Default fixed-bucket histogram edges (cycle/uop counts; powers of
+#: two so tiny- and bench-scale runs land in interior buckets).
+DEFAULT_HISTOGRAMS: dict[str, tuple[int, ...]] = {
+    "tea.flush_penalty_cycles": (2, 4, 8, 16, 32, 64, 128, 256),
+    "tea.chain_length": (1, 2, 4, 8, 16, 32, 64, 128),
+    "tea.walk_depth": (8, 16, 32, 64, 128, 256, 512),
+    "tea.cycles_saved": (1, 2, 4, 8, 16, 32, 64, 128, 256),
+    "tea.resolution_gap": (0, 4, 8, 16, 32, 64, 128, 256),
+}
+
+
+class Observation:
+    """Bundles bus + registry + attribution + recorder for one run."""
+
+    def __init__(
+        self,
+        record_events: bool = True,
+        histograms: dict[str, tuple[int, ...]] | None = None,
+    ):
+        self.bus = EventBus()
+        self.metrics = MetricsRegistry()
+        self.attribution = AttributionTable()
+        self.events: list[Event] = []
+        self._record = record_events
+        self._pipeline = None
+        for name, edges in (histograms or DEFAULT_HISTOGRAMS).items():
+            self.metrics.histogram(name, edges)
+
+    # ------------------------------------------------------------------
+    def attach(self, pipeline) -> None:
+        """Install on a pipeline (before ``run``); reuses an existing
+        bus if one is already attached (e.g. by a PipelineTracer)."""
+        if self._pipeline is not None:
+            raise RuntimeError("observation is already attached")
+        existing = getattr(pipeline, "obs", None)
+        if existing is not None:
+            self.bus = existing
+        else:
+            pipeline.obs = self.bus
+        pipeline.frontend.obs = pipeline.obs
+        self.bus.bind_clock(lambda: pipeline.cycle)
+        self._pipeline = pipeline
+        if self._record:
+            self.bus.subscribe(self._on_record, EVENT_TYPES)
+        self.bus.subscribe(
+            self.attribution.on_event, AttributionTable.SUBSCRIBED_TYPES
+        )
+        self.bus.subscribe(
+            self._on_flush_penalty, ("mispredict_flush", "early_flush")
+        )
+        self.bus.subscribe(self._on_walk_finish, ("walk_finish",))
+        self.bus.subscribe(self._on_branch_resolved, ("branch_resolved",))
+
+    def detach(self) -> None:
+        """Unsubscribe all hub callbacks (the bus stays on the pipeline)."""
+        if self._pipeline is None:
+            raise RuntimeError("observation is not attached")
+        for callback in (
+            self._on_record,
+            self.attribution.on_event,
+            self._on_flush_penalty,
+            self._on_walk_finish,
+            self._on_branch_resolved,
+        ):
+            self.bus.unsubscribe(callback)
+        self._pipeline = None
+
+    def now(self) -> int:
+        """Current simulation cycle (0 before attach)."""
+        return self._pipeline.cycle if self._pipeline is not None else 0
+
+    # -- subscribers ----------------------------------------------------
+    def _on_record(self, event: Event) -> None:
+        self.events.append(event)
+
+    def _on_flush_penalty(self, event: Event) -> None:
+        self.metrics.histogram("tea.flush_penalty_cycles").observe(
+            max(0, event.data.get("penalty", 0))
+        )
+
+    def _on_walk_finish(self, event: Event) -> None:
+        self.metrics.histogram("tea.chain_length").observe(
+            event.data.get("chain_length", 0)
+        )
+        self.metrics.histogram("tea.walk_depth").observe(
+            event.data.get("depth", 0)
+        )
+
+    def _on_branch_resolved(self, event: Event) -> None:
+        outcome = event.data.get("outcome")
+        if outcome in ("covered_timely", "covered_late"):
+            self.metrics.histogram("tea.cycles_saved").observe(
+                event.data.get("saved", 0)
+            )
+        gap = event.data.get("gap")
+        if gap is not None:
+            self.metrics.histogram("tea.resolution_gap").observe(gap)
+
+    # -- snapshots ------------------------------------------------------
+    def event_type_counts(self) -> dict[str, int]:
+        """Per-type emission counts (kept even without subscribers)."""
+        return dict(sorted(self.bus.counts.items()))
+
+    def metrics_snapshot(self, stats=None) -> dict:
+        """Flat ``{dotted.name: scalar}`` snapshot for diffing.
+
+        Publishes event counts (``events.*``) and, when given, the
+        ``SimStats`` block (``sim.*``) into the registry first.
+        """
+        for type_, count in self.bus.counts.items():
+            self.metrics.gauge(f"events.{type_}").set(count)
+        if stats is not None:
+            stats.publish_to(self.metrics)
+        return self.metrics.flat_snapshot()
+
+    # -- export conveniences -------------------------------------------
+    def write_events_jsonl(self, path: str) -> int:
+        return write_events_jsonl(self.events, path)
+
+    def write_chrome_trace(self, path: str) -> dict:
+        return write_chrome_trace(self.events, path, final_cycle=self.now())
+
+    def write_metrics_snapshot(self, path: str, stats=None) -> None:
+        write_metrics_snapshot(self.metrics_snapshot(stats), path)

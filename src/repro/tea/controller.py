@@ -79,8 +79,9 @@ class TeaController:
         self._pending_index = 0
         # Deferred walk results: the walk occupies the state machine
         # for ~walk_cycles; Block Cache updates land at completion.
+        self._walk_start_cycle = -1
         self._walk_done_cycle = -1
-        self._pending_walk: tuple[list[FillEntry], list[bool], int] | None = None
+        self._pending_walk: tuple[list[FillEntry], object] | None = None
         self._retire_count = 0
 
     # ==================================================================
@@ -92,7 +93,19 @@ class TeaController:
         instr = uop.instr
         if instr.is_branch and uop.branch is not None and uop.branch.can_mispredict:
             if uop.mispredicted:
-                self.h2p.record_mispredict(instr.pc)
+                obs = self.p.obs
+                if obs is None:
+                    self.h2p.record_mispredict(instr.pc)
+                else:
+                    was_h2p = self.h2p.is_h2p(instr.pc)
+                    self.h2p.record_mispredict(instr.pc)
+                    if not was_h2p and self.h2p.is_h2p(instr.pc):
+                        obs.emit(
+                            "h2p_identified",
+                            pc=instr.pc,
+                            seq=uop.seq,
+                            counter=self.h2p.counter(instr.pc),
+                        )
         if self._retire_count % cfg.h2p_decrement_period == 0:
             self.h2p.periodic_decrement()
         if self._retire_count % cfg.mask_reset_period == 0:
@@ -121,13 +134,21 @@ class TeaController:
         )
         if self.fill_buffer.full():
             entries, result = self.fill_buffer.run_walk()
+            self._walk_start_cycle = self.p.cycle
             self._walk_done_cycle = self.p.cycle + cfg.walk_cycles
-            self._pending_walk = (entries, result.marked, result.stop_index)
+            self._pending_walk = (entries, result)
+            if self.p.obs is not None:
+                self.p.obs.emit(
+                    "walk_start",
+                    entries=len(entries),
+                    initiations=result.initiations,
+                )
 
     def _maybe_finish_walk(self) -> None:
         if self._pending_walk is None or self.p.cycle < self._walk_done_cycle:
             return
-        entries, marked, stop_index = self._pending_walk
+        entries, result = self._pending_walk
+        marked, stop_index = result.marked, result.stop_index
         self._pending_walk = None
         masks: dict[int, int] = {}
         for i in range(stop_index, len(entries)):
@@ -135,8 +156,22 @@ class TeaController:
             masks.setdefault(entry.bb_start, 0)
             if marked[i]:
                 masks[entry.bb_start] |= 1 << entry.bb_offset
+        evictions_before = self.block_cache.evictions
         for bb_start, mask in masks.items():
             self.block_cache.insert(bb_start, mask)
+        obs = self.p.obs
+        if obs is not None:
+            evicted = self.block_cache.evictions - evictions_before
+            if evicted:
+                obs.emit("block_cache_evict", count=evicted)
+            obs.emit(
+                "walk_finish",
+                chain_length=result.marked_count,
+                depth=len(entries) - stop_index,
+                initiations=result.initiations,
+                blocks=len(masks),
+                start_cycle=self._walk_start_cycle,
+            )
 
     # ==================================================================
     # Shadow fetch: shadow FTQ -> Block Cache -> rename pipe
@@ -222,6 +257,8 @@ class TeaController:
         else:
             self.rat_synced = False
         self.p.stats.tea_initiations += 1
+        if self.p.obs is not None:
+            self.p.obs.emit("tea_initiate", seq=start_seq)
 
     def _fetch_active(self) -> None:
         """Fetch up to ``fetch_width`` chain uops from one block."""
@@ -235,10 +272,21 @@ class TeaController:
             return
         block = shadow.popleft()
         # Per-basic-block Block Cache lookups; a miss terminates.
+        obs = self.p.obs
         for bb_start in self._block_bb_starts(block):
-            if self.block_cache.lookup(bb_start) is None:
-                self._terminate(drain=True)
+            mask = self.block_cache.lookup(bb_start)
+            if mask is None:
+                if obs is not None:
+                    obs.emit("block_cache_miss", pc=bb_start, seq=block.first_seq)
+                self._terminate(drain=True, reason="block_cache_miss")
                 return
+            if obs is not None:
+                obs.emit(
+                    "block_cache_hit",
+                    pc=bb_start,
+                    seq=block.first_seq,
+                    empty=mask == 0,
+                )
         self._pending_block = block
         self._pending_index = 0
         self._fetch_from_block(block, budget)
@@ -246,6 +294,7 @@ class TeaController:
     def _fetch_from_block(self, block, budget: int) -> int:
         by_pc = self.p.program._block_start_by_pc
         uops = block.uops
+        fetched = 0
         while self._pending_index < len(uops) and budget > 0:
             fuop = uops[self._pending_index]
             bb_start = by_pc.get(fuop.instr.pc)
@@ -263,7 +312,10 @@ class TeaController:
                 self.chain_seqs[fuop.seq] = True
                 self.p.stats.tea_fetched_uops += 1
                 budget -= 1
+                fetched += 1
             self._pending_index += 1
+        if fetched and self.p.obs is not None:
+            self.p.obs.emit("shadow_fetch", seq=block.first_seq, uops=fetched)
         if self._pending_index >= len(uops):
             self._pending_block = None
             self._pending_index = 0
@@ -428,7 +480,9 @@ class TeaController:
         self.p.stats.tea_poison_terminations += 1
         if self.poison_block_seq is None or seq < self.poison_block_seq:
             self.poison_block_seq = seq
-        self._terminate(drain=True)
+        if self.p.obs is not None:
+            self.p.obs.emit("poison_term", seq=seq)
+        self._terminate(drain=True, reason="poison")
 
     # ==================================================================
     # TEA execution callbacks
@@ -447,30 +501,60 @@ class TeaController:
         """A TEA copy of an H2P branch finished execution (§IV-F)."""
         stats = self.p.stats
         stats.tea_resolved_branches += 1
+        obs = self.p.obs
         entry = self.p.ifbq.get(uop.seq)
         if entry is None or entry.main_resolved:
             # Late precomputation: the main branch got there first.
+            if obs is not None:
+                obs.emit("tea_resolve", pc=uop.instr.pc, seq=uop.seq, late=True)
             self.late_count += 1
             if self.late_count > self.config.max_late_resolutions:
-                self._terminate(drain=True)
+                self._terminate(drain=True, reason="too_late")
             return
         entry.tea_resolved = True
         entry.tea_taken = uop.br_taken
         entry.tea_target = uop.br_target
         entry.tea_resolve_cycle = self.p.cycle
         if not self.config.early_resolution:
+            if obs is not None:
+                obs.emit("tea_resolve", pc=uop.instr.pc, seq=uop.seq, late=False)
             return  # prefetch-only mode (§V-B)
         if self.poison_block_seq is not None and uop.seq > self.poison_block_seq:
             entry.tea_blocked = True
             stats.tea_blocked_flushes += 1
+            if obs is not None:
+                obs.emit(
+                    "tea_resolve",
+                    pc=uop.instr.pc,
+                    seq=uop.seq,
+                    late=False,
+                    blocked=True,
+                )
             return
         info = entry.branch
         disagrees = uop.br_taken != info.predicted_taken or (
             uop.br_taken and uop.br_target != info.predicted_target
         )
+        if obs is not None:
+            obs.emit(
+                "tea_resolve",
+                pc=uop.instr.pc,
+                seq=uop.seq,
+                late=False,
+                disagrees=disagrees,
+            )
         if disagrees:
             entry.tea_flush_issued = True
             stats.early_flushes += 1
+            if obs is not None:
+                penalty = (
+                    max(0, self.p.cycle - uop.fetch_cycle)
+                    if uop.fetch_cycle >= 0
+                    else 0
+                )
+                obs.emit(
+                    "early_flush", pc=info.pc, seq=info.seq, penalty=penalty
+                )
             self.p.flush_at_branch(info, uop.br_taken, uop.br_target)
 
     def on_tea_uop_done(self, uop: DynUop) -> None:
@@ -483,10 +567,12 @@ class TeaController:
     # ==================================================================
     # Termination and flush recovery
     # ==================================================================
-    def _terminate(self, drain: bool) -> None:
+    def _terminate(self, drain: bool, reason: str = "drain") -> None:
         """Stop fetching; in-flight uops drain out (§IV-G)."""
         if self.active:
             self.p.stats.tea_terminations += 1
+            if self.p.obs is not None:
+                self.p.obs.emit("tea_terminate", reason=reason)
         self.active = False
         self._pending_block = None
         self._pending_index = 0
@@ -510,6 +596,10 @@ class TeaController:
 
     def on_flush(self, seq: int) -> None:
         """Any pipeline flush resets the TEA thread (resynchronized)."""
+        if self.active and self.p.obs is not None:
+            # Close the active span for the timeline exporters (not a
+            # counted termination: the thread is reset, not drained).
+            self.p.obs.emit("tea_terminate", reason="flush")
         for uop in self.live_uops:
             uop.state = UopState.SQUASHED
         self.live_uops.clear()

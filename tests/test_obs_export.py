@@ -1,0 +1,204 @@
+"""Tests for the telemetry exporters and the observability CLI surface.
+
+Covers JSONL round-trips, Chrome ``trace_event`` structural validity
+(the Perfetto loadability contract), span pairing, the flat metrics
+snapshot file, and the ``python -m repro`` flags that drive them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import MemoryImage, Observation, Pipeline, SimConfig, assemble
+from repro.__main__ import main
+from repro.obs import (
+    Event,
+    events_to_chrome_trace,
+    read_events_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_snapshot,
+)
+from repro.tea import TeaConfig
+
+from tests.conftest import h2p_loop_workload
+
+
+@pytest.fixture(scope="module")
+def observed_run():
+    source, memory, _ = h2p_loop_workload(n=300, seed=21)
+    pipeline = Pipeline(assemble(source), memory, SimConfig(tea=TeaConfig()))
+    obs = Observation()
+    obs.attach(pipeline)
+    stats = pipeline.run(max_cycles=1_000_000)
+    assert pipeline.halted
+    return obs, stats
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+class TestJsonl:
+    def test_round_trip(self, observed_run, tmp_path):
+        obs, _ = observed_run
+        path = tmp_path / "events.jsonl"
+        written = write_events_jsonl(obs.events, str(path))
+        assert written == len(obs.events) > 0
+        parsed = read_events_jsonl(str(path))
+        assert parsed == [e.as_dict() for e in obs.events]
+
+    def test_every_line_is_valid_json(self, observed_run, tmp_path):
+        obs, _ = observed_run
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(obs.events, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(obs.events)
+        for line in lines:
+            record = json.loads(line)
+            assert "type" in record and "cycle" in record
+
+    def test_empty_event_list(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_events_jsonl([], str(path)) == 0
+        assert read_events_jsonl(str(path)) == []
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+class TestChromeTrace:
+    def test_real_run_trace_is_valid_and_loadable(self, observed_run, tmp_path):
+        obs, _ = observed_run
+        path = tmp_path / "trace.json"
+        trace = write_chrome_trace(obs.events, str(path),
+                                   final_cycle=obs.now())
+        validate_chrome_trace(trace)
+        loaded = json.loads(path.read_text())
+        assert loaded == trace
+        names = {entry["name"] for entry in loaded["traceEvents"]}
+        assert "tea_active" in names
+        assert "thread_name" in names
+
+    def test_span_pairing(self):
+        events = [
+            Event("tea_initiate", 10, 0x18, 5, {}),
+            Event("tea_terminate", 50, -1, -1, {"reason": "drain"}),
+        ]
+        trace = events_to_chrome_trace(events)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        (span,) = spans
+        assert span["name"] == "tea_active"
+        assert span["ts"] == 10 and span["dur"] == 40
+        assert span["args"]["reason"] == "drain"
+
+    def test_unclosed_span_closed_at_final_cycle(self):
+        events = [Event("tea_initiate", 10, 0x18, 5, {})]
+        trace = events_to_chrome_trace(events, final_cycle=75)
+        (span,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert span["ts"] == 10 and span["dur"] == 65
+        assert span["args"]["reason"] == "simulation_end"
+
+    def test_walk_span_uses_start_cycle(self):
+        events = [
+            Event("walk_finish", 40, -1, -1,
+                  {"start_cycle": 28, "chain_length": 6, "depth": 32}),
+        ]
+        trace = events_to_chrome_trace(events)
+        (span,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert span["name"] == "backward_walk"
+        assert span["ts"] == 28 and span["dur"] == 12
+        assert span["args"] == {"chain_length": 6, "depth": 32}
+
+    def test_block_cache_counter_track(self):
+        events = [
+            Event("block_cache_hit", 5, 0x10, -1, {}),
+            Event("block_cache_hit", 6, 0x14, -1, {}),
+            Event("block_cache_miss", 7, 0x18, -1, {}),
+        ]
+        trace = events_to_chrome_trace(events)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert [c["args"] for c in counters] == [
+            {"hits": 1, "misses": 0},
+            {"hits": 2, "misses": 0},
+            {"hits": 2, "misses": 1},
+        ]
+
+    def test_instants_carry_hex_pc(self):
+        events = [Event("early_flush", 9, 0x3C, 12, {"penalty": 4})]
+        trace = events_to_chrome_trace(events)
+        (instant,) = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert instant["args"] == {"penalty": 4, "pc": "0x3c", "seq": 12}
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "i", "pid": 0, "tid": 0}]}
+            )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 1}
+                ]}
+            )
+
+
+# ----------------------------------------------------------------------
+# Metrics snapshot
+# ----------------------------------------------------------------------
+class TestMetricsSnapshot:
+    def test_snapshot_file_is_sorted_json(self, observed_run, tmp_path):
+        obs, stats = observed_run
+        path = tmp_path / "metrics.json"
+        write_metrics_snapshot(obs.metrics_snapshot(stats), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["sim.cycles"] == stats.cycles
+        assert loaded["events.early_flush"] == obs.bus.counts["early_flush"]
+        assert list(loaded) == sorted(loaded)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_run_with_export_flags(self, tmp_path, capsys):
+        events = tmp_path / "e.jsonl"
+        trace = tmp_path / "t.json"
+        snapshot = tmp_path / "s.json"
+        code = main([
+            "run", "xz", "--mode", "tea", "--scale", "tiny",
+            "--events-out", str(events),
+            "--trace-out", str(trace),
+            "--stats-out", str(snapshot),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        records = read_events_jsonl(str(events))
+        assert records and all("type" in r for r in records)
+        validate_chrome_trace(json.loads(trace.read_text()))
+        assert "sim.ipc" in json.loads(snapshot.read_text())
+
+    def test_run_without_flags_has_no_observation(self, capsys):
+        assert main(["run", "xz", "--scale", "tiny"]) == 0
+        assert "wrote" not in capsys.readouterr().out
+
+    def test_stats_command(self, capsys):
+        code = main(["stats", "xz", "--mode", "tea", "--scale", "tiny",
+                     "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "event counts:" in out
+        assert "H2P offenders" in out
+
+    def test_stats_json(self, capsys):
+        code = main(["stats", "xz", "--mode", "tea", "--scale", "tiny",
+                     "--json"])
+        assert code == 0
+        flat = json.loads(capsys.readouterr().out)
+        assert "sim.ipc" in flat
+        assert any(key.startswith("events.") for key in flat)

@@ -1,0 +1,407 @@
+"""Tests for the structured telemetry layer (:mod:`repro.obs`).
+
+Covers the event bus contract, histogram bucket semantics, the metrics
+registry, the explicit ``SimStats`` reset, and the end-to-end
+guarantees of an observed TEA run: the taxonomy richness, deterministic
+event ordering, and exact reconciliation of the per-PC attribution
+table against the ``SimStats`` counter block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro import MemoryImage, Observation, Pipeline, SimConfig, assemble
+from repro.core.stats import SimStats
+from repro.obs import (
+    DEFAULT_HISTOGRAMS,
+    EVENT_TYPES,
+    FIREHOSE_TYPES,
+    AttributionTable,
+    Event,
+    EventBus,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.tea import TeaConfig
+
+from tests.conftest import h2p_loop_workload
+
+
+# ----------------------------------------------------------------------
+# EventBus
+# ----------------------------------------------------------------------
+class TestEventBus:
+    def test_counts_tally_without_subscribers(self):
+        bus = EventBus()
+        bus.emit("early_flush", penalty=3)
+        bus.emit("early_flush", penalty=5)
+        bus.emit("walk_start")
+        assert bus.counts == {"early_flush": 2, "walk_start": 1}
+        assert bus.distinct_types() == {"early_flush", "walk_start"}
+
+    def test_events_dispatched_with_clock_stamp(self):
+        cycle = [0]
+        bus = EventBus(clock=lambda: cycle[0])
+        got = []
+        bus.subscribe(got.append, ("tea_resolve",))
+        cycle[0] = 41
+        bus.emit("tea_resolve", pc=0x3C, seq=7, disagrees=True)
+        (event,) = got
+        assert event.type == "tea_resolve"
+        assert event.cycle == 41
+        assert event.pc == 0x3C and event.seq == 7
+        assert event.data == {"disagrees": True}
+
+    def test_subscription_is_per_type(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, ("walk_start",))
+        bus.emit("walk_finish")
+        bus.emit("walk_start")
+        assert [e.type for e in got] == ["walk_start"]
+
+    def test_wants_tracks_subscriptions(self):
+        bus = EventBus()
+        assert not bus.wants("cycle_end")
+        callback = lambda e: None  # noqa: E731
+        bus.subscribe(callback, ("cycle_end", "uop_commit"))
+        assert bus.wants("cycle_end") and bus.wants("uop_commit")
+        bus.unsubscribe(callback)
+        assert not bus.wants("cycle_end")
+
+    def test_unsubscribe_stops_delivery_keeps_counts(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, ("flush",))
+        bus.emit("flush")
+        bus.unsubscribe(got.append)
+        bus.emit("flush")
+        assert len(got) == 1
+        assert bus.counts["flush"] == 2
+
+    def test_bind_clock_replaces_source(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, ("flush",))
+        bus.emit("flush")
+        assert got[0].cycle == -1  # unbound default clock
+        bus.bind_clock(lambda: 99)
+        bus.emit("flush")
+        assert got[1].cycle == 99
+
+    def test_taxonomy_and_firehose_disjoint(self):
+        assert not (EVENT_TYPES & FIREHOSE_TYPES)
+        assert len(EVENT_TYPES) >= 15
+
+
+class TestEvent:
+    def test_as_dict_omits_unset_pc_seq(self):
+        event = Event("walk_start", 10, -1, -1, {"entries": 4})
+        assert event.as_dict() == {"type": "walk_start", "cycle": 10,
+                                   "entries": 4}
+
+    def test_as_dict_includes_pc_seq_when_set(self):
+        event = Event("branch_retire", 5, 0x18, 42, {"mispredicted": False})
+        assert event.as_dict() == {
+            "type": "branch_retire", "cycle": 5, "pc": 0x18, "seq": 42,
+            "mispredicted": False,
+        }
+
+    def test_key_is_hashable_identity(self):
+        a = Event("flush", 3, 1, 2, {"x": 1})
+        b = Event("flush", 3, 1, 2, {"x": 1})
+        c = Event("flush", 3, 1, 2, {"x": 2})
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+        assert hash(a.key())
+
+
+# ----------------------------------------------------------------------
+# Histograms and the registry
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_le_bucket_edges(self):
+        # Prometheus ``le`` semantics: a value equal to an edge falls in
+        # that edge's bucket; one past it falls in the next.
+        hist = Histogram("h", (2, 4, 8))
+        for value in (1, 2):
+            assert hist.bucket_index(value) == 0, value
+        for value in (3, 4):
+            assert hist.bucket_index(value) == 1, value
+        for value in (5, 8):
+            assert hist.bucket_index(value) == 2, value
+        assert hist.bucket_index(9) == 3  # overflow
+
+    def test_observe_populates_counts_and_extremes(self):
+        hist = Histogram("h", (2, 4, 8))
+        for value in (1, 2, 3, 8, 100):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.total == 5
+        assert hist.sum == 114
+        assert hist.min == 1 and hist.max == 100
+        assert hist.mean == pytest.approx(114 / 5)
+
+    def test_empty_histogram_mean_zero(self):
+        hist = Histogram("h", (1,))
+        assert hist.mean == 0.0
+        assert hist.min is None and hist.max is None
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+        with pytest.raises(ValueError):
+            Histogram("h", (4, 2))
+
+    def test_flat_items_suffixes(self):
+        hist = Histogram("h", (2, 4))
+        hist.observe(3)
+        flat = dict(hist.flat_items())
+        assert flat["count"] == 1
+        assert flat["le_2"] == 0 and flat["le_4"] == 1
+        assert flat["le_inf"] == 0
+
+
+class TestMetricsRegistry:
+    def test_create_or_get_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        hist = registry.histogram("h", (1, 2))
+        assert registry.histogram("h") is hist
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x", (1,))
+
+    def test_histogram_requires_edges_on_first_use(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            registry.histogram("missing")
+
+    def test_snapshots(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", (2,)).observe(1)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        flat = registry.flat_snapshot()
+        assert flat["c"] == 3 and flat["g"] == 1.5
+        assert flat["h.le_2"] == 1 and flat["h.le_inf"] == 0
+        assert list(flat) == sorted(flat)
+
+
+# ----------------------------------------------------------------------
+# SimStats explicit reset
+# ----------------------------------------------------------------------
+class TestSimStatsReset:
+    def test_reset_restores_declared_defaults(self):
+        stats = SimStats()
+        stats.cycles = 100
+        stats.direction_mispredicts = 7
+        stats.start_measurement()
+        assert stats.cycles == 0
+        assert stats.direction_mispredicts == 0
+        assert stats.measuring is True
+
+    def test_extra_preserved_across_reset(self):
+        stats = SimStats()
+        stats.extra["per_pc"] = {0x18: 3}
+        stats.start_measurement()
+        assert stats.extra == {"per_pc": {0x18: 3}}
+
+    def test_subclass_fields_reset_too(self):
+        @dataclass
+        class MyStats(SimStats):
+            custom_counter: int = 0
+
+        stats = MyStats()
+        stats.custom_counter = 9
+        stats.cycles = 5
+        stats.extra["keep"] = True
+        stats.start_measurement()
+        assert stats.custom_counter == 0
+        assert stats.cycles == 0
+        assert stats.extra == {"keep": True}
+
+    def test_publish_to_registry(self):
+        registry = MetricsRegistry()
+        stats = SimStats()
+        stats.cycles = 10
+        stats.retired_instructions = 20
+        stats.publish_to(registry)
+        flat = registry.flat_snapshot()
+        assert flat["sim.cycles"] == 10
+        assert flat["sim.ipc"] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# Attribution table unit behavior
+# ----------------------------------------------------------------------
+class TestAttributionTable:
+    def _retire(self, pc, mispredicted=False, direction=True):
+        return Event("branch_retire", 1, pc, 0,
+                     {"mispredicted": mispredicted, "direction": direction})
+
+    def test_retire_accounting(self):
+        table = AttributionTable()
+        table.on_event(self._retire(0x10))
+        table.on_event(self._retire(0x10, mispredicted=True))
+        table.on_event(self._retire(0x10, mispredicted=True, direction=False))
+        entry = table.get(0x10)
+        assert entry.retired == 3
+        assert entry.mispredicts == 2
+        assert entry.direction_mispredicts == 1
+        assert entry.target_mispredicts == 1
+        assert entry.accuracy == pytest.approx(1 / 3)
+
+    def test_measurement_start_clears_table(self):
+        table = AttributionTable()
+        table.on_event(self._retire(0x10, mispredicted=True))
+        assert table.total_mispredicts == 1
+        table.on_event(Event("measurement_start", 0, -1, -1, {}))
+        assert len(table) == 0
+        assert table.total_mispredicts == 0
+
+    def test_top_ranks_by_mispredicts(self):
+        table = AttributionTable()
+        for _ in range(3):
+            table.on_event(self._retire(0x20, mispredicted=True))
+        table.on_event(self._retire(0x10, mispredicted=True))
+        top = table.top(1)
+        assert [e.pc for e in top] == [0x20]
+        assert "top-1 H2P offenders" in table.report(1)
+
+    def test_empty_report(self):
+        assert "no branches" in AttributionTable().report()
+
+
+# ----------------------------------------------------------------------
+# End-to-end observed runs
+# ----------------------------------------------------------------------
+def observed_run(n=400, seed=51, warmup=0):
+    source, memory, expected = h2p_loop_workload(n=n, seed=seed)
+    config = SimConfig(tea=TeaConfig())
+    if warmup:
+        config = replace(config, warmup_instructions=warmup)
+    pipeline = Pipeline(assemble(source), memory, config)
+    obs = Observation()
+    obs.attach(pipeline)
+    stats = pipeline.run(max_cycles=1_000_000)
+    assert pipeline.halted
+    return pipeline, obs, stats
+
+
+@pytest.fixture(scope="module")
+def tea_observed():
+    return observed_run()
+
+
+class TestObservedRun:
+    def test_emits_rich_taxonomy(self, tea_observed):
+        _, obs, _ = tea_observed
+        emitted = obs.bus.distinct_types() & EVENT_TYPES
+        assert len(emitted) >= 8, sorted(emitted)
+
+    def test_recorded_events_are_taxonomy_only(self, tea_observed):
+        _, obs, _ = tea_observed
+        assert obs.events
+        assert {e.type for e in obs.events} <= EVENT_TYPES
+
+    def test_event_cycles_monotonic(self, tea_observed):
+        _, obs, _ = tea_observed
+        cycles = [e.cycle for e in obs.events]
+        assert cycles == sorted(cycles)
+
+    def test_attribution_reconciles_with_stats(self, tea_observed):
+        _, obs, stats = tea_observed
+        assert obs.attribution.total_mispredicts == stats.total_mispredicts
+        assert stats.total_mispredicts > 0
+
+    def test_flush_penalty_histogram_counts_every_flush(self, tea_observed):
+        _, obs, stats = tea_observed
+        hist = obs.metrics.histogram("tea.flush_penalty_cycles")
+        assert hist.total == stats.flushes
+
+    def test_cycles_saved_histogram_matches_stats(self, tea_observed):
+        _, obs, stats = tea_observed
+        hist = obs.metrics.histogram("tea.cycles_saved")
+        assert hist.total == stats.covered_timely + stats.covered_late
+        assert hist.sum == stats.tea_cycles_saved
+
+    def test_metrics_snapshot_includes_all_layers(self, tea_observed):
+        _, obs, stats = tea_observed
+        flat = obs.metrics_snapshot(stats)
+        assert flat["events.early_flush"] == obs.bus.counts["early_flush"]
+        assert flat["sim.cycles"] == stats.cycles
+        for name in DEFAULT_HISTOGRAMS:
+            assert f"{name}.count" in flat
+
+    def test_observation_does_not_perturb_simulation(self):
+        source, memory, _ = h2p_loop_workload(n=400, seed=51)
+        plain = Pipeline(assemble(source), memory, SimConfig(tea=TeaConfig()))
+        plain_stats = plain.run(max_cycles=1_000_000)
+        _, _, observed_stats = observed_run()
+        assert plain_stats.as_dict() == observed_stats.as_dict()
+
+    def test_double_attach_rejected(self, tea_observed):
+        pipeline, obs, _ = tea_observed
+        with pytest.raises(RuntimeError):
+            obs.attach(pipeline)
+
+    def test_detach_stops_recording(self):
+        pipeline, obs, _ = observed_run(n=50, seed=3)
+        recorded = len(obs.events)
+        obs.detach()
+        pipeline.obs.emit("early_flush", penalty=1)
+        assert len(obs.events) == recorded
+        with pytest.raises(RuntimeError):
+            obs.detach()
+
+
+class TestDeterminism:
+    def test_event_stream_bit_identical_across_runs(self):
+        _, obs_a, _ = observed_run(n=300, seed=13)
+        _, obs_b, _ = observed_run(n=300, seed=13)
+        keys_a = [e.key() for e in obs_a.events]
+        keys_b = [e.key() for e in obs_b.events]
+        assert keys_a == keys_b
+        assert obs_a.bus.counts == obs_b.bus.counts
+
+    def test_different_data_different_stream(self):
+        _, obs_a, _ = observed_run(n=300, seed=13)
+        _, obs_b, _ = observed_run(n=300, seed=14)
+        assert [e.key() for e in obs_a.events] != [e.key() for e in obs_b.events]
+
+
+class TestWarmupBoundary:
+    def test_attribution_resets_with_stats_at_warmup(self):
+        _, obs, stats = observed_run(n=400, seed=51, warmup=500)
+        # Both the counter block and the attribution table saw the same
+        # measurement_start boundary, so they must still agree exactly.
+        assert obs.bus.counts["measurement_start"] == 1
+        assert obs.attribution.total_mispredicts == stats.total_mispredicts
+        # Warmup genuinely trimmed the measured window.
+        _, _, full = observed_run(n=400, seed=51)
+        assert stats.retired_instructions < full.retired_instructions
+
+
+class TestDisabledPath:
+    def test_pipeline_has_no_bus_by_default(self):
+        source, memory, _ = h2p_loop_workload(n=50, seed=3)
+        pipeline = Pipeline(assemble(source), memory,
+                            SimConfig(tea=TeaConfig()))
+        assert pipeline.obs is None
+        assert pipeline.frontend.obs is None
+        pipeline.run(max_cycles=200_000)
+        assert pipeline.obs is None

@@ -58,12 +58,70 @@ class TestRender:
         _, tracer = traced_run(SIMPLE_SRC)
         assert "no traced uops" in tracer.render(start_seq=10**9)
 
+    def test_render_rows_without_fetch_cycle(self):
+        # Regression: a traced row can exist with no recorded fetch
+        # cycle (e.g. scanned mid-flight after a flush); render used to
+        # crash with ``min() arg is an empty sequence``.
+        tracer = PipelineTracer()
+        from repro.core.tracing import UopTrace
+
+        tracer.records[(0, False)] = UopTrace(
+            seq=0, pc=0, opcode="add", is_tea=False
+        )
+        assert "no traced uops" in tracer.render()
+
     def test_double_attach_rejected(self):
         pipeline = Pipeline(assemble(SIMPLE_SRC), MemoryImage(), SimConfig())
         tracer = PipelineTracer()
         tracer.attach(pipeline)
         with pytest.raises(RuntimeError):
             tracer.attach(pipeline)
+
+
+class TestDetach:
+    def test_detach_then_reattach(self):
+        pipeline = Pipeline(assemble(SIMPLE_SRC), MemoryImage(), SimConfig())
+        tracer = PipelineTracer()
+        tracer.attach(pipeline)
+        tracer.detach()
+        tracer.attach(pipeline)  # must not raise after detach
+        pipeline.run(max_cycles=1_000_000)
+        assert tracer.uops()
+
+    def test_detach_without_attach_rejected(self):
+        with pytest.raises(RuntimeError):
+            PipelineTracer().detach()
+
+    def test_detach_stops_recording(self):
+        pipeline = Pipeline(assemble(SIMPLE_SRC), MemoryImage(), SimConfig())
+        tracer = PipelineTracer()
+        tracer.attach(pipeline)
+        tracer.detach()
+        pipeline.run(max_cycles=1_000_000)
+        assert not tracer.records
+
+    def test_firehose_silenced_after_detach(self):
+        pipeline = Pipeline(assemble(SIMPLE_SRC), MemoryImage(), SimConfig())
+        tracer = PipelineTracer()
+        tracer.attach(pipeline)
+        assert pipeline.obs.wants("cycle_end")
+        tracer.detach()
+        assert not pipeline.obs.wants("cycle_end")
+
+
+class TestBusComposition:
+    def test_tracer_reuses_observation_bus(self):
+        from repro import Observation
+
+        pipeline = Pipeline(assemble(SIMPLE_SRC), MemoryImage(), SimConfig())
+        obs = Observation()
+        obs.attach(pipeline)
+        tracer = PipelineTracer()
+        tracer.attach(pipeline)
+        assert pipeline.obs is obs.bus
+        pipeline.run(max_cycles=1_000_000)
+        assert tracer.uops()
+        assert obs.bus.counts.get("measurement_start") == 1
 
 
 class TestTeaVisibility:
