@@ -18,7 +18,7 @@ Quick start::
     print(stats.ipc, stats.coverage)
 """
 
-from .core import CoreConfig, Pipeline, SimConfig, SimStats, SimulationError
+from .core import ConfigError, CoreConfig, Pipeline, SimConfig, SimStats, SimulationError
 from .isa import AssemblerError, Instruction, Program, UopClass, assemble
 from .memory import MemoryImage
 from .obs import Observation
@@ -31,6 +31,7 @@ __all__ = [
     "SimConfig",
     "SimStats",
     "SimulationError",
+    "ConfigError",
     "Observation",
     "AssemblerError",
     "Instruction",

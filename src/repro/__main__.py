@@ -2,7 +2,7 @@
 
 Commands
 --------
-``run``      simulate one workload under one machine mode
+``run``      simulate workloads (one run, or a fault-tolerant campaign)
 ``compare``  simulate one workload under several modes side by side
 ``stats``    run with full telemetry and print the observability report
 ``list``     list workloads, scales, and machine modes
@@ -13,9 +13,15 @@ Examples::
     python -m repro list
     python -m repro run bfs --mode tea --scale tiny
     python -m repro run mcf --mode tea --trace-out trace.json
+    python -m repro run bfs,mcf,xz --modes baseline,tea --jobs 4 \\
+        --timeout 600 --checkpoint campaign.jsonl
+    python -m repro run bfs,mcf,xz --modes baseline,tea --jobs 4 \\
+        --checkpoint campaign.jsonl --resume
     python -m repro stats mcf --mode tea --top 10
     python -m repro compare mcf --modes baseline,tea,runahead
     python -m repro figure fig8 --workloads bfs,mcf,xz --scale tiny
+    python -m repro figure fig5 --scale tiny --jobs 4 --resume \\
+        --checkpoint fig5.jsonl
 """
 
 from __future__ import annotations
@@ -24,7 +30,17 @@ import argparse
 import json
 import sys
 
-from .harness import ExperimentSuite, MODES, run_workload, speedup_percent
+from .harness import (
+    CampaignExecutor,
+    ExperimentSuite,
+    FIGURE_MODES,
+    MODES,
+    RunSpec,
+    run_workload,
+    speedup_percent,
+    summarize_outcomes,
+)
+from .obs import Observation
 from .workloads import make_category, workload_names
 
 
@@ -56,7 +72,67 @@ def _print_stats(result) -> None:
     print(f"  validated         {result.validated}")
 
 
+def _make_executor(args, observation=None) -> CampaignExecutor:
+    return CampaignExecutor(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        observation=observation,
+    )
+
+
+def _print_campaign(outcomes) -> None:
+    summary = summarize_outcomes(outcomes)
+    print(f"{'run':28s}{'status':>10s}{'IPC':>8s}{'att':>5s}{'res':>5s}")
+    for outcome in outcomes:
+        ipc = f"{outcome.sim_stats().ipc:.3f}" if outcome.ok else "-"
+        resumed = "yes" if outcome.resumed else ""
+        print(
+            f"{outcome.key:28s}{outcome.status:>10s}{ipc:>8s}"
+            f"{outcome.attempts:>5d}{resumed:>5s}"
+        )
+    print(
+        f"\n{summary['ok']}/{summary['total']} ok, "
+        f"{summary['failed']} failed, {summary['timeout']} timed out, "
+        f"{summary['resumed']} resumed from checkpoint, "
+        f"{summary['retried']} needed retries"
+    )
+    for key, kind in summary["failed_cells"].items():
+        print(f"  FAILED({kind}): {key}")
+
+
 def _cmd_run(args) -> int:
+    workloads = args.workload.split(",")
+    modes = args.modes.split(",") if args.modes else [args.mode]
+    campaign = (
+        len(workloads) > 1
+        or len(modes) > 1
+        or args.jobs != 1
+        or args.checkpoint
+        or args.resume
+    )
+    if campaign:
+        if args.jobs < 0:
+            print("--jobs must be >= 0", file=sys.stderr)
+            return 2
+        if args.resume and not args.checkpoint:
+            print("--resume requires --checkpoint PATH", file=sys.stderr)
+            return 2
+        for mode in modes:
+            if mode not in MODES:
+                print(f"unknown mode {mode!r}", file=sys.stderr)
+                return 2
+        specs = [
+            RunSpec(workload=w, mode=m, scale=args.scale)
+            for w in workloads
+            for m in modes
+        ]
+        executor = _make_executor(args, observation=Observation())
+        outcomes = executor.run(
+            specs, checkpoint=args.checkpoint, resume=args.resume
+        )
+        _print_campaign(outcomes)
+        return 0 if all(o.ok for o in outcomes) else 1
     observe = bool(args.events_out or args.trace_out or args.stats_out)
     result = run_workload(args.workload, args.mode, args.scale, observe=observe)
     print(f"{args.workload} under {args.mode} ({args.scale} scale):")
@@ -121,7 +197,24 @@ def _cmd_compare(args) -> int:
 
 def _cmd_figure(args) -> int:
     workloads = tuple(args.workloads.split(",")) if args.workloads else None
-    suite = ExperimentSuite(scale=args.scale, workloads=workloads)
+    executor = None
+    if args.jobs != 1 or args.checkpoint or args.resume:
+        if args.jobs < 0:
+            print("--jobs must be >= 0", file=sys.stderr)
+            return 2
+        if args.resume and not args.checkpoint:
+            print("--resume requires --checkpoint PATH", file=sys.stderr)
+            return 2
+        executor = _make_executor(args, observation=Observation())
+    suite = ExperimentSuite(
+        scale=args.scale, workloads=workloads, executor=executor
+    )
+    if executor is not None and args.name in FIGURE_MODES:
+        suite.run_matrix(
+            FIGURE_MODES[args.name],
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
     renderers = {
         "fig5": suite.render_fig5,
         "fig6": suite.render_fig6,
@@ -152,9 +245,28 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
-    p_run = sub.add_parser("run", help="simulate one workload")
-    p_run.add_argument("workload")
+    def add_executor_options(p) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (0 = inline, no isolation)")
+        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-run wall-clock limit; over-limit workers "
+                            "are terminated and the cell marked timeout")
+        p.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="retry budget for retryable failures")
+        p.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="JSONL journal of completed runs")
+        p.add_argument("--resume", action="store_true",
+                       help="skip runs already in the checkpoint journal")
+
+    p_run = sub.add_parser(
+        "run", help="simulate workloads (a campaign when several)"
+    )
+    p_run.add_argument("workload",
+                       help="workload name, or comma-separated list for a "
+                            "fault-tolerant campaign")
     p_run.add_argument("--mode", default="baseline", choices=MODES)
+    p_run.add_argument("--modes", default=None,
+                       help="comma-separated machine modes (campaign matrix)")
     p_run.add_argument("--scale", default="tiny")
     p_run.add_argument("--events-out", default=None, metavar="PATH",
                        help="write the telemetry event stream as JSONL")
@@ -162,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace_event JSON (Perfetto)")
     p_run.add_argument("--stats-out", default=None, metavar="PATH",
                        help="write a flat JSON metrics snapshot")
+    add_executor_options(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_stats = sub.add_parser(
@@ -187,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--workloads", default=None,
                        help="comma-separated subset (default: all 17)")
     p_fig.add_argument("--scale", default="tiny")
+    add_executor_options(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
     return parser
 

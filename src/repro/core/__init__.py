@@ -1,6 +1,6 @@
 """The out-of-order core: pipeline, rename, scheduling, statistics."""
 
-from .config import CoreConfig, SimConfig
+from .config import ConfigError, CoreConfig, SimConfig
 from .dynamic_uop import DynUop, UopState
 from .ifbq import IfbqEntry, InFlightBranchQueue
 from .lsq import LoadQueue, StoreQueue
@@ -16,6 +16,7 @@ from .stats import SimStats
 from .tracing import PipelineTracer, UopTrace
 
 __all__ = [
+    "ConfigError",
     "CoreConfig",
     "SimConfig",
     "DynUop",

@@ -3,6 +3,12 @@
 The defaults model the paper's aggressive 8-wide OoO baseline: 512-entry
 ROB, 352 reservation stations, 400 physical registers, 12 execution
 ports (6 ALU, 2 LD, 2 LD/ST, 2 FP), 12-cycle frontend, 16-wide retire.
+
+Configs validate eagerly in ``__post_init__``: a nonsensical value
+(zero-entry ROB, negative width, PRF smaller than the architectural
+register file) raises :class:`ConfigError` at construction time with a
+message naming the field, instead of hanging or corrupting a multi-hour
+campaign run later.
 """
 
 from __future__ import annotations
@@ -11,6 +17,15 @@ from dataclasses import dataclass, field
 
 from ..frontend.decoupled import FrontendConfig
 from ..memory.hierarchy import MemoryConfig
+
+
+class ConfigError(ValueError):
+    """A simulation config field has a value the machine cannot run."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
 
 
 @dataclass(frozen=True)
@@ -38,6 +53,36 @@ class CoreConfig:
     def total_ports(self) -> int:
         return self.alu_ports + self.load_ports + self.fp_ports
 
+    def __post_init__(self) -> None:
+        for name in (
+            "fetch_width",
+            "rename_width",
+            "issue_width",
+            "retire_width",
+            "frontend_depth",
+            "rob_entries",
+            "rs_entries",
+            "load_queue",
+            "store_queue",
+            "max_blocks_fetched_per_cycle",
+            "frontend_buffer",
+        ):
+            _require(
+                getattr(self, name) >= 1,
+                f"CoreConfig.{name} must be >= 1, got {getattr(self, name)}",
+            )
+        for name in ("alu_ports", "load_ports", "store_ports", "fp_ports"):
+            _require(
+                getattr(self, name) >= 0,
+                f"CoreConfig.{name} must be >= 0, got {getattr(self, name)}",
+            )
+        _require(
+            self.physical_registers >= 2,
+            f"CoreConfig.physical_registers must be >= 2 (the zero preg "
+            f"plus at least one allocatable preg), got "
+            f"{self.physical_registers}",
+        )
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -57,3 +102,29 @@ class SimConfig:
     max_instructions: int | None = None
     max_cycles: int | None = None
     warmup_instructions: int = 0
+    #: Forward-progress watchdog: no retirement for this many cycles
+    #: raises SimulationError with a diagnostic state dump.
+    watchdog_cycles: int = 20_000
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.core, CoreConfig),
+            f"SimConfig.core must be a CoreConfig, got "
+            f"{type(self.core).__name__}",
+        )
+        _require(
+            self.warmup_instructions >= 0,
+            f"SimConfig.warmup_instructions must be >= 0, got "
+            f"{self.warmup_instructions}",
+        )
+        for name in ("max_instructions", "max_cycles"):
+            value = getattr(self, name)
+            _require(
+                value is None or value >= 1,
+                f"SimConfig.{name} must be None or >= 1, got {value}",
+            )
+        _require(
+            self.watchdog_cycles >= 1,
+            f"SimConfig.watchdog_cycles must be >= 1 (the watchdog is the "
+            f"only guard against silent livelock), got {self.watchdog_cycles}",
+        )

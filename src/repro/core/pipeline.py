@@ -55,7 +55,18 @@ _NO_EXEC_CLASSES = (UopClass.NOP, UopClass.HALT)
 
 
 class SimulationError(RuntimeError):
-    """Raised when the simulated machine deadlocks (a model bug)."""
+    """Raised when the simulated machine deadlocks (a model bug).
+
+    ``diagnostics`` (when raised by the forward-progress watchdog) is a
+    JSON-safe dict capturing the stalled machine: cycle, ROB head uop,
+    FTQ depth, scheduler occupancy, and TEA thread state — enough to
+    triage a wedged campaign cell from its journaled failure record
+    without re-running the simulation.
+    """
+
+    def __init__(self, message: str, diagnostics: dict | None = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics or {}
 
 
 class Pipeline:
@@ -179,12 +190,51 @@ class Pipeline:
         obs = self.obs
         if obs is not None and obs.wants("cycle_end"):
             obs.emit("cycle_end")
-        if self.cycle - self._last_retire_cycle > 20000:
+        stall = self.cycle - self._last_retire_cycle
+        if stall > self.config.watchdog_cycles:
+            diagnostics = self.progress_diagnostics()
             raise SimulationError(
-                f"no retirement for 20000 cycles at cycle {self.cycle}; "
+                f"no retirement for {stall} cycles at cycle {self.cycle}; "
                 f"rob={len(self.rob)} decode={len(self.decode_pipe)} "
-                f"ftq={len(self.frontend.ftq)} bp_stalled={self.frontend.stalled()}"
+                f"ftq={len(self.frontend.ftq)} "
+                f"bp_stalled={self.frontend.stalled()} "
+                f"rob_head={diagnostics['rob_head']}",
+                diagnostics=diagnostics,
             )
+
+    def progress_diagnostics(self) -> dict:
+        """JSON-safe dump of forward-progress state (watchdog payload)."""
+        head = self.rob[0] if self.rob else None
+        main_rs, tea_rs = self.scheduler.occupancy
+        diag = {
+            "cycle": self.cycle,
+            "last_retire_cycle": self._last_retire_cycle,
+            "rob_depth": len(self.rob),
+            "rob_head": (
+                {
+                    "seq": head.seq,
+                    "pc": head.instr.pc,
+                    "opcode": head.instr.opcode,
+                    "state": head.state.name,
+                }
+                if head is not None
+                else None
+            ),
+            "decode_pipe_depth": len(self.decode_pipe),
+            "ftq_depth": len(self.frontend.ftq),
+            "bp_stalled": self.frontend.stalled(),
+            "scheduler_main_rs": main_rs,
+            "scheduler_tea_rs": tea_rs,
+            "load_queue_depth": len(self.lq.entries),
+            "store_queue_depth": len(self.sq.entries),
+            "free_pregs": self.prf.main_available(),
+        }
+        if self.tea is not None:
+            diag["tea"] = {
+                "active": self.tea.active,
+                "draining": self.tea.draining,
+            }
+        return diag
 
     # ==================================================================
     # Branch prediction (decoupled, runs ahead of fetch)

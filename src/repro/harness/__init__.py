@@ -1,8 +1,23 @@
-"""Experiment harness: runner, per-figure experiments, reporting."""
+"""Experiment harness: runner, executor, per-figure experiments, reporting."""
 
-from .experiments import ExperimentSuite
+from .executor import (
+    CampaignExecutor,
+    RunFailure,
+    RunOutcome,
+    RunSpec,
+    load_checkpoint,
+    matrix_specs,
+    summarize_outcomes,
+)
+from .experiments import FIGURE_MODES, ExperimentSuite
 from .reporting import format_table, geomean, speedup_percent
-from .runner import MODES, RunResult, make_config, run_workload
+from .runner import (
+    MODES,
+    RunResult,
+    ValidationError,
+    make_config,
+    run_workload,
+)
 from .sweeps import (
     block_cache_sweep,
     ftq_sweep,
@@ -12,11 +27,20 @@ from .sweeps import (
 )
 
 __all__ = [
+    "CampaignExecutor",
     "ExperimentSuite",
+    "FIGURE_MODES",
+    "RunFailure",
+    "RunOutcome",
+    "RunSpec",
+    "ValidationError",
     "block_cache_sweep",
     "ftq_sweep",
     "h2p_marking_sweep",
+    "load_checkpoint",
+    "matrix_specs",
     "prior_work_comparison",
+    "summarize_outcomes",
     "wide_frontend_comparison",
     "format_table",
     "geomean",

@@ -1,0 +1,680 @@
+"""Fault-tolerant campaign execution: process fan-out, timeouts, retry.
+
+The paper's evaluation is a large (workload × mode × scale) run matrix;
+executing it serially in one process means a single hung or crashing
+run throws away hours of completed simulation.  This module fans the
+matrix out over worker processes and turns every failure into data:
+
+* **per-run wall-clock timeouts** — a wedged simulation is terminated
+  (SIGTERM to its worker) and journaled as a ``timeout`` cell;
+* **bounded retry with exponential backoff** — *retryable* failures
+  (worker death, OS-level errors, anything raising with a truthy
+  ``retryable`` attribute) are re-attempted up to ``retries`` times;
+  deterministic model failures (:class:`~repro.core.SimulationError`,
+  :class:`~repro.harness.runner.ValidationError`, config errors) are
+  *fatal* — retrying a deterministic simulator cannot change the
+  outcome — and fail the cell immediately;
+* **structured failure records** — exception class, message, traceback,
+  config digest, and seed are captured per failed cell instead of a
+  propagated crash;
+* **checkpoint/resume** — every completed cell is appended to a JSONL
+  journal as it finishes (flushed + fsynced), so an interrupted
+  campaign resumes by skipping already-journaled cells.
+
+Determinism: each run is an isolated, seeded simulation, so parallel
+and serial execution produce bit-identical per-run results; only the
+completion *order* differs, and results are returned in spec order.
+
+Run-lifecycle events (``run_started`` / ``run_finished`` /
+``run_failed`` / ``run_retried``) are emitted on a
+:class:`~repro.obs.Observation`'s event bus when one is supplied, and
+counted in its metrics registry under ``campaign.*``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing as mp
+import os
+import time
+import traceback
+import warnings
+from collections import deque
+from dataclasses import dataclass, fields
+from multiprocessing.connection import wait as _conn_wait
+from pathlib import Path
+
+from ..core.stats import SimStats
+
+# Failure taxonomy (see HACKING.md).
+RETRYABLE = "retryable"
+FATAL = "fatal"
+TIMEOUT = "timeout"
+
+#: Exception class names treated as transient infrastructure failures.
+RETRYABLE_EXCEPTION_NAMES = frozenset(
+    {
+        "OSError",
+        "IOError",
+        "EOFError",
+        "BrokenPipeError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "MemoryError",
+        "WorkerDied",
+    }
+)
+
+#: SimStats counter fields serialized across the worker boundary.
+STAT_FIELDS = tuple(
+    spec.name for spec in fields(SimStats) if spec.name not in ("extra",)
+)
+
+
+class WorkerDied(RuntimeError):
+    """A worker process exited without reporting a result."""
+
+
+def classify_exception(name: str, retryable_attr: bool = False) -> str:
+    """Map an exception class name to a failure kind."""
+    if retryable_attr or name in RETRYABLE_EXCEPTION_NAMES:
+        return RETRYABLE
+    return FATAL
+
+
+# ======================================================================
+# Specs, failures, outcomes
+# ======================================================================
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the campaign matrix."""
+
+    workload: str
+    mode: str
+    scale: str = "bench"
+    max_cycles: int = 30_000_000
+    seed: int = 0
+
+    @property
+    def key(self) -> str:
+        return f"{self.workload}/{self.mode}"
+
+    def as_record(self) -> dict:
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "scale": self.scale,
+            "max_cycles": self.max_cycles,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "RunSpec":
+        return cls(**{f.name: record[f.name] for f in fields(cls)})
+
+    def config_digest(self) -> str:
+        """Stable digest of the machine configuration this cell runs."""
+        from .runner import make_config
+
+        text = repr(make_config(self.mode))
+        return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+@dataclass
+class RunFailure:
+    """Structured record of why a cell failed (journal-safe)."""
+
+    kind: str                 # RETRYABLE / FATAL / TIMEOUT
+    exception: str            # exception class name
+    message: str
+    traceback: str
+    config_digest: str
+    seed: int
+    diagnostics: dict | None = None   # watchdog state dump, if any
+
+    def as_record(self) -> dict:
+        return {
+            "kind": self.kind,
+            "exception": self.exception,
+            "message": self.message,
+            "traceback": self.traceback,
+            "config_digest": self.config_digest,
+            "seed": self.seed,
+            "diagnostics": self.diagnostics,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "RunFailure":
+        return cls(**{f.name: record.get(f.name) for f in fields(cls)})
+
+
+@dataclass
+class RunOutcome:
+    """Final state of one campaign cell (after all retries)."""
+
+    spec: RunSpec
+    status: str                       # "ok" / "failed" / "timeout"
+    attempts: int = 1
+    stats: dict | None = None         # raw SimStats counters
+    validated: bool = False
+    halted: bool = False
+    failure: RunFailure | None = None
+    resumed: bool = False             # loaded from a checkpoint journal
+    duration: float = 0.0             # wall seconds (not deterministic)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    def sim_stats(self) -> SimStats:
+        """Rebuild a SimStats (zeroed for failed cells) — derived
+        properties (ipc, coverage, ...) come back exactly."""
+        if not self.stats:
+            return SimStats()
+        return SimStats(**{k: v for k, v in self.stats.items()
+                           if k in STAT_FIELDS})
+
+    def run_result(self):
+        """Adapt to the harness :class:`~repro.harness.runner.RunResult`
+        shape the :class:`ExperimentSuite` caches."""
+        from .runner import RunResult
+
+        failure_kind = None if self.ok else (
+            TIMEOUT if self.status == "timeout" else self.failure.kind
+        )
+        return RunResult(
+            workload=self.spec.workload,
+            mode=self.spec.mode,
+            stats=self.sim_stats(),
+            validated=self.validated,
+            halted=self.halted,
+            failure=failure_kind,
+            error=self.failure.message if self.failure else None,
+        )
+
+    def as_record(self) -> dict:
+        return {
+            "spec": self.spec.as_record(),
+            "status": self.status,
+            "attempts": self.attempts,
+            "stats": self.stats,
+            "validated": self.validated,
+            "halted": self.halted,
+            "failure": self.failure.as_record() if self.failure else None,
+            "duration": round(self.duration, 3),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "RunOutcome":
+        return cls(
+            spec=RunSpec.from_record(record["spec"]),
+            status=record["status"],
+            attempts=record.get("attempts", 1),
+            stats=record.get("stats"),
+            validated=record.get("validated", False),
+            halted=record.get("halted", False),
+            failure=(
+                RunFailure.from_record(record["failure"])
+                if record.get("failure")
+                else None
+            ),
+            resumed=True,
+            duration=record.get("duration", 0.0),
+        )
+
+
+# ======================================================================
+# Checkpoint journal (JSONL, append-only, corruption-tolerant)
+# ======================================================================
+def load_checkpoint(path: str | Path) -> dict[str, RunOutcome]:
+    """Load a JSONL campaign journal, tolerating a truncated or corrupt
+    trailing record (the normal aftermath of a crash mid-append): bad
+    lines are skipped with a warning, never raised.  Later records for
+    the same cell win."""
+    path = Path(path)
+    outcomes: dict[str, RunOutcome] = {}
+    if not path.exists():
+        return outcomes
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            outcome = RunOutcome.from_record(record)
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            warnings.warn(
+                f"{path}:{lineno}: skipping corrupt checkpoint record "
+                f"({type(exc).__name__}: {exc})",
+                stacklevel=2,
+            )
+            continue
+        outcomes[outcome.key] = outcome
+    return outcomes
+
+
+class CheckpointJournal:
+    """Append-only JSONL writer; each record is flushed and fsynced so
+    a crash loses at most the record being written."""
+
+    def __init__(self, path: str | Path, fresh: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fresh and self.path.exists():
+            self.path.unlink()
+
+    def append(self, outcome: RunOutcome) -> None:
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(outcome.as_record(), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+# ======================================================================
+# The worker side (runs in a subprocess; must stay picklable)
+# ======================================================================
+def execute_spec(record: dict) -> dict:
+    """Default task: simulate one cell and return its result payload."""
+    from .runner import run_workload
+
+    spec = RunSpec.from_record(record)
+    result = run_workload(
+        spec.workload, spec.mode, spec.scale, max_cycles=spec.max_cycles
+    )
+    return {
+        "stats": {name: getattr(result.stats, name) for name in STAT_FIELDS},
+        "validated": result.validated,
+        "halted": result.halted,
+    }
+
+
+def _worker_main(conn, task, record: dict) -> None:
+    """Subprocess entry: run the task, ship ok/err through the pipe."""
+    try:
+        payload = task(record)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 - everything becomes data
+        conn.send(
+            (
+                "err",
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(),
+                bool(getattr(exc, "retryable", False)),
+                dict(getattr(exc, "diagnostics", None) or {}) or None,
+            )
+        )
+    finally:
+        conn.close()
+
+
+# ======================================================================
+# The executor
+# ======================================================================
+@dataclass
+class _Attempt:
+    spec: RunSpec
+    attempt: int = 1
+    ready_at: float = 0.0
+    started: float = 0.0
+
+
+class CampaignExecutor:
+    """Fault-tolerant runner for a list of :class:`RunSpec` cells.
+
+    ``jobs=0`` executes inline in this process (no isolation, timeouts
+    unenforced — the mode unit tests and debuggers want); ``jobs>=1``
+    fans out over that many worker processes with per-run wall-clock
+    ``timeout`` seconds enforced by terminating the worker.
+
+    ``task`` maps a spec record dict to a result payload dict and
+    defaults to :func:`execute_spec`; tests inject flaky tasks through
+    it (module-level functions only when ``jobs>=1`` — workers pickle
+    the callable).  ``sleep``/``clock`` are injectable for backoff
+    tests.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout: float | None = None,
+        retries: int = 2,
+        backoff: float = 0.5,
+        backoff_factor: float = 2.0,
+        task=None,
+        observation=None,
+        sleep=time.sleep,
+        clock=time.monotonic,
+    ):
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.task = task or execute_spec
+        self.observation = observation
+        self._sleep = sleep
+        self._clock = clock
+
+    # -- lifecycle telemetry -------------------------------------------
+    def _emit(self, type_: str, spec: RunSpec, **data) -> None:
+        obs = self.observation
+        if obs is None:
+            return
+        obs.bus.emit(type_, workload=spec.workload, mode=spec.mode, **data)
+        obs.metrics.counter(f"campaign.{type_}").inc()
+
+    # -- public API ----------------------------------------------------
+    def run(
+        self,
+        specs,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+    ) -> list[RunOutcome]:
+        """Execute every spec; returns outcomes in spec order.
+
+        With ``checkpoint``, completed cells are journaled as they
+        finish; with ``resume`` additionally set, cells already in the
+        journal are skipped and returned as ``resumed`` outcomes.
+        """
+        specs = list(specs)
+        journal = None
+        completed: dict[str, RunOutcome] = {}
+        if checkpoint is not None:
+            if resume:
+                completed = load_checkpoint(checkpoint)
+            journal = CheckpointJournal(checkpoint, fresh=not resume)
+
+        outcomes: dict[str, RunOutcome] = {}
+        pending: deque[_Attempt] = deque()
+        for spec in specs:
+            if spec.key in completed:
+                outcomes[spec.key] = completed[spec.key]
+            else:
+                pending.append(_Attempt(spec))
+
+        if pending:
+            execute = self._run_inline if self.jobs == 0 else self._run_pool
+            execute(pending, outcomes, journal)
+        return [outcomes[spec.key] for spec in specs]
+
+    # -- shared bookkeeping --------------------------------------------
+    def _backoff_delay(self, attempt: int) -> float:
+        return self.backoff * (self.backoff_factor ** (attempt - 1))
+
+    def _settle(
+        self,
+        item: _Attempt,
+        outcome: RunOutcome,
+        outcomes: dict,
+        journal,
+    ) -> None:
+        outcomes[item.spec.key] = outcome
+        if journal is not None:
+            journal.append(outcome)
+        if outcome.ok:
+            self._emit(
+                "run_finished", item.spec, attempts=outcome.attempts,
+            )
+        else:
+            self._emit(
+                "run_failed",
+                item.spec,
+                kind=outcome.failure.kind,
+                exception=outcome.failure.exception,
+                attempts=outcome.attempts,
+            )
+
+    def _failure(
+        self,
+        item: _Attempt,
+        kind: str,
+        exception: str,
+        message: str,
+        tb: str,
+        diagnostics: dict | None = None,
+    ) -> RunFailure:
+        return RunFailure(
+            kind=kind,
+            exception=exception,
+            message=message,
+            traceback=tb,
+            config_digest=item.spec.config_digest(),
+            seed=item.spec.seed,
+            diagnostics=diagnostics,
+        )
+
+    def _should_retry(self, item: _Attempt, kind: str) -> bool:
+        return kind == RETRYABLE and item.attempt <= self.retries
+
+    def _requeue(self, item: _Attempt, pending: deque) -> None:
+        delay = self._backoff_delay(item.attempt)
+        self._emit(
+            "run_retried", item.spec, attempt=item.attempt, delay=delay,
+        )
+        pending.append(
+            _Attempt(
+                item.spec,
+                attempt=item.attempt + 1,
+                ready_at=self._clock() + delay,
+            )
+        )
+
+    # -- inline (jobs == 0) --------------------------------------------
+    def _run_inline(self, pending: deque, outcomes: dict, journal) -> None:
+        while pending:
+            item = pending.popleft()
+            now = self._clock()
+            if item.ready_at > now:
+                self._sleep(item.ready_at - now)
+            self._emit("run_started", item.spec, attempt=item.attempt)
+            started = self._clock()
+            try:
+                payload = self.task(item.spec.as_record())
+            except Exception as exc:  # noqa: BLE001
+                kind = classify_exception(
+                    type(exc).__name__, bool(getattr(exc, "retryable", False))
+                )
+                if self._should_retry(item, kind):
+                    self._requeue(item, pending)
+                    continue
+                failure = self._failure(
+                    item,
+                    kind,
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                    dict(getattr(exc, "diagnostics", None) or {}) or None,
+                )
+                outcome = RunOutcome(
+                    spec=item.spec,
+                    status="failed",
+                    attempts=item.attempt,
+                    failure=failure,
+                    duration=self._clock() - started,
+                )
+            else:
+                outcome = RunOutcome(
+                    spec=item.spec,
+                    status="ok",
+                    attempts=item.attempt,
+                    stats=payload.get("stats"),
+                    validated=payload.get("validated", False),
+                    halted=payload.get("halted", False),
+                    duration=self._clock() - started,
+                )
+            self._settle(item, outcome, outcomes, journal)
+
+    # -- process pool (jobs >= 1) --------------------------------------
+    def _run_pool(self, pending: deque, outcomes: dict, journal) -> None:
+        ctx = mp.get_context()
+        active: list[dict] = []   # {"proc", "conn", "item"}
+
+        def launch(item: _Attempt) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self.task, item.spec.as_record()),
+                daemon=True,
+            )
+            item.started = self._clock()
+            proc.start()
+            child_conn.close()
+            self._emit("run_started", item.spec, attempt=item.attempt)
+            active.append({"proc": proc, "conn": parent_conn, "item": item})
+
+        def reap(entry: dict, msg) -> None:
+            active.remove(entry)
+            entry["conn"].close()
+            entry["proc"].join()
+            item = entry["item"]
+            duration = self._clock() - item.started
+            if msg is not None and msg[0] == "ok":
+                outcome = RunOutcome(
+                    spec=item.spec,
+                    status="ok",
+                    attempts=item.attempt,
+                    stats=msg[1].get("stats"),
+                    validated=msg[1].get("validated", False),
+                    halted=msg[1].get("halted", False),
+                    duration=duration,
+                )
+                self._settle(item, outcome, outcomes, journal)
+                return
+            if msg is not None:  # ("err", name, message, tb, retryable, diag)
+                _, name, message, tb, retryable, diag = msg
+                kind = classify_exception(name, retryable)
+            else:  # pipe closed without a message: the worker died
+                name = "WorkerDied"
+                message = f"worker exited with code {entry['proc'].exitcode}"
+                tb, diag = "", None
+                kind = RETRYABLE
+            if self._should_retry(item, kind):
+                self._requeue(item, pending)
+                return
+            failure = self._failure(item, kind, name, message, tb, diag)
+            self._settle(
+                item,
+                RunOutcome(
+                    spec=item.spec,
+                    status="failed",
+                    attempts=item.attempt,
+                    failure=failure,
+                    duration=duration,
+                ),
+                outcomes,
+                journal,
+            )
+
+        def cancel(entry: dict) -> None:
+            """Terminate an over-deadline worker; journal a timeout."""
+            active.remove(entry)
+            entry["conn"].close()
+            proc, item = entry["proc"], entry["item"]
+            proc.terminate()
+            proc.join()
+            failure = self._failure(
+                item,
+                TIMEOUT,
+                "RunTimeout",
+                f"exceeded {self.timeout}s wall-clock limit",
+                "",
+            )
+            self._settle(
+                item,
+                RunOutcome(
+                    spec=item.spec,
+                    status="timeout",
+                    attempts=item.attempt,
+                    failure=failure,
+                    duration=self._clock() - item.started,
+                ),
+                outcomes,
+                journal,
+            )
+
+        while pending or active:
+            now = self._clock()
+            # Launch every ready pending item into free slots.
+            launched = True
+            while launched and len(active) < self.jobs:
+                launched = False
+                for i, item in enumerate(pending):
+                    if item.ready_at <= now:
+                        del pending[i]
+                        launch(item)
+                        launched = True
+                        break
+            if not active:
+                # Everything pending is backing off; sleep to the first.
+                next_ready = min(item.ready_at for item in pending)
+                self._sleep(max(0.0, next_ready - self._clock()))
+                continue
+            # Wait for a result, the nearest deadline, or the next
+            # backoff expiry — whichever comes first.
+            wait_for = 60.0
+            if self.timeout is not None:
+                nearest = min(
+                    e["item"].started + self.timeout for e in active
+                )
+                wait_for = min(wait_for, max(0.0, nearest - now))
+            if pending:
+                next_ready = min(item.ready_at for item in pending)
+                wait_for = min(wait_for, max(0.0, next_ready - now))
+            ready = _conn_wait([e["conn"] for e in active], timeout=wait_for)
+            for conn in ready:
+                entry = next(e for e in active if e["conn"] is conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    msg = None
+                reap(entry, msg)
+            if self.timeout is not None:
+                now = self._clock()
+                for entry in [
+                    e
+                    for e in active
+                    if now - e["item"].started > self.timeout
+                ]:
+                    cancel(entry)
+
+
+# ======================================================================
+# Convenience: full-matrix campaign
+# ======================================================================
+def matrix_specs(
+    workloads,
+    modes,
+    scale: str = "bench",
+    max_cycles: int = 30_000_000,
+) -> list[RunSpec]:
+    """The cross product of workloads × modes as run specs."""
+    return [
+        RunSpec(workload=w, mode=m, scale=scale, max_cycles=max_cycles)
+        for w in workloads
+        for m in modes
+    ]
+
+
+def summarize_outcomes(outcomes) -> dict:
+    """Counts by status plus the failed-cell keys (for CLI reporting)."""
+    summary = {
+        "total": len(outcomes),
+        "ok": sum(1 for o in outcomes if o.ok),
+        "failed": sum(1 for o in outcomes if o.status == "failed"),
+        "timeout": sum(1 for o in outcomes if o.status == "timeout"),
+        "resumed": sum(1 for o in outcomes if o.resumed),
+        "retried": sum(1 for o in outcomes if o.attempts > 1),
+        "failed_cells": {
+            o.key: o.failure.kind for o in outcomes if not o.ok
+        },
+    }
+    return summary

@@ -12,13 +12,26 @@ paper-style text table.
 
 from __future__ import annotations
 
+from ..core import SimStats, SimulationError
 from ..workloads import (
     complex_control_flow_names,
     simple_control_flow_names,
     workload_names,
 )
 from .reporting import format_table, geomean, speedup_percent
-from .runner import RunResult, run_workload
+from .runner import RunResult, ValidationError, run_workload
+
+#: Modes each figure needs, for executor-driven matrix pre-runs.
+FIGURE_MODES = {
+    "fig5": ("baseline", "tea"),
+    "fig6": ("baseline",),
+    "fig7": ("tea",),
+    "fig8": ("baseline", "tea", "runahead"),
+    "fig9": ("baseline", "tea", "tea_dedicated"),
+    "fig10": ("tea", "tea_only_loops", "tea_no_masks", "tea_no_mem",
+              "tea_no_features"),
+    "table3": ("baseline", "tea"),
+}
 
 #: Paper-reported numbers for EXPERIMENTS.md comparisons.
 PAPER_GEOMEAN_TEA = 10.1
@@ -32,25 +45,114 @@ PAPER_PREFETCH_ONLY_GAIN = 1.2
 
 
 class ExperimentSuite:
-    """Lazily-cached simulation campaign over all workloads/modes."""
+    """Lazily-cached simulation campaign over all workloads/modes.
 
-    def __init__(self, scale: str = "bench", workloads: tuple[str, ...] | None = None):
+    Fault tolerance: a run that dies with a :class:`SimulationError` or
+    :class:`ValidationError` is cached as a *failed cell* (zeroed stats,
+    ``failure`` kind set) instead of aborting the whole campaign;
+    figures mark those cells and compute aggregates over the surviving
+    workloads.  An optional :class:`~repro.harness.executor
+    .CampaignExecutor` fans matrix pre-runs (:meth:`run_matrix`) out
+    over worker processes with timeouts, retry, and checkpoint/resume.
+    """
+
+    def __init__(
+        self,
+        scale: str = "bench",
+        workloads: tuple[str, ...] | None = None,
+        executor=None,
+    ):
         self.scale = scale
         self.workloads = tuple(workloads) if workloads else workload_names()
+        self.executor = executor
         self._cache: dict[tuple[str, str], RunResult] = {}
 
     def result(self, workload: str, mode: str) -> RunResult:
         key = (workload, mode)
         if key not in self._cache:
-            self._cache[key] = run_workload(workload, mode, self.scale)
+            try:
+                self._cache[key] = run_workload(workload, mode, self.scale)
+            except (SimulationError, ValidationError) as exc:
+                self._cache[key] = RunResult(
+                    workload=workload,
+                    mode=mode,
+                    stats=SimStats(),
+                    validated=False,
+                    halted=False,
+                    failure="fatal",
+                    error=str(exc),
+                )
         return self._cache[key]
 
-    def _speedups(self, mode: str) -> dict[str, float]:
-        out = {}
+    # -- executor integration ------------------------------------------
+    def prime(self, outcomes) -> None:
+        """Preload the cache from executor :class:`RunOutcome` records
+        (failed cells included, as marked placeholder results)."""
+        for outcome in outcomes:
+            key = (outcome.spec.workload, outcome.spec.mode)
+            self._cache[key] = outcome.run_result()
+
+    def run_matrix(
+        self,
+        modes,
+        checkpoint=None,
+        resume: bool = False,
+    ):
+        """Execute workloads × modes through the attached executor (or
+        inline when none is attached) and prime the cache."""
+        from .executor import CampaignExecutor, matrix_specs
+
+        executor = self.executor or CampaignExecutor(jobs=0)
+        specs = matrix_specs(self.workloads, modes, scale=self.scale)
+        outcomes = executor.run(specs, checkpoint=checkpoint, resume=resume)
+        self.prime(outcomes)
+        return outcomes
+
+    # -- failure bookkeeping -------------------------------------------
+    def failures(self) -> dict[str, str]:
+        """``{"workload/mode": failure_kind}`` for every failed cell."""
+        return {
+            f"{w}/{m}": result.failure
+            for (w, m), result in sorted(self._cache.items())
+            if result.failure is not None
+        }
+
+    def _ok(self, name: str, *modes: str) -> bool:
+        return all(self.result(name, mode).ok for mode in modes)
+
+    def _complete(self, names, *modes: str) -> list[str]:
+        """Workloads whose runs succeeded under every listed mode."""
+        return [n for n in names if self._ok(n, *modes)]
+
+    def _cell(self, value, name: str, *modes: str):
+        """``value`` when every involved run succeeded, else a marker
+        naming the failure kind (for rendered tables)."""
+        for mode in modes:
+            result = self.result(name, mode)
+            if not result.ok:
+                return f"FAILED({result.failure})"
+        return value
+
+    def _speedups(self, mode: str) -> dict[str, float | None]:
+        """Per-workload speedup vs baseline; ``None`` for failed cells."""
+        out: dict[str, float | None] = {}
         for name in self.workloads:
+            if not self._ok(name, "baseline", mode):
+                out[name] = None
+                continue
             base = self.result(name, "baseline").ipc
             out[name] = speedup_percent(self.result(name, mode).ipc, base)
         return out
+
+    def _gm_speedup(self, mode: str, names) -> float:
+        """Geomean speedup over the workloads where both runs are ok."""
+        names = self._complete(names, "baseline", mode)
+        if not names:
+            return 0.0
+        return speedup_percent(
+            geomean([self.result(n, mode).ipc for n in names]),
+            geomean([self.result(n, "baseline").ipc for n in names]),
+        )
 
     # ==================================================================
     # Fig. 5 — TEA speedup per benchmark (on-core)
@@ -59,16 +161,17 @@ class ExperimentSuite:
         speedups = self._speedups("tea")
         return {
             "speedup_pct": speedups,
-            "geomean_pct": speedup_percent(
-                geomean([self.result(n, "tea").ipc for n in self.workloads]),
-                geomean([self.result(n, "baseline").ipc for n in self.workloads]),
-            ),
+            "geomean_pct": self._gm_speedup("tea", self.workloads),
             "paper_geomean_pct": PAPER_GEOMEAN_TEA,
+            "failures": self.failures(),
         }
 
     def render_fig5(self) -> str:
         data = self.fig5()
-        rows = [[n, data["speedup_pct"][n]] for n in self.workloads]
+        rows = [
+            [n, self._cell(data["speedup_pct"][n], n, "baseline", "tea")]
+            for n in self.workloads
+        ]
         rows.append(["geomean", data["geomean_pct"]])
         return format_table(
             ["benchmark", "TEA speedup %"],
@@ -80,12 +183,19 @@ class ExperimentSuite:
     # Fig. 6 — baseline MPKI per benchmark
     # ==================================================================
     def fig6(self) -> dict:
-        mpki = {n: self.result(n, "baseline").stats.mpki for n in self.workloads}
-        return {"mpki": mpki}
+        mpki = {
+            n: (self.result(n, "baseline").stats.mpki
+                if self._ok(n, "baseline") else None)
+            for n in self.workloads
+        }
+        return {"mpki": mpki, "failures": self.failures()}
 
     def render_fig6(self) -> str:
         data = self.fig6()
-        rows = [[n, data["mpki"][n]] for n in self.workloads]
+        rows = [
+            [n, self._cell(data["mpki"][n], n, "baseline")]
+            for n in self.workloads
+        ]
         return format_table(
             ["benchmark", "MPKI"],
             rows,
@@ -97,7 +207,7 @@ class ExperimentSuite:
     # ==================================================================
     def fig7(self) -> dict:
         breakdown = {}
-        for name in self.workloads:
+        for name in self._complete(self.workloads, "tea"):
             stats = self.result(name, "tea").stats
             total = (
                 stats.covered_timely
@@ -113,25 +223,36 @@ class ExperimentSuite:
                 "uncovered": 100.0 * stats.uncovered_mispredicts / total,
                 "coverage": 100.0 * stats.coverage,
             }
-        mean_cov = sum(b["coverage"] for b in breakdown.values()) / len(breakdown)
+        mean_cov = (
+            sum(b["coverage"] for b in breakdown.values()) / len(breakdown)
+            if breakdown
+            else 0.0
+        )
         return {
             "breakdown": breakdown,
             "mean_coverage_pct": mean_cov,
             "paper_coverage_pct": PAPER_TEA_COVERAGE,
+            "failures": self.failures(),
         }
 
     def render_fig7(self) -> str:
         data = self.fig7()
-        rows = [
-            [
-                n,
-                b["covered_timely"],
-                b["covered_late"],
-                b["incorrect"],
-                b["uncovered"],
-            ]
-            for n, b in data["breakdown"].items()
-        ]
+        rows = []
+        for n in self.workloads:
+            b = data["breakdown"].get(n)
+            if b is None:
+                marker = self._cell(0.0, n, "tea")
+                rows.append([n, marker, marker, marker, marker])
+                continue
+            rows.append(
+                [
+                    n,
+                    b["covered_timely"],
+                    b["covered_late"],
+                    b["incorrect"],
+                    b["uncovered"],
+                ]
+            )
         return format_table(
             ["benchmark", "timely %", "late %", "incorrect %", "uncovered %"],
             rows,
@@ -147,27 +268,20 @@ class ExperimentSuite:
         simple = [n for n in self.workloads if n in simple_control_flow_names()]
         complex_ = [n for n in self.workloads if n in complex_control_flow_names()]
 
-        def gm(mode: str, names) -> float:
-            if not names:
-                return 0.0
-            return speedup_percent(
-                geomean([self.result(n, mode).ipc for n in names]),
-                geomean([self.result(n, "baseline").ipc for n in names]),
-            )
-
         return {
             "tea_pct": tea,
             "runahead_pct": br,
             "simple_names": tuple(simple),
             "complex_names": tuple(complex_),
-            "tea_geomean_pct": gm("tea", self.workloads),
-            "runahead_geomean_pct": gm("runahead", self.workloads),
-            "tea_simple_pct": gm("tea", simple),
-            "runahead_simple_pct": gm("runahead", simple),
-            "tea_complex_pct": gm("tea", complex_),
-            "runahead_complex_pct": gm("runahead", complex_),
+            "tea_geomean_pct": self._gm_speedup("tea", self.workloads),
+            "runahead_geomean_pct": self._gm_speedup("runahead", self.workloads),
+            "tea_simple_pct": self._gm_speedup("tea", simple),
+            "runahead_simple_pct": self._gm_speedup("runahead", simple),
+            "tea_complex_pct": self._gm_speedup("tea", complex_),
+            "runahead_complex_pct": self._gm_speedup("runahead", complex_),
             "paper_tea_pct": PAPER_GEOMEAN_TEA,
             "paper_runahead_pct": PAPER_GEOMEAN_RUNAHEAD,
+            "failures": self.failures(),
         }
 
     def render_fig8(self) -> str:
@@ -176,7 +290,14 @@ class ExperimentSuite:
         for name in self.workloads:
             category = "simple" if name in data["simple_names"] else "complex"
             rows.append(
-                [name, category, data["tea_pct"][name], data["runahead_pct"][name]]
+                [
+                    name,
+                    category,
+                    self._cell(data["tea_pct"][name], name, "baseline", "tea"),
+                    self._cell(
+                        data["runahead_pct"][name], name, "baseline", "runahead"
+                    ),
+                ]
             )
         rows.append(["geomean(simple)", "", data["tea_simple_pct"], data["runahead_simple_pct"]])
         rows.append(
@@ -198,17 +319,23 @@ class ExperimentSuite:
         return {
             "dedicated_pct": dedicated,
             "oncore_pct": oncore,
-            "dedicated_geomean_pct": speedup_percent(
-                geomean([self.result(n, "tea_dedicated").ipc for n in self.workloads]),
-                geomean([self.result(n, "baseline").ipc for n in self.workloads]),
+            "dedicated_geomean_pct": self._gm_speedup(
+                "tea_dedicated", self.workloads
             ),
             "paper_dedicated_pct": PAPER_GEOMEAN_DEDICATED,
+            "failures": self.failures(),
         }
 
     def render_fig9(self) -> str:
         data = self.fig9()
         rows = [
-            [n, data["oncore_pct"][n], data["dedicated_pct"][n]]
+            [
+                n,
+                self._cell(data["oncore_pct"][n], n, "baseline", "tea"),
+                self._cell(
+                    data["dedicated_pct"][n], n, "baseline", "tea_dedicated"
+                ),
+            ]
             for n in self.workloads
         ]
         rows.append(["geomean", "", data["dedicated_geomean_pct"]])
@@ -237,16 +364,20 @@ class ExperimentSuite:
             accuracy[label] = {}
             coverage[label] = {}
             timeliness[label] = {}
-            for name in self.workloads:
+            for name in self._complete(self.workloads, mode):
                 stats = self.result(name, mode).stats
                 accuracy[label][name] = 100.0 * stats.tea_accuracy
                 coverage[label][name] = 100.0 * stats.coverage
                 timeliness[label][name] = stats.avg_cycles_saved
+
+        def mean(values: dict) -> float:
+            return sum(values.values()) / len(values) if values else 0.0
+
         means = {
             label: {
-                "accuracy": sum(accuracy[label].values()) / len(self.workloads),
-                "coverage": sum(coverage[label].values()) / len(self.workloads),
-                "timeliness": sum(timeliness[label].values()) / len(self.workloads),
+                "accuracy": mean(accuracy[label]),
+                "coverage": mean(coverage[label]),
+                "timeliness": mean(timeliness[label]),
             }
             for _, label in self.ABLATION_MODES
         }
@@ -257,11 +388,13 @@ class ExperimentSuite:
             "means": means,
             "paper_accuracy_pct": PAPER_TEA_ACCURACY,
             "paper_no_features_coverage_pct": PAPER_NO_FEATURES_COVERAGE,
+            "failures": self.failures(),
         }
 
     def render_fig10(self) -> str:
         data = self.fig10()
         labels = [label for _, label in self.ABLATION_MODES]
+        modes = {label: mode for mode, label in self.ABLATION_MODES}
         sections = []
         for metric, key in (
             ("(a) precomputation accuracy %", "accuracy_pct"),
@@ -269,13 +402,20 @@ class ExperimentSuite:
             ("(c) avg misprediction cycles saved", "cycles_saved"),
         ):
             rows = [
-                [n] + [data[key][label][n] for label in labels]
+                [n]
+                + [
+                    self._cell(
+                        data[key][label].get(n, 0.0), n, modes[label]
+                    )
+                    for label in labels
+                ]
                 for n in self.workloads
             ]
             rows.append(
                 ["mean"]
                 + [
-                    sum(data[key][label].values()) / len(self.workloads)
+                    (sum(data[key][label].values()) / len(data[key][label])
+                     if data[key][label] else 0.0)
                     for label in labels
                 ]
             )
@@ -293,7 +433,7 @@ class ExperimentSuite:
     # ==================================================================
     def table3(self) -> dict:
         increase = {}
-        for name in self.workloads:
+        for name in self._complete(self.workloads, "baseline", "tea"):
             base = self.result(name, "baseline").stats
             tea = self.result(name, "tea").stats
             if base.footprint_uops:
@@ -304,13 +444,27 @@ class ExperimentSuite:
                 increase[name] = 0.0
         return {
             "footprint_increase_pct": increase,
-            "mean_pct": sum(increase.values()) / len(increase),
+            "mean_pct": (
+                sum(increase.values()) / len(increase) if increase else 0.0
+            ),
             "paper_mean_pct": PAPER_FOOTPRINT_INCREASE,
+            "failures": self.failures(),
         }
 
     def render_table3(self) -> str:
         data = self.table3()
-        rows = [[n, data["footprint_increase_pct"][n]] for n in self.workloads]
+        rows = [
+            [
+                n,
+                self._cell(
+                    data["footprint_increase_pct"].get(n, 0.0),
+                    n,
+                    "baseline",
+                    "tea",
+                ),
+            ]
+            for n in self.workloads
+        ]
         rows.append(["mean", data["mean_pct"]])
         return format_table(
             ["benchmark", "fetch footprint increase %"],
@@ -323,12 +477,11 @@ class ExperimentSuite:
     # ==================================================================
     def prefetch_only(self) -> dict:
         gains = self._speedups("tea_prefetch_only")
-        gm = speedup_percent(
-            geomean([self.result(n, "tea_prefetch_only").ipc for n in self.workloads]),
-            geomean([self.result(n, "baseline").ipc for n in self.workloads]),
-        )
         return {
             "speedup_pct": gains,
-            "geomean_pct": gm,
+            "geomean_pct": self._gm_speedup(
+                "tea_prefetch_only", self.workloads
+            ),
             "paper_geomean_pct": PAPER_PREFETCH_ONLY_GAIN,
+            "failures": self.failures(),
         }

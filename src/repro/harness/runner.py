@@ -24,10 +24,76 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..core import Pipeline, SimConfig, SimStats
+from ..isa import run_program
 from ..obs import Observation
 from ..runahead import RunaheadConfig
 from ..tea import TeaConfig, tea_ablation
 from ..workloads import Workload, make_workload
+
+
+class ValidationError(RuntimeError):
+    """A workload's functional validator rejected the committed state.
+
+    Carries everything needed to debug the failure from a campaign
+    journal: the workload, the machine mode, and — when the sequential
+    reference interpreter can reproduce the expected state — the first
+    divergent architectural register or memory word.
+    """
+
+    def __init__(self, workload: str, mode: str, divergence: dict | None):
+        self.workload = workload
+        self.mode = mode
+        self.divergence = divergence
+        detail = ""
+        if divergence is not None:
+            where = (
+                f"r{divergence['index']}"
+                if divergence["kind"] == "register"
+                else f"mem[{divergence['index']:#x}]"
+            )
+            detail = (
+                f"; first divergence at {where}: "
+                f"expected {divergence['expected']!r}, "
+                f"got {divergence['got']!r}"
+            )
+        super().__init__(
+            f"functional validation FAILED: {workload} under {mode}{detail}"
+        )
+
+
+def _first_divergence(workload: Workload, pipeline: Pipeline) -> dict | None:
+    """Diff committed state against the golden interpreter.
+
+    Returns ``{"kind": "register"|"memory", "index", "expected", "got"}``
+    for the first mismatch, or ``None`` when the reference itself cannot
+    run (the validator's verdict still stands either way).
+    """
+    try:
+        ref = run_program(workload.program, workload.fresh_memory())
+    except Exception:
+        return None
+    for idx, (expected, got) in enumerate(
+        zip(ref.registers, pipeline.committed_regs)
+    ):
+        if expected != got:
+            return {
+                "kind": "register",
+                "index": idx,
+                "expected": expected,
+                "got": got,
+            }
+    ref_mem = ref.memory.snapshot()
+    got_mem = pipeline.memory.snapshot()
+    for addr in sorted(set(ref_mem) | set(got_mem)):
+        expected, got = ref_mem.get(addr, 0), got_mem.get(addr, 0)
+        if expected != got:
+            return {
+                "kind": "memory",
+                "index": addr,
+                "expected": expected,
+                "got": got,
+            }
+    return None
 
 
 def make_config(mode: str) -> SimConfig:
@@ -73,7 +139,13 @@ MODES = (
 
 @dataclass
 class RunResult:
-    """One (workload, mode) simulation outcome."""
+    """One (workload, mode) simulation outcome.
+
+    ``failure`` is ``None`` for a successful run; a failed campaign cell
+    is represented by a placeholder result with zeroed stats and
+    ``failure`` set to the failure kind (``"fatal"``, ``"retryable"``,
+    ``"timeout"``), so figures can mark the cell instead of aborting.
+    """
 
     workload: str
     mode: str
@@ -81,6 +153,12 @@ class RunResult:
     validated: bool
     halted: bool
     observation: Observation | None = None
+    failure: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
     @property
     def ipc(self) -> float:
@@ -121,8 +199,8 @@ def run_workload(
     if pipeline.halted and workload.validate is not None:
         validated = workload.validate(pipeline)
         if not validated:
-            raise RuntimeError(
-                f"functional validation FAILED: {workload.name} under {mode}"
+            raise ValidationError(
+                workload.name, mode, _first_divergence(workload, pipeline)
             )
     return RunResult(
         workload=workload.name,

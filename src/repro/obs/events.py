@@ -50,6 +50,12 @@ EVENT_TYPES: frozenset[str] = frozenset(
         "frontend_redirect",   # decoupled BP recovered + redirected after a flush
         "branch_retire",       # a can-mispredict branch retired (attribution feed)
         "branch_resolved",     # main resolution outcome of a TEA-relevant branch
+        # Campaign run lifecycle (emitted by repro.harness.executor on
+        # the parent-process bus; cycle is -1, these are wall-clock-side).
+        "run_started",         # one (workload, mode) attempt launched
+        "run_finished",        # attempt succeeded; payload has attempts taken
+        "run_failed",          # run gave up (kind: fatal/timeout/retryable)
+        "run_retried",         # retryable failure; another attempt scheduled
     }
 )
 

@@ -55,6 +55,55 @@ class TeaConfig:
     only_loops: bool = False
     early_resolution: bool = True
 
+    def __post_init__(self) -> None:
+        def require(condition: bool, message: str) -> None:
+            if not condition:
+                from ..core.config import ConfigError
+
+                raise ConfigError(message)
+
+        for name in (
+            "rs_entries",
+            "physical_registers",
+            "dedicated_execution_units",
+            "fetch_width",
+            "rename_pipe_capacity",
+            "h2p_entries",
+            "h2p_ways",
+            "h2p_decrement_period",
+            "fill_buffer_size",
+            "block_cache_entries",
+            "uops_per_entry",
+            "mask_reset_period",
+            "store_cache_halflines",
+        ):
+            require(
+                getattr(self, name) >= 1,
+                f"TeaConfig.{name} must be >= 1, got {getattr(self, name)}",
+            )
+        for name in (
+            "frontend_delay",
+            "walk_cycles",
+            "mem_source_entries",
+            "empty_tag_entries",
+            "max_late_resolutions",
+        ):
+            require(
+                getattr(self, name) >= 0,
+                f"TeaConfig.{name} must be >= 0, got {getattr(self, name)}",
+            )
+        require(
+            self.h2p_ways <= self.h2p_entries,
+            f"TeaConfig.h2p_ways ({self.h2p_ways}) cannot exceed "
+            f"h2p_entries ({self.h2p_entries})",
+        )
+        require(
+            0 <= self.h2p_threshold < self.h2p_counter_max,
+            f"TeaConfig.h2p_threshold ({self.h2p_threshold}) must satisfy "
+            f"0 <= threshold < h2p_counter_max ({self.h2p_counter_max}); "
+            f"otherwise no branch can ever be identified as H2P",
+        )
+
 
 def tea_ablation(name: str) -> TeaConfig:
     """Named ablation configs used by Fig. 10 experiments.

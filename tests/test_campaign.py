@@ -1,8 +1,10 @@
 """Tests for campaign persistence and regression diffing."""
 
+import json
+
 import pytest
 
-from repro.harness import ExperimentSuite
+from repro.harness import CampaignExecutor, ExperimentSuite, RunSpec
 from repro.harness.campaign import (
     campaign_to_dict,
     diff_campaigns,
@@ -39,6 +41,81 @@ class TestSerialization:
         path.write_text('{"schema": 99, "runs": {}}')
         with pytest.raises(ValueError, match="schema"):
             load_campaign(path)
+
+
+def _ok_task(record):
+    return {
+        "stats": {"cycles": 100, "retired_instructions": 200},
+        "validated": True,
+        "halted": True,
+    }
+
+
+class TestTolerantLoading:
+    def test_corrupt_json_raises_typed_error(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text('{"schema": 1, "runs": {"xz/tea": {"ipc": 1.2')
+        with pytest.raises(ValueError, match="corrupt campaign file"):
+            load_campaign(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_campaign(path)
+
+    def test_corrupt_run_record_skipped_with_warning(self, small_suite, tmp_path):
+        path = save_campaign(small_suite, tmp_path / "campaign.json")
+        data = json.loads(path.read_text())
+        data["runs"]["xz/tea"] = "not-a-dict"
+        path.write_text(json.dumps(data))
+        with pytest.warns(UserWarning, match="corrupt run record 'xz/tea'"):
+            loaded = load_campaign(path)
+        assert "xz/tea" not in loaded["runs"]
+        assert "xz/baseline" in loaded["runs"]
+
+    def test_executor_journal_loads_as_campaign(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = [RunSpec("xz", m, "tiny") for m in ("baseline", "tea")]
+        CampaignExecutor(jobs=0, task=_ok_task).run(specs, checkpoint=path)
+        data = load_campaign(path)
+        assert data["scale"] == "tiny"
+        assert data["workloads"] == ["xz"]
+        assert set(data["runs"]) == {"xz/baseline", "xz/tea"}
+        assert data["runs"]["xz/tea"]["ipc"] == pytest.approx(2.0)
+
+    def test_single_record_journal_loads(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        CampaignExecutor(jobs=0, task=_ok_task).run(
+            [RunSpec("xz", "tea", "tiny")], checkpoint=path
+        )
+        data = load_campaign(path)
+        assert set(data["runs"]) == {"xz/tea"}
+
+    def test_journal_with_corrupt_tail_loads_rest(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        specs = [RunSpec("xz", m, "tiny") for m in ("baseline", "tea")]
+        CampaignExecutor(jobs=0, task=_ok_task).run(specs, checkpoint=path)
+        with open(path, "a") as fh:
+            fh.write('{"spec": {"workload": "mcf", "mo')  # crash mid-append
+        with pytest.warns(UserWarning, match="corrupt checkpoint record"):
+            data = load_campaign(path)
+        assert set(data["runs"]) == {"xz/baseline", "xz/tea"}
+
+    def test_failed_cell_preserved_in_loaded_campaign(self, tmp_path):
+        def failing(record):
+            if record["mode"] == "tea":
+                raise ValueError("model bug")
+            return _ok_task(record)
+
+        path = tmp_path / "journal.jsonl"
+        specs = [RunSpec("xz", m, "tiny") for m in ("baseline", "tea")]
+        CampaignExecutor(jobs=0, task=failing).run(specs, checkpoint=path)
+        data = load_campaign(path)
+        assert data["runs"]["xz/tea"]["failure"] == "fatal"
+        assert "model bug" in data["runs"]["xz/tea"]["error"]
+        # Failed cells never contribute to diffs.
+        assert diff_campaigns(data, data) == []
 
 
 class TestDiff:

@@ -1,0 +1,191 @@
+"""Tests for eager config validation, the forward-progress watchdog,
+and typed functional-validation failures."""
+
+import pytest
+
+from repro import ConfigError, Pipeline, SimulationError
+from repro.core import CoreConfig, SimConfig
+from repro.harness import ValidationError, run_workload
+from repro.harness.runner import _first_divergence
+from repro.isa import assemble
+from repro.memory import MemoryImage
+from repro.tea import TeaConfig
+from repro.workloads.base import Workload
+
+
+class TestCoreConfigValidation:
+    def test_zero_rob_rejected(self):
+        with pytest.raises(ConfigError, match="rob_entries must be >= 1"):
+            CoreConfig(rob_entries=0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ConfigError, match="fetch_width must be >= 1"):
+            CoreConfig(fetch_width=-4)
+
+    def test_prf_needs_zero_preg_plus_one(self):
+        with pytest.raises(ConfigError, match="physical_registers"):
+            CoreConfig(physical_registers=1)
+        # A tiny-but-legal PRF must still construct (the structural
+        # stall tests run with 12 pregs).
+        CoreConfig(physical_registers=12)
+
+    def test_zero_ports_allowed(self):
+        # Livelock configs (no ALU ports) are legal: the watchdog, not
+        # the validator, is the guard for schedulability.
+        CoreConfig(alu_ports=0)
+        with pytest.raises(ConfigError, match="alu_ports must be >= 0"):
+            CoreConfig(alu_ports=-1)
+
+    def test_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            CoreConfig(rob_entries=0)
+
+
+class TestSimConfigValidation:
+    def test_core_type_checked(self):
+        with pytest.raises(ConfigError, match="must be a CoreConfig"):
+            SimConfig(core={"rob_entries": 512})
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ConfigError, match="warmup_instructions"):
+            SimConfig(warmup_instructions=-1)
+
+    def test_max_cycles_bounds(self):
+        with pytest.raises(ConfigError, match="max_cycles must be None or >= 1"):
+            SimConfig(max_cycles=0)
+        SimConfig(max_cycles=None)
+        SimConfig(max_cycles=1)
+
+    def test_watchdog_must_be_positive(self):
+        with pytest.raises(ConfigError, match="watchdog_cycles must be >= 1"):
+            SimConfig(watchdog_cycles=0)
+
+
+class TestTeaConfigValidation:
+    def test_zero_h2p_entries_rejected(self):
+        with pytest.raises(ConfigError, match="h2p_entries must be >= 1"):
+            TeaConfig(h2p_entries=0)
+
+    def test_ways_cannot_exceed_entries(self):
+        with pytest.raises(ConfigError, match="h2p_ways"):
+            TeaConfig(h2p_entries=4, h2p_ways=8)
+
+    def test_threshold_below_counter_max(self):
+        with pytest.raises(ConfigError, match="h2p_threshold"):
+            TeaConfig(h2p_threshold=16, h2p_counter_max=16)
+
+    def test_tiny_test_configs_still_valid(self):
+        # The failure-injection tests build deliberately tiny TEA
+        # structures; eager validation must not reject them.
+        TeaConfig(h2p_entries=2, h2p_ways=1, block_cache_entries=2,
+                  fill_buffer_size=2)
+
+
+class TestForwardProgressWatchdog:
+    def _livelocked_pipeline(self, watchdog_cycles=300):
+        # No ALU ports: the first ALU uop can never issue, so the ROB
+        # head wedges forever — exactly the livelock the watchdog exists
+        # to catch.
+        config = SimConfig(
+            core=CoreConfig(alu_ports=0), watchdog_cycles=watchdog_cycles
+        )
+        return Pipeline(assemble("li r1, 1\nhalt"), MemoryImage(), config)
+
+    def test_watchdog_trips_on_livelock(self):
+        with pytest.raises(SimulationError, match="no retirement for"):
+            self._livelocked_pipeline().run()
+
+    def test_watchdog_diagnostics_dump(self):
+        try:
+            self._livelocked_pipeline().run()
+        except SimulationError as exc:
+            diag = exc.diagnostics
+        assert diag is not None
+        assert diag["cycle"] == 301
+        assert diag["last_retire_cycle"] == 0
+        assert diag["rob_depth"] >= 1
+        head = diag["rob_head"]
+        assert head["seq"] == 0
+        assert head["opcode"] == "li"
+        assert head["state"] == "RENAMED"
+        assert diag["scheduler_main_rs"] == 1
+        assert "ftq_depth" in diag
+        assert "free_pregs" in diag
+        # JSON-safe: the dump must journal cleanly.
+        import json
+
+        json.dumps(diag)
+
+    def test_watchdog_threshold_honored(self):
+        with pytest.raises(SimulationError) as info:
+            self._livelocked_pipeline(watchdog_cycles=50).run()
+        assert info.value.diagnostics["cycle"] == 51
+
+    def test_healthy_run_never_trips(self):
+        result = run_workload("xz", "baseline", "tiny")
+        assert result.halted and result.validated
+
+    def test_tea_diagnostics_present(self):
+        config = SimConfig(
+            core=CoreConfig(alu_ports=0),
+            tea=TeaConfig(),
+            watchdog_cycles=50,
+        )
+        pipeline = Pipeline(assemble("li r1, 1\nhalt"), MemoryImage(), config)
+        with pytest.raises(SimulationError) as info:
+            pipeline.run()
+        assert "tea" in info.value.diagnostics
+
+
+class TestValidationError:
+    def _lying_workload(self):
+        program = assemble("li r1, 5\nhalt")
+        return Workload(
+            name="liar",
+            program=program,
+            memory=MemoryImage(),
+            category="SIMPLE",
+            validate=lambda pipeline: False,
+        )
+
+    def test_typed_error_with_context(self):
+        workload = self._lying_workload()
+        with pytest.raises(ValidationError) as info:
+            run_workload(workload, "baseline")
+        err = info.value
+        assert err.workload == "liar"
+        assert err.mode == "baseline"
+        # Pipeline state actually matches the golden model here, so no
+        # divergence is reported — the validator's verdict still stands.
+        assert err.divergence is None
+        assert "validation FAILED" in str(err)
+        assert isinstance(err, RuntimeError)  # legacy catch sites keep working
+
+    def test_first_divergence_reports_register(self):
+        workload = self._lying_workload()
+        pipeline = Pipeline(
+            workload.program, workload.fresh_memory(), SimConfig()
+        )
+        pipeline.run()
+        pipeline.committed_regs[1] ^= 0xFF
+        divergence = _first_divergence(workload, pipeline)
+        assert divergence == {
+            "kind": "register",
+            "index": 1,
+            "expected": 5,
+            "got": 5 ^ 0xFF,
+        }
+
+    def test_divergence_message_names_register(self):
+        err = ValidationError(
+            "liar", "tea",
+            {"kind": "register", "index": 3, "expected": 7, "got": 9},
+        )
+        assert "first divergence at r3: expected 7, got 9" in str(err)
+
+    def test_divergence_message_names_memory_word(self):
+        err = ValidationError(
+            "liar", "tea",
+            {"kind": "memory", "index": 0x40, "expected": 1, "got": 0},
+        )
+        assert "mem[0x40]" in str(err)
