@@ -7,10 +7,14 @@ Commands
 ``stats``    run with full telemetry and print the observability report
 ``list``     list workloads, scales, and machine modes
 ``figure``   regenerate one paper figure/table on a workload subset
+``bench``    time the cycle kernel and write BENCH_pipeline.json
 
 Examples::
 
     python -m repro list
+    python -m repro bench --out BENCH_pipeline.json
+    python -m repro bench --check
+    python -m repro bench --compare benchmarks/perf/baseline.json
     python -m repro run bfs --mode tea --scale tiny
     python -m repro run mcf --mode tea --trace-out trace.json
     python -m repro run bfs,mcf,xz --modes baseline,tea --jobs 4 \\
@@ -234,6 +238,65 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .harness.bench import (
+        PINNED_RUNS,
+        compare_reports,
+        load_report,
+        run_bench,
+        write_report,
+    )
+
+    if args.workloads or args.modes:
+        workloads = (args.workloads or "bfs,mcf,xz").split(",")
+        modes = (args.modes or "baseline,tea").split(",")
+        runs = tuple((w, m) for w in workloads for m in modes)
+    else:
+        runs = PINNED_RUNS
+    if args.check:
+        # Smoke mode: one cell, one repetition -- proves the bench
+        # path works without paying for the full matrix.
+        runs = runs[:1]
+        args.repeat = 1
+
+    def progress(cell):
+        print(
+            f"  {cell['workload']:>8s}/{cell['mode']:<14s}"
+            f"{cell['cycles_per_sec']:>12,.0f} cyc/s"
+            f"{cell['uops_per_sec']:>14,.0f} uops/s"
+            f"  ipc={cell['ipc']:.3f}",
+            file=sys.stderr,
+        )
+
+    print(f"timing cycle kernel ({len(runs)} cells, "
+          f"repeat={args.repeat}, scale={args.scale}) ...", file=sys.stderr)
+    report = run_bench(runs, scale=args.scale, repeat=args.repeat,
+                       progress=progress)
+    print(f"geomean: {report['geomean_cycles_per_sec']:,.0f} cyc/s, "
+          f"{report['geomean_uops_per_sec']:,.0f} uops/s "
+          f"(calibrated {report['calibrated_cycles_per_sec']:,.1f}; host "
+          f"{report['host']['calibration_mops']:.1f} Mops)")
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.compare:
+        baseline = load_report(args.compare)
+        cmp = compare_reports(report, baseline)
+        print(
+            f"vs {args.compare}: {cmp['speedup']:.2f}x calibrated "
+            f"({cmp['current']:,.1f} vs {cmp['baseline']:,.1f}), "
+            f"{cmp['raw_speedup']:.2f}x raw"
+        )
+        floor = 1.0 - args.tolerance
+        if cmp["speedup"] < floor:
+            print(
+                f"FAIL: calibrated throughput regressed more than "
+                f"{args.tolerance:.0%} vs baseline", file=sys.stderr
+            )
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -302,6 +365,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", default="tiny")
     add_executor_options(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the cycle kernel (simulated cycles/sec)"
+    )
+    p_bench.add_argument("--workloads", default=None,
+                         help="comma-separated workloads "
+                              "(default: pinned bfs,mcf,xz matrix)")
+    p_bench.add_argument("--modes", default=None,
+                         help="comma-separated modes (default: baseline,tea)")
+    p_bench.add_argument("--scale", default="tiny")
+    p_bench.add_argument("--repeat", type=int, default=3,
+                         help="timed repetitions per cell; best is kept")
+    p_bench.add_argument("--out", default=None, metavar="PATH",
+                         help="write the JSON report (BENCH_pipeline.json)")
+    p_bench.add_argument("--check", action="store_true",
+                         help="smoke mode: first cell only, one repetition")
+    p_bench.add_argument("--compare", default=None, metavar="PATH",
+                         help="compare against a saved report; exit 1 on "
+                              "regression beyond --tolerance")
+    p_bench.add_argument("--tolerance", type=float, default=0.30,
+                         help="allowed calibrated-throughput regression "
+                              "fraction for --compare (default 0.30)")
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -105,6 +105,12 @@ class SimConfig:
     #: Forward-progress watchdog: no retirement for this many cycles
     #: raises SimulationError with a diagnostic state dump.
     watchdog_cycles: int = 20_000
+    #: Idle-cycle fast-forward: when fetch, rename, schedule, and
+    #: retire are all provably blocked, Pipeline.run advances the
+    #: cycle counter directly to the next event instead of stepping
+    #: through dead cycles.  Cycle-exact; disable to force uniform
+    #: stepping (it is disabled automatically under observation).
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         _require(

@@ -50,6 +50,10 @@ class DynUop:
         "load_forwarded",
         "br_taken",
         "br_target",
+        "pending_srcs",
+        "rs_stamp",
+        "fwd_status",
+        "fwd_value",
     )
 
     def __init__(
@@ -79,6 +83,13 @@ class DynUop:
         self.load_forwarded = False
         self.br_taken: bool | None = None      # resolved direction
         self.br_target: int | None = None      # resolved next PC if taken
+        # Scheduler bookkeeping (event-driven wakeup).
+        self.pending_srcs = 0        # outstanding not-ready sources
+        self.rs_stamp = 0            # RS insertion order (select priority)
+        # Store-forward verdict cached by the issue gate; consumed by
+        # _start_execution in the same cycle.
+        self.fwd_status: str | None = None
+        self.fwd_value: int | float | None = None
 
     @property
     def squashed(self) -> bool:

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from ..frontend.decoupled import BranchInfo
 
 
-@dataclass
+@dataclass(slots=True)
 class IfbqEntry:
     """State for one in-flight (possibly not yet fetched) branch."""
 

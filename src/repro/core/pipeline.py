@@ -50,8 +50,12 @@ from .rename import (
 from .scheduler import Scheduler
 from .stats import SimStats
 
+from heapq import heappop, heappush
+from operator import attrgetter
+
 _MEM_CLASSES = (UopClass.LOAD, UopClass.STORE)
 _NO_EXEC_CLASSES = (UopClass.NOP, UopClass.HALT)
+_COMPLETE_ORDER = attrgetter("seq", "is_tea")
 
 
 class SimulationError(RuntimeError):
@@ -95,6 +99,7 @@ class Pipeline:
         self.prf = PhysicalRegisterFile(core.physical_registers, tea_prf)
         self.rat = RegisterAliasTable()
         self.scheduler = Scheduler(core, tea_rs, tea_units)
+        self.scheduler.bind_prf(self.prf)
         self.rob: deque[DynUop] = deque()
         self.lq = LoadQueue(core.load_queue)
         self.sq = StoreQueue(core.store_queue)
@@ -106,10 +111,21 @@ class Pipeline:
         self.retired_total = 0
         self.last_renamed_seq = -1
         self.committed_regs: list[int | float] = [0] * NUM_ARCH_REGS
-        self._executing: list[DynUop] = []
+        # In-flight executions bucketed by completion cycle, with a
+        # min-heap of bucket keys: _complete() pops due buckets instead
+        # of rescanning every in-flight uop every cycle.
+        self._done_buckets: dict[int, list[DynUop]] = {}
+        self._done_heap: list[int] = []
         self._post_fetch_delay = max(
             0, core.frontend_depth - self.config.memory.l1i_latency
         )
+        # Per-cycle hot-loop constants (attribute-chain hoists).
+        self._rob_entries = core.rob_entries
+        self._retire_width = core.retire_width
+        self._rename_width = core.rename_width
+        self._fetch_width = core.fetch_width
+        self._frontend_buffer = core.frontend_buffer
+        self._max_blocks_fetched = core.max_blocks_fetched_per_cycle
         # Main-thread fetch cursor into the FTQ head block.
         self._cur_block: FetchBlock | None = None
         self._cur_block_ready = 0
@@ -157,6 +173,7 @@ class Pipeline:
             self.stats.start_measurement()
             if self.obs is not None:
                 self.obs.emit("measurement_start")
+        fast_forward = self.config.fast_forward
         while not self.halted:
             self.step()
             if not measurement_started and self.retired_total >= warmup:
@@ -171,18 +188,35 @@ class Pipeline:
                 break
             if max_cycles is not None and self.cycle >= max_cycles:
                 break
+            if fast_forward and self.obs is None:
+                self._idle_fast_forward(max_cycles)
         return self.stats
 
     def step(self) -> None:
-        """Advance the machine by one cycle."""
-        self.cycle += 1
-        self._retire()
-        self._complete()
-        self._schedule()
-        self._rename()
-        if self.tea is not None:
-            self.tea.fetch()
-        self._fetch()
+        """Advance the machine by one cycle.
+
+        Each stage is guarded by the same emptiness check it would
+        make itself, so an idle stage costs a couple of attribute
+        loads instead of a call frame.
+        """
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        rob = self.rob
+        if rob and rob[0].state is UopState.DONE:
+            self._retire()
+        heap = self._done_heap
+        if heap and heap[0] <= cycle:
+            self._complete()
+        scheduler = self.scheduler
+        if scheduler._ready_main or scheduler._ready_tea:
+            self._schedule()
+        tea = self.tea
+        if self.decode_pipe or (tea is not None and tea.rename_pipe):
+            self._rename()
+        if tea is not None:
+            tea.fetch()
+        if self.frontend.ftq:
+            self._fetch()
         self._predict()
         if self.runahead is not None:
             self.runahead.tick()
@@ -201,6 +235,111 @@ class Pipeline:
                 f"rob_head={diagnostics['rob_head']}",
                 diagnostics=diagnostics,
             )
+
+    def _idle_fast_forward(self, max_cycles: int | None) -> None:
+        """Advance ``cycle`` directly to the next event when every
+        stage is provably blocked.
+
+        Called between :meth:`step` calls from :meth:`run` (never from
+        :meth:`step`, so single-stepping tests see uniform stepping).
+        Skipping is cycle-exact because a cycle is only skipped when no
+        stage could have acted during it:
+
+        * retire — the ROB head is not DONE, and only a completion
+          (a tracked event) can make it DONE;
+        * schedule — no operand-ready candidates exist, and only a
+          completion's PRF write creates one;
+        * rename — the decode head is either not yet through the
+          frontend pipe (tracked event) or structurally stalled, which
+          only a completion/retire can clear;
+        * fetch — blocked on an in-flight icache fill (tracked event),
+          a full decode buffer, or an empty FTQ;
+        * predict — the frontend is PC-stalled or the FTQ is full;
+        * TEA / runahead — fully quiescent (anything in flight may act
+          every cycle, so any activity vetoes the skip).
+
+        The skip is capped at the watchdog deadline (so a wedged
+        machine still raises SimulationError at the exact seed cycle)
+        and at ``max_cycles``.  Skipped cycles are accounted exactly as
+        stepped idle cycles: ``stats.cycles`` and the frontend's stall
+        counter advance by the skipped amount.
+        """
+        rob = self.rob
+        if rob and rob[0].state is UopState.DONE:
+            return
+        if self.scheduler.has_ready():
+            return
+        frontend = self.frontend
+        if not (frontend.stalled() or frontend.ftq_full()):
+            return
+        tea = self.tea
+        if tea is not None and (
+            tea.active
+            or tea.draining
+            or tea.rename_pipe
+            or tea._pending_walk is not None
+            or frontend.shadow_ftq
+        ):
+            return
+        if self.runahead is not None and self.runahead.engine.runs:
+            return
+        # The earliest completion bucket may hold only squashed uops;
+        # that just makes the skip conservative (shorter), never wrong.
+        events = [self._done_heap[0]] if self._done_heap else []
+        cycle = self.cycle
+        decode_pipe = self.decode_pipe
+        if decode_pipe:
+            head = decode_pipe[0]
+            if head.rename_ready_cycle > cycle:
+                events.append(head.rename_ready_cycle)
+            elif not self._rename_blocked(head):
+                return
+        if frontend.ftq and len(decode_pipe) < self.config.core.frontend_buffer:
+            block = frontend.ftq[0]
+            if block is not self._cur_block:
+                return  # fetch would start an icache access next cycle
+            if self._cur_block_ready > cycle:
+                events.append(self._cur_block_ready)
+            else:
+                return  # fetch can consume the head block next cycle
+        if not events:
+            return  # wedged with no pending event; let the watchdog fire
+        target = min(events)
+        cap = self._last_retire_cycle + self.config.watchdog_cycles + 1
+        if target > cap:
+            target = cap
+        if max_cycles is not None and target > max_cycles:
+            target = max_cycles
+        skipped = target - 1 - cycle
+        if skipped <= 0:
+            return
+        self.cycle = cycle + skipped
+        self.stats.cycles += skipped
+        # The frontend would have counted every skipped cycle as a stall.
+        frontend.stall_cycles += skipped
+
+    def _rename_blocked(self, uop: DynUop) -> bool:
+        """Read-only mirror of ``_try_rename_main``'s structural
+        stalls; True means rename cannot proceed until a completion or
+        retirement frees resources."""
+        if len(self.rob) >= self._rob_entries:
+            return True
+        cls = uop.instr.uop_class
+        if cls not in _NO_EXEC_CLASSES and not self.scheduler.main_has_space():
+            return True
+        if cls is UopClass.LOAD and self.lq.full():
+            return True
+        if cls is UopClass.STORE and self.sq.full():
+            return True
+        return (
+            uop.instr.dst not in (None, REG_ZERO)
+            and not self.prf.main_free
+        )
+
+    def executing_uops(self):
+        """All in-flight executions (tracing/diagnostics view)."""
+        for bucket in self._done_buckets.values():
+            yield from bucket
 
     def progress_diagnostics(self) -> dict:
         """JSON-safe dump of forward-progress state (watchdog payload)."""
@@ -241,24 +380,27 @@ class Pipeline:
     # ==================================================================
     def _predict(self) -> None:
         block = self.frontend.tick()
-        if block is None:
+        if block is None or block.branches is None:
             return
-        for fuop in block.uops:
-            if fuop.branch is not None and fuop.branch.can_mispredict:
-                self.ifbq.add(fuop.branch)
-                if self.runahead is not None:
-                    self.runahead.on_branch_predicted(fuop.branch)
+        for branch in block.branches:
+            self.ifbq.add(branch)
+            if self.runahead is not None:
+                self.runahead.on_branch_predicted(branch)
 
     # ==================================================================
     # Main-thread fetch: FTQ -> I-cache -> frontend pipe
     # ==================================================================
     def _fetch(self) -> None:
-        core = self.config.core
-        budget = min(
-            core.fetch_width, core.frontend_buffer - len(self.decode_pipe)
-        )
+        decode_pipe = self.decode_pipe
+        budget = min(self._fetch_width, self._frontend_buffer - len(decode_pipe))
+        cycle = self.cycle
+        tea = self.tea
+        is_chain_seq = tea.is_chain_seq if tea is not None else None
+        rename_ready = cycle + self._post_fetch_delay
+        append = decode_pipe.append
+        stats = self.stats
         blocks_finished = 0
-        while budget > 0 and blocks_finished < core.max_blocks_fetched_per_cycle:
+        while budget > 0 and blocks_finished < self._max_blocks_fetched:
             ftq = self.frontend.ftq
             if not ftq:
                 break
@@ -266,28 +408,31 @@ class Pipeline:
             if block is not self._cur_block:
                 self._cur_block = block
                 self._block_offset = 0
-                ready = self.hierarchy.access_ifetch(block.start_pc, self.cycle)
+                ready = self.hierarchy.access_ifetch(block.start_pc, cycle)
                 last_pc = block.uops[-1].instr.pc if block.uops else block.start_pc
                 if line_address(last_pc) != line_address(block.start_pc):
                     ready = max(
-                        ready, self.hierarchy.access_ifetch(last_pc, self.cycle)
+                        ready, self.hierarchy.access_ifetch(last_pc, cycle)
                     )
                 self._cur_block_ready = ready
-            if self._cur_block_ready > self.cycle:
+            if self._cur_block_ready > cycle:
                 break
             uops = block.uops
-            while budget > 0 and self._block_offset < len(uops):
-                fuop = uops[self._block_offset]
+            offset = self._block_offset
+            n = len(uops)
+            while budget > 0 and offset < n:
+                fuop = uops[offset]
                 dyn = DynUop(fuop.seq, fuop.instr, fuop.branch, is_tea=False)
-                dyn.fetch_cycle = self.cycle
-                dyn.rename_ready_cycle = self.cycle + self._post_fetch_delay
-                if self.tea is not None and self.tea.is_chain_seq(fuop.seq):
+                dyn.fetch_cycle = cycle
+                dyn.rename_ready_cycle = rename_ready
+                if is_chain_seq is not None and is_chain_seq(fuop.seq):
                     dyn.in_chain = True
-                self.decode_pipe.append(dyn)
-                self.stats.fetched_uops += 1
-                self._block_offset += 1
+                append(dyn)
+                stats.fetched_uops += 1
+                offset += 1
                 budget -= 1
-            if self._block_offset >= len(uops):
+            self._block_offset = offset
+            if offset >= n:
                 ftq.popleft()
                 self._cur_block = None
                 blocks_finished += 1
@@ -298,22 +443,23 @@ class Pipeline:
     # Rename / issue into the backend
     # ==================================================================
     def _rename(self) -> None:
-        core = self.config.core
-        width = core.rename_width
+        width = self._rename_width
         if self.tea is not None:
             width = self.tea.rename_first(width)
-        while width > 0 and self.decode_pipe:
-            uop = self.decode_pipe[0]
-            if uop.rename_ready_cycle > self.cycle:
+        decode_pipe = self.decode_pipe
+        cycle = self.cycle
+        while width > 0 and decode_pipe:
+            uop = decode_pipe[0]
+            if uop.rename_ready_cycle > cycle:
                 break
             if not self._try_rename_main(uop):
                 break
-            self.decode_pipe.popleft()
+            decode_pipe.popleft()
             width -= 1
 
     def _try_rename_main(self, uop: DynUop) -> bool:
         """Rename one main-thread uop; False on structural stall."""
-        if len(self.rob) >= self.config.core.rob_entries:
+        if len(self.rob) >= self._rob_entries:
             return False
         instr = uop.instr
         cls = instr.uop_class
@@ -362,71 +508,98 @@ class Pipeline:
     # ==================================================================
     # Schedule + execute
     # ==================================================================
-    def _operands_ready(self, uop: DynUop) -> bool:
-        ready = self.prf.ready
-        for preg in uop.src_pregs:
-            if not ready[preg]:
-                return False
-        return True
+    def _issue_gate(self, uop: DynUop) -> bool:
+        """Memory-ordering gate for operand-ready select candidates.
 
-    def _ready_to_issue(self, uop: DynUop) -> bool:
-        if not self._operands_ready(uop):
-            return False
-        if uop.is_tea and uop.instr.uop_class is UopClass.LOAD:
+        Operand readiness is already guaranteed by the scheduler's
+        wakeup pools, so only loads have anything left to check.  A
+        False verdict can only change when a store begins execution;
+        the scheduler parks rejected uops until that event
+        (:meth:`Scheduler.store_executed`).
+
+        For an admitted main-thread load the effective address and the
+        store-forward verdict are stashed on the uop so
+        ``_start_execution`` does not recompute them the same cycle.
+        The address is a pure function of (write-once) operand values
+        and is cached across cycles; the forward verdict is refreshed
+        on every call because stores may drain from the SQ in between.
+        """
+        if uop.instr.uop_class is not UopClass.LOAD:
+            return True
+        if uop.is_tea:
             # Intra-TEA store->load ordering (store cache visibility).
             return self.tea.load_ordered(uop)
-        if uop.instr.uop_class is UopClass.LOAD and not uop.is_tea:
-            # Conservative disambiguation: wait for older store addresses.
-            if not self.sq.addresses_resolved_before(uop.seq):
-                return False
+        # Conservative disambiguation: wait for older store addresses.
+        if not self.sq.addresses_resolved_before(uop.seq):
+            return False
+        addr = uop.mem_addr
+        if addr is None:
+            values = self.prf.values
             addr = effective_address(
-                uop.instr, tuple(self.prf.read(p) for p in uop.src_pregs)
+                uop.instr, tuple([values[p] for p in uop.src_pregs])
             )
-            status, _ = self.sq.forward(addr, uop.seq)
-            if status == "wait":
-                return False
+            uop.mem_addr = addr
+        status, value = self.sq.forward(addr, uop.seq)
+        if status == "wait":
+            return False
+        uop.fwd_status = status
+        uop.fwd_value = value
         return True
 
     def _schedule(self) -> None:
-        picked = self.scheduler.select(self._ready_to_issue)
+        scheduler = self.scheduler
+        if not scheduler.has_ready():
+            return
+        picked = scheduler.select(self._issue_gate)
         for uop in picked:
             if not self._start_execution(uop):
                 # Structural retry (MSHRs full): put it back.
-                self.scheduler.insert(uop)
+                scheduler.insert(uop)
 
     def _start_execution(self, uop: DynUop) -> bool:
         instr = uop.instr
         cls = instr.uop_class
-        values = tuple(self.prf.read(p) for p in uop.src_pregs)
         if uop.is_tea and self.tea is not None:
             self.tea.on_operands_read(uop)
 
         if cls is UopClass.LOAD:
-            addr = effective_address(instr, values)
-            uop.mem_addr = addr
             if uop.is_tea:
+                # Recomputed on every attempt: a structural retry may
+                # straddle a TEA preg recycle that rewrote a source,
+                # and the stale address would target the wrong line.
+                values = self.prf.values
+                addr = effective_address(
+                    instr, tuple([values[p] for p in uop.src_pregs])
+                )
+                uop.mem_addr = addr
                 ready = self.hierarchy.access_load(addr, self.cycle)
                 if ready is None:
                     return False
                 uop.result = self.tea.load_value(addr)
                 uop.done_cycle = ready
             else:
-                status, value = self.sq.forward(addr, uop.seq)
-                if status == "hit":
-                    uop.result = value
+                # Address and forward verdict were cached by the issue
+                # gate earlier this cycle.
+                if uop.fwd_status == "hit":
+                    uop.result = uop.fwd_value
                     uop.load_forwarded = True
                     uop.done_cycle = self.cycle + self.config.memory.l1d_latency
                 else:
-                    ready = self.hierarchy.access_load(addr, self.cycle)
+                    ready = self.hierarchy.access_load(uop.mem_addr, self.cycle)
                     if ready is None:
                         return False
-                    uop.result = self.memory.load(addr)
+                    uop.result = self.memory.load(uop.mem_addr)
                     uop.done_cycle = ready
         elif cls is UopClass.STORE:
+            values = tuple([self.prf.values[p] for p in uop.src_pregs])
             uop.mem_addr = effective_address(instr, values)
             uop.store_value = values[0]
             uop.done_cycle = self.cycle + 1
+            # The store's address just resolved: re-arm loads parked on
+            # the memory-ordering gate.
+            self.scheduler.store_executed(uop.is_tea)
         elif instr.is_branch:
+            values = tuple([self.prf.values[p] for p in uop.src_pregs])
             taken = branch_taken(instr, values)
             uop.br_taken = taken
             uop.br_target = (
@@ -435,30 +608,39 @@ class Pipeline:
             uop.result = compute_result(instr, values)
             uop.done_cycle = self.cycle + 1
         else:
+            values = tuple([self.prf.values[p] for p in uop.src_pregs])
             uop.result = compute_result(instr, values)
             uop.done_cycle = self.cycle + instr.latency
         uop.state = UopState.EXECUTING
-        self._executing.append(uop)
+        done = uop.done_cycle
+        bucket = self._done_buckets.get(done)
+        if bucket is None:
+            self._done_buckets[done] = [uop]
+            heappush(self._done_heap, done)
+        else:
+            bucket.append(uop)
         return True
 
     # ==================================================================
     # Completion: writeback, branch resolution, flushes
     # ==================================================================
     def _complete(self) -> None:
+        heap = self._done_heap
+        cycle = self.cycle
+        if not heap or heap[0] > cycle:
+            return
+        buckets = self._done_buckets
+        squashed = UopState.SQUASHED  # property call is too hot here
         finished: list[DynUop] = []
-        still: list[DynUop] = []
-        for uop in self._executing:
-            if uop.squashed:
-                continue
-            if uop.done_cycle <= self.cycle:
-                finished.append(uop)
-            else:
-                still.append(uop)
-        self._executing = still
+        while heap and heap[0] <= cycle:
+            for uop in buckets.pop(heappop(heap)):
+                if uop.state is not squashed:
+                    finished.append(uop)
         # Resolve oldest-first; a flush squashes younger completions.
-        finished.sort(key=lambda u: (u.seq, u.is_tea))
+        if len(finished) > 1:
+            finished.sort(key=_COMPLETE_ORDER)
         for uop in finished:
-            if uop.squashed:
+            if uop.state is squashed:
                 continue
             uop.state = UopState.DONE
             if uop.dst_preg is not None:
@@ -647,9 +829,8 @@ class Pipeline:
     # Retire
     # ==================================================================
     def _retire(self) -> None:
-        core = self.config.core
         retired = 0
-        while retired < core.retire_width and self.rob:
+        while retired < self._retire_width and self.rob:
             uop = self.rob[0]
             if uop.state is not UopState.DONE:
                 break

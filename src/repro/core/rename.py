@@ -22,7 +22,29 @@ ZERO_PREG = 0
 
 
 class PhysicalRegisterFile:
-    """Values + ready bits for all physical registers (both pools)."""
+    """Values + ready bits for all physical registers (both pools).
+
+    Event-driven wakeup: every preg carries a *wakeup list* of the RS
+    entries consuming it.  The scheduler subscribes one list entry per
+    (non-zero) source occurrence at insert and unsubscribes when the
+    uop leaves the RS; :meth:`write` walks the list, decrementing each
+    consumer's outstanding-source count and handing consumers whose
+    **last** outstanding source just arrived to ``wakeup_sink`` (the
+    scheduler's ready pool).  This is what lets ``select()`` inspect
+    only operand-ready candidates instead of polling every
+    reservation-station entry every cycle.
+
+    Subscriptions persist while the consumer sits in the RS — even
+    once all its sources are ready — because a ready bit can go False
+    again: the TEA thread's valid-bit + refcount scheme may free a
+    preg that a not-yet-issued consumer still names (e.g. after a
+    structural retry double-decremented its refcount), and a main preg
+    named by a TEA uop's shadow-RAT snapshot may be freed at retire.
+    When such a preg is *reallocated*, :meth:`allocate` walks the same
+    list in reverse (``unready_sink``), pulling consumers back out of
+    the ready pool exactly as the legacy polling scheduler's per-cycle
+    ready-bit check would have.
+    """
 
     def __init__(self, main_size: int, tea_size: int = 0):
         total = 1 + main_size + tea_size  # +1 for the zero preg
@@ -33,6 +55,13 @@ class PhysicalRegisterFile:
         self.ready[ZERO_PREG] = True
         self.main_free: deque[int] = deque(range(1, 1 + main_size))
         self.tea_free: deque[int] = deque(range(1 + main_size, total))
+        # Per-preg wakeup lists of in-RS consumer DynUops.
+        self.waiters: list[list] = [[] for _ in range(total)]
+        # Called with a uop when its last outstanding source arrives.
+        self.wakeup_sink = None
+        # Called with a uop when a source it had counted as ready is
+        # reallocated out from under it (ready-bit True -> False).
+        self.unready_sink = None
 
     def allocate(self, tea: bool = False) -> int | None:
         """Allocate a preg from the requested pool (None if exhausted)."""
@@ -40,9 +69,34 @@ class PhysicalRegisterFile:
         if not pool:
             return None
         preg = pool.popleft()
+        was_ready = self.ready[preg]
         self.ready[preg] = False
         self.values[preg] = 0
+        waiters = self.waiters[preg]
+        if waiters and was_ready:
+            # The preg was freed with live consumers still subscribed
+            # (TEA valid-bit/refcount freeing, or a main preg named by
+            # a TEA shadow-RAT snapshot freed at retire).  Reallocating
+            # it makes those consumers operand-unready again until the
+            # new producer writes; push them back to the waiting pool.
+            sink = self.unready_sink
+            for uop in waiters:
+                uop.pending_srcs += 1
+                if uop.pending_srcs == 1 and sink is not None:
+                    sink(uop)
         return preg
+
+    # -- wakeup lists ---------------------------------------------------
+    def subscribe(self, preg: int, uop) -> None:
+        """Add ``uop`` to ``preg``'s consumer list (one entry per
+        source occurrence; duplicates are intentional)."""
+        self.waiters[preg].append(uop)
+
+    def unsubscribe(self, preg: int, uop) -> None:
+        """Remove one consumer-list entry for ``uop``."""
+        waiters = self.waiters[preg]
+        if uop in waiters:
+            waiters.remove(uop)
 
     def free(self, preg: int) -> None:
         """Return a preg to its pool (zero preg is never freed)."""
@@ -61,6 +115,13 @@ class PhysicalRegisterFile:
             return
         self.values[preg] = value
         self.ready[preg] = True
+        waiters = self.waiters[preg]
+        if waiters:
+            sink = self.wakeup_sink
+            for uop in waiters:
+                uop.pending_srcs -= 1
+                if uop.pending_srcs == 0 and sink is not None:
+                    sink(uop)
 
     def read(self, preg: int) -> int | float:
         return self.values[preg]
@@ -98,7 +159,11 @@ class RegisterAliasTable:
 
 
 def rename_sources(rat: RegisterAliasTable, srcs: tuple[int, ...]) -> tuple[int, ...]:
-    """Map architectural sources to physical registers (r0 -> preg 0)."""
-    return tuple(
-        ZERO_PREG if reg == REG_ZERO else rat.lookup(reg) for reg in srcs
-    )
+    """Map architectural sources to physical registers (r0 -> preg 0).
+
+    ``map[REG_ZERO]`` is pinned to ``ZERO_PREG``: every ``set()`` call
+    site filters ``REG_ZERO`` destinations, so no explicit special case
+    is needed here (this is the renamer's hottest helper).
+    """
+    table = rat.map
+    return tuple([table[reg] for reg in srcs])

@@ -10,11 +10,36 @@ thread"), oldest-first within each thread.
 With a *dedicated execution engine* (paper §V-D, Fig. 9) the TEA
 thread instead draws from its own pool of ``dedicated_units``
 any-class units and does not consume shared ports at all.
+
+Scheduling is **event-driven**, not polled.  Each RS entry lives in
+exactly one of three pools per thread:
+
+``waiting``
+    At least one source operand outstanding.  The uop sits on the
+    PRF's per-preg wakeup lists (:meth:`PhysicalRegisterFile.subscribe`)
+    and is untouched by ``select()``.  When its last source is written,
+    the PRF calls back into :meth:`_wakeup` and the uop moves to
+    ``ready``.
+``ready``
+    All operands available; a candidate for selection this cycle.
+``blocked``
+    Operands available but the pipeline's memory-ordering gate said no
+    (an older store's address is unresolved, or a TEA load is waiting
+    on an older TEA store).  That verdict can only change when a store
+    begins execution, so the pool is re-armed by
+    :meth:`store_executed` events instead of being re-polled.
+
+Selection order must match the legacy polling scheduler exactly: that
+scheduler scanned its RS lists in *insertion* order (rename inserts in
+seq order, but an MSHR-full retry re-appends at the tail), so every
+insert is stamped with a monotonically increasing ``rs_stamp`` and the
+ready pools are kept sorted by it.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from operator import attrgetter
 
 from ..isa import UopClass
 from .config import CoreConfig
@@ -24,16 +49,7 @@ _LOAD = UopClass.LOAD
 _STORE = UopClass.STORE
 _FP = UopClass.FP
 
-
-def _port_kind(uop: DynUop) -> str:
-    cls = uop.instr.uop_class
-    if cls is _LOAD:
-        return "load"
-    if cls is _STORE:
-        return "store"
-    if cls is _FP:
-        return "fp"
-    return "alu"
+_BY_STAMP = attrgetter("rs_stamp")
 
 
 class Scheduler:
@@ -46,93 +62,315 @@ class Scheduler:
         tea_dedicated_units: int = 0,
     ):
         self.config = config
-        self.main_rs: list[DynUop] = []
-        self.tea_rs: list[DynUop] = []
         self.tea_rs_entries = tea_rs_entries
         self.tea_dedicated_units = tea_dedicated_units
         # Optional criticality hook (CRISP/IBDA): main-thread uops for
         # which it returns True are selected ahead of older uops.
         self.priority_fn = None
+        self.prf = None
+        # Per-thread pools; see module docstring.
+        self._ready_main: list[DynUop] = []
+        self._ready_tea: list[DynUop] = []
+        self._blocked_main: list[DynUop] = []
+        self._blocked_tea: list[DynUop] = []
+        self._waiting_main: dict[int, DynUop] = {}  # id(uop) -> uop
+        self._waiting_tea: dict[int, DynUop] = {}
+        self._main_sorted = True
+        self._tea_sorted = True
+        self._next_stamp = 0
+
+    def bind_prf(self, prf) -> None:
+        """Wire the PRF's wakeup lists into this scheduler's pools."""
+        self.prf = prf
+        prf.wakeup_sink = self._wakeup
+        prf.unready_sink = self._unwake
 
     # -- capacity -------------------------------------------------------
+    def _main_count(self) -> int:
+        return (
+            len(self._ready_main)
+            + len(self._blocked_main)
+            + len(self._waiting_main)
+        )
+
+    def _tea_count(self) -> int:
+        return (
+            len(self._ready_tea)
+            + len(self._blocked_tea)
+            + len(self._waiting_tea)
+        )
+
     def main_has_space(self) -> bool:
-        return len(self.main_rs) < self.config.rs_entries
+        return self._main_count() < self.config.rs_entries
 
     def tea_has_space(self) -> bool:
-        return len(self.tea_rs) < self.tea_rs_entries
+        return self._tea_count() < self.tea_rs_entries
 
+    def has_ready(self) -> bool:
+        """True when select() could possibly pick something."""
+        return bool(self._ready_main or self._ready_tea)
+
+    # -- insertion and wakeup -------------------------------------------
     def insert(self, uop: DynUop) -> None:
-        (self.tea_rs if uop.is_tea else self.main_rs).append(uop)
+        """Add a uop; it parks on PRF wakeup lists until operand-ready.
+
+        Also the retry path: an MSHR-full load is re-inserted and gets
+        a fresh stamp, placing it behind the existing entries exactly
+        as the legacy list-append did.
+        """
+        uop.rs_stamp = self._next_stamp
+        self._next_stamp += 1
+        prf = self.prf
+        pending = 0
+        if prf is not None:
+            ready = prf.ready
+            waiters = prf.waiters
+            for preg in uop.src_pregs:
+                if preg:  # the zero preg is permanently ready
+                    waiters[preg].append(uop)
+                    if not ready[preg]:
+                        pending += 1
+        uop.pending_srcs = pending
+        if pending:
+            (self._waiting_tea if uop.is_tea else self._waiting_main)[
+                id(uop)
+            ] = uop
+        elif uop.is_tea:
+            self._ready_tea.append(uop)
+            self._tea_sorted = False
+        else:
+            self._ready_main.append(uop)
+            self._main_sorted = False
+
+    def _wakeup(self, uop: DynUop) -> None:
+        """PRF callback: ``uop``'s last outstanding source was written."""
+        if uop.is_tea:
+            if self._waiting_tea.pop(id(uop), None) is not None:
+                self._ready_tea.append(uop)
+                self._tea_sorted = False
+        elif self._waiting_main.pop(id(uop), None) is not None:
+            self._ready_main.append(uop)
+            self._main_sorted = False
+
+    def _unwake(self, uop: DynUop) -> None:
+        """PRF callback: a source ``uop`` had counted as ready was
+        reallocated; pull it back out of the candidate pools.  Rare
+        (TEA preg recycling), so the O(n) removes don't matter."""
+        if uop.is_tea:
+            ready, blocked, waiting = (
+                self._ready_tea, self._blocked_tea, self._waiting_tea
+            )
+        else:
+            ready, blocked, waiting = (
+                self._ready_main, self._blocked_main, self._waiting_main
+            )
+        if uop in ready:
+            ready.remove(uop)
+        elif uop in blocked:
+            blocked.remove(uop)
+        else:
+            return  # already waiting, or not tracked here
+        waiting[id(uop)] = uop
+
+    def store_executed(self, tea: bool) -> None:
+        """Re-arm memory-blocked loads: a store just resolved its
+        address (main) / left the RENAMED state (TEA), which is the
+        only event that can change the issue gate's verdict."""
+        if tea:
+            if self._blocked_tea:
+                self._ready_tea.extend(self._blocked_tea)
+                self._blocked_tea.clear()
+                self._tea_sorted = False
+        elif self._blocked_main:
+            self._ready_main.extend(self._blocked_main)
+            self._blocked_main.clear()
+            self._main_sorted = False
 
     # -- flush support ----------------------------------------------------
+    def _unsubscribe(self, uop: DynUop) -> None:
+        """Remove a departing uop from every consumer list it sits on,
+        so a freed-and-reallocated preg can never wake (or re-block) a
+        uop that left the RS."""
+        prf = self.prf
+        if prf is None:
+            return
+        waiters = prf.waiters
+        for preg in uop.src_pregs:
+            if preg:
+                pool = waiters[preg]
+                if uop in pool:
+                    pool.remove(uop)
+        uop.pending_srcs = 0
+
+    def _filter_younger(self, pool: list[DynUop], seq: int) -> list[DynUop]:
+        kept = []
+        for uop in pool:
+            if uop.seq <= seq:
+                kept.append(uop)
+            else:
+                self._unsubscribe(uop)
+        return kept
+
     def squash_younger(self, seq: int) -> None:
-        self.main_rs = [u for u in self.main_rs if u.seq <= seq]
-        self.tea_rs = [u for u in self.tea_rs if u.seq <= seq]
+        self._ready_main = self._filter_younger(self._ready_main, seq)
+        self._ready_tea = self._filter_younger(self._ready_tea, seq)
+        self._blocked_main = self._filter_younger(self._blocked_main, seq)
+        self._blocked_tea = self._filter_younger(self._blocked_tea, seq)
+        for pool in (self._waiting_main, self._waiting_tea):
+            doomed = [key for key, u in pool.items() if u.seq > seq]
+            for key in doomed:
+                self._unsubscribe(pool.pop(key))
 
     def clear_tea(self) -> None:
-        self.tea_rs = []
+        for uop in self._waiting_tea.values():
+            self._unsubscribe(uop)
+        for uop in self._ready_tea:
+            self._unsubscribe(uop)
+        for uop in self._blocked_tea:
+            self._unsubscribe(uop)
+        self._waiting_tea.clear()
+        self._ready_tea.clear()
+        self._blocked_tea.clear()
 
     def drop(self, uop: DynUop) -> None:
-        rs = self.tea_rs if uop.is_tea else self.main_rs
-        if uop in rs:
-            rs.remove(uop)
+        """Remove one uop wherever it lives, unsubscribing it."""
+        if uop.is_tea:
+            ready, blocked, waiting = (
+                self._ready_tea, self._blocked_tea, self._waiting_tea
+            )
+        else:
+            ready, blocked, waiting = (
+                self._ready_main, self._blocked_main, self._waiting_main
+            )
+        if waiting.pop(id(uop), None) is not None:
+            self._unsubscribe(uop)
+        elif uop in ready:
+            ready.remove(uop)
+            self._unsubscribe(uop)
+        elif uop in blocked:
+            blocked.remove(uop)
+            self._unsubscribe(uop)
 
     # -- selection --------------------------------------------------------
-    def select(self, ready_fn: Callable[[DynUop], bool]) -> list[DynUop]:
+    def select(self, gate: Callable[[DynUop], bool]) -> list[DynUop]:
         """Pick uops to begin execution this cycle.
 
-        ``ready_fn`` decides operand/memory readiness.  Selected uops
-        are removed from their stations; the pipeline starts them.
+        Only operand-ready candidates are inspected.  ``gate`` is the
+        pipeline's memory-ordering check; a uop it rejects moves to the
+        blocked pool until the next :meth:`store_executed` event.
+        Selected uops are removed from their pools; the pipeline starts
+        them (and re-inserts on a structural retry).
         """
         cfg = self.config
-        ports = {
-            "alu": cfg.alu_ports,
-            "load": cfg.load_ports,
-            "store": cfg.store_ports,
-            "fp": cfg.fp_ports,
-        }
-        dedicated_left = self.tea_dedicated_units
+        alu = cfg.alu_ports
+        load = cfg.load_ports
+        store = cfg.store_ports
+        fp = cfg.fp_ports
         picked: list[DynUop] = []
 
-        # RS lists are maintained in seq (age) order: rename inserts
-        # in order and flushes filter without reordering.  TEA first
-        # (issue priority), oldest first within each thread.
-        for uop in self.tea_rs:
-            if not ready_fn(uop):
-                continue
+        ready_tea = self._ready_tea
+        if ready_tea:
+            if not self._tea_sorted:
+                ready_tea.sort(key=_BY_STAMP)
+                self._tea_sorted = True
+            blocked_tea = self._blocked_tea
+            remaining: list[DynUop] = []
             if self.tea_dedicated_units > 0:
-                if dedicated_left <= 0:
-                    break
-                dedicated_left -= 1
-                picked.append(uop)
+                dedicated_left = self.tea_dedicated_units
+                for i, uop in enumerate(ready_tea):
+                    if dedicated_left <= 0:
+                        remaining.extend(ready_tea[i:])
+                        break
+                    if gate(uop):
+                        dedicated_left -= 1
+                        picked.append(uop)
+                    else:
+                        blocked_tea.append(uop)
             else:
-                kind = _port_kind(uop)
-                if ports[kind] <= 0:
-                    continue
-                ports[kind] -= 1
-                picked.append(uop)
+                for uop in ready_tea:
+                    if not gate(uop):
+                        blocked_tea.append(uop)
+                        continue
+                    cls = uop.instr.uop_class
+                    if cls is _LOAD:
+                        if load <= 0:
+                            remaining.append(uop)
+                            continue
+                        load -= 1
+                    elif cls is _STORE:
+                        if store <= 0:
+                            remaining.append(uop)
+                            continue
+                        store -= 1
+                    elif cls is _FP:
+                        if fp <= 0:
+                            remaining.append(uop)
+                            continue
+                        fp -= 1
+                    else:
+                        if alu <= 0:
+                            remaining.append(uop)
+                            continue
+                        alu -= 1
+                    picked.append(uop)
+            self._ready_tea = remaining
 
-        if self.priority_fn is None:
-            main_order = self.main_rs
-        else:
-            critical = [u for u in self.main_rs if self.priority_fn(u)]
-            rest = [u for u in self.main_rs if not self.priority_fn(u)]
-            main_order = critical + rest
-        for uop in main_order:
-            if not (ports["alu"] or ports["load"] or ports["store"] or ports["fp"]):
-                break
-            if not ready_fn(uop):
-                continue
-            kind = _port_kind(uop)
-            if ports[kind] <= 0:
-                continue
-            ports[kind] -= 1
-            picked.append(uop)
+        ready_main = self._ready_main
+        if ready_main:
+            if not self._main_sorted:
+                ready_main.sort(key=_BY_STAMP)
+                self._main_sorted = True
+            priority_fn = self.priority_fn
+            if priority_fn is None:
+                order = ready_main
+            else:
+                # Single-pass partition: critical uops first, each
+                # group preserving age order (stable).
+                order = []
+                rest: list[DynUop] = []
+                for uop in ready_main:
+                    (order if priority_fn(uop) else rest).append(uop)
+                order += rest
+            blocked_main = self._blocked_main
+            remaining = []
+            for i, uop in enumerate(order):
+                if not (alu or load or store or fp):
+                    remaining.extend(order[i:])
+                    break
+                if not gate(uop):
+                    blocked_main.append(uop)
+                    continue
+                cls = uop.instr.uop_class
+                if cls is _LOAD:
+                    if load <= 0:
+                        remaining.append(uop)
+                        continue
+                    load -= 1
+                elif cls is _STORE:
+                    if store <= 0:
+                        remaining.append(uop)
+                        continue
+                    store -= 1
+                elif cls is _FP:
+                    if fp <= 0:
+                        remaining.append(uop)
+                        continue
+                    fp -= 1
+                else:
+                    if alu <= 0:
+                        remaining.append(uop)
+                        continue
+                    alu -= 1
+                picked.append(uop)
+            self._ready_main = remaining
+            if priority_fn is not None:
+                # ``remaining`` inherited the partitioned order.
+                self._main_sorted = False
 
         for uop in picked:
-            (self.tea_rs if uop.is_tea else self.main_rs).remove(uop)
+            self._unsubscribe(uop)
         return picked
 
     @property
     def occupancy(self) -> tuple[int, int]:
-        return len(self.main_rs), len(self.tea_rs)
+        return self._main_count(), self._tea_count()

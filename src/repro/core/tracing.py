@@ -115,7 +115,11 @@ class PipelineTracer:
         from .dynamic_uop import UopState
 
         cycle = pipeline.cycle
-        sources = [pipeline.decode_pipe, pipeline.rob, pipeline._executing]
+        sources = [
+            pipeline.decode_pipe,
+            pipeline.rob,
+            list(pipeline.executing_uops()),
+        ]
         if pipeline.tea is not None:
             sources.append(pipeline.tea.live_uops)
             sources.append(pipeline.tea.rename_pipe)

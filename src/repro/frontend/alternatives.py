@@ -74,9 +74,11 @@ class HashedPerceptron:
         )
         taken = total >= 0
         pred = TagePrediction(taken=taken)
-        pred.extra["final_taken"] = taken
-        pred.extra["perceptron_indices"] = tuple(indices)
-        pred.extra["perceptron_sum"] = total
+        pred.extra = {
+            "final_taken": taken,
+            "perceptron_indices": tuple(indices),
+            "perceptron_sum": total,
+        }
         return pred
 
     @staticmethod
@@ -135,8 +137,7 @@ class Gshare:
         idx = self._index(pc)
         taken = self.table[idx] >= 2
         pred = TagePrediction(taken=taken)
-        pred.extra["final_taken"] = taken
-        pred.extra["gshare_index"] = idx
+        pred.extra = {"final_taken": taken, "gshare_index": idx}
         return pred
 
     @staticmethod

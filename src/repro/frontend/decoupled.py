@@ -44,7 +44,7 @@ class FrontendConfig:
     conditional_predictor: str = "tagescl"
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchInfo:
     """Everything the pipeline needs to verify/recover one branch."""
 
@@ -69,7 +69,7 @@ class BranchInfo:
         return self.predicted_target if self.predicted_taken else self.fallthrough
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchUop:
     """A dynamic uop as produced by the decoupled BP."""
 
@@ -78,13 +78,16 @@ class FetchUop:
     branch: BranchInfo | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchBlock:
     """One FTQ entry: a fetch address plus its predicted uop run."""
 
     start_pc: int
     uops: list[FetchUop]
     next_fetch_pc: int | None
+    # Mispredictable branches in the block (usually 0 or 1), so
+    # consumers that only care about branches skip the uop scan.
+    branches: list[BranchInfo] | None = None
 
     @property
     def first_seq(self) -> int:
@@ -98,6 +101,8 @@ class FetchBlock:
         """Drop uops younger than ``seq`` (flush support)."""
         keep = [u for u in self.uops if u.seq <= seq]
         self.uops[:] = keep
+        if self.branches:
+            self.branches = [b for b in self.branches if b.seq <= seq]
 
 
 class DecoupledFrontend:
@@ -170,26 +175,35 @@ class DecoupledFrontend:
         assert start_pc is not None
         pc = start_pc
         uops: list[FetchUop] = []
+        append = uops.append
+        branches: list[BranchInfo] | None = None
         next_fetch: int | None = None
+        instruction_at = self.program._by_pc.get  # skip the wrapper frame
+        halt = UopClass.HALT
         for _ in range(self.config.max_block_uops):
-            instr = self.program.instruction_at(pc)
+            instr = instruction_at(pc)
             if instr is None:
                 # Predicted off the instruction image (wrong path, or
                 # fell past the end); stall until a flush redirects us.
                 self.next_pc = None
                 break
             seq = self._seq
-            self._seq += 1
-            if instr.uop_class is UopClass.HALT:
-                uops.append(FetchUop(seq, instr))
+            self._seq = seq + 1
+            if instr.uop_class is halt:
+                append(FetchUop(seq, instr))
                 self.next_pc = None
                 break
             if not instr.is_branch:
-                uops.append(FetchUop(seq, instr))
+                append(FetchUop(seq, instr))
                 pc += INSTRUCTION_BYTES
                 continue
             branch = self._predict_branch(instr, seq)
-            uops.append(FetchUop(seq, instr, branch))
+            append(FetchUop(seq, instr, branch))
+            if branch.can_mispredict:
+                if branches is None:
+                    branches = [branch]
+                else:
+                    branches.append(branch)
             if branch.predicted_taken:
                 next_fetch = branch.predicted_target
                 self.next_pc = next_fetch
@@ -202,17 +216,17 @@ class DecoupledFrontend:
             return None
         if next_fetch is None and self.next_pc is not None:
             next_fetch = self.next_pc
-        return FetchBlock(start_pc, uops, next_fetch)
+        return FetchBlock(start_pc, uops, next_fetch, branches)
 
     def _predict_branch(self, instr: Instruction, seq: int) -> BranchInfo:
         cls = instr.uop_class
+        history = self.history
         fallthrough = instr.fallthrough_pc
-        snapshot = self.history.snapshot()
-        ras_snap = self.ras.snapshot()
-        loop_snap = self.cond.snapshot_spec_state()
 
+        # Direct jumps and calls cannot mispredict, so they are never a
+        # flush target and need no recovery snapshots.
         if cls is UopClass.BR_JUMP:
-            self.history.push_target(instr.pc, instr.target)
+            history.push_target(instr.pc, instr.target)
             return BranchInfo(
                 seq,
                 instr.pc,
@@ -221,13 +235,10 @@ class DecoupledFrontend:
                 instr.target,
                 fallthrough,
                 can_mispredict=False,
-                history_snapshot=snapshot,
-                ras_snapshot=ras_snap,
-                loop_snapshot=loop_snap,
             )
         if cls is UopClass.BR_CALL:
             self.ras.push(fallthrough)
-            self.history.push_target(instr.pc, instr.target)
+            history.push_target(instr.pc, instr.target)
             return BranchInfo(
                 seq,
                 instr.pc,
@@ -236,10 +247,12 @@ class DecoupledFrontend:
                 instr.target,
                 fallthrough,
                 can_mispredict=False,
-                history_snapshot=snapshot,
-                ras_snapshot=ras_snap,
-                loop_snapshot=loop_snap,
             )
+
+        snapshot = history.snapshot()
+        ras_snap = self.ras.snapshot()
+        loop_snap = self.cond.snapshot_spec_state()
+
         if cls is UopClass.BR_RET:
             target = self.ras.pop()
             predicted = target if target is not None else fallthrough

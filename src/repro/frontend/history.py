@@ -27,13 +27,14 @@ _PATH_MASK = (1 << PATH_HISTORY_BITS) - 1
 class HistoryState:
     """Global direction history + path history + folded registers."""
 
-    __slots__ = ("ghr", "path", "_specs", "_folds")
+    __slots__ = ("ghr", "path", "_specs", "_folds", "_push")
 
     def __init__(self, ghr: int = 0, path: int = 0):
         self.ghr = ghr
         self.path = path
         self._specs: list[tuple[int, int, int, int]] = []
         self._folds: list[int] = []
+        self._push = None
 
     # -- folded register registry --------------------------------------
     def register_fold(self, length: int, width: int) -> int:
@@ -46,8 +47,13 @@ class HistoryState:
             raise ValueError("register_fold() requires pristine history")
         if length <= 0 or width <= 0:
             raise ValueError("fold length and width must be positive")
-        self._specs.append((length, width, length % width, (1 << width) - 1))
+        # Stored pre-shifted for the hot _push_bit loop:
+        # (outgoing-bit shift, width, outgoing fold position, mask).
+        self._specs.append(
+            (length - 1, width, length % width, (1 << width) - 1)
+        )
         self._folds.append(0)
+        self._push = None  # respecialize on next push
         return len(self._specs) - 1
 
     def fold(self, index: int) -> int:
@@ -56,25 +62,53 @@ class HistoryState:
 
     # -- speculative update ---------------------------------------------
     def _push_bit(self, bit: int) -> None:
-        ghr = self.ghr
-        folds = self._folds
-        for i, (length, width, out_pos, mask) in enumerate(self._specs):
-            folded = (folds[i] << 1) | bit
-            folded ^= ((ghr >> (length - 1)) & 1) << out_pos
-            folded ^= folded >> width
-            folds[i] = folded & mask
-        self.ghr = ((ghr << 1) | bit) & _GHR_MASK
+        push = self._push
+        if push is None:
+            push = self._specialize_push()
+        push(bit)
+
+    def _specialize_push(self):
+        """Compile an unrolled push with the fold specs inlined.
+
+        This is the simulator's hottest loop (every predicted branch
+        updates ~20 folded registers), so — like ``namedtuple`` — we
+        generate a specialized function once the spec set is known:
+        constants are baked in and the per-spec tuple unpacking and
+        loop bookkeeping disappear.  ``register_fold`` invalidates the
+        compiled form so late registration respecializes.
+        """
+        lines = ["def _push(bit):", "    ghr = state.ghr"]
+        if self._specs:
+            lines.append("    folds = state._folds")
+        for i, (out_shift, width, out_pos, mask) in enumerate(self._specs):
+            lines.append(
+                f"    f = ((folds[{i}] << 1) | bit)"
+                f" ^ (((ghr >> {out_shift}) & 1) << {out_pos})"
+            )
+            lines.append(f"    f ^= f >> {width}")
+            lines.append(f"    folds[{i}] = f & {mask}")
+        lines.append(f"    state.ghr = ((ghr << 1) | bit) & {_GHR_MASK}")
+        namespace = {"state": self}
+        exec("\n".join(lines), namespace)
+        self._push = namespace["_push"]
+        return self._push
 
     def push_conditional(self, taken: bool) -> None:
         """Shift a conditional branch outcome into the GHR."""
-        self._push_bit(1 if taken else 0)
+        push = self._push
+        if push is None:
+            push = self._specialize_push()
+        push(1 if taken else 0)
 
     def push_target(self, pc: int, target: int) -> None:
         """Record a taken control transfer (incl. unconditional and
         indirect branches) in path and direction history."""
         bits = ((pc >> 2) ^ (target >> 2)) & 0x7
         self.path = ((self.path << 3) | bits) & _PATH_MASK
-        self._push_bit(1)
+        push = self._push
+        if push is None:
+            push = self._specialize_push()
+        push(1)
 
     # -- recovery ----------------------------------------------------------
     def snapshot(self) -> tuple[int, int, tuple[int, ...]]:

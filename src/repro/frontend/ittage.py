@@ -33,7 +33,7 @@ class _IttageEntry:
         self.useful = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class IttagePrediction:
     """Predict-time metadata for retirement training."""
 

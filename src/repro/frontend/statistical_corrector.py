@@ -45,27 +45,37 @@ class StatisticalCorrector:
         ]
         self._max = (1 << (cfg.counter_bits - 1)) - 1
         self._min = -(1 << (cfg.counter_bits - 1))
+        self._bias_mask = (1 << cfg.bias_bits) - 1
+        self._hist_mask = (1 << cfg.history_bits) - 1
+        self._xor_keys = [i * 0x9E37 for i in range(len(cfg.history_lengths))]
         self.flips = 0
 
-    def _indices(self, pc: int) -> tuple[int, list[int]]:
-        cfg = self.config
-        bias_idx = (pc >> 2) & ((1 << cfg.bias_bits) - 1)
-        hist_indices = []
-        for i in range(len(cfg.history_lengths)):
-            folded = self.history.fold(self._folds[i])
-            idx = ((pc >> 2) ^ folded ^ (i * 0x9E37)) & ((1 << cfg.history_bits) - 1)
-            hist_indices.append(idx)
-        return bias_idx, hist_indices
+    def _indices(self, pc: int) -> tuple[int, tuple[int, ...]]:
+        pc_bits = pc >> 2
+        folds = self.history._folds
+        ids = self._folds
+        mask = self._hist_mask
+        hist_indices = tuple(
+            [
+                (pc_bits ^ folds[ids[i]] ^ key) & mask
+                for i, key in enumerate(self._xor_keys)
+            ]
+        )
+        return pc_bits & self._bias_mask, hist_indices
 
     def correct(
         self, pc: int, tage_taken: bool, tage_weak: bool
-    ) -> tuple[bool, dict]:
-        """Possibly flip TAGE's weak prediction; returns (taken, meta)."""
+    ) -> tuple[bool, tuple]:
+        """Possibly flip TAGE's weak prediction.
+
+        Returns ``(taken, meta)`` where ``meta`` is opaque predict-time
+        index state to hand back to :meth:`train` at retirement.
+        """
         bias_idx, hist_indices = self._indices(pc)
         total = self._bias[bias_idx]
         for table, idx in zip(self._tables, hist_indices):
             total += table[idx]
-        meta = {"sc_bias": bias_idx, "sc_hist": tuple(hist_indices)}
+        meta = (bias_idx, hist_indices)
         sc_taken = total >= 0
         if tage_weak and abs(total) >= self.config.flip_threshold:
             if sc_taken != tage_taken:
@@ -73,12 +83,12 @@ class StatisticalCorrector:
             return sc_taken, meta
         return tage_taken, meta
 
-    def train(self, meta: dict, taken: bool) -> None:
+    def train(self, meta: tuple, taken: bool) -> None:
         """Retirement-time counter update using predict-time indices."""
         delta = 1 if taken else -1
-        bias_idx = meta["sc_bias"]
+        bias_idx, hist_indices = meta
         self._bias[bias_idx] = _clamp(self._bias[bias_idx] + delta, self._min, self._max)
-        for table, idx in zip(self._tables, meta["sc_hist"]):
+        for table, idx in zip(self._tables, hist_indices):
             table[idx] = _clamp(table[idx] + delta, self._min, self._max)
 
 

@@ -16,7 +16,7 @@ queue entry).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .history import HistoryState, fold_history
 
@@ -59,7 +59,7 @@ class _TaggedEntry:
         self.useful = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TagePrediction:
     """Metadata captured at predict time, needed to train at retire."""
 
@@ -74,8 +74,15 @@ class TagePrediction:
     tags: tuple[int, ...] = ()
     base_index: int = 0
     used_alt: bool = False
-    # Filled in by the SC/loop wrappers.
-    extra: dict = field(default_factory=dict)
+    # Filled in by the TAGE-SC-L wrapper (dedicated slots: the extra
+    # dict was a measurable allocation cost per prediction).
+    final_taken: bool | None = None
+    loop_used: bool = False
+    is_backward: bool = False
+    sc_meta: tuple | None = None   # opaque StatisticalCorrector metadata
+    # Scratch space for the alternative (ablation) predictors; None by
+    # default so the common TAGE-SC-L path allocates no dict.
+    extra: dict | None = None
 
 
 class Tage:
@@ -110,7 +117,22 @@ class Tage:
         self.base = [0] * (1 << cfg.base_index_bits)  # 2-bit counters, 0..3
         self._ctr_max = (1 << (cfg.counter_bits - 1)) - 1
         self._ctr_min = -(1 << (cfg.counter_bits - 1))
+        # Hot-path constants for _compute_keys, plus a cache of the
+        # folded *path* history: the path only changes on a taken
+        # transfer, while keys are computed for every conditional, so
+        # folding each distinct (capped) length once per path value
+        # replaces num_tables fold_history() calls per prediction.
+        self._idx_mask = (1 << cfg.table_index_bits) - 1
+        self._tag_mask = (1 << cfg.tag_bits) - 1
+        self._capped = [min(hlen, 16) for hlen in self.histories]
+        self._distinct_capped = sorted(set(self._capped))
+        self._path_key: int | None = None
+        # Fused per-table key specs (pc shift, idx fold id, tag fold id,
+        # folded path); rebuilt only when the path history changes.
+        self._fused: list[tuple[int, int, int, int]] = []
+        self._rev_tables = tuple(range(cfg.num_tables - 1, -1, -1))
         self._useful_max = (1 << cfg.useful_bits) - 1
+        self._use_alt_mid = 1 << (cfg.use_alt_bits - 1)
         self.use_alt_on_na = 1 << (cfg.use_alt_bits - 1)
         self._use_alt_max = (1 << cfg.use_alt_bits) - 1
         self._updates = 0
@@ -119,30 +141,42 @@ class Tage:
 
     # ------------------------------------------------------------------
     def _compute_keys(self, pc: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        cfg = self.config
         history = self.history
-        idx_mask = (1 << cfg.table_index_bits) - 1
-        tag_mask = (1 << cfg.tag_bits) - 1
+        path = history.path
+        if path != self._path_key:
+            tib = self.config.table_index_bits
+            by_len = {
+                length: fold_history(path, length, tib)
+                for length in self._distinct_capped
+            }
+            capped = self._capped
+            self._fused = [
+                (i + 1, idx_id, tag_id, by_len[capped[i]])
+                for i, (idx_id, tag_id) in enumerate(
+                    zip(self._idx_folds, self._tag_folds)
+                )
+            ]
+            self._path_key = path
+        folds = history._folds
+        idx_mask = self._idx_mask
+        tag_mask = self._tag_mask
         pc_bits = pc >> 2
         indices = []
         tags = []
-        fold = history.fold
-        for i, hlen in enumerate(self.histories):
-            folded_path = fold_history(
-                history.path, min(hlen, 16), cfg.table_index_bits
+        idx_append = indices.append
+        tag_append = tags.append
+        for shift, idx_id, tag_id, path_fold in self._fused:
+            folded_idx = folds[idx_id]
+            idx_append(
+                (pc_bits ^ (pc_bits >> shift) ^ folded_idx ^ path_fold)
+                & idx_mask
             )
-            folded_idx = fold(self._idx_folds[i])
-            idx = (
-                pc_bits ^ (pc_bits >> (i + 1)) ^ folded_idx ^ folded_path
-            ) & idx_mask
             # The second tag hash reuses the index fold shifted by one —
             # one register fewer than Seznec's tag' with equivalent
             # mixing quality at these table sizes.
-            tag = (
-                pc_bits ^ fold(self._tag_folds[i]) ^ (folded_idx << 1)
-            ) & tag_mask
-            indices.append(idx)
-            tags.append(tag)
+            tag_append(
+                (pc_bits ^ folds[tag_id] ^ (folded_idx << 1)) & tag_mask
+            )
         return tuple(indices), tuple(tags)
 
     def _base_index(self, pc: int) -> int:
@@ -153,13 +187,14 @@ class Tage:
         """Predict the direction of the conditional branch at ``pc``."""
         self.predictions += 1
         indices, tags = self._compute_keys(pc)
-        base_index = self._base_index(pc)
+        base_index = (pc >> 2) & (len(self.base) - 1)
         base_taken = self.base[base_index] >= 2
 
+        tables = self.tables
         provider = -1
         alt = -1
-        for i in range(self.config.num_tables - 1, -1, -1):
-            if self.tables[i][indices[i]].tag == tags[i]:
+        for i in self._rev_tables:
+            if tables[i][indices[i]].tag == tags[i]:
                 if provider < 0:
                     provider = i
                 else:
@@ -182,7 +217,7 @@ class Tage:
             alt_taken = self.tables[alt][indices[alt]].ctr >= 0
         else:
             alt_taken = base_taken
-        use_alt = weak and self.use_alt_on_na >= (1 << (self.config.use_alt_bits - 1))
+        use_alt = weak and self.use_alt_on_na >= self._use_alt_mid
         taken = alt_taken if use_alt else provider_taken
         return TagePrediction(
             taken=taken,

@@ -62,25 +62,26 @@ class TageScl:
             final_taken, sc_meta = self.sc.correct(
                 pc, pred.taken, pred.provider_weak or pred.provider < 0
             )
-            pred.extra.update(sc_meta)
-        pred.extra["final_taken"] = final_taken
-        pred.extra["loop_used"] = loop_used
-        pred.extra["is_backward"] = is_backward
+            pred.sc_meta = sc_meta
+        pred.final_taken = final_taken
+        pred.loop_used = loop_used
+        pred.is_backward = is_backward
         return pred
 
     @staticmethod
     def predicted_taken(pred: TagePrediction) -> bool:
         """The post-SC/L direction for a prediction from :meth:`predict`."""
-        return pred.extra.get("final_taken", pred.taken)
+        final = pred.final_taken
+        return pred.taken if final is None else final
 
     def train(self, pc: int, taken: bool, pred: TagePrediction) -> None:
         """Retirement-time training of all components."""
         if self.predicted_taken(pred) != taken:
             self.mispredicts_trained += 1
         self.tage.train(pc, taken, pred)
-        if self.config.enable_sc and "sc_bias" in pred.extra:
-            self.sc.train(pred.extra, taken)
-        if self.config.enable_loop and pred.extra.get("is_backward"):
+        if self.config.enable_sc and pred.sc_meta is not None:
+            self.sc.train(pred.sc_meta, taken)
+        if self.config.enable_loop and pred.is_backward:
             self.loop.train(pc, taken)
 
     # Speculative loop-counter state must follow flush recovery.

@@ -1,5 +1,13 @@
 """Experiment harness: runner, executor, per-figure experiments, reporting."""
 
+from .bench import (
+    PINNED_RUNS,
+    bench_cell,
+    compare_reports,
+    load_report,
+    run_bench,
+    write_report,
+)
 from .executor import (
     CampaignExecutor,
     RunFailure,
@@ -28,6 +36,12 @@ from .sweeps import (
 
 __all__ = [
     "CampaignExecutor",
+    "PINNED_RUNS",
+    "bench_cell",
+    "compare_reports",
+    "load_report",
+    "run_bench",
+    "write_report",
     "ExperimentSuite",
     "FIGURE_MODES",
     "RunFailure",

@@ -1,0 +1,189 @@
+"""Kernel throughput benchmark: simulated cycles/sec and uops/sec.
+
+The cycle kernel (:meth:`Pipeline.step` and everything it calls) is the
+throughput ceiling for every figure campaign the harness fans out; this
+module times it on a pinned set of fig5 workload x mode cells and
+records the trajectory in ``BENCH_pipeline.json`` so perf regressions
+are visible PR over PR.
+
+Methodology
+-----------
+* Workload construction and config building happen **outside** the
+  timed region; only :meth:`Pipeline.run` is timed.
+* Each cell runs ``repeat`` times and reports the **best** wall time
+  (interference only ever slows a run down, so min is the estimator
+  closest to the kernel's true cost).
+* A small pure-Python calibration loop is timed on the same host and
+  its score stored alongside the results.  Comparisons between two
+  reports (``compare_reports``) use *calibrated* throughput —
+  cycles/sec divided by the host's calibration score — so a committed
+  baseline number is meaningful on a CI runner of a different speed.
+* Functional validation still runs after every timed cell: a kernel
+  that got faster by computing wrong answers must never publish a
+  throughput number.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+from ..core import Pipeline
+from ..workloads import make_workload
+from .runner import make_config
+
+#: The pinned benchmark matrix: fig5's headline comparison (baseline vs
+#: TEA on on-core resources) on three control-flow-diverse workloads.
+#: Pinned so BENCH_pipeline.json numbers are comparable PR over PR.
+PINNED_RUNS: tuple[tuple[str, str], ...] = (
+    ("bfs", "baseline"),
+    ("bfs", "tea"),
+    ("mcf", "baseline"),
+    ("mcf", "tea"),
+    ("xz", "baseline"),
+    ("xz", "tea"),
+)
+
+SCHEMA_VERSION = 1
+
+
+def calibrate(iterations: int = 2_000_000) -> float:
+    """Score this host: millions of trivial loop iterations per second.
+
+    The loop shape (attribute-free arithmetic in a tight Python loop)
+    deliberately resembles the simulator's hot path more than, say, a
+    numpy kernel would.
+    """
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(iterations):
+        acc += i & 7
+    dt = time.perf_counter() - t0
+    # ``acc`` is consumed so the loop cannot be optimised away.
+    assert acc >= 0
+    return iterations / dt / 1e6
+
+
+def bench_cell(
+    workload_name: str,
+    mode: str,
+    scale: str = "tiny",
+    repeat: int = 3,
+) -> dict:
+    """Time one (workload, mode) cell; returns a JSON-safe record."""
+    workload = make_workload(workload_name, scale)
+    config = make_config(mode)
+    best = None
+    stats = None
+    validated = None
+    for _ in range(max(1, repeat)):
+        pipeline = Pipeline(workload.program, workload.fresh_memory(), config)
+        t0 = time.perf_counter()
+        pipeline.run(max_cycles=30_000_000)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+            stats = pipeline.stats
+        if pipeline.halted and workload.validate is not None:
+            validated = workload.validate(pipeline)
+            if not validated:
+                raise RuntimeError(
+                    f"bench cell {workload_name}/{mode} failed functional "
+                    f"validation -- refusing to record a throughput number"
+                )
+    uops = stats.fetched_uops + stats.tea_fetched_uops
+    return {
+        "workload": workload_name,
+        "mode": mode,
+        "scale": scale,
+        "wall_s": round(best, 6),
+        "cycles": stats.cycles,
+        "instructions": stats.retired_instructions,
+        "uops": uops,
+        "cycles_per_sec": round(stats.cycles / best, 1),
+        "uops_per_sec": round(uops / best, 1),
+        "ipc": round(stats.ipc, 4),
+        "validated": validated,
+    }
+
+
+def _geomean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def run_bench(
+    runs: tuple[tuple[str, str], ...] = PINNED_RUNS,
+    scale: str = "tiny",
+    repeat: int = 3,
+    progress=None,
+) -> dict:
+    """Run the benchmark matrix; returns the full report dict."""
+    calibration = calibrate()
+    cells = []
+    for workload_name, mode in runs:
+        cell = bench_cell(workload_name, mode, scale, repeat)
+        cells.append(cell)
+        if progress is not None:
+            progress(cell)
+    geomean_cps = _geomean([c["cycles_per_sec"] for c in cells])
+    geomean_ups = _geomean([c["uops_per_sec"] for c in cells])
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench": "pipeline",
+        "scale": scale,
+        "repeat": repeat,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": sys.implementation.name,
+            "platform": platform.platform(),
+            "calibration_mops": round(calibration, 2),
+        },
+        "runs": cells,
+        "geomean_cycles_per_sec": round(geomean_cps, 1),
+        "geomean_uops_per_sec": round(geomean_ups, 1),
+        "calibrated_cycles_per_sec": round(geomean_cps / calibration, 1),
+    }
+
+
+def compare_reports(current: dict, baseline: dict) -> dict:
+    """Compare two bench reports on *calibrated* throughput.
+
+    Returns ``{"speedup": float, "current": ..., "baseline": ...}``
+    where speedup > 1 means the current kernel is faster per unit of
+    host speed.  Raw cycles/sec is also included for same-host runs.
+    """
+    cur = current.get("calibrated_cycles_per_sec", 0.0)
+    base = baseline.get("calibrated_cycles_per_sec", 0.0)
+    raw_cur = current.get("geomean_cycles_per_sec", 0.0)
+    raw_base = baseline.get("geomean_cycles_per_sec", 0.0)
+    return {
+        "speedup": cur / base if base else float("inf"),
+        "raw_speedup": raw_cur / raw_base if raw_base else float("inf"),
+        "current": cur,
+        "baseline": base,
+        "current_raw": raw_cur,
+        "baseline_raw": raw_base,
+    }
+
+
+def load_report(path: str) -> dict:
+    """Load a benchmark report, rejecting files from other benches."""
+    with open(path) as fh:
+        report = json.load(fh)
+    if report.get("bench") != "pipeline":
+        raise ValueError(f"{path} is not a pipeline bench report")
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write a benchmark report as stable, diff-friendly JSON."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")

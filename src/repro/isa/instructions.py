@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 
 INSTRUCTION_BYTES = 4
 """Size of every instruction; PCs advance by this amount."""
@@ -176,40 +177,44 @@ class Instruction:
     pc: int = -1
     label: str | None = field(default=None, compare=False)
 
-    @property
+    # Derived accessors are pure functions of the frozen fields and sit
+    # on the simulator's per-cycle hot path, so they are cached on first
+    # access (cached_property writes straight into __dict__, which a
+    # frozen dataclass still has).
+    @cached_property
     def uop_class(self) -> UopClass:
         return _OPCODE_TABLE[self.opcode][0]
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         """True for any control-flow instruction (cond, jump, call, ret, indirect)."""
         return _OPCODE_TABLE[self.opcode][0] in BRANCH_CLASSES
 
-    @property
+    @cached_property
     def is_conditional(self) -> bool:
         return _OPCODE_TABLE[self.opcode][0] is UopClass.BR_COND
 
-    @property
+    @cached_property
     def is_indirect(self) -> bool:
         return _OPCODE_TABLE[self.opcode][0] in (UopClass.BR_RET, UopClass.BR_IND)
 
-    @property
+    @cached_property
     def is_load(self) -> bool:
         return _OPCODE_TABLE[self.opcode][0] is UopClass.LOAD
 
-    @property
+    @cached_property
     def is_store(self) -> bool:
         return _OPCODE_TABLE[self.opcode][0] is UopClass.STORE
 
-    @property
+    @cached_property
     def is_mem(self) -> bool:
         return _OPCODE_TABLE[self.opcode][0] in (UopClass.LOAD, UopClass.STORE)
 
-    @property
+    @cached_property
     def latency(self) -> int:
         return CLASS_LATENCY[_OPCODE_TABLE[self.opcode][0]]
 
-    @property
+    @cached_property
     def fallthrough_pc(self) -> int:
         return self.pc + INSTRUCTION_BYTES
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..core.dynamic_uop import DynUop, UopState
-from ..core.rename import RegisterAliasTable, ZERO_PREG, rename_sources
+from ..core.rename import RegisterAliasTable, rename_sources
 from ..isa import INSTRUCTION_BYTES, REG_ZERO, UopClass
 from ..isa.registers import NUM_ARCH_REGS
 from .block_cache import BlockCache
@@ -73,6 +73,10 @@ class TeaController:
         self._valid: dict[int, bool] = {}
         self._refcount: dict[int, int] = {}
         self._refcount_saturated: set[int] = set()
+        # TEA pregs occupy the preg ids above the main pool; a plain
+        # comparison against this floor replaces _is_tea_preg() in the
+        # per-source hot loops.
+        self._tea_preg_floor = pipeline.prf.main_size
         # Mid-block fetch cursor (a block's chain segment can exceed
         # the 8-uop fetch width).
         self._pending_block = None
@@ -292,31 +296,48 @@ class TeaController:
         self._fetch_from_block(block, budget)
 
     def _fetch_from_block(self, block, budget: int) -> int:
-        by_pc = self.p.program._block_start_by_pc
+        p = self.p
+        by_pc = p.program._block_start_by_pc
         uops = block.uops
+        n = len(uops)
+        index = self._pending_index
         fetched = 0
-        while self._pending_index < len(uops) and budget > 0:
-            fuop = uops[self._pending_index]
-            bb_start = by_pc.get(fuop.instr.pc)
+        cycle = p.cycle
+        ready = cycle + self.config.frontend_delay
+        peek = self.block_cache.peek
+        pipe_append = self.rename_pipe.append
+        chain_seqs = self.chain_seqs
+        # Consecutive uops usually share a basic block; memoise the
+        # Block Cache mask per bb within this call (it cannot change
+        # mid-loop).
+        masks: dict[int, int] = {}
+        while index < n and budget > 0:
+            fuop = uops[index]
+            index += 1
+            pc = fuop.instr.pc
+            bb_start = by_pc.get(pc)
             if bb_start is None:
-                self._pending_index += 1
                 continue
-            mask = self.block_cache.peek(bb_start) or 0
-            offset = (fuop.instr.pc - bb_start) // INSTRUCTION_BYTES
+            mask = masks.get(bb_start)
+            if mask is None:
+                mask = peek(bb_start) or 0
+                masks[bb_start] = mask
+            offset = (pc - bb_start) >> 2
             if (mask >> offset) & 1:
                 dyn = DynUop(fuop.seq, fuop.instr, fuop.branch, is_tea=True)
-                dyn.fetch_cycle = self.p.cycle
-                dyn.rename_ready_cycle = self.p.cycle + self.config.frontend_delay
+                dyn.fetch_cycle = cycle
+                dyn.rename_ready_cycle = ready
                 dyn.in_chain = True
-                self.rename_pipe.append(dyn)
-                self.chain_seqs[fuop.seq] = True
-                self.p.stats.tea_fetched_uops += 1
+                pipe_append(dyn)
+                chain_seqs[fuop.seq] = True
                 budget -= 1
                 fetched += 1
-            self._pending_index += 1
-        if fetched and self.p.obs is not None:
-            self.p.obs.emit("shadow_fetch", seq=block.first_seq, uops=fetched)
-        if self._pending_index >= len(uops):
+        self._pending_index = index
+        if fetched:
+            p.stats.tea_fetched_uops += fetched
+            if p.obs is not None:
+                p.obs.emit("shadow_fetch", seq=block.first_seq, uops=fetched)
+        if index >= n:
             self._pending_block = None
             self._pending_index = 0
         return budget
@@ -348,27 +369,40 @@ class TeaController:
     def _try_rename_tea(self, uop: DynUop) -> bool:
         if not self.rat_synced:
             return False
-        sched = self.p.scheduler
+        p = self.p
+        sched = p.scheduler
         if not sched.tea_has_space():
             return False
         instr = uop.instr
         dst = instr.dst if instr.dst not in (None, REG_ZERO) else None
         preg = None
         if dst is not None:
-            preg = self.p.prf.allocate(tea=True)
+            preg = p.prf.allocate(tea=True)
             if preg is None:
                 return False
-        uop.src_pregs = rename_sources(self.shadow_rat, instr.srcs)
-        for src in uop.src_pregs:
-            self._add_reference(src)
+        srcs = rename_sources(self.shadow_rat, instr.srcs)
+        uop.src_pregs = srcs
+        # Take a refcount on each TEA source preg.  When the 5-bit
+        # counter saturates the preg is pinned until the thread resets
+        # (safe side of the paper's rare overflow).
+        floor = self._tea_preg_floor
+        refcount = self._refcount
+        for src in srcs:
+            if src <= floor:
+                continue
+            count = refcount.get(src, 0)
+            if count >= _REFCOUNT_MAX:
+                self._refcount_saturated.add(src)
+            else:
+                refcount[src] = count + 1
         if dst is not None:
             uop.dst_preg = preg
             self._valid[preg] = True
-            self._refcount.setdefault(preg, 0)
+            refcount.setdefault(preg, 0)
             old = self.shadow_rat.set(dst, preg)
             self._release_mapping(old)
         uop.state = UopState.RENAMED
-        uop.rename_cycle = self.p.cycle
+        uop.rename_cycle = p.cycle
         sched.insert(uop)
         self.live_uops.append(uop)
         if instr.is_store:
@@ -384,30 +418,20 @@ class TeaController:
 
     # -- physical register reference counting --------------------------
     def _is_tea_preg(self, preg: int) -> bool:
-        return preg != ZERO_PREG and self.p.prf.is_tea_preg(preg)
-
-    def _add_reference(self, preg: int) -> None:
-        if not self._is_tea_preg(preg):
-            return
-        count = self._refcount.get(preg, 0)
-        if count >= _REFCOUNT_MAX:
-            # 5-bit counter saturates; the preg is pinned until the
-            # thread resets (safe side of the paper's rare overflow).
-            self._refcount_saturated.add(preg)
-            return
-        self._refcount[preg] = count + 1
+        return preg > self._tea_preg_floor
 
     def on_operands_read(self, uop: DynUop) -> None:
         """Called when a TEA uop reads its sources (enter execution)."""
+        floor = self._tea_preg_floor
+        refcount = self._refcount
+        saturated = self._refcount_saturated
         for preg in uop.src_pregs:
-            if not self._is_tea_preg(preg):
+            if preg <= floor or preg in saturated:
                 continue
-            if preg in self._refcount_saturated:
-                continue
-            count = self._refcount.get(preg, 0)
+            count = refcount.get(preg, 0)
             if count > 0:
-                self._refcount[preg] = count - 1
-                if count - 1 == 0 and not self._valid.get(preg, True):
+                refcount[preg] = count - 1
+                if count == 1 and not self._valid.get(preg, True):
                     self._free_tea_preg(preg)
 
     def _release_mapping(self, old_preg: int) -> None:

@@ -28,7 +28,7 @@ from ..memory.memory_image import align_word
 from .config import TeaConfig
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FillEntry:
     """One retired uop as recorded in the Fill Buffer (16B in paper)."""
 

@@ -179,13 +179,18 @@ class TestScheduler:
         picked = sched.select(lambda u: True)
         assert len(picked) == 4  # 2 TEA on dedicated units + 2 main on ALU
 
-    def test_not_ready_skipped(self):
+    def test_gate_rejected_parks_until_store_event(self):
         sched = Scheduler(self._config())
         sched.insert(make_uop(1))
         sched.insert(make_uop(2))
         picked = sched.select(lambda u: u.seq != 1)
         assert [u.seq for u in picked] == [2]
-        assert len(sched.main_rs) == 1
+        assert sched.occupancy == (1, 0)
+        # The rejected uop is parked: select() no longer re-polls it.
+        assert sched.select(lambda u: True) == []
+        # A store beginning execution re-arms the blocked pool.
+        sched.store_executed(tea=False)
+        assert [u.seq for u in sched.select(lambda u: True)] == [1]
 
     def test_squash_younger_both_partitions(self):
         sched = Scheduler(self._config(), tea_rs_entries=8)

@@ -1,0 +1,48 @@
+"""Cycle-exactness regression: event-driven scheduler vs seed golden.
+
+The event-driven wakeup scheduler (and every hot-loop optimization
+around it) must be a pure performance transformation: ``SimStats`` on
+the full fig5 workload x mode matrix have to match, field for field,
+the values captured from the seed polling-scheduler simulator.  The
+golden file (``tests/data/golden_simstats.json``) pins all counters —
+cycles, mispredicts, coverage, flush and TEA/runahead accounting — for
+every workload under every mode (baseline, tea, tea_dedicated,
+runahead, crisp), so any behavioural drift in scheduling, wakeup,
+fast-forward, or completion ordering fails loudly here.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import run_workload
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_simstats.json"
+
+with GOLDEN_PATH.open() as fh:
+    GOLDEN = json.load(fh)
+
+CELLS = sorted(GOLDEN["stats"])
+
+
+@pytest.mark.parametrize("cell", CELLS)
+def test_simstats_match_seed_golden(cell):
+    workload, mode = cell.split("/")
+    stats = run_workload(workload, mode, GOLDEN["scale"]).stats
+    want = GOLDEN["stats"][cell]
+    got = {field: getattr(stats, field) for field in GOLDEN["fields"]}
+    mismatched = {
+        field: {"golden": want[field], "got": got[field]}
+        for field in GOLDEN["fields"]
+        if got[field] != want[field]
+    }
+    assert not mismatched, (
+        f"{cell}: SimStats diverged from the seed simulator: {mismatched}"
+    )
+
+
+def test_golden_file_covers_all_modes():
+    """The matrix must keep covering every fig5 mechanism."""
+    modes = {cell.split("/")[1] for cell in CELLS}
+    assert {"baseline", "tea", "tea_dedicated", "runahead", "crisp"} <= modes

@@ -1,0 +1,200 @@
+"""Unit tests for the event-driven wakeup scheduling structures.
+
+The scheduler keeps each RS entry in exactly one of three pools (waiting /
+ready / blocked) and relies on the PRF's per-preg wakeup lists to move
+entries between them.  These tests pin down the event protocol:
+wakeup-on-write ordering, re-blocking when a counted-ready preg is
+reallocated, flush unsubscription (no stale-preg wakeups after a RAT
+restore), and the store-event re-arming of the memory-ordering gate.
+"""
+
+from repro.core import DynUop, PhysicalRegisterFile, Scheduler
+from repro.core.config import CoreConfig
+from repro.isa import Instruction
+
+
+def make_sched(rs_entries=8, tea_rs=8, tea_units=0, prf_main=16, prf_tea=8):
+    config = CoreConfig(rs_entries=rs_entries)
+    scheduler = Scheduler(config, tea_rs_entries=tea_rs, tea_dedicated_units=tea_units)
+    prf = PhysicalRegisterFile(prf_main, tea_size=prf_tea)
+    scheduler.bind_prf(prf)
+    return scheduler, prf
+
+
+def make_uop(seq, srcs=(), is_tea=False):
+    instr = Instruction(opcode="add", dst=1, srcs=(2, 3), pc=4 * seq)
+    uop = DynUop(seq, instr, is_tea=is_tea)
+    uop.src_pregs = tuple(srcs)
+    return uop
+
+
+def accept_all(_uop):
+    return True
+
+
+class TestWakeupOnWrite:
+    def test_not_ready_until_last_source_written(self):
+        scheduler, prf = make_sched()
+        p1, p2 = prf.allocate(), prf.allocate()
+        uop = make_uop(0, srcs=(p1, p2))
+        scheduler.insert(uop)
+        assert not scheduler.has_ready()
+        prf.write(p1, 11)
+        assert not scheduler.has_ready()  # one source still outstanding
+        prf.write(p2, 22)
+        assert scheduler.has_ready()
+        assert scheduler.select(accept_all) == [uop]
+
+    def test_ready_source_counts_at_insert(self):
+        scheduler, prf = make_sched()
+        p1 = prf.allocate()
+        prf.write(p1, 5)
+        uop = make_uop(0, srcs=(p1,))
+        scheduler.insert(uop)
+        assert scheduler.has_ready()
+
+    def test_duplicate_source_needs_single_write(self):
+        scheduler, prf = make_sched()
+        p1 = prf.allocate()
+        uop = make_uop(0, srcs=(p1, p1))
+        scheduler.insert(uop)
+        assert uop.pending_srcs == 2
+        prf.write(p1, 9)  # both subscriptions decrement on one write
+        assert uop.pending_srcs == 0
+        assert scheduler.select(accept_all) == [uop]
+
+    def test_wakeup_preserves_insertion_order(self):
+        scheduler, prf = make_sched()
+        p1 = prf.allocate()
+        older = make_uop(0, srcs=(p1,))
+        younger = make_uop(1, srcs=(p1,))
+        scheduler.insert(older)
+        scheduler.insert(younger)
+        prf.write(p1, 1)
+        assert scheduler.select(accept_all) == [older, younger]
+
+    def test_retry_reinsert_goes_behind_existing_entries(self):
+        # An MSHR-full structural retry re-inserts the uop; the fresh
+        # rs_stamp must place it behind entries already in the RS, like
+        # the legacy list re-append did.
+        scheduler, prf = make_sched()
+        retried = make_uop(0)
+        scheduler.insert(retried)
+        assert scheduler.select(accept_all) == [retried]
+        waiting = make_uop(1)
+        scheduler.insert(waiting)
+        scheduler.insert(retried)  # retry path
+        assert scheduler.select(accept_all) == [waiting, retried]
+
+
+class TestFlushUnsubscription:
+    def test_squash_younger_removes_waiters(self):
+        scheduler, prf = make_sched()
+        p1 = prf.allocate()
+        survivor = make_uop(1, srcs=(p1,))
+        doomed = make_uop(5, srcs=(p1,))
+        scheduler.insert(survivor)
+        scheduler.insert(doomed)
+        scheduler.squash_younger(3)
+        assert prf.waiters[p1] == [survivor]
+        prf.write(p1, 7)
+        assert scheduler.select(accept_all) == [survivor]
+
+    def test_no_stale_wakeup_after_preg_recycled(self):
+        # A squashed consumer's preg is freed and reallocated to a new
+        # producer (the RAT-restore path).  The new producer's write
+        # must not wake the squashed consumer.
+        scheduler, prf = make_sched(prf_main=1)
+        p1 = prf.allocate()
+        doomed = make_uop(5, srcs=(p1,))
+        scheduler.insert(doomed)
+        scheduler.squash_younger(0)
+        prf.free(p1)
+        assert prf.allocate() == p1  # recycled to a new producer
+        prf.write(p1, 99)
+        assert not scheduler.has_ready()
+        assert doomed.pending_srcs == 0  # not tracked anywhere
+
+    def test_selected_uop_is_unsubscribed(self):
+        scheduler, prf = make_sched()
+        p1 = prf.allocate()
+        uop = make_uop(0, srcs=(p1,))
+        scheduler.insert(uop)
+        prf.write(p1, 1)
+        assert scheduler.select(accept_all) == [uop]
+        assert prf.waiters[p1] == []
+
+    def test_clear_tea_unsubscribes_all_pools(self):
+        scheduler, prf = make_sched()
+        p_main = prf.allocate()
+        p_tea = prf.allocate(tea=True)
+        waiting = make_uop(1, srcs=(p_tea,), is_tea=True)
+        ready = make_uop(2, srcs=(p_main,), is_tea=True)
+        scheduler.insert(waiting)
+        prf.write(p_main, 3)
+        scheduler.insert(ready)
+        scheduler.clear_tea()
+        assert not scheduler.has_ready()
+        assert prf.waiters[p_main] == [] and prf.waiters[p_tea] == []
+        prf.write(p_tea, 4)  # must not resurrect the cleared uop
+        assert not scheduler.has_ready()
+
+
+class TestUnreadyReblock:
+    def test_reallocated_source_pulls_consumer_back_to_waiting(self):
+        # TEA preg recycling can free+reallocate a preg a live consumer
+        # still names; the consumer must leave the ready pool until the
+        # new producer writes.
+        scheduler, prf = make_sched(prf_tea=1)
+        p_tea = prf.allocate(tea=True)
+        prf.write(p_tea, 1)
+        consumer = make_uop(3, srcs=(p_tea,), is_tea=True)
+        scheduler.insert(consumer)
+        assert scheduler.has_ready()
+        prf.free(p_tea)
+        assert prf.allocate(tea=True) == p_tea  # rewrites the source
+        assert not scheduler.has_ready()
+        prf.write(p_tea, 2)
+        assert scheduler.select(accept_all) == [consumer]
+
+
+class TestStoreEventRearm:
+    def test_gate_rejection_parks_until_store_event(self):
+        scheduler, prf = make_sched()
+        uop = make_uop(0)
+        scheduler.insert(uop)
+        assert scheduler.select(lambda _u: False) == []
+        # Parked in the blocked pool: not a candidate any more.
+        assert not scheduler.has_ready()
+        scheduler.store_executed(tea=False)
+        assert scheduler.has_ready()
+        assert scheduler.select(accept_all) == [uop]
+
+    def test_store_event_is_per_thread(self):
+        scheduler, prf = make_sched()
+        main_uop = make_uop(0)
+        tea_uop = make_uop(1, is_tea=True)
+        scheduler.insert(main_uop)
+        scheduler.insert(tea_uop)
+        scheduler.select(lambda _u: False)  # parks both
+        scheduler.store_executed(tea=True)
+        assert scheduler.select(accept_all) == [tea_uop]
+        scheduler.store_executed(tea=False)
+        assert scheduler.select(accept_all) == [main_uop]
+
+
+class TestOccupancyAcrossPools:
+    def test_capacity_counts_every_pool(self):
+        scheduler, prf = make_sched(rs_entries=2)
+        p1 = prf.allocate()
+        waiting = make_uop(0, srcs=(p1,))
+        scheduler.insert(waiting)          # waiting pool
+        blocked = make_uop(1)
+        scheduler.insert(blocked)
+        scheduler.select(lambda _u: False)  # -> blocked pool
+        assert not scheduler.main_has_space()
+        prf.write(p1, 1)                   # waiting -> ready
+        assert not scheduler.main_has_space()
+        scheduler.store_executed(tea=False)
+        scheduler.select(accept_all)       # drains both
+        assert scheduler.main_has_space()
