@@ -8,10 +8,18 @@ Commands
 ``list``     list workloads, scales, and machine modes
 ``figure``   regenerate one paper figure/table on a workload subset
 ``bench``    time the cycle kernel and write BENCH_pipeline.json
+``lint``     statically lint workload programs (or an assembly file)
+``slice``    static backward slices per branch; ``--oracle`` scores the
+             dynamic Backward Dataflow Walk against them
 
 Examples::
 
     python -m repro list
+    python -m repro lint --all
+    python -m repro lint mcf,xz --scale tiny
+    python -m repro lint --source examples/kernel.s
+    python -m repro slice bfs
+    python -m repro slice bfs --oracle --out ORACLE_slice.json
     python -m repro bench --out BENCH_pipeline.json
     python -m repro bench --check
     python -m repro bench --compare benchmarks/perf/baseline.json
@@ -297,6 +305,107 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint_program
+    from .workloads import lint_workload, workload_names
+
+    reports = {}
+    if args.source:
+        from .isa.data_directives import assemble_unit
+
+        with open(args.source) as fh:
+            source = fh.read()
+        reports[args.source] = lint_program(assemble_unit(source).program)
+    elif args.all:
+        for name in workload_names():
+            reports[name] = lint_workload(name, args.scale)
+    elif args.workload:
+        for name in args.workload.split(","):
+            reports[name] = lint_workload(name, args.scale)
+    else:
+        print("lint: give a workload list, --all, or --source FILE",
+              file=sys.stderr)
+        return 2
+
+    total_errors = total_warnings = 0
+    if args.json:
+        payload = {
+            name: [
+                {"rule": f.rule, "severity": f.severity, "pc": f.pc,
+                 "line": f.line, "message": f.message}
+                for f in report
+            ]
+            for name, report in reports.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        total_errors = sum(len(r.errors) for r in reports.values())
+        return 1 if total_errors else 0
+    for name, report in reports.items():
+        for finding in report:
+            print(finding.render(name))
+        total_errors += len(report.errors)
+        total_warnings += len(report.warnings)
+    print(f"{len(reports)} program(s) linted: "
+          f"{total_errors} error(s), {total_warnings} warning(s)")
+    return 1 if total_errors else 0
+
+
+def _cmd_slice(args) -> int:
+    from .analysis import slice_program
+    from .analysis.oracle import render_report, run_slice_oracle
+    from .workloads import make_workload
+
+    if args.oracle:
+        report = run_slice_oracle(args.workload, args.scale, args.mode)
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"wrote oracle report to {args.out}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_report(report))
+        return 0
+
+    slices = slice_program(make_workload(args.workload, args.scale).program)
+    wanted = None
+    if args.branch is not None:
+        pc = int(args.branch, 0)
+        if slices.slice_at(pc) is None:
+            print(f"no conditional branch at {pc:#x}", file=sys.stderr)
+            return 2
+        wanted = [pc]
+    if args.json:
+        payload = {
+            f"{pc:#x}": {
+                "line": sl.line,
+                "size": sl.size,
+                "pcs": sorted(sl.pcs),
+                "masks": {f"{s:#x}": m for s, m in sorted(sl.masks.items())},
+                "has_indirect": sl.has_indirect,
+                "through_memory": sl.through_memory,
+            }
+            for pc, sl in sorted(slices.branches.items())
+            if wanted is None or pc in wanted
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.workload} ({args.scale} scale): "
+          f"{len(slices.branches)} conditional branches")
+    print(f"{'branch':>10s} {'line':>5s} {'size':>5s} {'blocks':>7s}  flags")
+    for pc, sl in sorted(slices.branches.items()):
+        if wanted is not None and pc not in wanted:
+            continue
+        flags = []
+        if sl.has_indirect:
+            flags.append("indirect")
+        if sl.through_memory:
+            flags.append("mem")
+        print(f"{pc:>#10x} {str(sl.line or '-'):>5s} {sl.size:>5d} "
+              f"{len(sl.masks):>7d}  {','.join(flags) or '-'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -388,6 +497,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="allowed calibrated-throughput regression "
                               "fraction for --compare (default 0.30)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically lint workload programs"
+    )
+    p_lint.add_argument("workload", nargs="?", default=None,
+                        help="workload name or comma-separated list")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every registered workload")
+    p_lint.add_argument("--source", default=None, metavar="FILE",
+                        help="lint an assembly source file instead")
+    p_lint.add_argument("--scale", default="tiny")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    p_lint.set_defaults(func=_cmd_lint)
+
+    p_slice = sub.add_parser(
+        "slice", help="static backward slices of conditional branches"
+    )
+    p_slice.add_argument("workload")
+    p_slice.add_argument("--scale", default="tiny")
+    p_slice.add_argument("--branch", default=None, metavar="PC",
+                         help="show only the slice of this branch PC "
+                              "(accepts 0x hex)")
+    p_slice.add_argument("--oracle", action="store_true",
+                         help="run a TEA simulation and score the dynamic "
+                              "Backward Dataflow Walk against the slices")
+    p_slice.add_argument("--mode", default="tea", choices=MODES,
+                         help="machine mode for --oracle (must have TEA)")
+    p_slice.add_argument("--json", action="store_true",
+                         help="emit slices / oracle report as JSON")
+    p_slice.add_argument("--out", default=None, metavar="PATH",
+                         help="with --oracle: also write the JSON report")
+    p_slice.set_defaults(func=_cmd_slice)
     return parser
 
 

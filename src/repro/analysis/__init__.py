@@ -1,0 +1,47 @@
+"""Static program analysis over assembled :class:`~repro.isa.Program`s.
+
+The subsystem mirrors, offline and conservatively, what the TEA thread
+discovers dynamically at run time:
+
+* :mod:`repro.analysis.cfg` — an explicit control-flow graph over the
+  program's basic blocks (successors via branch targets/fallthrough,
+  conservative edges for indirect control flow, reachability from the
+  entry PC).
+* :mod:`repro.analysis.dataflow` — iterative dataflow to fixpoint:
+  reaching definitions, liveness, per-use def-use chains, and a
+  conservative may-alias treatment of memory ops keyed on
+  base-register + offset.
+* :mod:`repro.analysis.slicer` — static backward slices from each
+  conditional branch, producing per-branch chain instruction sets and
+  per-block bit-masks in exactly the shape the TEA Block Cache uses.
+* :mod:`repro.analysis.lint` — a workload linter (undefined-register
+  reads, unreachable blocks, fall-through off the end of the image,
+  dead stores, self-jump infinite loops); every registered workload
+  must be lint-clean (``repro lint --all``).
+* :mod:`repro.analysis.oracle` — scores the dynamic Backward Dataflow
+  Walk's chain membership against the static slices, per H2P branch
+  (precision/recall, emitted through the obs bus and ``repro slice
+  --oracle``).
+* :mod:`repro.analysis.arch_lint` — AST-based architecture-layering
+  lint over the Python source tree itself (import DAG
+  ``isa -> core/frontend -> tea -> harness/obs -> __main__``).
+"""
+
+from .cfg import CFG, build_cfg
+from .dataflow import DataflowResult, MemLoc, analyze_dataflow
+from .lint import Finding, LintReport, lint_program
+from .slicer import BranchSlice, ProgramSlices, slice_program
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "DataflowResult",
+    "MemLoc",
+    "analyze_dataflow",
+    "Finding",
+    "LintReport",
+    "lint_program",
+    "BranchSlice",
+    "ProgramSlices",
+    "slice_program",
+]

@@ -1,0 +1,187 @@
+"""Workload linter: static checks over assembled programs.
+
+Rules (error findings fail ``repro lint``; warnings are reported):
+
+==================  ========  ==========================================
+rule                severity  meaning
+==================  ========  ==========================================
+``undefined-read``  error     a reachable instruction reads a register
+                              that some path from entry never wrote
+                              (the machine supplies zero, but a kernel
+                              relying on that is almost always a bug)
+``unreachable``     error     a basic block no path from entry reaches
+``fall-off-end``    error     a reachable block can fall through past
+                              the last instruction of the image
+``self-jump``       error     an unconditional jump to itself — a
+                              guaranteed infinite loop
+``dead-store``      warning   a register definition no path ever reads
+                              before redefinition or program exit
+==================  ========  ==========================================
+
+The dataflow rules run only over *reachable* code so one seeded bug
+produces one finding (an unreachable block is reported once, not once
+per suspicious instruction inside it).  Every registered workload must
+be lint-clean — enforced by ``repro lint --all`` in CI and by
+``tests/test_analysis_lint.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..isa import UopClass
+from ..isa.program import Program
+from ..isa.registers import register_name
+from .cfg import build_cfg
+from .dataflow import analyze_dataflow
+
+ERROR = "error"
+WARNING = "warning"
+
+#: Rule identifiers, in report order.
+RULES = (
+    "undefined-read",
+    "unreachable",
+    "fall-off-end",
+    "self-jump",
+    "dead-store",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a PC and a workload source line."""
+
+    rule: str
+    severity: str
+    pc: int
+    line: int | None
+    message: str
+
+    def render(self, name: str = "<program>") -> str:
+        where = f"{name}:{self.line}" if self.line is not None else name
+        return f"{where}: {self.severity}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class LintReport:
+    """All findings for one program."""
+
+    findings: list[Finding]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+
+def lint_program(program: Program) -> LintReport:
+    """Run every lint rule over ``program``."""
+    cfg = build_cfg(program)
+    df = analyze_dataflow(program, cfg)
+    findings: list[Finding] = []
+
+    # --- unreachable blocks -------------------------------------------
+    for start, block in sorted(cfg.blocks.items()):
+        if start not in cfg.reachable:
+            first_line = block.line_range[0] if block.line_range else None
+            findings.append(
+                Finding(
+                    rule="unreachable",
+                    severity=ERROR,
+                    pc=start,
+                    line=first_line,
+                    message=(
+                        f"basic block at {start:#x} "
+                        f"({block.num_instructions} instructions) is "
+                        "unreachable from the entry point"
+                    ),
+                )
+            )
+
+    # --- fall-through off the end of the image ------------------------
+    for start in sorted(cfg.falls_off_end):
+        term = cfg.terminator(start)
+        findings.append(
+            Finding(
+                rule="fall-off-end",
+                severity=ERROR,
+                pc=term.pc,
+                line=term.line,
+                message=(
+                    f"control can fall through past the last instruction "
+                    f"({term.opcode} at {term.pc:#x}); end the program "
+                    "with halt or an unconditional jump"
+                ),
+            )
+        )
+
+    # --- self-jump infinite loops -------------------------------------
+    for ins in program.instructions:
+        if (
+            ins.uop_class is UopClass.BR_JUMP
+            and ins.target == ins.pc
+            and (home := program.block_containing(ins.pc)) is not None
+            and home.start_pc in cfg.reachable
+        ):
+            findings.append(
+                Finding(
+                    rule="self-jump",
+                    severity=ERROR,
+                    pc=ins.pc,
+                    line=ins.line,
+                    message=f"jmp at {ins.pc:#x} targets itself: "
+                    "guaranteed infinite loop",
+                )
+            )
+
+    # --- undefined register reads -------------------------------------
+    for i, reg in df.maybe_undefined:
+        ins = program.instructions[i]
+        findings.append(
+            Finding(
+                rule="undefined-read",
+                severity=ERROR,
+                pc=ins.pc,
+                line=ins.line,
+                message=(
+                    f"{ins.opcode} at {ins.pc:#x} reads "
+                    f"{register_name(reg)}, which is never written on "
+                    "some path from the entry point"
+                ),
+            )
+        )
+
+    # --- dead stores ---------------------------------------------------
+    for i, reg in df.dead_defs:
+        ins = program.instructions[i]
+        findings.append(
+            Finding(
+                rule="dead-store",
+                severity=WARNING,
+                pc=ins.pc,
+                line=ins.line,
+                message=(
+                    f"{ins.opcode} at {ins.pc:#x} writes "
+                    f"{register_name(reg)}, but no path reads the value"
+                ),
+            )
+        )
+
+    order = {rule: k for k, rule in enumerate(RULES)}
+    findings.sort(key=lambda f: (order[f.rule], f.pc))
+    return LintReport(findings)

@@ -1,0 +1,188 @@
+"""Static-slicer oracle for the dynamic Backward Dataflow Walk.
+
+The TEA thread discovers branch dependence chains dynamically: the
+Fill Buffer samples retired uops and the Backward Dataflow Walk marks
+chain members (paper §III-A, §IV-C).  The static backward slice over
+the same program is ground truth for that walk, so this module scores
+the walk's *chain membership* per H2P branch:
+
+1. During a ``tea``-mode run, a :class:`WalkCapture` subscribes to the
+   ``walk_done`` firehose event and keeps every walk's raw Fill Buffer
+   entries.
+2. Each captured walk is replayed once per initiating H2P branch with
+   ``backward_dataflow_walk(..., initiator_pc=pc)``, which attributes
+   marked instructions to that branch alone (no re-seeding, no other
+   initiators).
+3. The attributed dynamic chain ``D`` is compared against the static
+   slice ``S``:  ``precision = |D ∩ S| / |D|`` (walk marks explained
+   by the static chain) and ``recall = |D ∩ S| / |S|`` (static chain
+   observed dynamically; low values just mean the Fill Buffer window
+   is smaller than the whole program).
+
+Per-branch results are emitted as ``slice_oracle`` events on the obs
+bus and summarized into a JSON-safe report (``repro slice --oracle``,
+uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..obs.events import Event, EventBus
+from ..tea.config import TeaConfig
+from ..tea.fill_buffer import FillEntry, WalkResult, backward_dataflow_walk
+from .slicer import ProgramSlices, slice_program
+
+
+class WalkCapture:
+    """Keeps every Backward Dataflow Walk's raw entries + result."""
+
+    def __init__(self) -> None:
+        self.walks: list[tuple[list[FillEntry], WalkResult]] = []
+
+    def subscribe(self, bus: EventBus) -> None:
+        bus.subscribe(self._on_walk_done, ("walk_done",))
+
+    def _on_walk_done(self, event: Event) -> None:
+        self.walks.append((event.data["entries"], event.data["result"]))
+
+    def __len__(self) -> int:
+        return len(self.walks)
+
+
+def score_walks(
+    slices: ProgramSlices,
+    walks: list[tuple[list[FillEntry], WalkResult]],
+    config: TeaConfig,
+    bus: EventBus | None = None,
+) -> dict[str, Any]:
+    """Score dynamic chain membership against the static slices.
+
+    Returns a JSON-safe report with one record per H2P branch that
+    initiated at least one walk, plus aggregate statistics over the
+    branches free of indirect control flow (where the static CFG is
+    exact and the paper-level agreement bar applies).
+    """
+    dynamic: dict[int, set[int]] = {}
+    walk_counts: dict[int, int] = {}
+    sliced_pcs = set(slices.branches)
+    for entries, _result in walks:
+        initiators = {e.pc for e in entries if e.is_h2p_branch} & sliced_pcs
+        for pc in initiators:
+            replay = backward_dataflow_walk(entries, config, initiator_pc=pc)
+            marked = {
+                entries[i].pc for i, flag in enumerate(replay.marked) if flag
+            }
+            if marked:
+                dynamic.setdefault(pc, set()).update(marked)
+                walk_counts[pc] = walk_counts.get(pc, 0) + 1
+
+    records: list[dict[str, Any]] = []
+    for pc in sorted(dynamic):
+        sl = slices.branches[pc]
+        d = dynamic[pc]
+        inter = d & sl.pcs
+        precision = len(inter) / len(d)
+        recall = len(inter) / len(sl.pcs)
+        record = {
+            "pc": pc,
+            "line": sl.line,
+            "static_size": len(sl.pcs),
+            "dynamic_size": len(d),
+            "intersection": len(inter),
+            "precision": precision,
+            "recall": recall,
+            "walks": walk_counts[pc],
+            "has_indirect": sl.has_indirect,
+            "through_memory": sl.through_memory,
+        }
+        records.append(record)
+        if bus is not None:
+            bus.emit("slice_oracle", pc=pc, **{
+                k: v for k, v in record.items() if k != "pc"
+            })
+
+    direct = [r for r in records if not r["has_indirect"]]
+    summary: dict[str, Any] = {
+        "h2p_branches_scored": len(records),
+        "direct_branches": len(direct),
+        "walks_captured": len(walks),
+    }
+    if direct:
+        summary["mean_precision_direct"] = sum(
+            r["precision"] for r in direct
+        ) / len(direct)
+        summary["min_precision_direct"] = min(r["precision"] for r in direct)
+        summary["mean_recall_direct"] = sum(
+            r["recall"] for r in direct
+        ) / len(direct)
+    return {"branches": records, "summary": summary}
+
+
+def run_slice_oracle(
+    workload: str,
+    scale: str = "tiny",
+    mode: str = "tea",
+) -> dict[str, Any]:
+    """Run one workload under a TEA mode and score its walks.
+
+    Convenience driver for the CLI and CI: builds the workload, runs
+    the full pipeline with telemetry + walk capture attached, and
+    returns the comparison report.  The harness import is deliberately
+    function-level — the analysis layer sits below the harness in the
+    architecture DAG and only this entry point drives a simulation.
+    """
+    from ..harness.runner import make_config, run_workload
+    from ..obs import Observation
+    from ..workloads import make_workload
+
+    config = make_config(mode)
+    if config.tea is None:
+        raise ValueError(f"mode {mode!r} has no TEA thread to observe")
+    bundle = make_workload(workload, scale)
+    slices = slice_program(bundle.program)
+    observation = Observation(record_events=False)
+    capture = WalkCapture()
+    capture.subscribe(observation.bus)
+    result = run_workload(bundle, mode, scale, observe=observation)
+    report = score_walks(slices, capture.walks, config.tea, observation.bus)
+    report["workload"] = bundle.name
+    report["mode"] = mode
+    report["scale"] = scale
+    report["summary"]["conditional_branches"] = len(slices.branches)
+    report["summary"]["ipc"] = result.stats.ipc
+    return report
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable table for ``repro slice --oracle``."""
+    lines = [
+        f"slicer-vs-walk oracle: {report.get('workload', '?')} under "
+        f"{report.get('mode', '?')} ({report.get('scale', '?')} scale)",
+        f"{'branch':>10s} {'line':>5s} {'static':>7s} {'dynamic':>8s} "
+        f"{'prec':>6s} {'recall':>7s} {'walks':>6s}  flags",
+    ]
+    for rec in report["branches"]:
+        flags = []
+        if rec["has_indirect"]:
+            flags.append("indirect")
+        if rec["through_memory"]:
+            flags.append("mem")
+        lines.append(
+            f"{rec['pc']:>#10x} {str(rec['line'] or '-'):>5s} "
+            f"{rec['static_size']:>7d} {rec['dynamic_size']:>8d} "
+            f"{rec['precision']:>6.2f} {rec['recall']:>7.2f} "
+            f"{rec['walks']:>6d}  {','.join(flags) or '-'}"
+        )
+    summary = report["summary"]
+    lines.append(
+        f"{summary['h2p_branches_scored']} H2P branches scored over "
+        f"{summary['walks_captured']} walks"
+    )
+    if "mean_precision_direct" in summary:
+        lines.append(
+            f"direct-control-flow branches: {summary['direct_branches']} "
+            f"(mean precision {summary['mean_precision_direct']:.3f}, "
+            f"min {summary['min_precision_direct']:.3f})"
+        )
+    return "\n".join(lines)

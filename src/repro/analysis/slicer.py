@@ -1,0 +1,137 @@
+"""Static backward slicing from conditional branches.
+
+For each conditional branch the slicer transitively collects every
+instruction whose value may flow into the branch's comparison — the
+static ground truth for the dependence chains the TEA thread's
+Backward Dataflow Walk discovers dynamically (paper §III-A/§IV-C).
+Register dependences follow the reaching-definition use-def chains;
+memory dependences follow the conservative may-alias store sets, so a
+chain that passes a value through memory (§III-D) stays connected.
+
+Each slice is reported both as a set of instruction PCs and as
+per-basic-block bit-masks — bit ``k`` set means instruction ``k`` of
+the block is in the chain — which is exactly the shape the TEA Block
+Cache stores, so the oracle can compare static and dynamic masks
+bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import INSTRUCTION_BYTES, Instruction
+from ..isa.program import Program
+from .cfg import CFG
+from .dataflow import DataflowResult, analyze_dataflow
+
+
+@dataclass(frozen=True)
+class BranchSlice:
+    """The static backward slice of one conditional branch."""
+
+    branch_pc: int
+    line: int | None
+    #: PCs of every instruction in the chain (the branch included).
+    pcs: frozenset[int]
+    #: Block Cache-shaped masks: block start PC -> bit-mask over the
+    #: block's instructions (bit k = instruction k is in the chain).
+    masks: dict[int, int] = field(compare=False)
+    #: True when the slice crosses indirect control flow (a block
+    #: ending in ``jr``/``callr``, or a conservative indirect target) —
+    #: its CFG edges, and therefore the slice, are approximate.
+    has_indirect: bool
+    #: True when at least one dependence flows through memory.
+    through_memory: bool
+
+    @property
+    def size(self) -> int:
+        return len(self.pcs)
+
+
+@dataclass
+class ProgramSlices:
+    """All conditional-branch slices of one program."""
+
+    program: Program
+    cfg: CFG
+    dataflow: DataflowResult
+    branches: dict[int, BranchSlice]
+
+    def slice_at(self, pc: int) -> BranchSlice | None:
+        return self.branches.get(pc)
+
+    def combined_masks(self, pcs: list[int] | None = None) -> dict[int, int]:
+        """OR of the per-branch masks (all branches, or a subset) —
+        what a perfectly trained Block Cache would converge to."""
+        merged: dict[int, int] = {}
+        for pc, sl in self.branches.items():
+            if pcs is not None and pc not in pcs:
+                continue
+            for start, mask in sl.masks.items():
+                merged[start] = merged.get(start, 0) | mask
+        return merged
+
+
+def slice_program(
+    program: Program,
+    dataflow: DataflowResult | None = None,
+) -> ProgramSlices:
+    """Compute the backward slice of every reachable conditional branch."""
+    df = dataflow or analyze_dataflow(program)
+    cfg = df.cfg
+    instrs = program.instructions
+    reachable_pcs = {
+        pc for start in cfg.reachable for pc in cfg.blocks[start].pcs()
+    }
+    branches: dict[int, BranchSlice] = {}
+    for i, ins in enumerate(instrs):
+        if ins.is_conditional and ins.pc in reachable_pcs:
+            branches[ins.pc] = _slice_from(program, cfg, df, i, ins)
+    return ProgramSlices(program=program, cfg=cfg, dataflow=df, branches=branches)
+
+
+def _slice_from(
+    program: Program,
+    cfg: CFG,
+    df: DataflowResult,
+    branch_index: int,
+    branch: Instruction,
+) -> BranchSlice:
+    instrs = program.instructions
+    in_slice: set[int] = {branch_index}
+    work = [branch_index]
+    through_memory = False
+    while work:
+        i = work.pop()
+        for defs in df.ud[i].values():
+            for d in defs:
+                if d not in in_slice:
+                    in_slice.add(d)
+                    work.append(d)
+        stores = df.mem_ud.get(i)
+        if stores:
+            through_memory = True
+            for s in stores:
+                if s not in in_slice:
+                    in_slice.add(s)
+                    work.append(s)
+
+    pcs = frozenset(instrs[i].pc for i in in_slice)
+    masks: dict[int, int] = {}
+    has_indirect = False
+    for pc in pcs:
+        block = program.block_containing(pc)
+        assert block is not None
+        start = block.start_pc
+        offset = (pc - start) // INSTRUCTION_BYTES
+        masks[start] = masks.get(start, 0) | (1 << offset)
+        if start in cfg.indirect_blocks or start in cfg.indirect_targets:
+            has_indirect = True
+    return BranchSlice(
+        branch_pc=branch.pc,
+        line=branch.line,
+        pcs=pcs,
+        masks=masks,
+        has_indirect=has_indirect,
+        through_memory=through_memory,
+    )

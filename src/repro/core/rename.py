@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from ..isa import NUM_ARCH_REGS, REG_ZERO
+from ..isa import NUM_ARCH_REGS
 
 ZERO_PREG = 0
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..core.dynamic_uop import DynUop
-from ..isa import REG_ZERO, UopClass
+from ..isa import REG_ZERO
 from ..isa.registers import NUM_ARCH_REGS
 from ..tea.config import TeaConfig
 from ..tea.h2p_table import H2PTable

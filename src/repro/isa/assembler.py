@@ -210,5 +210,6 @@ def _encode(
         if has_imm:
             imm = resolve_value(operands[pos])
     return Instruction(
-        opcode=opcode, dst=dst, srcs=srcs, imm=imm, target=target, pc=pc
+        opcode=opcode, dst=dst, srcs=srcs, imm=imm, target=target, pc=pc,
+        line=line_no,
     )

@@ -30,7 +30,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-from ..memory.memory_image import WORD_BYTES, MemoryImage
+from ..memory.memory_image import MemoryImage
 from .assembler import AssemblerError, assemble
 from .program import Program
 
@@ -78,13 +78,19 @@ def assemble_unit(
         stripped = raw.split("#", 1)[0].strip()
         if stripped == ".data":
             section = "data"
+            text_lines.append("")
             continue
         if stripped == ".text":
             section = "text"
+            text_lines.append("")
             continue
         if section == "text":
             text_lines.append(raw)
             continue
+        # Data lines become blanks in the text image so that assembler
+        # line numbers (errors and Instruction.line) keep pointing at
+        # the original unit source.
+        text_lines.append("")
         if not stripped:
             continue
         match = _DATA_LABEL_RE.match(stripped)

@@ -176,6 +176,11 @@ class Instruction:
     target: int | None = None
     pc: int = -1
     label: str | None = field(default=None, compare=False)
+    #: 1-based source line in the assembly text this instruction came
+    #: from (``None`` for hand-built instructions).  Carried so lint
+    #: findings and slicer output can point at workload source lines;
+    #: excluded from equality like ``label``.
+    line: int | None = field(default=None, compare=False)
 
     # Derived accessors are pure functions of the frozen fields and sit
     # on the simulator's per-cycle hot path, so they are cached on first

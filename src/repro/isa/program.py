@@ -10,7 +10,7 @@ instruction.  Basic-block start PCs tag the TEA Block Cache entries
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .instructions import INSTRUCTION_BYTES, Instruction
 
@@ -21,6 +21,10 @@ class BasicBlock:
 
     start_pc: int
     end_pc: int  # PC of the *last* instruction in the block (inclusive)
+    #: (first, last) 1-based source lines spanned by the block's
+    #: instructions, or ``None`` when no instruction carries line info.
+    #: Excluded from equality so blocks still compare by PC range.
+    line_range: tuple[int, int] | None = field(default=None, compare=False)
 
     @property
     def num_instructions(self) -> int:
@@ -96,5 +100,16 @@ class Program:
                 end = ordered[i + 1] - INSTRUCTION_BYTES
             else:
                 end = self.end_pc
-            blocks[start] = BasicBlock(start, end)
+            lines = [
+                ins.line
+                for pc in range(start, end + 1, INSTRUCTION_BYTES)
+                if (ins := self._by_pc[pc]).line is not None
+            ]
+            span = (min(lines), max(lines)) if lines else None
+            blocks[start] = BasicBlock(start, end, span)
         return blocks
+
+    def line_of(self, pc: int) -> int | None:
+        """Source line of the instruction at ``pc`` (``None`` if unknown)."""
+        ins = self._by_pc.get(pc)
+        return ins.line if ins is not None else None

@@ -18,7 +18,7 @@ per-PC misprediction counts sum *exactly* to
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

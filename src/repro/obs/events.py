@@ -50,6 +50,8 @@ EVENT_TYPES: frozenset[str] = frozenset(
         "frontend_redirect",   # decoupled BP recovered + redirected after a flush
         "branch_retire",       # a can-mispredict branch retired (attribution feed)
         "branch_resolved",     # main resolution outcome of a TEA-relevant branch
+        "slice_oracle",        # static-slicer vs dynamic-walk chain comparison
+                               # (per H2P branch; repro.analysis.oracle)
         # Campaign run lifecycle (emitted by repro.harness.executor on
         # the parent-process bus; cycle is -1, these are wall-clock-side).
         "run_started",         # one (workload, mode) attempt launched
@@ -61,7 +63,7 @@ EVENT_TYPES: frozenset[str] = frozenset(
 
 #: High-volume internal events; payloads may hold live simulator objects.
 FIREHOSE_TYPES: frozenset[str] = frozenset(
-    {"cycle_end", "uop_commit", "uop_squash", "tea_uop_done"}
+    {"cycle_end", "uop_commit", "uop_squash", "tea_uop_done", "walk_done"}
 )
 
 

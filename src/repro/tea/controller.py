@@ -154,6 +154,11 @@ class TeaController:
         entries, result = self._pending_walk
         marked, stop_index = result.marked, result.stop_index
         self._pending_walk = None
+        obs_hook = self.p.obs
+        if obs_hook is not None and obs_hook.wants("walk_done"):
+            # Firehose hook for the static-slicer oracle: the raw
+            # entries + walk result, before they are folded into masks.
+            obs_hook.emit("walk_done", entries=entries, result=result)
         masks: dict[int, int] = {}
         for i in range(stop_index, len(entries)):
             entry = entries[i]

@@ -83,9 +83,19 @@ class WalkResult:
 
 
 def backward_dataflow_walk(
-    entries: list[FillEntry], config: TeaConfig
+    entries: list[FillEntry],
+    config: TeaConfig,
+    initiator_pc: int | None = None,
 ) -> WalkResult:
-    """Run the Backward Dataflow Walk over a full Fill Buffer."""
+    """Run the Backward Dataflow Walk over a full Fill Buffer.
+
+    With ``initiator_pc`` set, *only* H2P entries at that PC initiate
+    (and §III-C chain-seed re-seeding is disabled): the walk computes
+    the dependence chain attributable to that single branch.  This is
+    the replay mode the static-slicer oracle uses to score chain
+    membership per H2P branch (:mod:`repro.analysis.oracle`); the
+    default ``None`` is the production walk, bit-for-bit unchanged.
+    """
     n = len(entries)
     marked = [False] * n
     reg_sources = 0
@@ -109,13 +119,19 @@ def backward_dataflow_walk(
     while index >= 0:
         entry = entries[index]
         stop_index = index
-        if entry.is_h2p_branch and config.only_loops:
+        is_initiator_site = entry.is_h2p_branch and (
+            initiator_pc is None or entry.pc == initiator_pc
+        )
+        if is_initiator_site and config.only_loops:
             if entry.pc in seen_h2p:
                 # "only loops": chains span at most one iteration —
                 # stop at the previous instance of an H2P branch.
                 break
             seen_h2p.add(entry.pc)
-        initiate = entry.is_h2p_branch or (config.use_masks and entry.chain_seed)
+        if initiator_pc is None:
+            initiate = entry.is_h2p_branch or (config.use_masks and entry.chain_seed)
+        else:
+            initiate = is_initiator_site
         if initiate:
             marked[index] = True
             initiations += 1

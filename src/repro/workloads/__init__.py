@@ -14,6 +14,8 @@ from .registry import (
     GAP_NAMES,
     SPEC_NAMES,
     complex_control_flow_names,
+    lint_registered,
+    lint_workload,
     make_category,
     make_workload,
     simple_control_flow_names,
@@ -36,6 +38,8 @@ __all__ = [
     "GAP_NAMES",
     "SPEC_NAMES",
     "complex_control_flow_names",
+    "lint_registered",
+    "lint_workload",
     "make_category",
     "make_workload",
     "simple_control_flow_names",

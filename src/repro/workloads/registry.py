@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..analysis import LintReport, lint_program
 from . import gap, spec
 from .base import SIMPLE, Workload
 
@@ -162,6 +163,22 @@ def make_workload(name: str, scale: str = "bench") -> Workload:
     except KeyError:
         raise ValueError(f"unknown scale {scale!r}; use tiny/bench/full") from None
     return builder(**kwargs)
+
+
+def lint_workload(name: str, scale: str = "tiny") -> LintReport:
+    """Lint one registered workload's assembled program."""
+    return lint_program(make_workload(name, scale).program)
+
+
+def lint_registered(scale: str = "tiny") -> dict[str, LintReport]:
+    """Lint every registered workload (CI gate: all must be clean).
+
+    Registration implies lint-cleanliness: ``repro lint --all`` and
+    ``tests/test_analysis_lint.py`` fail if any report here has
+    findings, so a new workload cannot land with undefined reads,
+    unreachable blocks, or a missing ``halt``.
+    """
+    return {name: lint_workload(name, scale) for name in ALL_NAMES}
 
 
 def simple_control_flow_names() -> tuple[str, ...]:

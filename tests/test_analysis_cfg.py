@@ -1,0 +1,130 @@
+"""CFG construction: edges, reachability, conservative indirect flow."""
+
+from repro import assemble
+from repro.analysis import build_cfg
+from repro.isa.instructions import INSTRUCTION_BYTES
+
+
+def starts(cfg):
+    return sorted(cfg.blocks)
+
+
+def test_straight_line_single_block():
+    cfg = build_cfg(assemble("""
+        li r1, 1
+        addi r1, r1, 2
+        halt
+    """))
+    assert starts(cfg) == [0]
+    assert cfg.successors[0] == ()
+    assert cfg.reachable == {0}
+    assert not cfg.falls_off_end
+
+
+def test_conditional_branch_has_target_and_fallthrough():
+    cfg = build_cfg(assemble("""
+        li r1, 5
+    top:
+        addi r1, r1, -1
+        bne r1, r0, top
+        halt
+    """))
+    # Blocks: [li], [addi, bne], [halt]
+    assert len(cfg.blocks) == 3
+    loop = 0x4
+    assert set(cfg.successors[loop]) == {loop, 0xC}
+    assert cfg.predecessors[loop] == (0, loop)
+    assert cfg.reachable == {0, loop, 0xC}
+
+
+def test_unconditional_jump_skips_fallthrough():
+    cfg = build_cfg(assemble("""
+        jmp over
+        li r1, 1          # dead
+    over:
+        halt
+    """))
+    assert cfg.successors[0] == (0x8,)
+    assert 0x4 not in cfg.reachable
+    assert 0x8 in cfg.reachable
+
+
+def test_call_registers_return_site_and_ret_edges():
+    cfg = build_cfg(assemble("""
+        call fn
+        halt
+    fn:
+        addi r1, r1, 1
+        ret
+    """))
+    ret_block = 0x8
+    assert cfg.successors[0] == (ret_block,)
+    # The instruction after the call is the return site; ret points there.
+    assert cfg.return_sites == {0x4}
+    assert cfg.successors[ret_block] == (0x4,)
+    assert ret_block in cfg.indirect_blocks
+
+
+def test_indirect_jump_targets_every_label_block():
+    program = assemble("""
+        la r1, a
+        jr r1
+    a:
+        halt
+    b:
+        halt
+    """)
+    cfg = build_cfg(program)
+    jr_block = 0x0
+    # Conservative: every block holding a label is a possible target.
+    label_starts = {
+        program.block_containing(pc).start_pc
+        for pc in program.labels.values()
+    }
+    assert set(cfg.successors[jr_block]) == label_starts
+    assert jr_block in cfg.indirect_blocks
+    assert label_starts <= cfg.indirect_targets
+
+
+def test_fall_off_end_detected():
+    cfg = build_cfg(assemble("""
+        li r1, 1
+        addi r1, r1, 1
+    """))
+    assert cfg.falls_off_end == {0}
+
+
+def test_mid_block_halt_stops_execution():
+    # Trailing code after halt shares its block (leaders come from
+    # branch structure), but control cannot pass the halt: the block
+    # must have no out-edges and no fall-off-the-end report.
+    cfg = build_cfg(assemble("""
+        halt
+        addi r1, r1, 1
+    """))
+    assert not cfg.falls_off_end
+    assert cfg.successors[0] == ()
+
+
+def test_unreachable_block_detected():
+    cfg = build_cfg(assemble("""
+        jmp done
+    dead:
+        addi r1, r1, 1
+        jmp dead
+    done:
+        halt
+    """))
+    assert INSTRUCTION_BYTES in cfg.blocks
+    assert INSTRUCTION_BYTES not in cfg.reachable
+
+
+def test_terminator_helper():
+    cfg = build_cfg(assemble("""
+        li r1, 1
+        beq r1, r0, done
+        addi r1, r1, 1
+    done:
+        halt
+    """))
+    assert cfg.terminator(0).opcode == "beq"

@@ -1,0 +1,130 @@
+"""Workload linter: seeded-bad fixtures and registry cleanliness.
+
+Each seeded fixture contains exactly one planted defect and must
+produce exactly one finding of the expected rule — this pins both the
+detection and the false-positive behaviour of every rule.
+"""
+
+from repro import assemble
+from repro.analysis import lint_program
+from repro.workloads import ALL_NAMES, lint_registered, lint_workload
+
+# --- seeded-bad fixtures (ISSUE acceptance: exactly one finding each) ----
+
+UNDEFINED_READ = """
+    li r1, 5
+    add r2, r1, r7    # r7 never written
+    st r2, 0(r1)
+    halt
+"""
+
+UNREACHABLE_BLOCK = """
+    li r1, 1
+    jmp out
+dead:
+    addi r1, r1, 1    # no path reaches this block
+    jmp dead
+out:
+    st r1, 0(r0)
+    halt
+"""
+
+FALL_OFF_END = """
+    li r1, 5
+    addi r1, r1, 1
+    st r1, 0(r0)      # no halt: control falls off the image
+"""
+
+SELF_JUMP = """
+    li r1, 1
+    st r1, 0(r0)
+loop:
+    jmp loop
+"""
+
+DEAD_STORE = """
+    li r1, 5          # overwritten before any read
+    li r1, 6
+    st r1, 0(r0)
+    halt
+"""
+
+
+def sole_finding(source):
+    report = lint_program(assemble(source))
+    assert len(report) == 1, [f.render() for f in report]
+    return report.findings[0]
+
+
+def test_undefined_read_exactly_one_finding():
+    finding = sole_finding(UNDEFINED_READ)
+    assert finding.rule == "undefined-read"
+    assert finding.severity == "error"
+    assert "r7" in finding.message
+    assert finding.line == 3
+
+
+def test_unreachable_block_exactly_one_finding():
+    finding = sole_finding(UNREACHABLE_BLOCK)
+    assert finding.rule == "unreachable"
+    assert finding.severity == "error"
+
+
+def test_fall_off_end_exactly_one_finding():
+    finding = sole_finding(FALL_OFF_END)
+    assert finding.rule == "fall-off-end"
+    assert finding.severity == "error"
+    assert "halt" in finding.message
+
+
+def test_self_jump_exactly_one_finding():
+    finding = sole_finding(SELF_JUMP)
+    assert finding.rule == "self-jump"
+    assert finding.severity == "error"
+
+
+def test_dead_store_is_a_warning():
+    finding = sole_finding(DEAD_STORE)
+    assert finding.rule == "dead-store"
+    assert finding.severity == "warning"
+    report = lint_program(assemble(DEAD_STORE))
+    assert report.clean is False
+    assert not report.errors and report.warnings
+
+
+def test_clean_program_no_findings():
+    report = lint_program(assemble("""
+        li r1, 0
+        li r2, 10
+    top:
+        addi r1, r1, 1
+        blt r1, r2, top
+        st r1, 0(r0)
+        halt
+    """))
+    assert report.clean
+    assert len(report) == 0
+
+
+def test_finding_render_format():
+    finding = sole_finding(UNDEFINED_READ)
+    text = finding.render("fixture.s")
+    assert text.startswith("fixture.s:3: error: [undefined-read]")
+
+
+# --- registry gate: every registered workload must be lint-clean ---------
+
+
+def test_every_registered_workload_is_lint_clean():
+    reports = lint_registered("tiny")
+    assert set(reports) == set(ALL_NAMES)
+    dirty = {
+        name: [f.render(name) for f in report]
+        for name, report in reports.items()
+        if not report.clean
+    }
+    assert not dirty, dirty
+
+
+def test_lint_workload_single():
+    assert lint_workload("xz", "tiny").clean

@@ -1,0 +1,60 @@
+"""Slicer-vs-walk oracle: the dynamic Backward Dataflow Walk's chain
+membership must agree with the static slices.
+
+Acceptance gate: for H2P branches free of indirect control flow, the
+walk's marked instructions are explained by the static slice on >= 90%
+of chain instructions (precision >= 0.90), on a pinned matrix.
+"""
+
+import pytest
+
+from repro.analysis.oracle import render_report, run_slice_oracle
+
+MATRIX = ["bfs", "mcf", "xz"]
+
+
+@pytest.fixture(scope="module", params=MATRIX)
+def oracle_report(request):
+    return run_slice_oracle(request.param, scale="tiny", mode="tea")
+
+
+def test_walks_were_captured(oracle_report):
+    assert oracle_report["summary"]["walks_captured"] > 0
+    assert oracle_report["summary"]["h2p_branches_scored"] > 0
+
+
+def test_direct_branch_precision_meets_bar(oracle_report):
+    direct = [r for r in oracle_report["branches"] if not r["has_indirect"]]
+    assert direct, "no direct-control-flow H2P branches scored"
+    for rec in direct:
+        assert rec["precision"] >= 0.90, rec
+    assert oracle_report["summary"]["min_precision_direct"] >= 0.90
+
+
+def test_records_are_well_formed(oracle_report):
+    for rec in oracle_report["branches"]:
+        assert 0 < rec["intersection"] <= rec["dynamic_size"]
+        assert rec["intersection"] <= rec["static_size"]
+        assert 0.0 <= rec["precision"] <= 1.0
+        assert 0.0 <= rec["recall"] <= 1.0
+        assert rec["walks"] >= 1
+        # The branch itself is in both chains, so the intersection is
+        # never empty for a scored branch.
+        assert rec["static_size"] >= 1
+
+
+def test_report_is_json_safe(oracle_report):
+    import json
+
+    json.dumps(oracle_report)
+
+
+def test_render_report_mentions_summary(oracle_report):
+    text = render_report(oracle_report)
+    assert "H2P branches scored" in text
+    assert oracle_report["workload"] in text
+
+
+def test_oracle_rejects_modes_without_tea():
+    with pytest.raises(ValueError):
+        run_slice_oracle("bfs", scale="tiny", mode="baseline")

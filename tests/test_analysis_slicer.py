@@ -1,0 +1,127 @@
+"""Static backward slices: contents, Block Cache-shaped masks, flags."""
+
+from repro import assemble
+from repro.analysis import slice_program
+from repro.isa.instructions import INSTRUCTION_BYTES
+from repro.workloads import make_workload
+
+
+def pcs_of(program, *opcodes):
+    return [ins.pc for ins in program.instructions if ins.opcode in opcodes]
+
+
+def test_slice_contains_branch_and_producers():
+    program = assemble("""
+        li r1, 0
+        li r2, 10
+    top:
+        addi r1, r1, 1
+        blt r1, r2, top
+        halt
+    """)
+    slices = slice_program(program)
+    [branch_pc] = pcs_of(program, "blt")
+    sl = slices.slice_at(branch_pc)
+    assert sl is not None
+    # Chain: both li's, the addi, and the branch itself.
+    assert sl.pcs == {0x0, 0x4, 0x8, branch_pc}
+    assert not sl.has_indirect
+    assert not sl.through_memory
+
+
+def test_unrelated_computation_excluded():
+    program = assemble("""
+        li r1, 0
+        li r2, 10
+        li r5, 999
+        mul r6, r5, r5
+    top:
+        addi r1, r1, 1
+        blt r1, r2, top
+        halt
+    """)
+    slices = slice_program(program)
+    [branch_pc] = pcs_of(program, "blt")
+    sl = slices.slice_at(branch_pc)
+    excluded = set(pcs_of(program, "mul")) | {0x8}  # li r5 and mul
+    assert not (sl.pcs & excluded)
+
+
+def test_memory_dependence_joins_chain_and_sets_flag():
+    program = assemble("""
+        li r1, 4096
+        li r2, 3
+        st r2, 0(r1)
+        ld r3, 0(r1)
+        beq r3, r0, out
+        addi r4, r4, 1
+    out:
+        halt
+    """)
+    slices = slice_program(program)
+    [branch_pc] = pcs_of(program, "beq")
+    sl = slices.slice_at(branch_pc)
+    [st_pc] = pcs_of(program, "st")
+    [ld_pc] = pcs_of(program, "ld")
+    assert {st_pc, ld_pc} <= sl.pcs
+    assert sl.through_memory
+
+
+def test_masks_match_pcs_bit_for_bit():
+    bundle = make_workload("bfs", "tiny")
+    slices = slice_program(bundle.program)
+    assert slices.branches
+    for sl in slices.branches.values():
+        rebuilt = set()
+        for start, mask in sl.masks.items():
+            block = bundle.program.basic_blocks[start]
+            k = 0
+            while mask:
+                if mask & 1:
+                    pc = start + k * INSTRUCTION_BYTES
+                    assert pc <= block.end_pc
+                    rebuilt.add(pc)
+                mask >>= 1
+                k += 1
+        assert rebuilt == set(sl.pcs)
+
+
+def test_combined_masks_is_union():
+    bundle = make_workload("mcf", "tiny")
+    slices = slice_program(bundle.program)
+    merged = slices.combined_masks()
+    expect = {}
+    for sl in slices.branches.values():
+        for start, mask in sl.masks.items():
+            expect[start] = expect.get(start, 0) | mask
+    assert merged == expect
+
+
+def test_unreachable_conditional_not_sliced():
+    program = assemble("""
+        jmp out
+    dead:
+        beq r1, r0, dead
+    out:
+        halt
+    """)
+    slices = slice_program(program)
+    [branch_pc] = pcs_of(program, "beq")
+    assert slices.slice_at(branch_pc) is None
+
+
+def test_every_reachable_conditional_sliced_in_workloads():
+    for name in ("bfs", "xz"):
+        bundle = make_workload(name, "tiny")
+        slices = slice_program(bundle.program)
+        cfg = slices.cfg
+        reachable_pcs = {
+            pc for start in cfg.reachable for pc in cfg.blocks[start].pcs()
+        }
+        expected = {
+            ins.pc
+            for ins in bundle.program.instructions
+            if ins.is_conditional and ins.pc in reachable_pcs
+        }
+        assert set(slices.branches) == expected
+        assert expected, name

@@ -1,0 +1,120 @@
+"""Architecture layering: the real tree must pass, seeded violations fail."""
+
+from pathlib import Path
+
+from repro.analysis.arch_lint import (
+    LAYER_RANKS,
+    check_layering,
+    main,
+)
+
+
+def write_tree(root, files):
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    return root
+
+
+def test_real_codebase_is_layer_clean():
+    violations = check_layering()
+    assert violations == []
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert main([]) == 0
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/isa/__init__.py": "",
+        "repro/isa/bad.py": "from ..tea import controller\n",
+        "repro/tea/__init__.py": "",
+        "repro/tea/controller.py": "x = 1\n",
+    })
+    assert main([str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "must not import repro.tea" in err
+
+
+def test_upward_module_level_import_flagged(tmp_path):
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/isa/__init__.py": "",
+        "repro/isa/bad.py": "import repro.harness\n",
+        "repro/harness/__init__.py": "",
+    })
+    violations = check_layering(tmp_path)
+    assert len(violations) == 1
+    assert "repro/isa/bad.py" in violations[0]
+
+
+def test_sideways_same_rank_import_flagged(tmp_path):
+    # memory and obs share rank 0; neither may import the other.
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/memory/__init__.py": "",
+        "repro/memory/m.py": "from ..obs import events\n",
+        "repro/obs/__init__.py": "",
+        "repro/obs/events.py": "x = 1\n",
+    })
+    assert len(check_layering(tmp_path)) == 1
+
+
+def test_function_level_import_is_exempt(tmp_path):
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/isa/__init__.py": "",
+        "repro/isa/lazy.py": (
+            "def f():\n"
+            "    from ..harness import runner\n"
+            "    return runner\n"
+        ),
+        "repro/harness/__init__.py": "",
+        "repro/harness/runner.py": "x = 1\n",
+    })
+    assert check_layering(tmp_path) == []
+
+
+def test_downward_import_allowed(tmp_path):
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/isa/__init__.py": "",
+        "repro/isa/ok.py": "x = 1\n",
+        "repro/tea/__init__.py": "",
+        "repro/tea/uses_isa.py": "from ..isa import ok\n",
+    })
+    assert check_layering(tmp_path) == []
+
+
+def test_unknown_layer_reported(tmp_path):
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/mystery/__init__.py": "",
+        "repro/mystery/mod.py": "x = 1\n",
+    })
+    violations = check_layering(tmp_path)
+    assert violations and "unknown layer" in violations[0]
+
+
+def test_conditional_module_level_import_counts(tmp_path):
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/isa/__init__.py": "",
+        "repro/isa/cond.py": (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from ..tea import controller\n"
+        ),
+        "repro/tea/__init__.py": "",
+        "repro/tea/controller.py": "x = 1\n",
+    })
+    assert len(check_layering(tmp_path)) == 1
+
+
+def test_rank_map_covers_every_package():
+    src = Path(__file__).resolve().parents[1] / "src" / "repro"
+    packages = {
+        p.name for p in src.iterdir()
+        if p.is_dir() and p.name != "__pycache__"
+    }
+    assert packages <= set(LAYER_RANKS)

@@ -48,3 +48,82 @@ class TestCommands:
 
     def test_unknown_figure(self, capsys):
         assert main(["figure", "fig99", "--workloads", "xz"]) == 2
+
+
+class TestLintCommand:
+    def test_lint_all_clean(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "17 program(s) linted: 0 error(s), 0 warning(s)" in out
+
+    def test_lint_named_workloads(self, capsys):
+        assert main(["lint", "bfs,xz"]) == 0
+        assert "2 program(s) linted" in capsys.readouterr().out
+
+    def test_lint_bad_source_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("add r2, r1, r7\nhalt\n")
+        assert main(["lint", "--source", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "undefined-read" in out
+
+    def test_lint_source_with_data_section(self, tmp_path, capsys):
+        unit = tmp_path / "unit.s"
+        unit.write_text(
+            ".data\ntable: .word 1, 2, 3\n.text\n"
+            "la r1, table\nld r2, 0(r1)\nst r2, 8(r1)\nhalt\n"
+        )
+        assert main(["lint", "--source", str(unit)]) == 0
+
+    def test_lint_json_output(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.s"
+        bad.write_text("add r2, r1, r7\nhalt\n")
+        assert main(["lint", "--source", str(bad), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        findings = payload[str(bad)]
+        assert any(f["rule"] == "undefined-read" for f in findings)
+
+    def test_lint_without_target_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+
+
+class TestSliceCommand:
+    def test_slice_table(self, capsys):
+        assert main(["slice", "bfs"]) == 0
+        out = capsys.readouterr().out
+        assert "conditional branches" in out
+
+    def test_slice_json(self, capsys):
+        import json
+
+        assert main(["slice", "bfs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload
+        for record in payload.values():
+            assert record["size"] == len(record["pcs"])
+
+    def test_slice_single_branch_filter(self, capsys):
+        assert main(["slice", "bfs", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        pc = next(iter(payload))
+        assert main(["slice", "bfs", "--branch", pc]) == 0
+        assert pc in capsys.readouterr().out
+
+    def test_slice_unknown_branch(self, capsys):
+        assert main(["slice", "bfs", "--branch", "0xdead0"]) == 2
+
+    def test_slice_oracle_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "oracle.json"
+        code = main([
+            "slice", "xz", "--oracle", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert "H2P branches scored" in capsys.readouterr().out
+        report = json.loads(out_path.read_text())
+        assert report["summary"]["min_precision_direct"] >= 0.90

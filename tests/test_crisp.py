@@ -1,6 +1,6 @@
 """Tests for the CRISP/IBDA critical-slice prioritization baseline."""
 
-from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro import Pipeline, SimConfig, assemble
 from repro.crisp import CrispConfig
 from repro.harness import run_workload
 

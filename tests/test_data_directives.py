@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro import Pipeline, SimConfig, assemble
 from repro.isa import AssemblerError, assemble_unit, run_program
 
 

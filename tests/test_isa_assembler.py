@@ -123,3 +123,52 @@ class TestCommentsAndFormatting:
 
     def test_instruction_bytes_constant(self):
         assert INSTRUCTION_BYTES == 4
+
+
+class TestSourceLineDiagnostics:
+    def test_instructions_carry_source_lines(self):
+        program = assemble("nop\n\n# comment\nnop\nhalt")
+        assert [i.line for i in program.instructions] == [1, 4, 5]
+
+    def test_line_of_lookup(self):
+        program = assemble("nop\nnop\nhalt")
+        assert program.line_of(4) == 2
+        assert program.line_of(0x100) is None
+
+    def test_block_line_ranges_span_members(self):
+        program = assemble("""
+    li r1, 2
+top:
+    addi r1, r1, -1
+    bne r1, r0, top
+    halt
+""")
+        spans = [b.line_range for b in program.basic_blocks.values()]
+        assert spans == [(2, 2), (4, 5), (6, 6)]
+
+    def test_label_on_same_line_counts_that_line(self):
+        program = assemble("x: nop\nhalt")
+        assert program.instructions[0].line == 1
+
+    def test_hand_built_instructions_have_no_line(self):
+        from repro.isa.instructions import Instruction
+
+        ins = Instruction(opcode="nop", dst=None, srcs=(), imm=None,
+                          target=None, pc=0)
+        assert ins.line is None
+
+    def test_data_section_preserves_text_line_numbers(self):
+        from repro.isa.data_directives import assemble_unit
+
+        unit = assemble_unit(
+            ".data\nv: .word 1, 2\n.text\nla r1, v\nld r2, 0(r1)\nhalt\n"
+        )
+        # The text section starts at source line 4.
+        assert [i.line for i in unit.program.instructions] == [4, 5, 6]
+
+    def test_data_section_errors_report_original_lines(self):
+        from repro.isa.assembler import AssemblerError
+        from repro.isa.data_directives import assemble_unit
+
+        with pytest.raises(AssemblerError, match="line 5"):
+            assemble_unit(".data\nv: .word 1\n.text\nnop\nbogus r1\nhalt\n")

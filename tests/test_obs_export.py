@@ -11,7 +11,7 @@ import json
 
 import pytest
 
-from repro import MemoryImage, Observation, Pipeline, SimConfig, assemble
+from repro import Observation, Pipeline, SimConfig, assemble
 from repro.__main__ import main
 from repro.obs import (
     Event,

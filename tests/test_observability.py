@@ -13,7 +13,7 @@ from dataclasses import dataclass, replace
 
 import pytest
 
-from repro import MemoryImage, Observation, Pipeline, SimConfig, assemble
+from repro import Observation, Pipeline, SimConfig, assemble
 from repro.core.stats import SimStats
 from repro.obs import (
     DEFAULT_HISTOGRAMS,

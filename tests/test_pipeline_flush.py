@@ -97,7 +97,6 @@ class TestFlushPenalty:
             halt
         """
         pipeline = run_pipeline(predictable)
-        base_cycles = pipeline.stats.cycles
         base_mispredicts = pipeline.stats.total_mispredicts
         assert base_mispredicts <= 4
 

@@ -43,7 +43,7 @@ class TestLearning:
     def test_alternating_pattern_learned(self):
         tage, history = make_tage()
         pattern = [True, False] * 200
-        missed = run_stream(tage, history, pattern)
+        run_stream(tage, history, pattern)
         # The tail must be essentially perfect once tagged tables train.
         tail_missed = run_stream(tage, history, pattern[:100])
         assert tail_missed <= 5

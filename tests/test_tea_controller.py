@@ -57,6 +57,7 @@ class TestChainSeqTagging:
         seeded = [e for e in pipeline.tea.fill_buffer.entries if e.chain_seed]
         walks = pipeline.tea.fill_buffer.walks_performed
         assert walks > 0
+        assert seeded
         # chain_seqs get consumed at main rename; the dict must not
         # grow without bound.
         assert len(pipeline.tea.chain_seqs) < 10_000

@@ -1,0 +1,51 @@
+"""Gated runs of the configured external linters.
+
+ruff and mypy are CI dependencies (the ``lint`` optional extra), not
+runtime ones; when absent locally these tests skip rather than fail.
+The configuration they exercise lives in pyproject.toml: ruff with the
+correctness rule families tree-wide, mypy strict on ``repro.analysis``
+and report-free elsewhere.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def run(*argv):
+    return subprocess.run(
+        argv, cwd=ROOT, capture_output=True, text=True, timeout=600
+    )
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = run("ruff", "check", "src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    proc = run("mypy")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_arch_lint_module_runs():
+    # Pure stdlib, always available; the module must be runnable as
+    # ``python -m`` exactly as CI invokes it.
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.arch_lint"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout

@@ -8,7 +8,6 @@ from repro import Pipeline, SimConfig
 from repro.workloads import (
     ALL_NAMES,
     GAP_NAMES,
-    SIMPLE,
     SPEC_NAMES,
     complex_control_flow_names,
     make_category,
