@@ -11,6 +11,9 @@ Commands
 ``lint``     statically lint workload programs (or an assembly file)
 ``slice``    static backward slices per branch; ``--oracle`` scores the
              dynamic Backward Dataflow Walk against them
+``inject``   seeded microarchitectural fault-injection campaign
+             (repro.verify); exit 1 if any TEA-side fault corrupts
+             architectural state or a corruption lacks attribution
 
 Examples::
 
@@ -24,6 +27,9 @@ Examples::
     python -m repro bench --check
     python -m repro bench --compare benchmarks/perf/baseline.json
     python -m repro run bfs --mode tea --scale tiny
+    python -m repro run bfs --mode tea --check-invariants 64
+    python -m repro inject bfs,xz --kinds tea_outcome_flip,wakeup_drop \\
+        --seeds 2 --out INJECT_report.json
     python -m repro run mcf --mode tea --trace-out trace.json
     python -m repro run bfs,mcf,xz --modes baseline,tea --jobs 4 \\
         --timeout 600 --checkpoint campaign.jsonl
@@ -135,7 +141,12 @@ def _cmd_run(args) -> int:
                 print(f"unknown mode {mode!r}", file=sys.stderr)
                 return 2
         specs = [
-            RunSpec(workload=w, mode=m, scale=args.scale)
+            RunSpec(
+                workload=w,
+                mode=m,
+                scale=args.scale,
+                check_invariants=args.check_invariants,
+            )
             for w in workloads
             for m in modes
         ]
@@ -146,7 +157,13 @@ def _cmd_run(args) -> int:
         _print_campaign(outcomes)
         return 0 if all(o.ok for o in outcomes) else 1
     observe = bool(args.events_out or args.trace_out or args.stats_out)
-    result = run_workload(args.workload, args.mode, args.scale, observe=observe)
+    result = run_workload(
+        args.workload,
+        args.mode,
+        args.scale,
+        observe=observe,
+        check_invariants=args.check_invariants,
+    )
     print(f"{args.workload} under {args.mode} ({args.scale} scale):")
     _print_stats(result)
     obs = result.observation
@@ -406,6 +423,62 @@ def _cmd_slice(args) -> int:
     return 0
 
 
+def _cmd_inject(args) -> int:
+    from .verify import FAULT_KINDS, run_fault_campaign
+
+    workloads = tuple(args.workloads.split(","))
+    kinds = tuple(args.kinds.split(",")) if args.kinds else None
+    if kinds:
+        unknown = sorted(set(kinds) - set(FAULT_KINDS))
+        if unknown:
+            print(f"unknown fault kind(s): {', '.join(unknown)}; "
+                  f"choose from {', '.join(sorted(FAULT_KINDS))}",
+                  file=sys.stderr)
+            return 2
+
+    def progress(cell):
+        key = f"{cell['workload']}/{cell['kind']}/seed{cell['seed']}"
+        print(f"  {key:40s} {cell['outcome']}", file=sys.stderr)
+
+    n_kinds = len(kinds) if kinds else len(FAULT_KINDS)
+    print(f"fault campaign: {len(workloads)} workload(s) x {n_kinds} "
+          f"kind(s) x {args.seeds} seed(s), mode={args.mode}, "
+          f"scale={args.scale} ...", file=sys.stderr)
+    report = run_fault_campaign(
+        workloads=workloads,
+        kinds=kinds,
+        seeds=args.seeds,
+        mode=args.mode,
+        scale=args.scale,
+        check_invariants=args.check_invariants,
+        max_cycles=args.max_cycles,
+        progress=progress,
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote fault-campaign report to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        summary = report["summary"]
+        print(f"{summary['total']} cells "
+              f"({summary['applied']} with a fault applied): "
+              f"{summary['detected_invariant']} invariant-detected, "
+              f"{summary['detected_watchdog']} watchdog-detected, "
+              f"{summary['benign']} benign, "
+              f"{summary['corrupted']} corrupted, "
+              f"{summary['not_applied']} not applied")
+        for key in report["unsafe_corruptions"]:
+            print(f"  UNSAFE (TEA/timing fault corrupted state): {key}")
+        for key in report["unattributed_corruptions"]:
+            print(f"  UNATTRIBUTED corruption (no fault context): {key}")
+        for key in report["undetected_cells"]:
+            print(f"  note: expected-detect fault ran benign: {key}")
+        print("ok" if report["ok"] else "NOT OK")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -446,6 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace_event JSON (Perfetto)")
     p_run.add_argument("--stats-out", default=None, metavar="PATH",
                        help="write a flat JSON metrics snapshot")
+    p_run.add_argument("--check-invariants", type=int, default=0, metavar="N",
+                       help="audit machine invariants every N cycles "
+                            "(0 = off; disables idle fast-forward)")
     add_executor_options(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -530,6 +606,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_slice.add_argument("--out", default=None, metavar="PATH",
                          help="with --oracle: also write the JSON report")
     p_slice.set_defaults(func=_cmd_slice)
+
+    p_inject = sub.add_parser(
+        "inject", help="seeded microarchitectural fault-injection campaign"
+    )
+    p_inject.add_argument("workloads", nargs="?", default="bfs,mcf,xz",
+                          help="comma-separated workloads "
+                               "(default: bfs,mcf,xz)")
+    p_inject.add_argument("--mode", default="tea", choices=MODES)
+    p_inject.add_argument("--scale", default="tiny")
+    p_inject.add_argument("--kinds", default=None,
+                          help="comma-separated fault kinds "
+                               "(default: all registered kinds)")
+    p_inject.add_argument("--seeds", type=int, default=2, metavar="N",
+                          help="seeds per (workload, kind) cell")
+    p_inject.add_argument("--check-invariants", type=int, default=16,
+                          metavar="N",
+                          help="invariant audit period during the campaign")
+    p_inject.add_argument("--max-cycles", type=int, default=2_000_000)
+    p_inject.add_argument("--out", default=None, metavar="PATH",
+                          help="write the JSON campaign report")
+    p_inject.add_argument("--json", action="store_true",
+                          help="print the full report as JSON")
+    p_inject.set_defaults(func=_cmd_inject)
     return parser
 
 

@@ -41,6 +41,7 @@ LAYER_RANKS: dict[str, int] = {
     "runahead": 5,
     "crisp": 5,
     "analysis": 6,
+    "verify": 6,
     "workloads": 7,
     "harness": 8,
     "": 9,

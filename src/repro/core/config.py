@@ -109,8 +109,16 @@ class SimConfig:
     #: retire are all provably blocked, Pipeline.run advances the
     #: cycle counter directly to the next event instead of stepping
     #: through dead cycles.  Cycle-exact; disable to force uniform
-    #: stepping (it is disabled automatically under observation).
+    #: stepping (it is disabled automatically under observation,
+    #: invariant checking, and fault injection).
     fast_forward: bool = True
+    #: Runtime invariant checking (repro.verify): audit the machine
+    #: every N cycles; 0 disables (no checker is even constructed, so
+    #: the default simulation path is unchanged).
+    check_invariants: int = 0
+    #: Optional repro.verify.FaultPlan (imported lazily by the
+    #: pipeline): deterministic seeded fault injection mid-simulation.
+    fault_plan: object | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -133,4 +141,9 @@ class SimConfig:
             self.watchdog_cycles >= 1,
             f"SimConfig.watchdog_cycles must be >= 1 (the watchdog is the "
             f"only guard against silent livelock), got {self.watchdog_cycles}",
+        )
+        _require(
+            self.check_invariants >= 0,
+            f"SimConfig.check_invariants must be >= 0 (0 disables, N "
+            f"audits every N cycles), got {self.check_invariants}",
         )

@@ -151,6 +151,19 @@ class Pipeline:
             from ..crisp.controller import CrispController
 
             self.crisp = CrispController(self, self.config.crisp)
+        # Runtime verification (repro.verify), also installed lazily;
+        # both stay None on the default path so step() pays only an
+        # attribute load + is-None check each.
+        self._checker = None
+        self._injector = None
+        if self.config.check_invariants:
+            from ..verify.invariants import InvariantChecker
+
+            self._checker = InvariantChecker(self, self.config.check_invariants)
+        if self.config.fault_plan is not None:
+            from ..verify.faults import FaultInjector
+
+            self._injector = FaultInjector(self, self.config.fault_plan)
 
     # ==================================================================
     # Top-level control
@@ -173,7 +186,13 @@ class Pipeline:
             self.stats.start_measurement()
             if self.obs is not None:
                 self.obs.emit("measurement_start")
-        fast_forward = self.config.fast_forward
+        # Fast-forward would skip the cycles a sampled invariant audit
+        # or a scheduled fault is due in; disable it under either.
+        fast_forward = (
+            self.config.fast_forward
+            and self._checker is None
+            and self._injector is None
+        )
         while not self.halted:
             self.step()
             if not measurement_started and self.retired_total >= warmup:
@@ -201,6 +220,9 @@ class Pipeline:
         """
         cycle = self.cycle + 1
         self.cycle = cycle
+        injector = self._injector
+        if injector is not None:
+            injector.tick(cycle)
         rob = self.rob
         if rob and rob[0].state is UopState.DONE:
             self._retire()
@@ -224,6 +246,10 @@ class Pipeline:
         obs = self.obs
         if obs is not None and obs.wants("cycle_end"):
             obs.emit("cycle_end")
+        checker = self._checker
+        if checker is not None:
+            # Audit between cycles, when every stage has settled.
+            checker.maybe_audit()
         stall = self.cycle - self._last_retire_cycle
         if stall > self.config.watchdog_cycles:
             diagnostics = self.progress_diagnostics()
@@ -342,38 +368,16 @@ class Pipeline:
             yield from bucket
 
     def progress_diagnostics(self) -> dict:
-        """JSON-safe dump of forward-progress state (watchdog payload)."""
-        head = self.rob[0] if self.rob else None
-        main_rs, tea_rs = self.scheduler.occupancy
-        diag = {
-            "cycle": self.cycle,
-            "last_retire_cycle": self._last_retire_cycle,
-            "rob_depth": len(self.rob),
-            "rob_head": (
-                {
-                    "seq": head.seq,
-                    "pc": head.instr.pc,
-                    "opcode": head.instr.opcode,
-                    "state": head.state.name,
-                }
-                if head is not None
-                else None
-            ),
-            "decode_pipe_depth": len(self.decode_pipe),
-            "ftq_depth": len(self.frontend.ftq),
-            "bp_stalled": self.frontend.stalled(),
-            "scheduler_main_rs": main_rs,
-            "scheduler_tea_rs": tea_rs,
-            "load_queue_depth": len(self.lq.entries),
-            "store_queue_depth": len(self.sq.entries),
-            "free_pregs": self.prf.main_available(),
-        }
-        if self.tea is not None:
-            diag["tea"] = {
-                "active": self.tea.active,
-                "draining": self.tea.draining,
-            }
-        return diag
+        """JSON-safe dump of forward-progress state (watchdog payload).
+
+        The format lives in :mod:`repro.verify.diagnostics` and is
+        shared with ``InvariantViolation`` and the harness's fault
+        attribution (lazy import: verify sits above core in the layer
+        DAG).
+        """
+        from ..verify.diagnostics import progress_diagnostics
+
+        return progress_diagnostics(self)
 
     # ==================================================================
     # Branch prediction (decoupled, runs ahead of fetch)
@@ -689,14 +693,16 @@ class Pipeline:
         gap = None
         if tea_resolved and entry.tea_resolve_cycle >= 0:
             gap = self.cycle - entry.tea_resolve_cycle
-        if tea_resolved and (
-            entry.tea_taken != actual_taken or entry.tea_target != actual_next
-        ):
-            self.stats.tea_wrong_resolutions += 1
-        if tea_flushed:
+        tea_correct = False
+        if tea_resolved:
             tea_correct = (
                 entry.tea_taken == actual_taken and entry.tea_target == actual_next
             )
+            if not tea_correct:
+                self.stats.tea_wrong_resolutions += 1
+            # Per-chain accuracy sample (graceful degradation).
+            self.tea.on_accuracy_sample(info.pc, tea_correct)
+        if tea_flushed:
             if tea_correct:
                 if mispredicted:
                     saved = max(0, self.cycle - entry.tea_resolve_cycle)

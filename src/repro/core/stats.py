@@ -47,6 +47,14 @@ class SimStats:
     tea_poison_terminations: int = 0
     tea_initiations: int = 0
     tea_blocked_flushes: int = 0
+    # TEA graceful degradation (accuracy gating; repro.verify PR).
+    tea_chain_disables: int = 0
+    tea_chain_reenables: int = 0
+    tea_suppressed_resolutions: int = 0
+    tea_killed: int = 0              # 1 once the global kill-switch fired
+    # Runtime verification (repro.verify).
+    invariant_checks: int = 0
+    faults_injected: int = 0
     # Branch Runahead counters.
     runahead_overrides: int = 0
     runahead_wrong_overrides: int = 0

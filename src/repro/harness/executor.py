@@ -95,6 +95,7 @@ class RunSpec:
     scale: str = "bench"
     max_cycles: int = 30_000_000
     seed: int = 0
+    check_invariants: int = 0   # repro.verify audit period (0 = off)
 
     @property
     def key(self) -> str:
@@ -107,11 +108,17 @@ class RunSpec:
             "scale": self.scale,
             "max_cycles": self.max_cycles,
             "seed": self.seed,
+            "check_invariants": self.check_invariants,
         }
 
     @classmethod
     def from_record(cls, record: dict) -> "RunSpec":
-        return cls(**{f.name: record[f.name] for f in fields(cls)})
+        # Tolerant of journals written before a field existed (the
+        # defaulted dataclass field fills the gap), so old checkpoint
+        # journals stay resumable.
+        return cls(
+            **{f.name: record[f.name] for f in fields(cls) if f.name in record}
+        )
 
     def config_digest(self) -> str:
         """Stable digest of the machine configuration this cell runs."""
@@ -283,7 +290,11 @@ def execute_spec(record: dict) -> dict:
 
     spec = RunSpec.from_record(record)
     result = run_workload(
-        spec.workload, spec.mode, spec.scale, max_cycles=spec.max_cycles
+        spec.workload,
+        spec.mode,
+        spec.scale,
+        max_cycles=spec.max_cycles,
+        check_invariants=spec.check_invariants,
     )
     return {
         "stats": {name: getattr(result.stats, name) for name in STAT_FIELDS},

@@ -38,12 +38,31 @@ class ValidationError(RuntimeError):
     journal: the workload, the machine mode, and — when the sequential
     reference interpreter can reproduce the expected state — the first
     divergent architectural register or memory word.
+
+    ``fault_context`` is the active
+    :class:`~repro.verify.faults.FaultInjector` journal when the run
+    had a fault plan (``None`` otherwise), so campaign journals
+    attribute the corruption to the injected fault instead of a real
+    model bug.  Both payloads ride on ``diagnostics``, which the
+    executor ships across the worker boundary.
     """
 
-    def __init__(self, workload: str, mode: str, divergence: dict | None):
+    def __init__(
+        self,
+        workload: str,
+        mode: str,
+        divergence: dict | None,
+        fault_context: dict | None = None,
+    ):
         self.workload = workload
         self.mode = mode
         self.divergence = divergence
+        self.fault_context = fault_context
+        self.diagnostics: dict = {}
+        if divergence is not None:
+            self.diagnostics["divergence"] = divergence
+        if fault_context is not None:
+            self.diagnostics["fault_context"] = fault_context
         detail = ""
         if divergence is not None:
             where = (
@@ -171,6 +190,8 @@ def run_workload(
     scale: str = "bench",
     max_cycles: int = 30_000_000,
     observe: Observation | bool | None = None,
+    check_invariants: int = 0,
+    fault_plan: object | None = None,
 ) -> RunResult:
     """Simulate one workload under one machine mode, to completion.
 
@@ -182,10 +203,20 @@ def run_workload(
     :class:`~repro.obs.Observation` to configure it, or ``True`` for the
     defaults; the attached hub comes back on ``RunResult.observation``.
     Observation is off by default and costs nothing when off.
+
+    ``check_invariants=N`` audits the machine's structural invariants
+    every N cycles (:mod:`repro.verify`); ``fault_plan`` attaches a
+    :class:`~repro.verify.faults.FaultPlan` for deterministic fault
+    injection.  Both default to off and leave the simulation
+    cycle-identical when off.
     """
     if isinstance(workload, str):
         workload = make_workload(workload, scale)
     config = make_config(mode)
+    if check_invariants or fault_plan is not None:
+        config = replace(
+            config, check_invariants=check_invariants, fault_plan=fault_plan
+        )
     pipeline = Pipeline(workload.program, workload.fresh_memory(), config)
     observation: Observation | None = None
     if observe is True:
@@ -199,8 +230,13 @@ def run_workload(
     if pipeline.halted and workload.validate is not None:
         validated = workload.validate(pipeline)
         if not validated:
+            from ..verify.diagnostics import fault_context
+
             raise ValidationError(
-                workload.name, mode, _first_divergence(workload, pipeline)
+                workload.name,
+                mode,
+                _first_divergence(workload, pipeline),
+                fault_context=fault_context(pipeline),
             )
     return RunResult(
         workload=workload.name,

@@ -52,6 +52,13 @@ EVENT_TYPES: frozenset[str] = frozenset(
         "branch_resolved",     # main resolution outcome of a TEA-relevant branch
         "slice_oracle",        # static-slicer vs dynamic-walk chain comparison
                                # (per H2P branch; repro.analysis.oracle)
+        # Runtime verification (repro.verify).
+        "invariant_violation", # the checker found an illegal machine state
+        "fault_injected",      # a planned fault was applied (kind in payload)
+        # TEA graceful degradation (accuracy gating in the controller).
+        "tea_chain_disabled",  # a chain's accuracy fell below the threshold
+        "tea_chain_enabled",   # a disabled chain's decay period elapsed
+        "tea_degraded",        # sustained low accuracy fired the kill-switch
         # Campaign run lifecycle (emitted by repro.harness.executor on
         # the parent-process bus; cycle is -1, these are wall-clock-side).
         "run_started",         # one (workload, mode) attempt launched

@@ -49,6 +49,27 @@ class TeaConfig:
     store_cache_halflines: int = 16
     # Termination policy (paper §V-B).
     max_late_resolutions: int = 4
+    # Graceful degradation: accuracy gating (repro.verify PR; the
+    # Bullseye/LDBP-style confidence filtering the paper's 99.3%
+    # accuracy leans on implicitly).  Accuracy counters are always
+    # maintained; the *actions* below are gated on ``accuracy_gating``.
+    #
+    # ``chain_*`` knobs act per H2P branch PC: once a chain has
+    # ``chain_min_samples`` resolutions and its correct fraction over
+    # the decaying window falls below ``chain_disable_threshold``, its
+    # early flushes are suppressed (``tea_chain_disabled`` event) until
+    # ``chain_reenable_period`` further retirements have elapsed
+    # (``tea_chain_enabled``).  ``kill_*`` knobs act globally: sustained
+    # accuracy below ``kill_threshold`` after ``kill_min_samples``
+    # resolutions disables the TEA thread for the rest of the run
+    # (``tea_degraded`` event, SimStats.tea_killed).
+    accuracy_gating: bool = True
+    chain_accuracy_window: int = 64      # decay-halve counters every N samples
+    chain_disable_threshold: float = 0.5
+    chain_min_samples: int = 16
+    chain_reenable_period: int = 50_000  # retirements before re-enable
+    kill_threshold: float = 0.25
+    kill_min_samples: int = 512
     # Thread-construction features (paper §III, ablated in Fig. 10).
     trace_memory: bool = True
     use_masks: bool = True
@@ -91,6 +112,22 @@ class TeaConfig:
             require(
                 getattr(self, name) >= 0,
                 f"TeaConfig.{name} must be >= 0, got {getattr(self, name)}",
+            )
+        for name in (
+            "chain_accuracy_window",
+            "chain_min_samples",
+            "chain_reenable_period",
+            "kill_min_samples",
+        ):
+            require(
+                getattr(self, name) >= 1,
+                f"TeaConfig.{name} must be >= 1, got {getattr(self, name)}",
+            )
+        for name in ("chain_disable_threshold", "kill_threshold"):
+            value = getattr(self, name)
+            require(
+                0.0 <= value <= 1.0,
+                f"TeaConfig.{name} must be in [0, 1], got {value}",
             )
         require(
             self.h2p_ways <= self.h2p_entries,

@@ -87,6 +87,18 @@ class TeaController:
         self._walk_done_cycle = -1
         self._pending_walk: tuple[list[FillEntry], object] | None = None
         self._retire_count = 0
+        # Graceful degradation (accuracy gating): per-chain decaying
+        # correct/wrong counters fed by main-thread resolutions, the
+        # disabled-chain set with its re-enable watermark, and the
+        # global kill-switch.  Counters are always maintained; actions
+        # are gated on ``config.accuracy_gating``.
+        self._chain_correct: dict[int, int] = {}
+        self._chain_wrong: dict[int, int] = {}
+        self.disabled_chains: dict[int, int] = {}  # pc -> retire count
+        self._next_reenable: int | None = None
+        self._global_correct = 0
+        self._global_total = 0
+        self.killed = False
 
     # ==================================================================
     # Retirement side: H2P training + Fill Buffer + periodic tasks
@@ -94,6 +106,11 @@ class TeaController:
     def on_retire(self, uop: DynUop) -> None:
         cfg = self.config
         self._retire_count += 1
+        if (
+            self._next_reenable is not None
+            and self._retire_count >= self._next_reenable
+        ):
+            self._reenable_chains()
         instr = uop.instr
         if instr.is_branch and uop.branch is not None and uop.branch.can_mispredict:
             if uop.mispredicted:
@@ -209,6 +226,8 @@ class TeaController:
         """Inactive: look for a Block Cache hit ahead of main rename."""
         shadow = self.p.frontend.shadow_ftq
         self._discard_stale_blocks()
+        if self.killed:
+            return  # kill-switch: keep draining the shadow FTQ, never restart
         scanned = 0
         while shadow and scanned < 8:
             block = shadow[0]
@@ -514,6 +533,102 @@ class TeaController:
         self._terminate(drain=True, reason="poison")
 
     # ==================================================================
+    # Graceful degradation: per-chain accuracy gating + kill-switch
+    # ==================================================================
+    def on_accuracy_sample(self, pc: int, correct: bool) -> None:
+        """Main-thread resolution verdict for a TEA-resolved branch.
+
+        Updates the per-chain decaying counters and the global tally,
+        then (when ``accuracy_gating``) disables chains whose measured
+        accuracy fell below ``chain_disable_threshold`` and fires the
+        global kill-switch at sustained accuracy below
+        ``kill_threshold``.  Counter updates are timing-neutral: with
+        gating off (or thresholds never crossed) the simulation is
+        cycle-identical to a build without this method.
+        """
+        cfg = self.config
+        correct_by_pc = self._chain_correct
+        wrong_by_pc = self._chain_wrong
+        if correct:
+            correct_by_pc[pc] = correct_by_pc.get(pc, 0) + 1
+            self._global_correct += 1
+        else:
+            wrong_by_pc[pc] = wrong_by_pc.get(pc, 0) + 1
+        self._global_total += 1
+        good = correct_by_pc.get(pc, 0)
+        bad = wrong_by_pc.get(pc, 0)
+        if good + bad >= cfg.chain_accuracy_window:
+            # Decay-halve so the counters track recent behaviour (and a
+            # disabled chain can earn its way back after re-enable).
+            correct_by_pc[pc] = good = good >> 1
+            wrong_by_pc[pc] = bad = bad >> 1
+        if not cfg.accuracy_gating or self.killed:
+            return
+        total = good + bad
+        if (
+            pc not in self.disabled_chains
+            and total >= cfg.chain_min_samples
+            and good < cfg.chain_disable_threshold * total
+        ):
+            self._disable_chain(pc, good, total)
+        if (
+            self._global_total >= cfg.kill_min_samples
+            and self._global_correct < cfg.kill_threshold * self._global_total
+        ):
+            self._kill()
+
+    def chain_accuracy(self, pc: int) -> float | None:
+        """Measured accuracy of one chain (None before any sample)."""
+        good = self._chain_correct.get(pc, 0)
+        total = good + self._chain_wrong.get(pc, 0)
+        return good / total if total else None
+
+    def _disable_chain(self, pc: int, good: int, total: int) -> None:
+        self.disabled_chains[pc] = self._retire_count
+        self.p.stats.tea_chain_disables += 1
+        due = self._retire_count + self.config.chain_reenable_period
+        if self._next_reenable is None or due < self._next_reenable:
+            self._next_reenable = due
+        if self.p.obs is not None:
+            self.p.obs.emit(
+                "tea_chain_disabled", pc=pc, correct=good, samples=total
+            )
+
+    def _reenable_chains(self) -> None:
+        """Retire-count watermark hit: re-enable chains past the decay
+        period (their counters reset so they re-qualify from scratch)."""
+        period = self.config.chain_reenable_period
+        now = self._retire_count
+        due = [
+            pc
+            for pc, disabled_at in self.disabled_chains.items()
+            if now - disabled_at >= period
+        ]
+        for pc in due:
+            del self.disabled_chains[pc]
+            self._chain_correct.pop(pc, None)
+            self._chain_wrong.pop(pc, None)
+            self.p.stats.tea_chain_reenables += 1
+            if self.p.obs is not None:
+                self.p.obs.emit("tea_chain_enabled", pc=pc)
+        if self.disabled_chains:
+            self._next_reenable = min(self.disabled_chains.values()) + period
+        else:
+            self._next_reenable = None
+
+    def _kill(self) -> None:
+        """Sustained low accuracy: disable the TEA thread for good."""
+        self.killed = True
+        self.p.stats.tea_killed = 1
+        if self.p.obs is not None:
+            self.p.obs.emit(
+                "tea_degraded",
+                resolutions=self._global_total,
+                correct=self._global_correct,
+            )
+        self._terminate(drain=True, reason="degraded")
+
+    # ==================================================================
     # TEA execution callbacks
     # ==================================================================
     def load_value(self, addr: int):
@@ -529,6 +644,16 @@ class TeaController:
     def on_tea_branch_resolved(self, uop: DynUop) -> None:
         """A TEA copy of an H2P branch finished execution (§IV-F)."""
         stats = self.p.stats
+        if self.killed or uop.instr.pc in self.disabled_chains:
+            # Accuracy gating: the chain (or the whole thread) is
+            # degraded — the precomputed outcome is discarded before it
+            # can reach the IFBQ or issue an early flush.
+            stats.tea_suppressed_resolutions += 1
+            if self.p.obs is not None:
+                self.p.obs.emit(
+                    "tea_resolve", pc=uop.instr.pc, seq=uop.seq, suppressed=True
+                )
+            return
         stats.tea_resolved_branches += 1
         obs = self.p.obs
         entry = self.p.ifbq.get(uop.seq)

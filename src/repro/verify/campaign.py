@@ -1,0 +1,183 @@
+"""Seeded fault-injection campaigns with outcome classification.
+
+Drives the full (workload × fault kind × seed) matrix through
+:func:`repro.harness.runner.run_workload` with a single-fault
+:class:`~repro.verify.faults.FaultPlan` per cell and invariant checking
+enabled, then classifies what happened:
+
+``detected_invariant`` / ``detected_watchdog``
+    The invariant checker (or the forward-progress watchdog) caught the
+    corrupted state — the robustness layer doing its job.
+``benign``
+    The run halted and passed golden-interpreter validation: the fault
+    perturbed only hint/timing state (the paper's fail-safe property
+    for every TEA-side fault).
+``corrupted``
+    Functional validation failed.  Acceptable only for kinds that
+    deliberately target architectural state (``expect="corrupt"``) and
+    only when the :class:`~repro.harness.runner.ValidationError`
+    carried the injector's journal (attribution).
+``not_applied`` / ``unvalidated`` / ``inconclusive``
+    The fault never found an applicable window, the workload defines no
+    validator, or the run hit its cycle budget.
+
+The report's ``ok`` flag is the CI gate: it is False iff any fault
+from :data:`~repro.verify.faults.SAFE_KINDS` (TEA-side or timing-only)
+corrupted architectural state, or a corruption could not be attributed
+to its injected fault.
+"""
+
+from __future__ import annotations
+
+from .faults import FAULT_KINDS, SAFE_KINDS, FaultPlan
+
+#: Pinned default matrix for `repro inject` (tiny-scale friendly).
+DEFAULT_WORKLOADS = ("bfs", "mcf", "xz")
+
+_OUTCOMES = (
+    "detected_invariant",
+    "detected_watchdog",
+    "benign",
+    "corrupted",
+    "not_applied",
+    "unvalidated",
+    "inconclusive",
+)
+
+
+def run_fault_campaign(
+    workloads=DEFAULT_WORKLOADS,
+    kinds=None,
+    seeds: int = 2,
+    mode: str = "tea",
+    scale: str = "tiny",
+    check_invariants: int = 16,
+    max_cycles: int = 2_000_000,
+    start_cycle: int = 2_000,
+    progress=None,
+) -> dict:
+    """Run the matrix serially (deterministic order) and classify.
+
+    ``kinds`` defaults to every registered fault kind; ``seeds`` runs
+    each (workload, kind) cell that many times with seeds ``0..N-1``.
+    ``progress`` is an optional ``callable(cell_dict)`` invoked after
+    each cell (the CLI's live reporting hook).
+    """
+    # Lazy harness import: verify sits below harness in the layer DAG.
+    from ..core.pipeline import SimulationError
+    from ..harness.runner import ValidationError, run_workload
+    from .invariants import InvariantViolation
+
+    if kinds is None:
+        kinds = tuple(sorted(FAULT_KINDS))
+    cells: list[dict] = []
+    for workload in workloads:
+        for kind_name in kinds:
+            kind = FAULT_KINDS[kind_name]
+            for seed in range(seeds):
+                plan = FaultPlan(
+                    seed=seed,
+                    kinds=(kind_name,),
+                    count=1,
+                    start_cycle=start_cycle,
+                )
+                cell = {
+                    "workload": workload,
+                    "kind": kind_name,
+                    "seed": seed,
+                    "expect": kind.expect,
+                    "tea_side": kind.tea_side,
+                    "timing_only": kind.timing_only,
+                    "applied": 0,
+                    "attributed": True,
+                }
+                try:
+                    result = run_workload(
+                        workload,
+                        mode=mode,
+                        scale=scale,
+                        max_cycles=max_cycles,
+                        check_invariants=check_invariants,
+                        fault_plan=plan,
+                    )
+                except InvariantViolation as exc:
+                    cell["outcome"] = "detected_invariant"
+                    cell["invariant"] = exc.invariant
+                    cell["detail"] = exc.detail
+                    context = exc.diagnostics.get("fault_context")
+                    cell["applied"] = _applied_count(context)
+                    cell["attributed"] = context is not None
+                except SimulationError as exc:
+                    cell["outcome"] = "detected_watchdog"
+                    context = exc.diagnostics.get("fault_context")
+                    cell["applied"] = _applied_count(context)
+                    cell["attributed"] = context is not None
+                except ValidationError as exc:
+                    cell["outcome"] = "corrupted"
+                    context = getattr(exc, "fault_context", None)
+                    cell["applied"] = _applied_count(context)
+                    cell["attributed"] = context is not None
+                    if exc.divergence is not None:
+                        cell["divergence"] = exc.divergence
+                else:
+                    applied = result.stats.extra.get("faults", [])
+                    cell["applied"] = len(applied)
+                    if not applied:
+                        cell["outcome"] = "not_applied"
+                    elif result.validated:
+                        cell["outcome"] = "benign"
+                    elif result.halted:
+                        cell["outcome"] = "unvalidated"
+                    else:
+                        cell["outcome"] = "inconclusive"
+                cells.append(cell)
+                if progress is not None:
+                    progress(cell)
+    return _build_report(cells, mode, scale, check_invariants)
+
+
+def _applied_count(fault_context: dict | None) -> int:
+    if not fault_context:
+        return 0
+    return len(fault_context.get("applied", []))
+
+
+def _build_report(cells, mode, scale, check_invariants) -> dict:
+    counts = {outcome: 0 for outcome in _OUTCOMES}
+    unsafe: list[dict] = []
+    unattributed: list[dict] = []
+    undetected: list[dict] = []
+    for cell in cells:
+        counts[cell["outcome"]] += 1
+        if cell["outcome"] == "corrupted":
+            if cell["kind"] in SAFE_KINDS:
+                unsafe.append(cell)
+            if not cell["attributed"]:
+                unattributed.append(cell)
+        if (
+            cell["expect"] == "detect"
+            and cell["applied"]
+            and cell["outcome"] in ("benign", "unvalidated")
+        ):
+            undetected.append(cell)
+    summary = dict(counts)
+    summary["total"] = len(cells)
+    summary["applied"] = sum(1 for c in cells if c["applied"])
+    summary["undetected"] = len(undetected)
+    return {
+        "mode": mode,
+        "scale": scale,
+        "check_invariants": check_invariants,
+        "cells": cells,
+        "summary": summary,
+        # The CI gate: a TEA-side/timing-only fault corrupting
+        # architectural state, or an unattributed corruption, is a bug.
+        "unsafe_corruptions": [_cell_key(c) for c in unsafe],
+        "unattributed_corruptions": [_cell_key(c) for c in unattributed],
+        "undetected_cells": [_cell_key(c) for c in undetected],
+        "ok": not unsafe and not unattributed,
+    }
+
+
+def _cell_key(cell: dict) -> str:
+    return f"{cell['workload']}/{cell['kind']}/seed{cell['seed']}"

@@ -1,0 +1,71 @@
+"""Shared machine-state diagnostics dump.
+
+One JSON-safe snapshot format, used by every structured simulator
+failure so a journaled campaign cell can be triaged without re-running:
+
+* the forward-progress watchdog's :class:`~repro.core.pipeline.SimulationError`
+  (``pipeline.progress_diagnostics()`` delegates here);
+* the invariant checker's :class:`~repro.verify.invariants.InvariantViolation`;
+* the harness's :class:`~repro.harness.runner.ValidationError` (fault
+  context only — the divergence record is its own payload).
+
+When a :class:`~repro.verify.faults.FaultInjector` is active the dump
+carries its journal (plan + applied faults), so failures caused by
+*injected* corruption are attributed to the fault plan instead of
+looking like real model bugs.
+"""
+
+from __future__ import annotations
+
+
+def progress_diagnostics(pipeline) -> dict:
+    """JSON-safe dump of a pipeline's forward-progress state."""
+    head = pipeline.rob[0] if pipeline.rob else None
+    main_rs, tea_rs = pipeline.scheduler.occupancy
+    diag = {
+        "cycle": pipeline.cycle,
+        "last_retire_cycle": pipeline._last_retire_cycle,
+        "rob_depth": len(pipeline.rob),
+        "rob_head": (
+            {
+                "seq": head.seq,
+                "pc": head.instr.pc,
+                "opcode": head.instr.opcode,
+                "state": head.state.name,
+            }
+            if head is not None
+            else None
+        ),
+        "decode_pipe_depth": len(pipeline.decode_pipe),
+        "ftq_depth": len(pipeline.frontend.ftq),
+        "bp_stalled": pipeline.frontend.stalled(),
+        "scheduler_main_rs": main_rs,
+        "scheduler_tea_rs": tea_rs,
+        "load_queue_depth": len(pipeline.lq.entries),
+        "store_queue_depth": len(pipeline.sq.entries),
+        "free_pregs": pipeline.prf.main_available(),
+    }
+    if pipeline.tea is not None:
+        diag["tea"] = {
+            "active": pipeline.tea.active,
+            "draining": pipeline.tea.draining,
+        }
+    return attach_verify_context(pipeline, diag)
+
+
+def attach_verify_context(pipeline, diag: dict) -> dict:
+    """Fold active fault-injection / invariant-checking context into a
+    diagnostics dict (no-op on a plain pipeline)."""
+    injector = getattr(pipeline, "_injector", None)
+    if injector is not None:
+        diag["fault_context"] = injector.journal()
+    checker = getattr(pipeline, "_checker", None)
+    if checker is not None:
+        diag["invariant_checks"] = checker.checks_run
+    return diag
+
+
+def fault_context(pipeline) -> dict | None:
+    """The active injector's journal, or ``None`` on a clean pipeline."""
+    injector = getattr(pipeline, "_injector", None)
+    return injector.journal() if injector is not None else None

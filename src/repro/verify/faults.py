@@ -1,0 +1,435 @@
+"""Deterministic, seeded microarchitectural fault injection.
+
+A :class:`FaultPlan` describes *what* to corrupt and *when*; the
+pipeline installs a :class:`FaultInjector` that fires the plan
+mid-simulation.  Each fault kind mutates live machine state through the
+same structures the model uses, so an injected fault is
+indistinguishable from a real hardware upset / model bug to everything
+downstream — which is the point: the campaign (see
+:mod:`repro.verify.campaign`) proves that the invariant checker or the
+watchdog catches state-corrupting faults, and that TEA-side faults
+never corrupt architectural state (the paper's central fail-safe
+property: precomputation is only a hint).
+
+Every kind declares what its injection is *expected* to do:
+
+``detect``
+    Creates an illegal machine state; the invariant checker (or, with
+    checking off, the forward-progress watchdog) must catch it.
+``benign``
+    Perturbs hint/timing state only; the run must still halt and pass
+    golden-interpreter validation (stats may change).
+``corrupt``
+    Corrupts architectural state on purpose (control case); functional
+    validation is allowed to fail, and when it does the raised
+    :class:`~repro.harness.runner.ValidationError` must carry this
+    injector's journal so the failure is attributed to the fault.
+
+Determinism: all randomness flows from ``random.Random(plan.seed)``,
+and application order is the plan's schedule order, so a (plan,
+workload) pair replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from heapq import heappush
+from typing import Callable
+
+from ..core.dynamic_uop import UopState
+
+#: Expectation taxonomy (see module docstring).
+EXPECT_DETECT = "detect"
+EXPECT_BENIGN = "benign"
+EXPECT_CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """One injectable fault: metadata + the mutation itself.
+
+    ``apply(pipeline, rng)`` performs the mutation and returns a
+    JSON-safe detail dict, or ``None`` when the fault is not applicable
+    to the machine's current state (the injector retries next cycle).
+    """
+
+    name: str
+    tea_side: bool        # corrupts TEA (hint) state, never architectural
+    timing_only: bool     # perturbs event timing, not values
+    expect: str           # EXPECT_DETECT / EXPECT_BENIGN / EXPECT_CORRUPT
+    description: str
+    apply: Callable
+
+
+# ======================================================================
+# TEA-side faults (must never corrupt architectural state)
+# ======================================================================
+def _apply_block_cache_bit(pipeline, rng) -> dict | None:
+    """Flip one bit in a random Block Cache chain mask."""
+    tea = pipeline.tea
+    if tea is None or not tea.block_cache._main:
+        return None
+    bc = tea.block_cache
+    keys = list(bc._main)
+    bb_start = keys[rng.randrange(len(keys))]
+    old = bc._main[bb_start]
+    span = max(old.bit_length(), bc.config.uops_per_entry)
+    bit = rng.randrange(span)
+    new = old ^ (1 << bit)
+    bc._main[bb_start] = new
+    # Keep the cost accounting in sync with the mutated mask, exactly
+    # as a real bit upset would leave the (mask-derived) way count.
+    bc._main_cost += bc._cost(new) - bc._cost(old)
+    return {"bb_start": bb_start, "bit": bit, "old_mask": old, "new_mask": new}
+
+
+def _apply_chain_uop_drop(pipeline, rng) -> dict | None:
+    """Silently lose one chain uop from the TEA shadow frontend."""
+    tea = pipeline.tea
+    if tea is None or not tea.rename_pipe:
+        return None
+    idx = rng.randrange(len(tea.rename_pipe))
+    uop = tea.rename_pipe[idx]
+    del tea.rename_pipe[idx]
+    return {"seq": uop.seq, "pc": uop.instr.pc}
+
+
+def _apply_tea_outcome_flip(pipeline, rng) -> dict | None:
+    """Invert an in-flight precomputed branch outcome."""
+    candidates = [
+        uop
+        for uop in pipeline.executing_uops()
+        if uop.is_tea
+        and uop.state is UopState.EXECUTING
+        and uop.branch is not None
+        and uop.branch.can_mispredict
+        and uop.br_taken is not None
+    ]
+    if not candidates:
+        return None
+    uop = candidates[rng.randrange(len(candidates))]
+    old_taken = bool(uop.br_taken)
+    uop.br_taken = not old_taken
+    target = uop.branch.predicted_target
+    if not uop.br_taken or target is None:
+        target = uop.instr.fallthrough_pc
+    old_target = uop.br_target
+    uop.br_target = target
+    return {
+        "seq": uop.seq,
+        "pc": uop.instr.pc,
+        "old_taken": old_taken,
+        "old_target": old_target,
+        "new_target": target,
+    }
+
+
+def _apply_tea_wakeup_dup(pipeline, rng) -> dict | None:
+    """Spuriously wake a waiting TEA uop (duplicate wakeup)."""
+    sched = pipeline.scheduler
+    if not sched._waiting_tea:
+        return None
+    keys = list(sched._waiting_tea)
+    uop = sched._waiting_tea.pop(keys[rng.randrange(len(keys))])
+    pending = uop.pending_srcs
+    uop.pending_srcs = 0
+    sched._ready_tea.append(uop)
+    sched._tea_sorted = False
+    return {"seq": uop.seq, "pc": uop.instr.pc, "pending_srcs_lost": pending}
+
+
+def _apply_shadow_stall(pipeline, rng) -> dict | None:
+    """Stall the TEA shadow frontend: delay every buffered chain uop."""
+    tea = pipeline.tea
+    if tea is None or not tea.rename_pipe:
+        return None
+    delay = 128
+    for uop in tea.rename_pipe:
+        uop.rename_ready_cycle += delay
+    return {"uops": len(tea.rename_pipe), "delay": delay}
+
+
+# ======================================================================
+# Main-side faults
+# ======================================================================
+def _apply_mem_delay(pipeline, rng) -> dict | None:
+    """Delay one in-flight completion by 64 cycles (timing-only)."""
+    cycle = pipeline.cycle
+    buckets = pipeline._done_buckets
+    candidates = [
+        (key, i)
+        for key, bucket in buckets.items()
+        if key > cycle
+        for i, uop in enumerate(bucket)
+        if uop.state is UopState.EXECUTING
+    ]
+    if not candidates:
+        return None
+    key, idx = candidates[rng.randrange(len(candidates))]
+    uop = buckets[key].pop(idx)
+    new_key = key + 64
+    uop.done_cycle = new_key
+    existing = buckets.get(new_key)
+    if existing is None:
+        buckets[new_key] = [uop]
+        heappush(pipeline._done_heap, new_key)
+    else:
+        existing.append(uop)
+    # The emptied source bucket stays behind its heap key; _complete
+    # pops empty buckets harmlessly.
+    return {"seq": uop.seq, "pc": uop.instr.pc, "old_done": key, "new_done": new_key}
+
+
+def _apply_wakeup_drop(pipeline, rng) -> dict | None:
+    """Lose a wakeup: demote a ready main-thread uop to waiting."""
+    sched = pipeline.scheduler
+    if not sched._ready_main:
+        return None
+    idx = rng.randrange(len(sched._ready_main))
+    uop = sched._ready_main.pop(idx)
+    uop.pending_srcs += 1
+    sched._waiting_main[id(uop)] = uop
+    return {"seq": uop.seq, "pc": uop.instr.pc}
+
+
+def _apply_preg_leak(pipeline, rng) -> dict | None:
+    """Leak a physical register out of the main free list."""
+    free = pipeline.prf.main_free
+    if not free:
+        return None
+    idx = rng.randrange(len(free))
+    preg = free[idx]
+    del free[idx]
+    return {"preg": preg}
+
+
+def _apply_mem_bit(pipeline, rng) -> dict | None:
+    """Flip one bit of a committed memory word (control case:
+    deliberately corrupts architectural state)."""
+    words = [
+        (addr, value)
+        for addr, value in sorted(pipeline.memory.snapshot().items())
+        if isinstance(value, int)
+    ]
+    if not words:
+        return None
+    addr, old = words[rng.randrange(len(words))]
+    bit = rng.randrange(16)
+    new = old ^ (1 << bit)
+    pipeline.memory.store(addr, new)
+    return {"addr": addr, "bit": bit, "old_value": old, "new_value": new}
+
+
+#: Registry of every injectable fault kind, keyed by name.
+FAULT_KINDS: dict[str, FaultKind] = {
+    kind.name: kind
+    for kind in (
+        FaultKind(
+            "block_cache_bit",
+            tea_side=True,
+            timing_only=False,
+            expect=EXPECT_BENIGN,
+            description="flip one bit in a Block Cache chain mask",
+            apply=_apply_block_cache_bit,
+        ),
+        FaultKind(
+            "chain_uop_drop",
+            tea_side=True,
+            timing_only=False,
+            expect=EXPECT_BENIGN,
+            description="drop one chain uop from the TEA shadow frontend",
+            apply=_apply_chain_uop_drop,
+        ),
+        FaultKind(
+            "tea_outcome_flip",
+            tea_side=True,
+            timing_only=False,
+            expect=EXPECT_BENIGN,
+            description="invert an in-flight precomputed branch outcome",
+            apply=_apply_tea_outcome_flip,
+        ),
+        FaultKind(
+            "tea_wakeup_dup",
+            tea_side=True,
+            timing_only=False,
+            # The illegally-ready uop issues in the same cycle's
+            # schedule phase, before any end-of-cycle audit can see it
+            # — so this executes a TEA uop with a stale source, which
+            # is exactly the hint-only corruption the fail-safe
+            # property must absorb.
+            expect=EXPECT_BENIGN,
+            description="spuriously wake a waiting TEA uop",
+            apply=_apply_tea_wakeup_dup,
+        ),
+        FaultKind(
+            "shadow_stall",
+            tea_side=True,
+            timing_only=True,
+            expect=EXPECT_BENIGN,
+            description="stall the TEA shadow frontend by 128 cycles",
+            apply=_apply_shadow_stall,
+        ),
+        FaultKind(
+            "mem_delay",
+            tea_side=False,
+            timing_only=True,
+            expect=EXPECT_BENIGN,
+            description="delay one in-flight completion by 64 cycles",
+            apply=_apply_mem_delay,
+        ),
+        FaultKind(
+            "wakeup_drop",
+            tea_side=False,
+            timing_only=False,
+            expect=EXPECT_DETECT,
+            description="drop a scheduler wakeup for a ready main uop",
+            apply=_apply_wakeup_drop,
+        ),
+        FaultKind(
+            "preg_leak",
+            tea_side=False,
+            timing_only=False,
+            expect=EXPECT_DETECT,
+            description="leak a preg out of the main free list",
+            apply=_apply_preg_leak,
+        ),
+        FaultKind(
+            "mem_bit",
+            tea_side=False,
+            timing_only=False,
+            expect=EXPECT_CORRUPT,
+            description="flip one bit of a committed memory word",
+            apply=_apply_mem_bit,
+        ),
+    )
+}
+
+#: Kinds whose injections must leave golden validation passing (or trip
+#: an invariant): everything TEA-side plus pure timing perturbations.
+SAFE_KINDS: frozenset[str] = frozenset(
+    name
+    for name, kind in FAULT_KINDS.items()
+    if kind.tea_side or kind.timing_only
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults to inject into one run.
+
+    ``count`` faults fire starting at ``start_cycle``, at least
+    ``min_interval`` cycles apart; a kind that stays inapplicable for
+    ``give_up_cycles`` past its due cycle is journaled as skipped.
+    Attach a plan via ``SimConfig.fault_plan``.
+    """
+
+    seed: int = 0
+    kinds: tuple[str, ...] = field(
+        default_factory=lambda: tuple(sorted(FAULT_KINDS))
+    )
+    count: int = 1
+    start_cycle: int = 2_000
+    min_interval: int = 2_000
+    give_up_cycles: int = 100_000
+
+    def __post_init__(self) -> None:
+        from ..core.config import ConfigError
+
+        if not self.kinds:
+            raise ConfigError("FaultPlan.kinds must not be empty")
+        unknown = sorted(set(self.kinds) - set(FAULT_KINDS))
+        if unknown:
+            raise ConfigError(
+                f"FaultPlan.kinds has unknown fault kind(s) {unknown}; "
+                f"choose from {sorted(FAULT_KINDS)}"
+            )
+        for name in ("count", "start_cycle", "min_interval", "give_up_cycles"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigError(f"FaultPlan.{name} must be >= 1, got {value}")
+
+    def as_record(self) -> dict:
+        return {
+            "seed": self.seed,
+            "kinds": list(self.kinds),
+            "count": self.count,
+            "start_cycle": self.start_cycle,
+            "min_interval": self.min_interval,
+            "give_up_cycles": self.give_up_cycles,
+        }
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a live pipeline.
+
+    The pipeline calls :meth:`tick` at the top of every cycle; due
+    faults apply immediately, inapplicable ones retry each cycle until
+    their give-up deadline.  ``journal()`` is the attribution payload
+    carried by every structured failure raised while a plan is active.
+    """
+
+    def __init__(self, pipeline, plan: FaultPlan):
+        self.p = pipeline
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        # Kind choices are drawn up front so the schedule is a pure
+        # function of the seed, independent of applicability retries.
+        self._schedule = [
+            (plan.start_cycle + i * plan.min_interval, self.rng.choice(plan.kinds))
+            for i in range(plan.count)
+        ]
+        self._index = 0
+        self.applied: list[dict] = []
+        self.skipped: list[dict] = []
+
+    def tick(self, cycle: int) -> None:
+        """Apply every fault that is due at ``cycle``."""
+        while self._index < len(self._schedule):
+            due, name = self._schedule[self._index]
+            if cycle < due:
+                return
+            kind = FAULT_KINDS[name]
+            detail = kind.apply(self.p, self.rng)
+            if detail is None:
+                if cycle < due + self.plan.give_up_cycles:
+                    return  # retry next cycle
+                self.skipped.append(
+                    {"kind": name, "due_cycle": due, "gave_up_cycle": cycle}
+                )
+                self._index += 1
+                continue
+            record = {
+                "kind": name,
+                "cycle": cycle,
+                "tea_side": kind.tea_side,
+                "timing_only": kind.timing_only,
+                "expect": kind.expect,
+            }
+            record.update(detail)
+            self.applied.append(record)
+            stats = self.p.stats
+            stats.faults_injected += 1
+            stats.extra.setdefault("faults", []).append(record)
+            obs = self.p.obs
+            if obs is not None:
+                obs.emit(
+                    "fault_injected",
+                    pc=detail.get("pc", -1),
+                    seq=detail.get("seq", -1),
+                    kind=name,
+                    tea_side=kind.tea_side,
+                )
+            self._index += 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._schedule)
+
+    def journal(self) -> dict:
+        """JSON-safe attribution payload: the plan + what actually fired."""
+        return {
+            "plan": self.plan.as_record(),
+            "applied": list(self.applied),
+            "skipped": list(self.skipped),
+        }

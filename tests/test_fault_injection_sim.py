@@ -1,0 +1,138 @@
+"""Microarchitectural fault injection (repro.verify.faults/campaign):
+deterministic replay, detection fixtures per fault kind, the TEA
+fail-safe property, and corruption attribution on ValidationError."""
+
+import pytest
+
+from repro.core.config import ConfigError
+from repro.harness.runner import ValidationError, run_workload
+from repro.verify import (
+    FAULT_KINDS,
+    SAFE_KINDS,
+    FaultPlan,
+    InvariantViolation,
+    run_fault_campaign,
+)
+
+TEA_KINDS = sorted(name for name, k in FAULT_KINDS.items() if k.tea_side)
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(kinds=("no_such_fault",))
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(kinds=())
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(count=0)
+
+    def test_record_round_trip(self):
+        plan = FaultPlan(seed=7, kinds=("mem_delay",), count=3)
+        record = plan.as_record()
+        assert record["seed"] == 7 and record["kinds"] == ["mem_delay"]
+
+    def test_safe_kinds_cover_all_tea_side(self):
+        for name in TEA_KINDS:
+            assert name in SAFE_KINDS
+
+
+class TestDeterminism:
+    def test_same_seed_same_journal_and_timing(self):
+        plan = FaultPlan(
+            seed=3,
+            kinds=("block_cache_bit", "tea_outcome_flip", "shadow_stall"),
+            count=3,
+            start_cycle=2_000,
+            min_interval=500,
+        )
+        runs = [
+            run_workload("bfs", "tea", "tiny", fault_plan=plan)
+            for _ in range(2)
+        ]
+        assert runs[0].stats.cycles == runs[1].stats.cycles
+        assert runs[0].stats.extra["faults"] == runs[1].stats.extra["faults"]
+        assert runs[0].stats.faults_injected == 3
+
+
+class TestDetection:
+    def test_preg_leak_trips_conservation(self):
+        plan = FaultPlan(seed=0, kinds=("preg_leak",), start_cycle=2_000)
+        with pytest.raises(InvariantViolation) as exc:
+            run_workload("bfs", "tea", "tiny",
+                         check_invariants=1, fault_plan=plan)
+        assert exc.value.invariant == "preg_conservation"
+        applied = exc.value.diagnostics["fault_context"]["applied"]
+        assert applied and applied[0]["kind"] == "preg_leak"
+
+    def test_wakeup_drop_trips_scheduler_invariant(self):
+        plan = FaultPlan(seed=0, kinds=("wakeup_drop",), start_cycle=2_000)
+        with pytest.raises(InvariantViolation) as exc:
+            run_workload("bfs", "tea", "tiny",
+                         check_invariants=1, fault_plan=plan)
+        assert exc.value.invariant == "scheduler_wakeup"
+
+
+class TestFailSafe:
+    """TEA-side and timing-only faults must never corrupt architectural
+    state: either an invariant trips or golden validation passes."""
+
+    @pytest.mark.parametrize("kind", TEA_KINDS + ["mem_delay"])
+    def test_fault_is_fail_safe(self, kind):
+        plan = FaultPlan(seed=0, kinds=(kind,), start_cycle=2_000)
+        try:
+            result = run_workload("bfs", "tea", "tiny",
+                                  check_invariants=16, fault_plan=plan)
+        except InvariantViolation:
+            return  # caught illegal state before it could spread: fine
+        assert result.halted and result.validated
+        assert result.stats.faults_injected == 1
+
+    def test_inapplicable_fault_never_applies(self):
+        # Block Cache faults have no target on a TEA-less machine.
+        plan = FaultPlan(seed=0, kinds=("block_cache_bit",),
+                         start_cycle=2_000)
+        result = run_workload("bfs", "baseline", "tiny", fault_plan=plan)
+        assert result.validated
+        assert result.stats.faults_injected == 0
+
+
+class TestAttribution:
+    def test_mem_bit_corruption_carries_fault_context(self):
+        plan = FaultPlan(seed=0, kinds=("mem_bit",), start_cycle=2_000)
+        with pytest.raises(ValidationError) as exc:
+            run_workload("bfs", "tea", "tiny", fault_plan=plan)
+        err = exc.value
+        assert err.fault_context is not None
+        assert err.fault_context["applied"][0]["kind"] == "mem_bit"
+        assert err.diagnostics["fault_context"] is err.fault_context
+        assert err.divergence is not None
+
+
+class TestCampaign:
+    def test_campaign_classifies_and_gates(self):
+        report = run_fault_campaign(
+            workloads=("bfs",), kinds=("preg_leak", "mem_bit"), seeds=1
+        )
+        outcomes = {c["kind"]: c["outcome"] for c in report["cells"]}
+        assert outcomes["preg_leak"] == "detected_invariant"
+        assert outcomes["mem_bit"] == "corrupted"
+        assert all(c["attributed"] for c in report["cells"])
+        assert report["summary"]["total"] == 2
+        # mem_bit deliberately corrupts and is attributed, so the
+        # safety gate stays green.
+        assert report["ok"]
+        assert not report["unsafe_corruptions"]
+        assert not report["unattributed_corruptions"]
+
+
+class TestObservability:
+    def test_fault_injection_emits_events(self):
+        plan = FaultPlan(seed=0, kinds=("shadow_stall",), start_cycle=2_000)
+        result = run_workload("bfs", "tea", "tiny",
+                              observe=True, fault_plan=plan)
+        counts = result.observation.event_type_counts()
+        assert counts.get("fault_injected") == 1

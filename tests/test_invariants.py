@@ -1,0 +1,152 @@
+"""Runtime invariant checker (repro.verify.invariants): a checked sweep
+over real workloads must be violation-free and cycle-identical to the
+unchecked run, and every invariant family must catch a hand-broken
+machine state."""
+
+import pytest
+
+from repro import Pipeline, SimConfig, assemble
+from repro.core.config import ConfigError
+from repro.core.dynamic_uop import UopState
+from repro.harness import run_workload
+from repro.tea import TeaConfig
+from repro.verify import InvariantChecker, InvariantViolation
+
+from tests.conftest import h2p_loop_workload
+
+
+def stepped_pipeline(cond=None, max_steps=20_000):
+    """An H2P-loop TEA pipeline stepped to a mid-execution state (and,
+    optionally, until ``cond(pipeline)`` holds)."""
+    source, mem, _ = h2p_loop_workload(n=600, seed=5)
+    pipeline = Pipeline(assemble(source), mem, SimConfig(tea=TeaConfig()))
+    for _ in range(max_steps):
+        pipeline.step()
+        if pipeline.cycle >= 1_500 and (cond is None or cond(pipeline)):
+            return pipeline
+    raise AssertionError("pipeline never reached the requested state")
+
+
+class TestCheckedSweep:
+    """Real workloads audited every cycle must be violation-free."""
+
+    @pytest.mark.parametrize(
+        "workload,mode,period",
+        # One flagship every-cycle sweep; the rest sample every 8th
+        # cycle (the audit is O(machine state), ~2ms per call).
+        [("bfs", "tea", 1), ("bfs", "baseline", 8), ("xz", "tea", 8)],
+    )
+    def test_workload_violation_free(self, workload, mode, period):
+        result = run_workload(workload, mode, "tiny", check_invariants=period)
+        assert result.halted and result.validated
+        assert result.stats.invariant_checks > 0
+        if period == 1:
+            assert result.stats.invariant_checks == result.stats.cycles
+
+    def test_checking_is_timing_neutral(self):
+        checked = run_workload("bfs", "tea", "tiny", check_invariants=4)
+        plain = run_workload("bfs", "tea", "tiny")
+        for name in (
+            "cycles",
+            "retired_instructions",
+            "flushes",
+            "early_flushes",
+            "tea_resolved_branches",
+            "tea_wrong_resolutions",
+            "tea_chain_disables",
+        ):
+            assert getattr(checked.stats, name) == getattr(plain.stats, name)
+        assert plain.stats.invariant_checks == 0
+        assert checked.stats.invariant_checks > 0
+
+
+class TestHandBrokenStates:
+    """Each family must reject a deliberately corrupted machine."""
+
+    def test_preg_leak_detected(self):
+        pipeline = stepped_pipeline()
+        pipeline.prf.main_free.popleft()
+        checker = InvariantChecker(pipeline)
+        with pytest.raises(InvariantViolation) as exc:
+            checker.audit()
+        assert exc.value.invariant == "preg_conservation"
+        assert "leaked" in exc.value.detail
+
+    def test_double_held_preg_detected(self):
+        pipeline = stepped_pipeline()
+        pipeline.prf.main_free.append(pipeline.prf.main_free[0])
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantChecker(pipeline).audit()
+        assert exc.value.invariant == "preg_conservation"
+        assert "double-held" in exc.value.detail
+
+    def test_rob_dead_state_detected(self):
+        pipeline = stepped_pipeline(cond=lambda p: len(p.rob) >= 2)
+        pipeline.rob[0].state = UopState.RETIRED
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantChecker(pipeline)._check_rob_order()
+        assert exc.value.invariant == "rob_order"
+
+    def test_lsq_missing_load_detected(self):
+        pipeline = stepped_pipeline(cond=lambda p: p.lq.entries)
+        pipeline.lq.entries.pop()
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantChecker(pipeline)._check_lsq_consistency()
+        assert exc.value.invariant == "lsq_consistency"
+
+    def test_ifbq_key_mismatch_detected(self):
+        pipeline = stepped_pipeline(cond=lambda p: p.ifbq._entries)
+        seq = next(iter(pipeline.ifbq._entries))
+        pipeline.ifbq._entries[seq + 999_999] = pipeline.ifbq._entries[seq]
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantChecker(pipeline)._check_occupancy_bounds()
+        assert exc.value.invariant == "occupancy_bounds"
+
+    def test_phantom_wakeup_subscription_detected(self):
+        pipeline = stepped_pipeline()
+        pipeline.prf.waiters[1].append(object())
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantChecker(pipeline)._check_scheduler_wakeup()
+        assert exc.value.invariant == "scheduler_wakeup"
+
+    def test_rat_naming_tea_preg_detected(self):
+        pipeline = stepped_pipeline()
+        pipeline.rat.map[3] = pipeline.prf.main_size + 1
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantChecker(pipeline)._check_tea_partition()
+        assert exc.value.invariant == "tea_partition"
+
+    def test_future_retire_cycle_detected(self):
+        pipeline = stepped_pipeline()
+        pipeline._last_retire_cycle = pipeline.cycle + 5
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantChecker(pipeline)._check_flush_epoch()
+        assert exc.value.invariant == "flush_epoch"
+
+    def test_violation_carries_watchdog_diagnostics(self):
+        pipeline = stepped_pipeline()
+        pipeline.prf.main_free.popleft()
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantChecker(pipeline).audit()
+        diag = exc.value.diagnostics
+        for key in ("cycle", "rob_depth", "free_pregs", "invariant"):
+            assert key in diag
+        assert diag["invariant"] == "preg_conservation"
+
+
+class TestConfiguration:
+    def test_negative_period_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(check_invariants=-1)
+
+    def test_checker_rejects_zero_period(self):
+        pipeline = stepped_pipeline()
+        with pytest.raises(ValueError):
+            InvariantChecker(pipeline, period=0)
+
+    def test_clean_machine_passes_every_family(self):
+        pipeline = stepped_pipeline()
+        checker = InvariantChecker(pipeline)
+        checker.audit()  # must not raise
+        assert checker.checks_run == 1
+        assert pipeline.stats.invariant_checks == 1

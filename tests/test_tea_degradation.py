@@ -1,0 +1,148 @@
+"""Graceful TEA degradation: per-chain accuracy gating, decay-based
+re-enable, and the global kill-switch (TeaConfig accuracy_* knobs)."""
+
+from dataclasses import replace
+
+from repro import Pipeline, SimConfig, assemble
+from repro.harness import run_workload
+from repro.obs import Observation
+from repro.tea import TeaConfig
+from repro.verify import FaultPlan
+
+from tests.conftest import h2p_loop_workload
+
+PC = 0x40  # arbitrary chain PC for unit-level sampling
+
+
+def fresh_tea(config=None):
+    source, mem, _ = h2p_loop_workload(n=200, seed=3)
+    pipeline = Pipeline(
+        assemble(source), mem, SimConfig(tea=config or TeaConfig())
+    )
+    return pipeline.tea
+
+
+class TestChainGating:
+    def test_inaccurate_chain_disabled(self):
+        tea = fresh_tea(replace(
+            TeaConfig(), chain_min_samples=4, chain_disable_threshold=0.9
+        ))
+        for _ in range(4):
+            tea.on_accuracy_sample(PC, correct=False)
+        assert PC in tea.disabled_chains
+        assert tea.p.stats.tea_chain_disables == 1
+        assert tea.chain_accuracy(PC) == 0.0
+
+    def test_accurate_chain_stays_enabled(self):
+        tea = fresh_tea(replace(TeaConfig(), chain_min_samples=4))
+        for _ in range(50):
+            tea.on_accuracy_sample(PC, correct=True)
+        assert not tea.disabled_chains
+        assert tea.chain_accuracy(PC) == 1.0
+
+    def test_counters_decay_halve_at_window(self):
+        tea = fresh_tea(replace(TeaConfig(), chain_accuracy_window=8))
+        for _ in range(8):
+            tea.on_accuracy_sample(PC, correct=True)
+        assert tea._chain_correct[PC] == 4  # halved at the window
+
+    def test_gating_off_only_counts(self):
+        tea = fresh_tea(replace(
+            TeaConfig(), accuracy_gating=False,
+            chain_min_samples=4, kill_min_samples=8, kill_threshold=1.0
+        ))
+        for _ in range(20):
+            tea.on_accuracy_sample(PC, correct=False)
+        assert not tea.disabled_chains
+        assert not tea.killed
+        assert tea.chain_accuracy(PC) == 0.0
+
+    def test_reenable_after_decay_period(self):
+        tea = fresh_tea(replace(
+            TeaConfig(), chain_min_samples=4, chain_disable_threshold=0.9,
+            chain_reenable_period=10
+        ))
+        for _ in range(4):
+            tea.on_accuracy_sample(PC, correct=False)
+        assert PC in tea.disabled_chains
+        assert tea._next_reenable is not None
+        tea._retire_count += tea.config.chain_reenable_period
+        tea._reenable_chains()
+        assert PC not in tea.disabled_chains
+        assert tea._next_reenable is None
+        assert tea.p.stats.tea_chain_reenables == 1
+        # Counters were reset: the chain re-qualifies from scratch.
+        assert tea.chain_accuracy(PC) is None
+
+
+class TestKillSwitch:
+    def test_sustained_inaccuracy_kills_thread(self):
+        tea = fresh_tea(replace(
+            TeaConfig(), kill_min_samples=8, kill_threshold=1.0,
+            chain_min_samples=1_000_000
+        ))
+        for i in range(8):
+            tea.on_accuracy_sample(PC + i, correct=False)
+        assert tea.killed
+        assert tea.p.stats.tea_killed == 1
+
+    def test_accurate_thread_never_killed(self):
+        tea = fresh_tea(replace(TeaConfig(), kill_min_samples=8))
+        for _ in range(100):
+            tea.on_accuracy_sample(PC, correct=True)
+        assert not tea.killed
+
+
+class TestIntegration:
+    def test_fault_storm_disables_chains_observably(self):
+        from repro.workloads import make_workload
+
+        tea_cfg = replace(
+            TeaConfig(), chain_min_samples=4, chain_disable_threshold=0.9,
+            chain_accuracy_window=16, chain_reenable_period=500
+        )
+        plan = FaultPlan(seed=0, kinds=("tea_outcome_flip",), count=200,
+                         start_cycle=1_000, min_interval=50)
+        workload = make_workload("bfs", "tiny")
+        observation = Observation()
+        pipeline = Pipeline(
+            workload.program, workload.fresh_memory(),
+            SimConfig(tea=tea_cfg, fault_plan=plan),
+        )
+        observation.attach(pipeline)
+        stats = pipeline.run(max_cycles=2_000_000)
+        assert pipeline.halted and workload.validate(pipeline)
+        assert stats.tea_chain_disables > 0
+        assert stats.tea_chain_reenables > 0
+        assert stats.tea_suppressed_resolutions > 0
+        counts = observation.event_type_counts()
+        assert counts.get("tea_chain_disabled", 0) > 0
+        assert counts.get("tea_chain_enabled", 0) > 0
+        assert counts.get("fault_injected", 0) == 200
+
+    def test_kill_switch_integration(self):
+        from repro.workloads import make_workload
+
+        tea_cfg = replace(
+            TeaConfig(), kill_min_samples=8, kill_threshold=1.0,
+            chain_min_samples=1_000_000
+        )
+        plan = FaultPlan(seed=1, kinds=("tea_outcome_flip",), count=100,
+                         start_cycle=1_000, min_interval=50)
+        workload = make_workload("bfs", "tiny")
+        observation = Observation()
+        pipeline = Pipeline(
+            workload.program, workload.fresh_memory(),
+            SimConfig(tea=tea_cfg, fault_plan=plan),
+        )
+        observation.attach(pipeline)
+        stats = pipeline.run(max_cycles=2_000_000)
+        assert pipeline.halted and workload.validate(pipeline)
+        assert pipeline.tea.killed
+        assert stats.tea_killed == 1
+        assert observation.event_type_counts().get("tea_degraded", 0) == 1
+
+    def test_default_gating_is_inert_on_accurate_runs(self):
+        gated = run_workload("bfs", "tea", "tiny")
+        assert gated.stats.tea_chain_disables == 0
+        assert gated.stats.tea_killed == 0
