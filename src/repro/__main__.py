@@ -2,9 +2,17 @@
 
 Commands
 --------
-``run``      simulate workloads (one run, or a fault-tolerant campaign)
+``run``      simulate workloads (one run, or a fault-tolerant campaign;
+             ``--follow`` renders live campaign progress, ``--rollup-out``
+             writes the aggregated telemetry rollup)
 ``compare``  simulate one workload under several modes side by side
 ``stats``    run with full telemetry and print the observability report
+             (or summarize a saved ``--events`` JSONL dump)
+``profile``  self-profile the cycle kernel: per-stage wall-clock
+             attribution (``--gate`` checks the disabled path stays
+             untouched and cycle-exact)
+``report``   TEA paper metrics: timeliness / efficiency / accuracy per
+             H2P branch and in aggregate
 ``list``     list workloads, scales, and machine modes
 ``figure``   regenerate one paper figure/table on a workload subset
 ``bench``    time the cycle kernel and write BENCH_pipeline.json
@@ -35,7 +43,13 @@ Examples::
         --timeout 600 --checkpoint campaign.jsonl
     python -m repro run bfs,mcf,xz --modes baseline,tea --jobs 4 \\
         --checkpoint campaign.jsonl --resume
+    python -m repro run bfs,mcf,xz --modes baseline,tea --jobs 4 \\
+        --follow --rollup-out ROLLUP.json
     python -m repro stats mcf --mode tea --top 10
+    python -m repro stats mcf --events events.jsonl
+    python -m repro profile xz --mode tea --out PROFILE_xz.json
+    python -m repro profile xz --mode tea --gate
+    python -m repro report bfs,mcf,xz --mode tea --out TEA_report.json
     python -m repro compare mcf --modes baseline,tea,runahead
     python -m repro figure fig8 --workloads bfs,mcf,xz --scale tiny
     python -m repro figure fig5 --scale tiny --jobs 4 --resume \\
@@ -90,12 +104,13 @@ def _print_stats(result) -> None:
     print(f"  validated         {result.validated}")
 
 
-def _make_executor(args, observation=None) -> CampaignExecutor:
+def _make_executor(args, observation=None, telemetry=None) -> CampaignExecutor:
     return CampaignExecutor(
         jobs=args.jobs,
         timeout=args.timeout,
         retries=args.retries,
         observation=observation,
+        telemetry=telemetry,
     )
 
 
@@ -128,6 +143,8 @@ def _cmd_run(args) -> int:
         or args.jobs != 1
         or args.checkpoint
         or args.resume
+        or args.follow
+        or args.rollup_out
     )
     if campaign:
         if args.jobs < 0:
@@ -150,10 +167,30 @@ def _cmd_run(args) -> int:
             for w in workloads
             for m in modes
         ]
-        executor = _make_executor(args, observation=Observation())
+        telemetry = None
+        view = None
+        if args.follow or args.rollup_out:
+            from .obs import CampaignProgressView, TelemetryAggregator
+
+            if args.follow:
+                view = CampaignProgressView(specs)
+            telemetry = TelemetryAggregator(
+                jobs=max(1, args.jobs),
+                on_update=view.render if view is not None else None,
+            )
+        executor = _make_executor(
+            args, observation=Observation(), telemetry=telemetry
+        )
         outcomes = executor.run(
             specs, checkpoint=args.checkpoint, resume=args.resume
         )
+        if view is not None:
+            view.finish(telemetry)
+        if args.rollup_out:
+            with open(args.rollup_out, "w") as fh:
+                json.dump(telemetry.rollup(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote campaign rollup to {args.rollup_out}")
         _print_campaign(outcomes)
         return 0 if all(o.ok for o in outcomes) else 1
     observe = bool(args.events_out or args.trace_out or args.stats_out)
@@ -181,7 +218,66 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _summarize_events_file(args) -> int:
+    """``repro stats --events``: summarize a saved JSONL event dump.
+
+    Fails with a clear one-line error — never a traceback — on a
+    missing, empty, or interior-corrupt file; a partial *trailing* line
+    (crash mid-append) is tolerated and dropped.
+    """
+    import os
+    import warnings
+
+    from .obs import read_events_jsonl
+
+    path = args.events
+    if not os.path.exists(path):
+        print(f"stats: events file not found: {path}", file=sys.stderr)
+        return 2
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            records = read_events_jsonl(path, tolerant=True)
+    except ValueError as exc:
+        print(f"stats: cannot read events file: {exc}", file=sys.stderr)
+        return 1
+    for warning in caught:
+        print(f"stats: warning: {warning.message}", file=sys.stderr)
+    if not records:
+        print(f"stats: events file is empty: {path}", file=sys.stderr)
+        return 1
+    counts: dict[str, int] = {}
+    for record in records:
+        type_ = record.get("type", "?")
+        counts[type_] = counts.get(type_, 0) + 1
+    cycles = [r["cycle"] for r in records if "cycle" in r]
+    if args.json:
+        print(json.dumps(
+            {
+                "path": path,
+                "events": len(records),
+                "first_cycle": min(cycles) if cycles else None,
+                "last_cycle": max(cycles) if cycles else None,
+                "by_type": dict(sorted(counts.items())),
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    span = ""
+    if cycles:
+        span = f" over cycles {min(cycles)}..{max(cycles)}"
+    print(f"{path}: {len(records)} events{span}")
+    for type_, count in sorted(counts.items()):
+        print(f"  {type_:20s} {count:8d}")
+    return 0
+
+
 def _cmd_stats(args) -> int:
+    if args.events:
+        return _summarize_events_file(args)
+    if not args.workload:
+        print("stats: give a workload name or --events PATH", file=sys.stderr)
+        return 2
     result = run_workload(args.workload, args.mode, args.scale, observe=True)
     obs = result.observation
     if args.json:
@@ -205,6 +301,100 @@ def _cmd_stats(args) -> int:
     print()
     print(obs.attribution.report(args.top))
     return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs import validate_chrome_trace, write_metrics_snapshot
+
+    result = run_workload(
+        args.workload, args.mode, args.scale, profile=True
+    )
+    profiler = result.profiler
+    report = profiler.report()
+    print(f"{args.workload} under {args.mode} ({args.scale} scale): "
+          f"{report['steps']} steps, {report['total_ns'] / 1e6:.1f} ms "
+          f"in the step loop ({report['ns_per_step']:.0f} ns/step)")
+    rows = sorted(report["buckets"].items(), key=lambda kv: -kv[1]["ns"])
+    print(f"  {'bucket':18s}{'ms':>10s}{'%':>7s}{'calls':>12s}")
+    for name, bucket in rows:
+        print(f"  {name:18s}{bucket['ns'] / 1e6:10.2f}"
+              f"{100 * bucket['frac']:6.1f}%{bucket['calls']:12d}")
+    if args.out:
+        write_metrics_snapshot(profiler.flat(), args.out)
+        print(f"wrote profile snapshot to {args.out}")
+    if args.trace_out:
+        trace = profiler.to_chrome_trace()
+        validate_chrome_trace(trace)
+        with open(args.trace_out, "w") as fh:
+            json.dump(trace, fh)
+        print(f"wrote {len(trace['traceEvents'])} profiler trace events to "
+              f"{args.trace_out} (open in ui.perfetto.dev)")
+    if args.gate:
+        # Overhead gate, two halves:
+        # 1. cycle-exactness — a profiled run must report identical
+        #    SimStats to an unprofiled one;
+        # 2. structural zero cost — an unprofiled pipeline must keep
+        #    its untouched class methods (no wrapper in __dict__).
+        plain = run_workload(args.workload, args.mode, args.scale)
+        if plain.stats.as_dict() != result.stats.as_dict():
+            print("GATE FAIL: profiled run diverged from unprofiled stats",
+                  file=sys.stderr)
+            return 1
+        from .core import Pipeline
+        from .harness import make_config
+        from .workloads import make_workload
+
+        workload = make_workload(args.workload, args.scale)
+        pipeline = Pipeline(
+            workload.program, workload.fresh_memory(), make_config(args.mode)
+        )
+        pipeline.run(max_cycles=1000)
+        shadowed = [
+            attr for attr in ("step", "_retire", "_fetch", "_schedule")
+            if attr in pipeline.__dict__
+        ]
+        if pipeline.profiler is not None or shadowed:
+            print(f"GATE FAIL: unprofiled pipeline carries profiler "
+                  f"wrappers: {shadowed}", file=sys.stderr)
+            return 1
+        print("gate: profiled run cycle-exact; disabled path untouched")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import build_tea_report, render_tea_report
+
+    workloads = args.workloads.split(",")
+    reports: dict[str, dict] = {}
+    for workload in workloads:
+        print(f"simulating {workload}/{args.mode} ...", file=sys.stderr)
+        result = run_workload(workload, args.mode, args.scale, observe=True)
+        obs = result.observation
+        reports[workload] = build_tea_report(
+            result.stats,
+            obs.attribution,
+            obs.events,
+            workload=workload,
+            mode=args.mode,
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(reports, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote TEA report to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    else:
+        for workload in workloads:
+            print(render_tea_report(reports[workload], top=args.top))
+            print()
+    mismatched = [
+        w for w, r in reports.items() if not r["reconciliation"]["exact"]
+    ]
+    for workload in mismatched:
+        print(f"RECONCILIATION MISMATCH: {workload} attribution vs SimStats",
+              file=sys.stderr)
+    return 1 if mismatched else 0
 
 
 def _cmd_compare(args) -> int:
@@ -522,20 +712,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--check-invariants", type=int, default=0, metavar="N",
                        help="audit machine invariants every N cycles "
                             "(0 = off; disables idle fast-forward)")
+    p_run.add_argument("--follow", action="store_true",
+                       help="live campaign progress: in-place matrix "
+                            "rendering with ETA (enables telemetry)")
+    p_run.add_argument("--rollup-out", default=None, metavar="PATH",
+                       help="write the aggregated campaign telemetry "
+                            "rollup JSON (enables telemetry)")
     add_executor_options(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_stats = sub.add_parser(
         "stats", help="run with telemetry and print the full report"
     )
-    p_stats.add_argument("workload")
+    p_stats.add_argument("workload", nargs="?", default=None)
     p_stats.add_argument("--mode", default="tea", choices=MODES)
     p_stats.add_argument("--scale", default="tiny")
     p_stats.add_argument("--top", type=int, default=10,
                          help="rows in the per-branch offender table")
     p_stats.add_argument("--json", action="store_true",
                          help="emit the flat metrics snapshot as JSON")
+    p_stats.add_argument("--events", default=None, metavar="PATH",
+                         help="summarize a saved JSONL event dump instead "
+                              "of running a simulation")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_prof = sub.add_parser(
+        "profile", help="per-stage wall-clock self-profile of one run"
+    )
+    p_prof.add_argument("workload")
+    p_prof.add_argument("--mode", default="tea", choices=MODES)
+    p_prof.add_argument("--scale", default="tiny")
+    p_prof.add_argument("--out", default=None, metavar="PATH",
+                        help="write the flat profile.* JSON snapshot")
+    p_prof.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write Perfetto counter tracks (trace_event)")
+    p_prof.add_argument("--gate", action="store_true",
+                        help="verify profiled runs stay cycle-exact and the "
+                             "disabled path carries no wrappers; exit 1 on "
+                             "violation")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_rep = sub.add_parser(
+        "report", help="TEA timeliness/efficiency/accuracy paper metrics"
+    )
+    p_rep.add_argument("workloads",
+                       help="workload name or comma-separated list")
+    p_rep.add_argument("--mode", default="tea", choices=MODES)
+    p_rep.add_argument("--scale", default="tiny")
+    p_rep.add_argument("--top", type=int, default=10,
+                       help="per-branch rows in the rendered table")
+    p_rep.add_argument("--out", default=None, metavar="PATH",
+                       help="write the per-workload report JSON")
+    p_rep.add_argument("--json", action="store_true",
+                       help="print the report JSON instead of the table")
+    p_rep.set_defaults(func=_cmd_report)
 
     p_cmp = sub.add_parser("compare", help="compare machine modes")
     p_cmp.add_argument("workload")

@@ -119,6 +119,10 @@ class SimConfig:
     #: Optional repro.verify.FaultPlan (imported lazily by the
     #: pipeline): deterministic seeded fault injection mid-simulation.
     fault_plan: object | None = None
+    #: Self-profiling (repro.obs.profiler): attribute host wall-clock
+    #: to pipeline stages.  Off by default; a disabled pipeline never
+    #: constructs the profiler or its wrappers (structurally zero cost).
+    profile: bool = False
 
     def __post_init__(self) -> None:
         _require(

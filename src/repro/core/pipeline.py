@@ -164,6 +164,10 @@ class Pipeline:
             from ..verify.faults import FaultInjector
 
             self._injector = FaultInjector(self, self.config.fault_plan)
+        # Self-profiler (repro.obs.profiler), installed on first run()
+        # when config.profile is set.  Unprofiled pipelines never get
+        # wrapper attributes, so the disabled path is structurally free.
+        self.profiler = None
 
     # ==================================================================
     # Top-level control
@@ -180,6 +184,11 @@ class Pipeline:
         """
         max_instructions = max_instructions or self.config.max_instructions
         max_cycles = max_cycles or self.config.max_cycles
+        if self.config.profile and self.profiler is None:
+            from ..obs.profiler import PipelineProfiler
+
+            self.profiler = PipelineProfiler()
+            self.profiler.install(self)
         warmup = self.config.warmup_instructions
         measurement_started = warmup == 0
         if measurement_started:
@@ -691,8 +700,13 @@ class Pipeline:
         tea_flushed = entry is not None and entry.tea_flush_issued
         obs = self.obs
         gap = None
+        lead = None
         if tea_resolved and entry.tea_resolve_cycle >= 0:
             gap = self.cycle - entry.tea_resolve_cycle
+            if uop.fetch_cycle >= 0:
+                # Timeliness: positive = the TEA copy resolved before
+                # the main thread even fetched the branch.
+                lead = uop.fetch_cycle - entry.tea_resolve_cycle
         tea_correct = False
         if tea_resolved:
             tea_correct = (
@@ -715,7 +729,7 @@ class Pipeline:
                         outcome = "covered_late"
                     if obs is not None:
                         self._emit_branch_resolved(
-                            obs, uop, outcome, tea_resolved, saved, gap
+                            obs, uop, outcome, tea_resolved, saved, gap, lead
                         )
             else:
                 # Incorrect precomputation slipped past the poison
@@ -726,7 +740,7 @@ class Pipeline:
                 if obs is not None:
                     if mispredicted:
                         self._emit_branch_resolved(
-                            obs, uop, "incorrect", tea_resolved, 0, gap
+                            obs, uop, "incorrect", tea_resolved, 0, gap, lead
                         )
                     obs.emit(
                         "mispredict_flush",
@@ -748,7 +762,9 @@ class Pipeline:
                 self.stats.uncovered_mispredicts += 1
                 outcome = "uncovered"
             if obs is not None:
-                self._emit_branch_resolved(obs, uop, outcome, tea_resolved, 0, gap)
+                self._emit_branch_resolved(
+                    obs, uop, outcome, tea_resolved, 0, gap, lead
+                )
                 obs.emit(
                     "mispredict_flush",
                     pc=info.pc,
@@ -764,10 +780,13 @@ class Pipeline:
         return max(0, uop.done_cycle - uop.fetch_cycle) if uop.fetch_cycle >= 0 else 0
 
     @staticmethod
-    def _emit_branch_resolved(obs, uop, outcome, tea_resolved, saved, gap):
+    def _emit_branch_resolved(obs, uop, outcome, tea_resolved, saved, gap,
+                              lead=None):
         data = {"outcome": outcome, "tea_resolved": tea_resolved, "saved": saved}
         if gap is not None:
             data["gap"] = gap
+        if lead is not None:
+            data["lead"] = lead
         obs.emit("branch_resolved", pc=uop.instr.pc, seq=uop.seq, **data)
 
     # ==================================================================

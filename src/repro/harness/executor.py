@@ -46,6 +46,7 @@ from multiprocessing.connection import wait as _conn_wait
 from pathlib import Path
 
 from ..core.stats import SimStats
+from ..obs.aggregate import TelemetryRelay, current_relay, set_current_relay
 
 # Failure taxonomy (see HACKING.md).
 RETRYABLE = "retryable"
@@ -285,17 +286,32 @@ class CheckpointJournal:
 # The worker side (runs in a subprocess; must stay picklable)
 # ======================================================================
 def execute_spec(record: dict) -> dict:
-    """Default task: simulate one cell and return its result payload."""
+    """Default task: simulate one cell and return its result payload.
+
+    When a telemetry relay is ambient (installed by :func:`_worker_main`
+    or the inline runner), the run is observed with event recording off
+    and the relay streams sampled events + a final metrics snapshot
+    back to the campaign aggregator.
+    """
+    from ..obs import Observation
     from .runner import run_workload
 
     spec = RunSpec.from_record(record)
+    relay = current_relay()
+    observe = None
+    if relay is not None:
+        observe = Observation(record_events=False)
+        relay.attach(observe)
     result = run_workload(
         spec.workload,
         spec.mode,
         spec.scale,
         max_cycles=spec.max_cycles,
+        observe=observe,
         check_invariants=spec.check_invariants,
     )
+    if relay is not None:
+        relay.send_snapshot(stats=result.stats, final=True)
     return {
         "stats": {name: getattr(result.stats, name) for name in STAT_FIELDS},
         "validated": result.validated,
@@ -303,8 +319,23 @@ def execute_spec(record: dict) -> dict:
     }
 
 
-def _worker_main(conn, task, record: dict) -> None:
-    """Subprocess entry: run the task, ship ok/err through the pipe."""
+def _worker_main(conn, task, record: dict, telemetry: dict | None = None) -> None:
+    """Subprocess entry: run the task, ship ok/err through the pipe.
+
+    ``telemetry`` (when campaign telemetry is enabled) carries the
+    relay configuration — ``{"run", "worker", "sample"}`` — and installs
+    a :class:`~repro.obs.aggregate.TelemetryRelay` streaming through
+    the same ``conn`` as interleaved ``("telemetry", envelope)`` tuples.
+    """
+    if telemetry is not None:
+        set_current_relay(
+            TelemetryRelay(
+                conn.send,
+                run=telemetry["run"],
+                worker=telemetry.get("worker", 0),
+                sample=telemetry.get("sample"),
+            )
+        )
     try:
         payload = task(record)
         conn.send(("ok", payload))
@@ -320,6 +351,7 @@ def _worker_main(conn, task, record: dict) -> None:
             )
         )
     finally:
+        set_current_relay(None)
         conn.close()
 
 
@@ -360,6 +392,8 @@ class CampaignExecutor:
         observation=None,
         sleep=time.sleep,
         clock=time.monotonic,
+        telemetry=None,
+        telemetry_sample: dict | None = None,
     ):
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -372,6 +406,11 @@ class CampaignExecutor:
         self.backoff_factor = backoff_factor
         self.task = task or execute_spec
         self.observation = observation
+        # Campaign telemetry: a repro.obs.aggregate.TelemetryAggregator
+        # receiving worker relay streams (None = telemetry off).
+        self.telemetry = telemetry
+        self.telemetry_sample = telemetry_sample
+        self._worker_counter = 0
         self._sleep = sleep
         self._clock = clock
 
@@ -404,11 +443,16 @@ class CampaignExecutor:
                 completed = load_checkpoint(checkpoint)
             journal = CheckpointJournal(checkpoint, fresh=not resume)
 
+        if self.telemetry is not None:
+            self.telemetry.register_specs(specs)
+
         outcomes: dict[str, RunOutcome] = {}
         pending: deque[_Attempt] = deque()
         for spec in specs:
             if spec.key in completed:
                 outcomes[spec.key] = completed[spec.key]
+                if self.telemetry is not None:
+                    self.telemetry.on_run_settled(completed[spec.key])
             else:
                 pending.append(_Attempt(spec))
 
@@ -431,6 +475,8 @@ class CampaignExecutor:
         outcomes[item.spec.key] = outcome
         if journal is not None:
             journal.append(outcome)
+        if self.telemetry is not None:
+            self.telemetry.on_run_settled(outcome)
         if outcome.ok:
             self._emit(
                 "run_finished", item.spec, attempts=outcome.attempts,
@@ -471,6 +517,8 @@ class CampaignExecutor:
         self._emit(
             "run_retried", item.spec, attempt=item.attempt, delay=delay,
         )
+        if self.telemetry is not None:
+            self.telemetry.on_run_retried(item.spec.key)
         pending.append(
             _Attempt(
                 item.spec,
@@ -488,6 +536,20 @@ class CampaignExecutor:
                 self._sleep(item.ready_at - now)
             self._emit("run_started", item.spec, attempt=item.attempt)
             started = self._clock()
+            relay = None
+            if self.telemetry is not None:
+                aggregator = self.telemetry
+                aggregator.on_run_started(item.spec.key, item.attempt)
+                self._worker_counter += 1
+                # Inline mode short-circuits the pipe: the relay's send
+                # feeds the aggregator directly.
+                relay = TelemetryRelay(
+                    lambda msg: aggregator.ingest(msg[1]),
+                    run=item.spec.key,
+                    worker=self._worker_counter,
+                    sample=self.telemetry_sample,
+                )
+                set_current_relay(relay)
             try:
                 payload = self.task(item.spec.as_record())
             except Exception as exc:  # noqa: BLE001
@@ -522,6 +584,9 @@ class CampaignExecutor:
                     halted=payload.get("halted", False),
                     duration=self._clock() - started,
                 )
+            finally:
+                if relay is not None:
+                    set_current_relay(None)
             self._settle(item, outcome, outcomes, journal)
 
     # -- process pool (jobs >= 1) --------------------------------------
@@ -531,15 +596,27 @@ class CampaignExecutor:
 
         def launch(item: _Attempt) -> None:
             parent_conn, child_conn = ctx.Pipe(duplex=False)
+            telemetry = None
+            if self.telemetry is not None:
+                # A fresh worker id per launch gives every attempt its
+                # own sequence-number space in the aggregator.
+                self._worker_counter += 1
+                telemetry = {
+                    "run": item.spec.key,
+                    "worker": self._worker_counter,
+                    "sample": self.telemetry_sample,
+                }
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self.task, item.spec.as_record()),
+                args=(child_conn, self.task, item.spec.as_record(), telemetry),
                 daemon=True,
             )
             item.started = self._clock()
             proc.start()
             child_conn.close()
             self._emit("run_started", item.spec, attempt=item.attempt)
+            if self.telemetry is not None:
+                self.telemetry.on_run_started(item.spec.key, item.attempt)
             active.append({"proc": proc, "conn": parent_conn, "item": item})
 
         def reap(entry: dict, msg) -> None:
@@ -643,11 +720,27 @@ class CampaignExecutor:
             ready = _conn_wait([e["conn"] for e in active], timeout=wait_for)
             for conn in ready:
                 entry = next(e for e in active if e["conn"] is conn)
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError):
-                    msg = None
-                reap(entry, msg)
+                # Drain interleaved telemetry without reaping: the
+                # worker is still running until it ships ok/err (or
+                # dies, closing the pipe).
+                while True:
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        reap(entry, None)
+                        break
+                    if (
+                        isinstance(msg, tuple)
+                        and msg
+                        and msg[0] == "telemetry"
+                    ):
+                        if self.telemetry is not None:
+                            self.telemetry.ingest(msg[1])
+                        if conn.poll():
+                            continue
+                        break
+                    reap(entry, msg)
+                    break
             if self.timeout is not None:
                 now = self._clock()
                 for entry in [

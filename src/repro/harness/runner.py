@@ -174,6 +174,9 @@ class RunResult:
     observation: Observation | None = None
     failure: str | None = None
     error: str | None = None
+    #: The pipeline's :class:`~repro.obs.profiler.PipelineProfiler`
+    #: when the run was profiled (``profile=True``), else ``None``.
+    profiler: object | None = None
 
     @property
     def ok(self) -> bool:
@@ -192,6 +195,7 @@ def run_workload(
     observe: Observation | bool | None = None,
     check_invariants: int = 0,
     fault_plan: object | None = None,
+    profile: bool = False,
 ) -> RunResult:
     """Simulate one workload under one machine mode, to completion.
 
@@ -209,6 +213,10 @@ def run_workload(
     :class:`~repro.verify.faults.FaultPlan` for deterministic fault
     injection.  Both default to off and leave the simulation
     cycle-identical when off.
+
+    ``profile=True`` enables the per-stage wall-clock self-profiler
+    (:mod:`repro.obs.profiler`); the profiler comes back on
+    ``RunResult.profiler``.  Profiling never perturbs simulated state.
     """
     if isinstance(workload, str):
         workload = make_workload(workload, scale)
@@ -217,6 +225,8 @@ def run_workload(
         config = replace(
             config, check_invariants=check_invariants, fault_plan=fault_plan
         )
+    if profile:
+        config = replace(config, profile=True)
     pipeline = Pipeline(workload.program, workload.fresh_memory(), config)
     observation: Observation | None = None
     if observe is True:
@@ -245,4 +255,5 @@ def run_workload(
         validated=validated,
         halted=pipeline.halted,
         observation=observation,
+        profiler=pipeline.profiler,
     )

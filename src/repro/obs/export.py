@@ -17,6 +17,7 @@ Three output formats:
 from __future__ import annotations
 
 import json
+import warnings
 
 # trace_event thread ids (pid is always 0: one simulated core).
 TID_MAIN = 0
@@ -60,14 +61,35 @@ def write_events_jsonl(events, path: str) -> int:
     return len(events)
 
 
-def read_events_jsonl(path: str) -> list[dict]:
-    """Parse a JSONL event dump back into dicts (round-trip tested)."""
-    records = []
+def read_events_jsonl(path: str, tolerant: bool = False) -> list[dict]:
+    """Parse a JSONL event dump back into dicts (round-trip tested).
+
+    ``tolerant`` handles the normal aftermath of a crash while an
+    fsynced JSONL writer was mid-append: a *trailing* line that fails to
+    parse is dropped with a warning instead of raised.  A corrupt line
+    anywhere else still raises ``ValueError`` naming the line — partial
+    tails are expected, interior corruption is not.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = handle.read().splitlines()
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if tolerant and lineno == len(lines):
+                warnings.warn(
+                    f"{path}:{lineno}: dropping partial trailing event "
+                    f"record ({exc})",
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(
+                f"{path}:{lineno}: corrupt event record: {exc}"
+            ) from exc
     return records
 
 

@@ -43,6 +43,10 @@ DEFAULT_HISTOGRAMS: dict[str, tuple[int, ...]] = {
     "tea.walk_depth": (8, 16, 32, 64, 128, 256, 512),
     "tea.cycles_saved": (1, 2, 4, 8, 16, 32, 64, 128, 256),
     "tea.resolution_gap": (0, 4, 8, 16, 32, 64, 128, 256),
+    # Timeliness: TEA resolution lead time relative to the target
+    # branch's *fetch* (positive = resolved before fetch = timely; the
+    # paper's key distribution).  Edges span negative leads (late).
+    "tea.lead_time": (-256, -64, -16, -4, 0, 4, 16, 64, 256),
 }
 
 
@@ -132,6 +136,9 @@ class Observation:
         gap = event.data.get("gap")
         if gap is not None:
             self.metrics.histogram("tea.resolution_gap").observe(gap)
+        lead = event.data.get("lead")
+        if lead is not None:
+            self.metrics.histogram("tea.lead_time").observe(lead)
 
     # -- snapshots ------------------------------------------------------
     def event_type_counts(self) -> dict[str, int]:

@@ -79,8 +79,46 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
-    def as_dict(self) -> dict:
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation within the containing bucket (Prometheus
+        ``histogram_quantile`` style), clamped to the observed
+        ``[min, max]`` range; the overflow bucket reports ``max``.
+        Returns ``None`` for an empty histogram.
+        """
+        if not self.total:
+            return None
+        if q <= 0.0:
+            return float(self.min)
+        if q >= 1.0:
+            return float(self.max)
+        rank = q * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if not count:
+                continue
+            below = cumulative
+            cumulative += count
+            if cumulative >= rank:
+                if i >= len(self.edges):
+                    return float(self.max)
+                upper = self.edges[i]
+                lower = self.edges[i - 1] if i else min(self.min, upper)
+                estimate = lower + (upper - lower) * (rank - below) / count
+                return float(max(self.min, min(self.max, estimate)))
+        return float(self.max)  # pragma: no cover - rank <= total always
+
+    def percentiles(self) -> dict[str, float | None]:
+        """The standard p50/p95/p99 summary quantiles."""
         return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def as_dict(self) -> dict:
+        out = {
             "edges": list(self.edges),
             "counts": list(self.counts),
             "count": self.total,
@@ -89,6 +127,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
         }
+        out.update(self.percentiles())
+        return out
 
     def flat_items(self) -> list[tuple[str, int | float | None]]:
         """``(suffix, value)`` pairs for the flat snapshot format."""
@@ -99,6 +139,7 @@ class Histogram:
             ("min", self.min),
             ("max", self.max),
         ]
+        items.extend(self.percentiles().items())
         for edge, count in zip(self.edges, self.counts):
             items.append((f"le_{edge}", count))
         items.append(("le_inf", self.counts[-1]))

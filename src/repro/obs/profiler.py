@@ -1,0 +1,225 @@
+"""Pipeline self-profiler: per-stage wall-clock attribution.
+
+Answers "where does *host* wall-clock go?" for one simulated run:
+fetch / predict / rename / schedule / execute / commit / TEA-controller
+stage buckets, plus overhead buckets for the event bus and the runtime
+invariant checker.  Enabled with ``SimConfig(profile=True)`` (or
+``repro profile <workload>`` from the CLI).
+
+Implementation: the profiler wraps the pipeline's stage methods as
+*instance attributes* (``pipeline._fetch = timed_wrapper``), shadowing
+the class methods.  A pipeline that never enables profiling keeps its
+untouched class methods — the disabled path is structurally zero-cost,
+which is how the ≤5% disabled-overhead acceptance gate is enforced
+(``repro profile --gate`` additionally asserts no wrapper ever lands in
+an unprofiled pipeline's ``__dict__``).  Wrappers only move *host* time
+around; simulated behaviour is untouched, so profiled runs stay
+cycle-exact vs the golden matrix (``tests/test_profiler.py``).
+
+Timings use ``time.perf_counter_ns``.  Stage buckets are measured
+inside ``step``, so ``event_bus`` / ``invariant_checker`` time nests
+within the stage that triggered it; the reported ``other`` bucket is
+``step`` time not attributed to any stage (step-loop bookkeeping).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: bucket name -> pipeline attribute holding the stage callable.
+_STAGE_ATTRS: tuple[tuple[str, str], ...] = (
+    ("commit", "_retire"),
+    ("execute", "_complete"),
+    ("schedule", "_schedule"),
+    ("rename", "_rename"),
+    ("fetch", "_fetch"),
+    ("predict", "_predict"),
+)
+
+#: Buckets that nest inside stage buckets (not part of ``other`` math).
+_OVERHEAD_BUCKETS = ("event_bus", "invariant_checker", "tea")
+
+
+class ProfileBucket:
+    """Accumulated wall-clock for one profiled stage."""
+
+    __slots__ = ("name", "ns", "calls")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ns = 0
+        self.calls = 0
+
+
+class PipelineProfiler:
+    """Wall-clock attribution over a pipeline's step loop.
+
+    ``sample_period`` controls the Perfetto counter-track resolution:
+    every N simulated cycles the per-bucket deltas since the previous
+    sample are recorded as one counter sample.
+    """
+
+    def __init__(
+        self,
+        sample_period: int = 2048,
+        timer: Callable[[], int] = time.perf_counter_ns,
+    ):
+        self.sample_period = max(1, sample_period)
+        self._timer = timer
+        self.buckets: dict[str, ProfileBucket] = {}
+        self.step_ns = 0
+        self.steps = 0
+        self.samples: list[dict] = []
+        self._last_sample: dict[str, int] = {}
+        self._pipeline = None
+
+    def bucket(self, name: str) -> ProfileBucket:
+        """Create-or-get the named bucket."""
+        bucket = self.buckets.get(name)
+        if bucket is None:
+            bucket = self.buckets[name] = ProfileBucket(name)
+        return bucket
+
+    def _timed(self, name: str, func: Callable) -> Callable:
+        bucket = self.bucket(name)
+        timer = self._timer
+
+        def wrapper(*args, **kwargs):
+            start = timer()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                bucket.ns += timer() - start
+                bucket.calls += 1
+
+        wrapper.__profiled__ = name  # type: ignore[attr-defined]
+        return wrapper
+
+    # ------------------------------------------------------------------
+    def install(self, pipeline) -> None:
+        """Shadow the pipeline's stage methods with timed wrappers."""
+        if self._pipeline is not None:
+            raise RuntimeError("profiler is already installed")
+        self._pipeline = pipeline
+        for name, attr in _STAGE_ATTRS:
+            func = getattr(pipeline, attr, None)
+            if func is not None:
+                setattr(pipeline, attr, self._timed(name, func))
+        tea = getattr(pipeline, "tea", None)
+        if tea is not None:
+            tea.fetch = self._timed("tea", tea.fetch)
+        obs = getattr(pipeline, "obs", None)
+        if obs is not None:
+            obs.emit = self._timed("event_bus", obs.emit)
+        checker = getattr(pipeline, "_checker", None)
+        if checker is not None and hasattr(checker, "maybe_audit"):
+            checker.maybe_audit = self._timed(
+                "invariant_checker", checker.maybe_audit
+            )
+
+        step = pipeline.step
+        timer = self._timer
+
+        def timed_step(*args, **kwargs):
+            start = timer()
+            try:
+                return step(*args, **kwargs)
+            finally:
+                self.step_ns += timer() - start
+                self.steps += 1
+                if self.steps % self.sample_period == 0:
+                    self._take_sample(pipeline.cycle)
+
+        pipeline.step = timed_step
+
+    def _take_sample(self, cycle: int) -> None:
+        sample: dict = {"cycle": cycle}
+        for name, bucket in self.buckets.items():
+            previous = self._last_sample.get(name, 0)
+            sample[name] = bucket.ns - previous
+            self._last_sample[name] = bucket.ns
+        previous = self._last_sample.get("step", 0)
+        sample["step"] = self.step_ns - previous
+        self._last_sample["step"] = self.step_ns
+        self.samples.append(sample)
+
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        """Structured attribution: total, per-bucket ns/calls/fraction."""
+        stage_names = {name for name, _ in _STAGE_ATTRS}
+        stage_ns = sum(
+            b.ns for n, b in self.buckets.items()
+            if n in stage_names or n == "tea"
+        )
+        total = self.step_ns
+        buckets = {
+            name: {
+                "ns": bucket.ns,
+                "calls": bucket.calls,
+                "frac": bucket.ns / total if total else 0.0,
+            }
+            for name, bucket in sorted(self.buckets.items())
+        }
+        other = max(0, total - stage_ns)
+        buckets["other"] = {
+            "ns": other,
+            "calls": self.steps,
+            "frac": other / total if total else 0.0,
+        }
+        return {
+            "total_ns": total,
+            "steps": self.steps,
+            "ns_per_step": total / self.steps if self.steps else 0.0,
+            "buckets": buckets,
+        }
+
+    def flat(self) -> dict:
+        """One-level ``profile.*`` dict for ``write_metrics_snapshot``."""
+        report = self.report()
+        flat: dict[str, int | float] = {
+            "profile.total_ns": report["total_ns"],
+            "profile.steps": report["steps"],
+            "profile.ns_per_step": report["ns_per_step"],
+        }
+        for name, bucket in report["buckets"].items():
+            flat[f"profile.{name}.ns"] = bucket["ns"]
+            flat[f"profile.{name}.calls"] = bucket["calls"]
+            flat[f"profile.{name}.frac"] = round(bucket["frac"], 6)
+        return dict(sorted(flat.items()))
+
+    def to_chrome_trace(self) -> dict:
+        """Perfetto counter tracks: per-bucket ns deltas per sample."""
+        trace: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 3,
+                "args": {"name": "repro-profiler"},
+            },
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 3,
+                "args": {"name": "host-profile"},
+            },
+        ]
+        for sample in self.samples:
+            args = {k: v for k, v in sample.items() if k != "cycle"}
+            trace.append(
+                {
+                    "name": "host_ns_per_sample",
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": 3,
+                    "ts": sample["cycle"],
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": trace,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "1 cycle = 1 trace microsecond"},
+        }

@@ -1,0 +1,241 @@
+"""TEA paper-metric analytics: Timely, Efficient, Accurate.
+
+The paper's claim lives in its title; this module computes all three
+axes from one observed run — the attribution table (per static H2P
+branch) plus the taxonomy event stream — per branch and in aggregate:
+
+* **Timeliness** — the distribution of *lead time*: how many cycles
+  before the target branch's fetch the TEA chain resolved it
+  (``branch_resolved`` events carry ``lead``; positive = resolved
+  pre-fetch).  Plus the fraction of covered mispredictions that were
+  timely (saved ≥ 1 cycle).
+* **Efficiency** — precomputed uops per avoided misprediction, and the
+  suppressed/wasted chain-work breakdown (late and blocked
+  resolutions, graceful-degradation suppressions) from ``tea_resolve``
+  event flags.
+* **Accuracy** — chain resolution correctness vs the architectural
+  outcome (``SimStats.tea_accuracy``), incorrect precomputations, and
+  coverage of the misprediction mass.
+
+The report reconciles by construction: per-branch misprediction totals
+are the attribution table's, which sums exactly to
+``SimStats.total_mispredicts`` (asserted in the ``reconciliation``
+section and tested).  Surfaced by ``repro report``.
+"""
+
+from __future__ import annotations
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def _as_event_dicts(events) -> list[dict]:
+    return [e.as_dict() if hasattr(e, "as_dict") else e for e in events]
+
+
+def _exact_percentiles(values: list[int | float]) -> dict:
+    """Exact (not bucketed) quantiles of a raw sample list."""
+    if not values:
+        return {"p50": None, "p95": None, "p99": None,
+                "mean": None, "min": None, "max": None}
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def pick(q: float):
+        return ordered[min(n - 1, int(q * n))]
+
+    return {
+        "p50": pick(0.50),
+        "p95": pick(0.95),
+        "p99": pick(0.99),
+        "mean": sum(ordered) / n,
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
+
+
+def build_tea_report(
+    stats,
+    attribution,
+    events,
+    workload: str | None = None,
+    mode: str | None = None,
+) -> dict:
+    """Build the timeliness/efficiency/accuracy report dict.
+
+    ``stats`` is the run's :class:`~repro.core.stats.SimStats`,
+    ``attribution`` the :class:`~repro.obs.attribution.AttributionTable`
+    fed during the run, ``events`` the taxonomy event stream (``Event``
+    objects or their dicts).
+    """
+    records = _as_event_dicts(events)
+
+    # Per-PC feeds from the event stream.
+    leads_by_pc: dict[int, list[int]] = {}
+    resolve_flags_by_pc: dict[int, dict[str, int]] = {}
+    for record in records:
+        type_ = record.get("type")
+        pc = record.get("pc", -1)
+        if type_ == "branch_resolved":
+            lead = record.get("lead")
+            if lead is not None:
+                leads_by_pc.setdefault(pc, []).append(lead)
+        elif type_ == "tea_resolve":
+            flags = resolve_flags_by_pc.setdefault(
+                pc, {"suppressed": 0, "late": 0, "blocked": 0, "total": 0}
+            )
+            flags["total"] += 1
+            for flag in ("suppressed", "blocked"):
+                if record.get(flag):
+                    flags[flag] += 1
+            if record.get("late") is True:
+                flags["late"] += 1
+
+    # Per-branch rows: attribution entry + event-derived extensions.
+    branches = {}
+    for hex_pc, entry in attribution.as_dict().items():
+        pc = entry["pc"]
+        leads = leads_by_pc.get(pc, [])
+        flags = resolve_flags_by_pc.get(
+            pc, {"suppressed": 0, "late": 0, "blocked": 0, "total": 0}
+        )
+        covered = entry["covered_timely"] + entry["covered_late"]
+        row = dict(entry)
+        row["timeliness"] = {
+            "lead_cycles": _exact_percentiles(leads),
+            "samples": len(leads),
+            "fraction_timely": (
+                entry["covered_timely"] / covered if covered else None
+            ),
+        }
+        row["efficiency"] = {
+            "chain_resolutions": flags["total"],
+            "suppressed_resolutions": flags["suppressed"],
+            "late_resolutions": flags["late"],
+            "blocked_flushes": flags["blocked"],
+            "cycles_saved_per_covered": (
+                entry["cycles_saved"] / covered if covered else None
+            ),
+        }
+        branches[hex_pc] = row
+
+    # Aggregate sections.
+    all_leads = [lead for leads in leads_by_pc.values() for lead in leads]
+    covered = stats.covered_timely + stats.covered_late
+    avoided = covered  # mispredictions TEA turned into early flushes
+    timeliness = {
+        "covered_timely": stats.covered_timely,
+        "covered_late": stats.covered_late,
+        "fraction_timely": (
+            stats.covered_timely / covered if covered else None
+        ),
+        "lead_cycles": _exact_percentiles(all_leads),
+        "lead_samples": len(all_leads),
+    }
+    efficiency = {
+        "tea_fetched_uops": stats.tea_fetched_uops,
+        "avoided_mispredicts": avoided,
+        "uops_per_avoided_mispredict": (
+            stats.tea_fetched_uops / avoided if avoided else None
+        ),
+        "suppressed_resolutions": stats.tea_suppressed_resolutions,
+        "blocked_flushes": stats.tea_blocked_flushes,
+        "poison_terminations": stats.tea_poison_terminations,
+        "terminations": stats.tea_terminations,
+        "footprint_overhead": (
+            stats.tea_fetched_uops / stats.fetched_uops
+            if stats.fetched_uops else 0.0
+        ),
+    }
+    accuracy = {
+        "tea_resolved_branches": stats.tea_resolved_branches,
+        "tea_wrong_resolutions": stats.tea_wrong_resolutions,
+        "tea_accuracy": stats.tea_accuracy,
+        "incorrect_precomputations": stats.incorrect_precomputations,
+        "coverage": stats.coverage,
+        "uncovered_mispredicts": stats.uncovered_mispredicts,
+    }
+    reconciliation = {
+        "attribution_mispredicts": attribution.total_mispredicts,
+        "stats_mispredicts": stats.total_mispredicts,
+        "exact": attribution.total_mispredicts == stats.total_mispredicts,
+    }
+    report = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "workload": workload,
+        "mode": mode,
+        "cycles": stats.cycles,
+        "mpki": stats.mpki,
+        "total_mispredicts": stats.total_mispredicts,
+        "timeliness": timeliness,
+        "efficiency": efficiency,
+        "accuracy": accuracy,
+        "reconciliation": reconciliation,
+        "branches": branches,
+    }
+    return report
+
+
+def _fmt(value, width: int = 8, digits: int = 2) -> str:
+    if value is None:
+        return " " * (width - 1) + "-"
+    if isinstance(value, float):
+        return f"{value:{width}.{digits}f}"
+    return f"{value:{width}d}"
+
+
+def render_tea_report(report: dict, top: int = 10) -> str:
+    """Render the paper-shaped text table for one report dict."""
+    t = report["timeliness"]
+    e = report["efficiency"]
+    a = report["accuracy"]
+    r = report["reconciliation"]
+    header = report.get("workload") or "run"
+    if report.get("mode"):
+        header = f"{header}/{report['mode']}"
+    lines = [
+        f"TEA report — {header} "
+        f"({report['cycles']} cycles, MPKI {report['mpki']:.3f})",
+        "",
+        "  timeliness:",
+        f"    covered timely/late     {t['covered_timely']} / {t['covered_late']}"
+        f"   fraction timely {_fmt(t['fraction_timely'], 6)}",
+        f"    lead cycles p50/p95/p99 {_fmt(t['lead_cycles']['p50'], 6)} /"
+        f" {_fmt(t['lead_cycles']['p95'], 6)} / {_fmt(t['lead_cycles']['p99'], 6)}"
+        f"   ({t['lead_samples']} samples)",
+        "  efficiency:",
+        f"    tea uops fetched        {e['tea_fetched_uops']}"
+        f"   per avoided mispredict {_fmt(e['uops_per_avoided_mispredict'], 8)}",
+        f"    suppressed/blocked      {e['suppressed_resolutions']} /"
+        f" {e['blocked_flushes']}   footprint overhead"
+        f" {100 * e['footprint_overhead']:.2f}%",
+        "  accuracy:",
+        f"    chain accuracy          {100 * a['tea_accuracy']:.2f}%"
+        f"   ({a['tea_wrong_resolutions']} wrong of"
+        f" {a['tea_resolved_branches']} resolutions)",
+        f"    coverage                {100 * a['coverage']:.2f}%"
+        f"   incorrect {a['incorrect_precomputations']}"
+        f"   uncovered {a['uncovered_mispredicts']}",
+        f"  reconciliation: attribution {r['attribution_mispredicts']}"
+        f" vs stats {r['stats_mispredicts']}"
+        f" — {'exact' if r['exact'] else 'MISMATCH'}",
+    ]
+    branches = list(report["branches"].items())[:top]
+    if branches:
+        lines += [
+            "",
+            f"  top-{len(branches)} H2P branches:",
+            f"    {'pc':>10s} {'mispred':>8s} {'cover':>7s} {'timely%':>8s} "
+            f"{'lead p50':>9s} {'uops/res':>9s} {'acc':>7s}",
+        ]
+        for hex_pc, row in branches:
+            frac = row["timeliness"]["fraction_timely"]
+            lead50 = row["timeliness"]["lead_cycles"]["p50"]
+            lines.append(
+                f"    {hex_pc:>10s} {row['mispredicts']:8d} "
+                f"{100 * row['coverage']:6.1f}% "
+                f"{_fmt(100 * frac if frac is not None else None, 8, 1)} "
+                f"{_fmt(lead50, 9)} "
+                f"{_fmt(row['efficiency']['chain_resolutions'], 9)} "
+                f"{100 * row['accuracy']:6.1f}%"
+            )
+    return "\n".join(lines)

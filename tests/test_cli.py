@@ -127,3 +127,84 @@ class TestSliceCommand:
         assert "H2P branches scored" in capsys.readouterr().out
         report = json.loads(out_path.read_text())
         assert report["summary"]["min_precision_direct"] >= 0.90
+
+
+class TestStatsEventsFile:
+    """``repro stats --events``: clear errors, never tracebacks."""
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        code = main(["stats", "--events", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "not found" in err
+
+    def test_empty_file_is_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        code = main(["stats", "--events", str(path)])
+        assert code == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_partial_trailing_line_is_tolerated(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"type": "flush", "cycle": 5}\n{"type": "fl')
+        code = main(["stats", "--events", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "1 events" in captured.out
+        assert "dropping partial trailing" in captured.err
+
+    def test_interior_corruption_is_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text('garbage\n{"type": "flush", "cycle": 5}\n')
+        code = main(["stats", "--events", str(path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "corrupt event record" in err
+        assert "Traceback" not in err
+
+    def test_events_summary_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"type": "flush", "cycle": 5}\n'
+            '{"type": "early_flush", "cycle": 9, "penalty": 3}\n'
+        )
+        code = main(["stats", "--events", str(path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 2
+        assert payload["by_type"] == {"flush": 1, "early_flush": 1}
+        assert payload["last_cycle"] == 9
+
+    def test_stats_without_workload_or_events(self, capsys):
+        code = main(["stats"])
+        assert code == 2
+        assert "workload" in capsys.readouterr().err
+
+
+class TestRunTelemetryFlags:
+    def test_rollup_out_writes_campaign_rollup(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "rollup.json"
+        code = main([
+            "run", "bfs", "--mode", "tea", "--scale", "tiny",
+            "--jobs", "0", "--rollup-out", str(path),
+        ])
+        assert code == 0
+        rollup = json.loads(path.read_text())
+        assert rollup["cells"]["ok"] == 1
+        assert rollup["events"]["sampled"] > 0
+        assert "sampling" in rollup["drops"]
+
+    def test_follow_inline_prints_progress(self, tmp_path, capsys):
+        code = main([
+            "run", "bfs", "--mode", "tea", "--scale", "tiny",
+            "--jobs", "0", "--follow",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign:" in out
+        assert "1/1 done" in out

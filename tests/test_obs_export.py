@@ -65,6 +65,28 @@ class TestJsonl:
         assert write_events_jsonl([], str(path)) == 0
         assert read_events_jsonl(str(path)) == []
 
+    def test_tolerant_drops_partial_trailing_line(self, tmp_path):
+        """A crash mid-append leaves a partial last line; tolerant mode
+        drops it with a warning instead of raising."""
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(
+            '{"type": "flush", "cycle": 10}\n{"type": "flu'
+        )
+        with pytest.raises(ValueError):
+            read_events_jsonl(str(path))
+        with pytest.warns(UserWarning, match="partial trailing"):
+            records = read_events_jsonl(str(path), tolerant=True)
+        assert records == [{"type": "flush", "cycle": 10}]
+
+    def test_tolerant_still_rejects_interior_corruption(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"type": "flush", "cycle": 1}\nnot json\n'
+            '{"type": "flush", "cycle": 2}\n'
+        )
+        with pytest.raises(ValueError, match="corrupt event record"):
+            read_events_jsonl(str(path), tolerant=True)
+
 
 # ----------------------------------------------------------------------
 # Chrome trace_event

@@ -405,3 +405,123 @@ class TestDisabledPath:
         assert pipeline.frontend.obs is None
         pipeline.run(max_cycles=200_000)
         assert pipeline.obs is None
+
+
+# ----------------------------------------------------------------------
+# Histogram percentiles (ISSUE 6 satellite)
+# ----------------------------------------------------------------------
+class TestHistogramPercentiles:
+    def test_empty_histogram_has_none_percentiles(self):
+        hist = Histogram("t", (1, 2, 4))
+        assert hist.percentiles() == {"p50": None, "p95": None, "p99": None}
+        assert hist.quantile(0.5) is None
+
+    def test_single_value(self):
+        hist = Histogram("t", (1, 2, 4, 8))
+        hist.observe(3)
+        p = hist.percentiles()
+        assert p["p50"] == p["p95"] == p["p99"] == 3.0
+
+    def test_quantiles_are_monotone_and_clamped(self):
+        hist = Histogram("t", (1, 2, 4, 8, 16))
+        for v in (1, 1, 2, 3, 5, 7, 9, 12, 15, 16):
+            hist.observe(v)
+        p50, p95, p99 = (hist.quantile(q) for q in (0.5, 0.95, 0.99))
+        assert hist.min <= p50 <= p95 <= p99 <= hist.max
+
+    def test_uniform_distribution_median(self):
+        hist = Histogram("t", tuple(range(1, 101)))
+        for v in range(1, 101):
+            hist.observe(v)
+        assert hist.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+
+    def test_overflow_bucket_reports_max(self):
+        hist = Histogram("t", (1, 2))
+        for v in (100, 200, 300):
+            hist.observe(v)
+        assert hist.quantile(0.99) == 300.0
+
+    def test_extreme_quantiles(self):
+        hist = Histogram("t", (1, 2, 4))
+        hist.observe(1)
+        hist.observe(4)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_as_dict_and_flat_items_carry_percentiles(self):
+        hist = Histogram("t", (1, 2, 4))
+        hist.observe(2)
+        d = hist.as_dict()
+        assert "p50" in d and "p95" in d and "p99" in d
+        flat = dict(hist.flat_items())
+        assert flat["p50"] is not None
+        assert "p95" in flat and "p99" in flat
+
+    def test_registry_flat_snapshot_has_percentile_keys(self):
+        registry = MetricsRegistry()
+        registry.histogram("tea.x", (1, 2)).observe(1)
+        flat = registry.flat_snapshot()
+        assert "tea.x.p50" in flat and "tea.x.p99" in flat
+
+
+# ----------------------------------------------------------------------
+# Emit hot path (ISSUE 6 satellite): no Event without subscribers
+# ----------------------------------------------------------------------
+class TestEmitHotPath:
+    def test_no_event_constructed_without_subscribers(self, monkeypatch):
+        """The lazy guard must skip Event construction entirely."""
+        import repro.obs.events as events_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("Event constructed with no subscriber")
+
+        monkeypatch.setattr(events_mod, "Event", boom)
+        bus = EventBus()
+        bus.emit("early_flush", penalty=3)
+        bus.emit("cycle_end")
+        assert bus.counts == {"early_flush": 1, "cycle_end": 1}
+
+    def test_event_constructed_once_subscribed(self, monkeypatch):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, ("early_flush",))
+        bus.emit("early_flush", penalty=3)
+        bus.emit("walk_start")  # still skipped: nobody listens
+        assert len(seen) == 1
+
+    def test_unsubscribe_restores_lazy_path(self, monkeypatch):
+        import repro.obs.events as events_mod
+
+        bus = EventBus()
+        callback = lambda e: None  # noqa: E731
+        bus.subscribe(callback, ("early_flush",))
+        bus.unsubscribe(callback)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("Event constructed after unsubscribe")
+
+        monkeypatch.setattr(events_mod, "Event", boom)
+        bus.emit("early_flush", penalty=3)
+        assert bus.counts["early_flush"] == 1
+
+    def test_disabled_path_microbenchmark(self):
+        """Near-zero disabled cost: emitting to a bus with subscribers
+        on *other* types must be no slower than ~2x a bare counter
+        loop, and strictly cheaper than the subscribed path."""
+        import timeit
+
+        bus = EventBus()
+        bus.subscribe(lambda e: None, ("walk_start",))
+
+        n = 50_000
+        disabled = timeit.timeit(
+            lambda: bus.emit("cycle_end", uop=None), number=n
+        )
+        subscribed = timeit.timeit(
+            lambda: bus.emit("walk_start", depth=1), number=n
+        )
+        # Generous absolute bound (CI machines vary): 50k disabled
+        # emits must finish comfortably under a second.
+        assert disabled < 1.0
+        # And the disabled path must be cheaper than dispatching.
+        assert disabled < subscribed

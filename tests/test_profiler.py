@@ -1,0 +1,160 @@
+"""Pipeline self-profiler: attribution, zero disabled cost, exactness.
+
+The acceptance contract from ISSUE 6: profiler-enabled runs are
+cycle-exact vs the golden matrix, and the disabled path costs ≤5% —
+enforced *structurally* here (an unprofiled pipeline must carry no
+wrapper attributes at all; the class methods it runs are the same
+objects a seed pipeline runs, so the disabled overhead is zero by
+construction, well under any percentage bound).
+"""
+
+import json
+from pathlib import Path
+
+from repro import MemoryImage, Pipeline, SimConfig, assemble
+from repro.harness.runner import run_workload
+from repro.obs import Observation, PipelineProfiler, validate_chrome_trace
+from repro.tea import TeaConfig
+
+from tests.conftest import h2p_loop_workload
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_simstats.json"
+
+with GOLDEN_PATH.open() as fh:
+    GOLDEN = json.load(fh)
+
+
+def test_profiled_run_is_cycle_exact_vs_golden():
+    """SimStats of a profiled run must match the seed golden matrix."""
+    cell = "xz/tea"
+    stats = run_workload("xz", "tea", GOLDEN["scale"], profile=True).stats
+    want = GOLDEN["stats"][cell]
+    got = {field: getattr(stats, field) for field in GOLDEN["fields"]}
+    assert got == {f: want[f] for f in GOLDEN["fields"]}
+
+
+def test_profiled_run_matches_unprofiled_stats():
+    profiled = run_workload("bfs", "tea", "tiny", profile=True)
+    plain = run_workload("bfs", "tea", "tiny")
+    assert profiled.stats.as_dict() == plain.stats.as_dict()
+    assert profiled.profiler is not None
+    assert plain.profiler is None
+
+
+def test_unprofiled_pipeline_carries_no_wrappers():
+    """Structural zero-cost: disabled pipelines keep their untouched
+    class methods — no wrapper ever lands in the instance __dict__."""
+    source, memory, _ = h2p_loop_workload(n=200)
+    pipeline = Pipeline(assemble(source), memory, SimConfig())
+    pipeline.run(max_cycles=100_000)
+    for attr in ("step", "_retire", "_complete", "_schedule", "_rename",
+                 "_fetch", "_predict"):
+        assert attr not in pipeline.__dict__, (
+            f"{attr} shadowed on an unprofiled pipeline"
+        )
+    assert pipeline.profiler is None
+
+
+def test_profiler_attributes_all_stages():
+    source, memory, expected = h2p_loop_workload(n=500)
+    config = SimConfig(tea=TeaConfig(), profile=True)
+    pipeline = Pipeline(assemble(source), memory, config)
+    pipeline.run(max_cycles=500_000)
+    assert pipeline.halted
+    profiler = pipeline.profiler
+    report = profiler.report()
+    assert report["steps"] > 0
+    assert report["total_ns"] > 0
+    buckets = report["buckets"]
+    for name in ("fetch", "predict", "rename", "schedule", "execute",
+                 "commit", "tea", "other"):
+        assert name in buckets, f"missing bucket {name}"
+        assert buckets[name]["ns"] >= 0
+    # Every stage actually ran.
+    assert buckets["commit"]["calls"] > 0
+    assert buckets["fetch"]["calls"] > 0
+    # Stage time cannot exceed step-loop time.
+    stage_ns = sum(
+        buckets[n]["ns"]
+        for n in ("fetch", "predict", "rename", "schedule", "execute",
+                  "commit", "tea")
+    )
+    assert stage_ns <= report["total_ns"]
+
+
+def test_profiler_event_bus_and_checker_buckets():
+    source, memory, _ = h2p_loop_workload(n=300)
+    config = SimConfig(tea=TeaConfig(), profile=True, check_invariants=64)
+    pipeline = Pipeline(assemble(source), memory, config)
+    obs = Observation(record_events=False)
+    obs.attach(pipeline)
+    pipeline.run(max_cycles=500_000)
+    buckets = pipeline.profiler.report()["buckets"]
+    assert buckets["event_bus"]["calls"] > 0
+    assert buckets["invariant_checker"]["calls"] > 0
+
+
+def test_profiler_flat_snapshot_keys():
+    result = run_workload("bfs", "tea", "tiny", profile=True)
+    flat = result.profiler.flat()
+    assert flat["profile.steps"] > 0
+    assert flat["profile.total_ns"] > 0
+    for name in ("fetch", "commit", "other"):
+        assert f"profile.{name}.ns" in flat
+        assert f"profile.{name}.calls" in flat
+        assert 0.0 <= flat[f"profile.{name}.frac"] <= 1.0
+    json.dumps(flat)
+
+
+def test_profiler_chrome_trace_validates():
+    profiler = PipelineProfiler(sample_period=64)
+    source, memory, _ = h2p_loop_workload(n=500)
+    pipeline = Pipeline(
+        assemble(source), memory, SimConfig(tea=TeaConfig())
+    )
+    profiler.install(pipeline)
+    pipeline.run(max_cycles=500_000)
+    trace = profiler.to_chrome_trace()
+    validate_chrome_trace(trace)
+    counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+    assert counters, "no profiler counter samples"
+    # Samples are cycle-ordered and carry per-bucket deltas.
+    cycles = [e["ts"] for e in counters]
+    assert cycles == sorted(cycles)
+    assert "step" in counters[0]["args"]
+
+
+def test_profiler_double_install_rejected():
+    profiler = PipelineProfiler()
+    source, memory, _ = h2p_loop_workload(n=50)
+    pipeline = Pipeline(assemble(source), MemoryImage(), SimConfig())
+    profiler.install(pipeline)
+    try:
+        profiler.install(pipeline)
+    except RuntimeError:
+        pass
+    else:
+        raise AssertionError("double install must raise")
+
+
+def test_cli_profile_gate(capsys):
+    from repro.__main__ import main
+
+    rc = main(["profile", "bfs", "--mode", "tea", "--scale", "tiny",
+               "--gate"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "gate: profiled run cycle-exact" in out
+
+
+def test_cli_profile_writes_outputs(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "profile.json"
+    trace = tmp_path / "trace.json"
+    rc = main(["profile", "bfs", "--scale", "tiny",
+               "--out", str(out), "--trace-out", str(trace)])
+    assert rc == 0
+    flat = json.loads(out.read_text())
+    assert flat["profile.steps"] > 0
+    validate_chrome_trace(json.loads(trace.read_text()))

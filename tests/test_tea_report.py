@@ -1,0 +1,148 @@
+"""TEA paper-metric analytics: timeliness / efficiency / accuracy.
+
+The acceptance contract from ISSUE 6: per-branch misprediction totals
+in ``repro report`` reconcile *exactly* with ``SimStats``.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.runner import run_workload
+from repro.obs import build_tea_report, render_tea_report
+
+
+@pytest.fixture(scope="module")
+def xz_tea_report():
+    result = run_workload("xz", "tea", "tiny", observe=True)
+    obs = result.observation
+    report = build_tea_report(
+        result.stats, obs.attribution, obs.events, workload="xz", mode="tea"
+    )
+    return result, report
+
+
+def test_reconciliation_is_exact(xz_tea_report):
+    result, report = xz_tea_report
+    rec = report["reconciliation"]
+    assert rec["exact"] is True
+    assert rec["attribution_mispredicts"] == result.stats.total_mispredicts
+    assert rec["stats_mispredicts"] == result.stats.total_mispredicts
+    # Per-branch rows sum to the same total.
+    assert sum(
+        row["mispredicts"] for row in report["branches"].values()
+    ) == result.stats.total_mispredicts
+
+
+def test_timeliness_counts_match_simstats(xz_tea_report):
+    result, report = xz_tea_report
+    t = report["timeliness"]
+    assert t["covered_timely"] == result.stats.covered_timely
+    assert t["covered_late"] == result.stats.covered_late
+    covered = t["covered_timely"] + t["covered_late"]
+    if covered:
+        assert t["fraction_timely"] == pytest.approx(
+            t["covered_timely"] / covered
+        )
+    # Lead samples come only from covered resolutions (one per
+    # TEA-resolved mispredict outcome that carried a lead).
+    assert t["lead_samples"] > 0
+    lead = t["lead_cycles"]
+    assert lead["min"] <= lead["p50"] <= lead["p95"] <= lead["p99"] <= lead["max"]
+
+
+def test_efficiency_uses_simstats_footprint(xz_tea_report):
+    result, report = xz_tea_report
+    e = report["efficiency"]
+    assert e["tea_fetched_uops"] == result.stats.tea_fetched_uops
+    avoided = result.stats.covered_timely + result.stats.covered_late
+    assert e["avoided_mispredicts"] == avoided
+    if avoided:
+        assert e["uops_per_avoided_mispredict"] == pytest.approx(
+            result.stats.tea_fetched_uops / avoided
+        )
+    assert e["suppressed_resolutions"] == result.stats.tea_suppressed_resolutions
+    assert e["blocked_flushes"] == result.stats.tea_blocked_flushes
+
+
+def test_accuracy_matches_simstats(xz_tea_report):
+    result, report = xz_tea_report
+    a = report["accuracy"]
+    assert a["tea_resolved_branches"] == result.stats.tea_resolved_branches
+    assert a["tea_wrong_resolutions"] == result.stats.tea_wrong_resolutions
+    assert a["tea_accuracy"] == pytest.approx(result.stats.tea_accuracy)
+    assert a["coverage"] == pytest.approx(result.stats.coverage)
+
+
+def test_per_branch_rows_extend_attribution(xz_tea_report):
+    result, report = xz_tea_report
+    obs = result.observation
+    for hex_pc, row in report["branches"].items():
+        entry = obs.attribution.get(row["pc"])
+        assert entry is not None
+        assert row["mispredicts"] == entry.mispredicts
+        assert "timeliness" in row and "efficiency" in row
+    # At least one branch has lead samples on a covered workload.
+    assert any(
+        row["timeliness"]["samples"] > 0
+        for row in report["branches"].values()
+    )
+
+
+def test_report_accepts_event_dicts(xz_tea_report):
+    """Events may arrive as plain dicts (e.g. re-read from JSONL)."""
+    result, report = xz_tea_report
+    obs = result.observation
+    rebuilt = build_tea_report(
+        result.stats,
+        obs.attribution,
+        [e.as_dict() for e in obs.events],
+        workload="xz",
+        mode="tea",
+    )
+    assert rebuilt["timeliness"] == report["timeliness"]
+    assert rebuilt["branches"].keys() == report["branches"].keys()
+
+
+def test_report_is_json_serializable_and_renders(xz_tea_report):
+    _, report = xz_tea_report
+    json.dumps(report)
+    text = render_tea_report(report)
+    assert "timeliness" in text
+    assert "efficiency" in text
+    assert "accuracy" in text
+    assert "exact" in text
+
+
+def test_baseline_report_degrades_gracefully():
+    """No TEA -> zeroed sections, no division errors, still reconciles."""
+    result = run_workload("xz", "baseline", "tiny", observe=True)
+    obs = result.observation
+    report = build_tea_report(result.stats, obs.attribution, obs.events)
+    assert report["reconciliation"]["exact"] is True
+    assert report["timeliness"]["lead_samples"] == 0
+    assert report["efficiency"]["uops_per_avoided_mispredict"] is None
+    render_tea_report(report)
+
+
+def test_cli_report(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "report.json"
+    rc = main(["report", "xz", "--mode", "tea", "--scale", "tiny",
+               "--out", str(out)])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "TEA report — xz/tea" in captured.out
+    payload = json.loads(out.read_text())
+    assert payload["xz"]["reconciliation"]["exact"] is True
+    assert payload["xz"]["branches"]
+
+
+def test_cli_report_json_mode(capsys):
+    from repro.__main__ import main
+
+    rc = main(["report", "xz", "--mode", "tea", "--scale", "tiny", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["xz"]["timeliness"]["covered_timely"] >= 0
