@@ -22,6 +22,10 @@ Commands
 ``inject``   seeded microarchitectural fault-injection campaign
              (repro.verify); exit 1 if any TEA-side fault corrupts
              architectural state or a corruption lacks attribution
+``fuzz``     seeded differential fuzzing campaign (repro.fuzz): random
+             lint-clean programs, interpreter-vs-pipeline oracle,
+             signature triage, delta-debugging shrinks, repro records;
+             exit 1 on any unique failure
 
 Examples::
 
@@ -524,8 +528,14 @@ def _cmd_lint(args) -> int:
             source = fh.read()
         reports[args.source] = lint_program(assemble_unit(source).program)
     elif args.all:
+        from .workloads import fuzz_corpus_names, make_workload
+
         for name in workload_names():
             reports[name] = lint_workload(name, args.scale)
+        # Minimized fuzz repro records are registry workloads too; the
+        # shrinker tolerates warnings (dead stores) but never errors.
+        for name in fuzz_corpus_names():
+            reports[name] = lint_program(make_workload(name).program)
     elif args.workload:
         for name in args.workload.split(","):
             reports[name] = lint_workload(name, args.scale)
@@ -667,6 +677,74 @@ def _cmd_inject(args) -> int:
             print(f"  note: expected-detect fault ran benign: {key}")
         print("ok" if report["ok"] else "NOT OK")
     return 0 if report["ok"] else 1
+
+
+def _cmd_fuzz(args) -> int:
+    import dataclasses
+    from pathlib import Path
+
+    from .fuzz import GeneratorProfile, run_fuzz_campaign
+
+    profile = GeneratorProfile()
+    if args.knobs:
+        overrides = {}
+        fields = {f.name: f.type for f in dataclasses.fields(profile)}
+        for pair in args.knobs.split(","):
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep or key not in fields:
+                print(f"fuzz: unknown knob {key!r}; choose from "
+                      f"{', '.join(sorted(fields))}", file=sys.stderr)
+                return 2
+            overrides[key] = (float(value) if "float" in str(fields[key])
+                              else int(value))
+        profile = dataclasses.replace(profile, **overrides)
+
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    corpus = Path(args.corpus) if args.corpus else None
+    checkpoint = Path(args.checkpoint) if args.checkpoint else None
+    print(f"fuzz campaign: {args.seeds} seed(s) from {args.seed_base}, "
+          f"mode={args.mode}, jobs={args.jobs}, "
+          f"shrink={'on' if args.shrink else 'off'}"
+          + (f", seeded bug={args.seeded_bug}" if args.seeded_bug else "")
+          + " ...", file=sys.stderr)
+    report = run_fuzz_campaign(
+        seeds,
+        mode=args.mode,
+        check_invariants=args.check_invariants,
+        jobs=args.jobs,
+        budget=args.budget,
+        shrink=args.shrink,
+        shrink_budget=args.shrink_budget,
+        corpus_dir=corpus,
+        profile=profile,
+        bug=args.seeded_bug,
+        checkpoint=checkpoint,
+        resume=args.resume,
+        max_cycles=args.max_cycles,
+    )
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote fuzz report to {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        counts = report["counts"]
+        print(f"{report['num_seeds']} seed(s): "
+              + ", ".join(f"{counts[s]} {s}" for s in counts))
+        for entry in report["unique_failures"]:
+            shrunk = (f"shrunk to {entry['instructions']} instruction(s)"
+                      if entry["shrunk"] else "not shrunk")
+            record = (f", record {entry['record']}"
+                      if entry["record"] else "")
+            print(f"  {entry['signature']}: {len(entry['seeds'])} seed(s), "
+                  f"representative {entry['representative']}, "
+                  f"{shrunk}{record}")
+        print("ok" if not report["num_unique_failures"]
+              else f"NOT OK: {report['num_unique_failures']} "
+                   f"unique failure(s)")
+    return 1 if report["num_unique_failures"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -859,6 +937,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_inject.add_argument("--json", action="store_true",
                           help="print the full report as JSON")
     p_inject.set_defaults(func=_cmd_inject)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="seeded differential fuzzing campaign"
+    )
+    p_fuzz.add_argument("--seeds", type=int, default=64, metavar="N",
+                        help="number of seeds in the batch (default 64)")
+    p_fuzz.add_argument("--seed-base", type=int, default=0, metavar="S",
+                        help="first seed; the batch is [S, S+N)")
+    p_fuzz.add_argument("--budget", type=float, default=60.0, metavar="SEC",
+                        help="per-seed wall-clock limit (enforced by worker "
+                             "termination when --jobs >= 1)")
+    p_fuzz.add_argument("--shrink", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="delta-debug each unique failure's "
+                             "representative before recording it")
+    p_fuzz.add_argument("--shrink-budget", type=int, default=512, metavar="N",
+                        help="oracle evaluations allowed per shrink")
+    p_fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                        help="repro-record directory "
+                             "(default benchmarks/fuzz/)")
+    p_fuzz.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes (0 = inline)")
+    p_fuzz.add_argument("--report", default=None, metavar="PATH",
+                        help="write the JSON triage report")
+    p_fuzz.add_argument("--mode", default="baseline", choices=MODES)
+    p_fuzz.add_argument("--check-invariants", type=int, default=64,
+                        metavar="N",
+                        help="invariant audit period in the pipeline leg")
+    p_fuzz.add_argument("--max-cycles", type=int, default=2_000_000)
+    p_fuzz.add_argument("--knobs", default=None, metavar="K=V[,K=V...]",
+                        help="generator profile overrides, e.g. "
+                             "loops=1,body_ops=3,indirect_fanout=8")
+    p_fuzz.add_argument("--seeded-bug", default=None, metavar="NAME",
+                        help="apply a named repro.fuzz.bugs fixture to the "
+                             "pipeline (oracle self-test)")
+    p_fuzz.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="JSONL journal of completed runs")
+    p_fuzz.add_argument("--resume", action="store_true",
+                        help="skip runs already in the checkpoint journal")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -44,7 +44,8 @@ LAYER_RANKS: dict[str, int] = {
     "verify": 6,
     "workloads": 7,
     "harness": 8,
-    "": 9,
+    "fuzz": 9,
+    "": 10,
 }
 
 

@@ -1,0 +1,69 @@
+"""Seeded workload fuzzer: generation, differential oracles, triage.
+
+The scenario space of the reproduction was 17 hand-written kernels;
+this package makes it unbounded and self-triaging:
+
+* :mod:`repro.fuzz.generator` — seeded random micro-ISA programs with
+  tunable control-flow knobs, lint-gated;
+* :mod:`repro.fuzz.oracle` — golden interpreter vs cycle-exact
+  pipeline differential classification (pass / divergence / invariant
+  / hang / crash);
+* :mod:`repro.fuzz.shrink` — delta-debugging minimization preserving
+  the failure signature;
+* :mod:`repro.fuzz.campaign` — seed fan-out on the harness
+  :class:`~repro.harness.executor.CampaignExecutor`, signature-dedup
+  triage, repro-record emission;
+* :mod:`repro.fuzz.corpus` — self-contained JSON repro records under
+  ``benchmarks/fuzz/``, exposed as ``fuzz/<name>`` regression
+  workloads;
+* :mod:`repro.fuzz.bugs` — seeded-bug fixtures proving the oracle and
+  shrinker actually catch broken pipeline semantics.
+
+CLI: ``repro fuzz --seeds N [--shrink/--no-shrink] [--jobs J] ...``.
+"""
+
+from .bugs import SEEDED_BUGS, seeded_bug
+from .campaign import execute_fuzz_spec, fuzz_spec, run_fuzz_campaign
+from .corpus import (
+    corpus_names,
+    default_corpus_dir,
+    load_corpus,
+    load_record,
+    make_corpus_workload,
+    replay_record,
+    write_record,
+)
+from .generator import (
+    FuzzGenerationError,
+    GeneratedProgram,
+    GeneratorProfile,
+    generate_program,
+    generate_source,
+)
+from .oracle import STATUSES, OracleOutcome, classify_source
+from .shrink import ShrinkResult, shrink_source
+
+__all__ = [
+    "SEEDED_BUGS",
+    "seeded_bug",
+    "execute_fuzz_spec",
+    "fuzz_spec",
+    "run_fuzz_campaign",
+    "corpus_names",
+    "default_corpus_dir",
+    "load_corpus",
+    "load_record",
+    "make_corpus_workload",
+    "replay_record",
+    "write_record",
+    "FuzzGenerationError",
+    "GeneratedProgram",
+    "GeneratorProfile",
+    "generate_program",
+    "generate_source",
+    "STATUSES",
+    "OracleOutcome",
+    "classify_source",
+    "ShrinkResult",
+    "shrink_source",
+]

@@ -1,0 +1,78 @@
+"""Seeded-bug fixtures: deliberately broken pipeline semantics.
+
+The CI fuzz smoke job (and ``tests/test_fuzz_campaign.py``) must prove
+the oracle stack *can* catch a real bug, not just that the current
+kernel happens to be correct.  Each named bug here monkeypatches one
+semantics function **in the pipeline's namespace only** —
+:mod:`repro.core.pipeline` imports ``compute_result``/``branch_taken``
+by name, so patching ``repro.core.pipeline.compute_result`` corrupts
+the cycle-exact machine while the golden interpreter (which calls
+:mod:`repro.isa.semantics` through its own import) stays correct.
+Every injected bug is therefore *guaranteed* to be a pipeline-vs-
+interpreter discrepancy, exactly the class the differential oracle
+exists to find.
+
+Bugs are applied with :func:`seeded_bug` as a context manager (or via
+the ``seeded_bug=`` argument of the campaign entry points, which apply
+it inside each worker so process pools work too).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..isa import Instruction
+from ..isa.semantics import branch_taken, compute_result
+
+
+def _addi_off_by_one(instr: Instruction, values: tuple) -> int | float | None:
+    """``addi rd, rs, 1`` computes one too many (loop-counter poison)."""
+    result = compute_result(instr, values)
+    if instr.opcode == "addi" and instr.imm == 1 and result is not None:
+        return result + 1
+    return result
+
+
+def _xor_as_or(instr: Instruction, values: tuple) -> int | float | None:
+    """``xor`` computes ``or`` — silent data corruption on mixers."""
+    if instr.opcode == "xor":
+        return values[0] | values[1]
+    return compute_result(instr, values)
+
+
+def _blt_off_by_one(instr: Instruction, values: tuple) -> bool:
+    """``blt`` also takes on equality — loops run one extra trip."""
+    if instr.opcode == "blt":
+        return values[0] <= values[1]
+    return branch_taken(instr, values)
+
+
+#: name -> (pipeline attribute to patch, replacement)
+SEEDED_BUGS: dict = {
+    "addi-imm-one": ("compute_result", _addi_off_by_one),
+    "xor-as-or": ("compute_result", _xor_as_or),
+    "blt-off-by-one": ("branch_taken", _blt_off_by_one),
+}
+
+
+@contextmanager
+def seeded_bug(name: str | None) -> Iterator[None]:
+    """Temporarily break the pipeline's semantics; ``None`` is a no-op."""
+    if name is None:
+        yield
+        return
+    try:
+        attr, broken = SEEDED_BUGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown seeded bug {name!r}; known: {sorted(SEEDED_BUGS)}"
+        ) from None
+    from ..core import pipeline as pipeline_module
+
+    original = getattr(pipeline_module, attr)
+    setattr(pipeline_module, attr, broken)
+    try:
+        yield
+    finally:
+        setattr(pipeline_module, attr, original)

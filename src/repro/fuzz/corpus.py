@@ -1,0 +1,178 @@
+"""Self-contained JSON repro records and the ``fuzz/`` corpus.
+
+Every unique failure a campaign finds is written as one JSON file under
+``benchmarks/fuzz/`` (override with ``REPRO_FUZZ_CORPUS`` — the tests
+point it at a tmpdir).  A record is *self-contained*: the full unit
+source (data section included), the generator seed and knobs, the
+machine mode, the config digest, and the failure signature — everything
+needed to re-run the failure years later with nothing but the record.
+
+Records double as **regression workloads**: :func:`make_corpus_workload`
+turns one into a registry :class:`~repro.workloads.base.Workload` whose
+validator re-runs the golden interpreter and diffs committed state, and
+the registry exposes each record as ``fuzz/<name>`` so ``repro run`` /
+``repro lint --all`` cover past findings forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from .oracle import OracleOutcome, classify_source
+
+RECORD_SCHEMA = 1
+
+#: Environment override for the corpus directory (tests, scratch runs).
+CORPUS_ENV = "REPRO_FUZZ_CORPUS"
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def default_corpus_dir() -> Path:
+    """``benchmarks/fuzz`` at the repo root, or ``$REPRO_FUZZ_CORPUS``."""
+    override = os.environ.get(CORPUS_ENV)
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "fuzz"
+
+
+def record_name(signature: str, seed: int) -> str:
+    """Stable corpus file stem for a unique failure."""
+    slug = _SLUG_RE.sub("-", signature.lower()).strip("-")
+    return f"{slug}-s{seed:06d}"
+
+
+def make_repro_record(
+    name: str,
+    seed: int,
+    source: str,
+    signature: str,
+    outcome: OracleOutcome,
+    mode: str,
+    check_invariants: int,
+    profile_record: dict,
+    config_digest: str,
+    num_instructions: int,
+    shrunk: bool,
+    seeded_bug: str | None = None,
+) -> dict:
+    """Assemble the self-contained JSON payload for one failure."""
+    return {
+        "schema": RECORD_SCHEMA,
+        "name": name,
+        "seed": seed,
+        "signature": signature,
+        "outcome": outcome.as_record(),
+        "mode": mode,
+        "check_invariants": check_invariants,
+        "profile": profile_record,
+        "config_digest": config_digest,
+        "num_instructions": num_instructions,
+        "shrunk": shrunk,
+        "seeded_bug": seeded_bug,
+        "source": source,
+    }
+
+
+def write_record(record: dict, directory: Path | None = None) -> Path:
+    """Write one repro record; returns the path."""
+    directory = directory or default_corpus_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{record['name']}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_record(path: Path) -> dict:
+    record = json.loads(Path(path).read_text())
+    if record.get("schema") != RECORD_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported repro record schema {record.get('schema')!r}"
+        )
+    return record
+
+
+def load_corpus(directory: Path | None = None) -> list[dict]:
+    """Every repro record in the corpus, sorted by name."""
+    directory = directory or default_corpus_dir()
+    if not directory.is_dir():
+        return []
+    return [load_record(p) for p in sorted(directory.glob("*.json"))]
+
+
+def corpus_names(directory: Path | None = None) -> tuple[str, ...]:
+    """Registry names (``fuzz/<stem>``) for every corpus record."""
+    directory = directory or default_corpus_dir()
+    if not directory.is_dir():
+        return ()
+    return tuple(f"fuzz/{p.stem}" for p in sorted(directory.glob("*.json")))
+
+
+def replay_record(record: dict) -> OracleOutcome:
+    """Re-run the full oracle stack exactly as the record specifies.
+
+    Applies the record's seeded bug (fixtures reproduce only under the
+    broken semantics that exposed them); a genuine finding has
+    ``seeded_bug: null`` and replays against the current kernel.
+    """
+    from .bugs import seeded_bug
+
+    with seeded_bug(record.get("seeded_bug")):
+        return classify_source(
+            record["source"],
+            mode=record["mode"],
+            check_invariants=record["check_invariants"],
+        )
+
+
+def make_corpus_workload(name: str, directory: Path | None = None):
+    """Build the regression :class:`Workload` for ``fuzz/<stem>``.
+
+    The validator diffs the pipeline's committed registers and memory
+    against a fresh golden-interpreter run — i.e. the repro passes once
+    (and only once) the divergence it captured is fixed.  Records of
+    *seeded-bug* fixtures validate green on the correct kernel, which is
+    exactly what a regression corpus wants.
+    """
+    from ..isa import run_program
+    from ..isa.data_directives import assemble_unit
+    from ..memory.memory_image import MemoryImage
+    from ..workloads.base import COMPLEX, Workload
+
+    stem = name.split("/", 1)[1] if name.startswith("fuzz/") else name
+    directory = directory or default_corpus_dir()
+    path = directory / f"{stem}.json"
+    if not path.is_file():
+        raise ValueError(
+            f"unknown fuzz corpus record {name!r} (no {path})"
+        )
+    record = load_record(path)
+    unit = assemble_unit(record["source"])
+
+    def validate(pipeline) -> bool:
+        ref = run_program(
+            unit.program, MemoryImage(unit.memory.snapshot())
+        )
+        if list(ref.registers) != list(pipeline.committed_regs):
+            return False
+        ref_mem = ref.memory.snapshot()
+        got_mem = pipeline.memory.snapshot()
+        for addr in set(ref_mem) | set(got_mem):
+            if ref_mem.get(addr, 0) != got_mem.get(addr, 0):
+                return False
+        return True
+
+    return Workload(
+        name=f"fuzz/{stem}",
+        program=unit.program,
+        memory=unit.memory,
+        category=COMPLEX,
+        description=(
+            f"fuzz repro: {record['signature']} "
+            f"(seed {record['seed']}, {record['mode']})"
+        ),
+        validate=validate,
+    )

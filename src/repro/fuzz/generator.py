@@ -1,0 +1,565 @@
+"""Seeded random program generator for the micro-ISA.
+
+Programs are generated *structurally correct by construction* — every
+loop is counted (bottom-tested, constant trip), every register is
+written on all paths before it is read, every function returns, and the
+image ends in ``halt``/``ret`` — and then *gated* by the PR 4 linter:
+a candidate with any finding (including warnings) is discarded and the
+next derived attempt generated, so every program the fuzzer hands to
+the oracle stack is lint-clean by the same bar the registered kernels
+meet.
+
+The interesting-control-flow knobs map to the paper's hard-branch
+taxonomy:
+
+* ``data_dep_frac`` — fraction of if-branches guarded by *loaded data*
+  (the Fig. 1 H2P pattern) rather than by the loop counter;
+* ``pointer_chase`` — unrolled ``p = perm[p]`` chains producing
+  load-dependent load addresses (TEA dependence chains through memory);
+* ``call_depth`` — call/return chains with stack-saved ``ra`` (RAS
+  depth, shadow-FTQ call handling);
+* ``indirect_fanout`` — ``jr`` dispatch through a runtime-built jump
+  table (ITTAGE / Block Cache indirect paths);
+* ``alias_density`` — fraction of stores landing in a small shared
+  offset set (store-forwarding and memory-dependence stress);
+* ``loop_depth``/``loops``/``body_ops``/``trip_min``/``trip_max`` —
+  program shape and size.
+
+Generation is a pure function of ``(seed, profile)``: the same pair
+always yields byte-identical source, which is what lets a shrinking
+parent regenerate exactly what a campaign worker executed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+
+from ..analysis import LintReport, lint_program
+from ..isa import AssemblerError
+from ..isa.data_directives import AssembledUnit, assemble_unit
+
+#: Stack top for generated call chains (mirrors workloads.base).
+STACK_TOP = 0x0100_0000
+
+# Register allocation contract for generated programs:
+#   r1        accumulator (every def is eventually consumed; stored at exit)
+#   r2/r3/r4  vals / perm / scratch array bases
+#   r5        jump-table base (indirect_fanout > 0)
+#   r6..r15   temporary pool
+#   r16..r19  loop counters by nest depth
+#   r20..r23  loop bounds by nest depth
+#   r26       helper-function local
+#   sp/ra     call chains
+_ACC = "r1"
+_VALS, _PERM, _SCRATCH, _JUMPTAB = "r2", "r3", "r4", "r5"
+_TEMP_POOL = tuple(f"r{i}" for i in range(6, 16))
+_CTR = tuple(f"r{16 + d}" for d in range(4))
+_BND = tuple(f"r{20 + d}" for d in range(4))
+_HELPER_TMP = "r26"
+
+_ALU_RR = ("add", "sub", "and", "or", "xor", "slt", "sltu", "min", "max",
+           "mul", "div", "rem")
+_ALU_RI = ("addi", "subi", "andi", "ori", "xori", "slti")
+
+
+class FuzzGenerationError(RuntimeError):
+    """No lint-clean program could be generated within ``max_attempts``."""
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Tunable knobs of the random program generator.
+
+    All knobs are deterministic inputs: two calls with the same
+    ``(seed, profile)`` produce identical source.
+    """
+
+    loops: int = 2              #: top-level loop nests
+    loop_depth: int = 2         #: maximum loop nesting (1..4)
+    body_ops: int = 5           #: operations drawn per loop body
+    trip_min: int = 2           #: minimum loop trip count
+    trip_max: int = 5           #: maximum loop trip count
+    branch_frac: float = 0.5    #: probability a body op is an if-branch
+    data_dep_frac: float = 0.7  #: fraction of ifs guarded by loaded data
+    pointer_chase: int = 3      #: unrolled chase length (0 = off)
+    call_depth: int = 2         #: helper call-chain depth (0 = off)
+    alias_density: float = 0.5  #: fraction of stores in the alias set
+    indirect_fanout: int = 4    #: jr jump-table cases, rounded to 2^k (0 = off)
+    fp_frac: float = 0.15       #: probability a body op is an FP snippet
+    array_len: int = 32         #: data array length, rounded to 2^k
+    max_attempts: int = 20      #: lint-gate retry budget
+
+    def __post_init__(self) -> None:
+        checks = (
+            (self.loops >= 1, "loops must be >= 1"),
+            (1 <= self.loop_depth <= 4, "loop_depth must be in 1..4"),
+            (self.body_ops >= 1, "body_ops must be >= 1"),
+            (1 <= self.trip_min <= self.trip_max,
+             "need 1 <= trip_min <= trip_max"),
+            (0.0 <= self.branch_frac <= 1.0, "branch_frac must be in [0, 1]"),
+            (0.0 <= self.data_dep_frac <= 1.0,
+             "data_dep_frac must be in [0, 1]"),
+            (self.pointer_chase >= 0, "pointer_chase must be >= 0"),
+            (self.call_depth >= 0, "call_depth must be >= 0"),
+            (0.0 <= self.alias_density <= 1.0,
+             "alias_density must be in [0, 1]"),
+            (self.indirect_fanout >= 0, "indirect_fanout must be >= 0"),
+            (0.0 <= self.fp_frac <= 1.0, "fp_frac must be in [0, 1]"),
+            (self.array_len >= 4, "array_len must be >= 4"),
+            (self.max_attempts >= 1, "max_attempts must be >= 1"),
+        )
+        for ok, message in checks:
+            if not ok:
+                raise ValueError(f"GeneratorProfile: {message}")
+
+    def as_record(self) -> dict:
+        """JSON-safe dict (journal / repro-record payload)."""
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record: dict) -> "GeneratorProfile":
+        return cls(**record)
+
+
+def _pow2_ceil(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+@dataclass
+class GeneratedProgram:
+    """One lint-clean generated program, ready for the oracle stack."""
+
+    seed: int
+    attempt: int                #: lint-gate attempt that produced it
+    source: str                 #: self-contained .data/.text unit source
+    unit: AssembledUnit = field(repr=False)
+    lint: LintReport = field(repr=False)
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.unit.program)
+
+
+class _Emitter:
+    """Accumulates source lines while tracking register definedness.
+
+    ``defined`` holds registers written on *every* path to the current
+    emit point (reads are only drawn from it — no undefined-read
+    findings); ``unread`` holds registers whose latest def has not been
+    consumed yet (a consuming ``add acc, acc, reg`` is emitted before
+    any overwrite — no dead-store findings).  The accumulator is exempt
+    from ``unread``: every def is read by the next combine or by the
+    final store.
+    """
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.lines: list[str] = []
+        self.defined: set[str] = {"zero"}
+        self.unread: set[str] = set()
+        self._label = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def fresh(self, stem: str) -> str:
+        self._label += 1
+        return f"{stem}_{self._label}"
+
+    # -- register discipline -------------------------------------------
+    def read(self, *regs: str) -> None:
+        self.unread.difference_update(regs)
+
+    def write(self, reg: str) -> None:
+        if reg in self.unread:
+            # Consume the pending value so the previous def is never dead.
+            self.emit(f"add {_ACC}, {_ACC}, {reg}")
+            self.unread.discard(reg)
+        self.defined.add(reg)
+        if reg != _ACC:
+            self.unread.add(reg)
+
+    def pick_defined_temp(self) -> str | None:
+        pool = [r for r in _TEMP_POOL if r in self.defined]
+        return self.rng.choice(pool) if pool else None
+
+    def pick_dst_temp(self) -> str:
+        # Prefer registers with no pending unread value.
+        fresh = [r for r in _TEMP_POOL if r not in self.unread]
+        return self.rng.choice(fresh or list(_TEMP_POOL))
+
+
+class _ProgramBuilder:
+    def __init__(self, seed: int, attempt: int, profile: GeneratorProfile):
+        self.profile = profile
+        self.rng = random.Random(f"repro.fuzz:{seed}:{attempt}")
+        self.e = _Emitter(self.rng)
+        self.array_len = _pow2_ceil(profile.array_len)
+        self.fanout = (
+            _pow2_ceil(profile.indirect_fanout) if profile.indirect_fanout else 0
+        )
+        self.call_sites = 0
+
+    # -- data section --------------------------------------------------
+    def data_section(self) -> list[str]:
+        n = self.array_len
+        vals = [self.rng.randint(-64, 63) for _ in range(n)]
+        perm = list(range(n))
+        self.rng.shuffle(perm)
+        lines = [
+            ".data",
+            "vals:    .word " + ", ".join(map(str, vals)),
+            "perm:    .word " + ", ".join(map(str, perm)),
+            f"scratch: .space {n}",
+        ]
+        if self.fanout:
+            lines.append(f"jumptab: .space {self.fanout}")
+        return lines
+
+    # -- program scaffolding -------------------------------------------
+    def build(self) -> str:
+        e = self.e
+        profile = self.profile
+        e.emit(f"li {_ACC}, 0")
+        e.defined.add(_ACC)
+        for reg, sym in ((_VALS, "vals"), (_PERM, "perm"), (_SCRATCH, "scratch")):
+            e.emit(f"li {reg}, {sym}")
+            e.defined.add(reg)
+        # vals/perm reads are drawn randomly; under a tight profile a
+        # candidate may never touch them, so track the defs for the
+        # epilogue consume-sweep (scratch is always read by the final
+        # store).  Same for sp: a leaf-only call chain never reads it.
+        e.unread.update((_VALS, _PERM))
+        if self.fanout:
+            e.emit(f"li {_JUMPTAB}, jumptab")
+            e.defined.add(_JUMPTAB)
+            tmp = "r6"
+            for case in range(self.fanout):
+                e.emit(f"la {tmp}, case_{case}")
+                e.emit(f"st {tmp}, {8 * case}({_JUMPTAB})")
+            e.defined.add(tmp)
+        if profile.call_depth:
+            e.emit(f"li sp, {STACK_TOP:#x}")
+            e.defined.add("sp")
+            e.unread.add("sp")
+        if profile.fp_frac > 0.0:
+            e.emit("fli f0, 0")
+            e.defined.add("f0")
+        for _ in range(profile.loops):
+            self.loop(depth=0)
+        if self.fanout:
+            self.indirect_dispatch()
+        # Consume every still-unread temporary, then publish the
+        # accumulator so nothing the program computed is dead.
+        for reg in sorted(e.unread):
+            e.emit(f"add {_ACC}, {_ACC}, {reg}")
+        e.unread.clear()
+        if profile.fp_frac > 0.0:
+            e.emit("ftoi r6, f0")
+            e.emit(f"add {_ACC}, {_ACC}, r6")
+        e.emit(f"st {_ACC}, 0({_SCRATCH})")
+        e.emit("halt")
+        self.helpers()
+        return "\n".join(self.data_section() + [".text"] + e.lines) + "\n"
+
+    # -- loops ---------------------------------------------------------
+    def loop(self, depth: int) -> None:
+        e = self.e
+        profile = self.profile
+        ctr, bnd = _CTR[depth], _BND[depth]
+        trip = self.rng.randint(profile.trip_min, profile.trip_max)
+        head = e.fresh("loop")
+        e.emit(f"li {bnd}, {trip}")
+        e.defined.add(bnd)
+        e.unread.discard(bnd)
+        e.emit(f"li {ctr}, 0")
+        e.defined.add(ctr)
+        e.unread.discard(ctr)
+        e.label(head)
+        nested = False
+        for _ in range(profile.body_ops):
+            self.body_op(depth)
+            if (
+                not nested
+                and depth + 1 < profile.loop_depth
+                and self.rng.random() < 0.5
+            ):
+                self.loop(depth + 1)
+                nested = True
+        e.emit(f"addi {ctr}, {ctr}, 1")
+        e.emit(f"blt {ctr}, {bnd}, {head}")
+
+    # -- body op menu --------------------------------------------------
+    def body_op(self, depth: int) -> None:
+        rng = self.rng
+        profile = self.profile
+        if rng.random() < profile.branch_frac:
+            self.if_branch(depth)
+            return
+        if profile.fp_frac and rng.random() < profile.fp_frac:
+            self.fp_snippet()
+            return
+        menu = ["alu", "load", "store"]
+        if profile.pointer_chase:
+            menu.append("chase")
+        if profile.call_depth and self.call_sites < 3:
+            menu.append("call")
+        kind = rng.choice(menu)
+        if kind == "alu":
+            self.alu_op(depth)
+        elif kind == "load":
+            self.load_op(depth)
+        elif kind == "store":
+            self.store_op(depth)
+        elif kind == "chase":
+            self.chase(depth)
+        else:
+            self.call_site()
+
+    def alu_op(self, depth: int) -> None:
+        e, rng = self.e, self.rng
+        dst = e.pick_dst_temp()
+        src = e.pick_defined_temp()
+        if src is None or rng.random() < 0.3:
+            src = _CTR[depth]
+        if rng.random() < 0.5:
+            op = rng.choice(_ALU_RI)
+            imm = (rng.randint(0, self.array_len - 1) if op == "andi"
+                   else rng.randint(-16, 16))
+            e.read(src)
+            e.write(dst)
+            e.emit(f"{op} {dst}, {src}, {imm}")
+        else:
+            other = e.pick_defined_temp() or _ACC
+            e.read(src, other)
+            e.write(dst)
+            e.emit(f"{rng.choice(_ALU_RR)} {dst}, {src}, {other}")
+
+    def masked_index(self, depth: int, source_reg: str | None = None) -> str:
+        """Emit ``idx = source & (array_len - 1)``; returns the index reg."""
+        e = self.e
+        src = source_reg or _CTR[depth]
+        idx = e.pick_dst_temp()
+        e.read(src)
+        e.write(idx)
+        e.emit(f"andi {idx}, {src}, {self.array_len - 1}")
+        return idx
+
+    def address_of(self, idx: str, base: str) -> str:
+        """Emit address computation ``base + 8*idx``; returns the reg."""
+        e = self.e
+        addr = e.pick_dst_temp()
+        e.read(idx)
+        e.write(addr)
+        e.emit(f"shli {addr}, {idx}, 3")
+        e.read(addr)
+        e.write(addr)
+        e.emit(f"add {addr}, {addr}, {base}")
+        return addr
+
+    def load_op(self, depth: int) -> None:
+        e, rng = self.e, self.rng
+        if rng.random() < 0.5:
+            # Direct offset from a base register.
+            base = rng.choice((_VALS, _PERM, _SCRATCH))
+            dst = e.pick_dst_temp()
+            e.write(dst)
+            e.emit(f"ld {dst}, {8 * rng.randrange(self.array_len)}({base})")
+        else:
+            # Data-dependent address through a masked index.
+            src = e.pick_defined_temp()
+            idx = self.masked_index(depth, src)
+            addr = self.address_of(idx, rng.choice((_VALS, _PERM)))
+            dst = e.pick_dst_temp()
+            e.read(addr)
+            e.write(dst)
+            e.emit(f"ld {dst}, 0({addr})")
+
+    def store_op(self, depth: int) -> None:
+        e, rng = self.e, self.rng
+        value = e.pick_defined_temp() or _ACC
+        e.read(value)
+        if rng.random() < self.profile.alias_density:
+            # The shared alias set: three hot scratch slots.
+            off = 8 * rng.choice((0, 1, 2))
+            e.emit(f"st {value}, {off}({_SCRATCH})")
+        elif rng.random() < 0.5:
+            off = 8 * rng.randrange(self.array_len)
+            e.emit(f"st {value}, {off}({_SCRATCH})")
+        else:
+            idx = self.masked_index(depth, e.pick_defined_temp())
+            addr = self.address_of(idx, _SCRATCH)
+            e.read(value, addr)
+            e.emit(f"st {value}, 0({addr})")
+
+    def chase(self, depth: int) -> None:
+        """Unrolled pointer chase: a ``p = perm[p]`` dependence chain."""
+        e = self.e
+        p = self.masked_index(depth, e.pick_defined_temp())
+        for _ in range(self.profile.pointer_chase):
+            addr = self.address_of(p, _PERM)
+            e.read(addr)
+            e.write(p)
+            e.emit(f"ld {p}, 0({addr})")
+        # Use the chase result as a data-dependent load index.
+        addr = self.address_of(p, _VALS)
+        dst = e.pick_dst_temp()
+        e.read(addr)
+        e.write(dst)
+        e.emit(f"ld {dst}, 0({addr})")
+
+    def if_branch(self, depth: int) -> None:
+        """A forward skip branch; body only reads already-defined regs."""
+        e, rng = self.e, self.rng
+        skip = e.fresh("skip")
+        if rng.random() < self.profile.data_dep_frac:
+            # Data-dependent guard: the sign of a loaded random value.
+            idx = self.masked_index(depth, e.pick_defined_temp())
+            addr = self.address_of(idx, _VALS)
+            guard = e.pick_dst_temp()
+            e.read(addr)
+            e.write(guard)
+            e.emit(f"ld {guard}, 0({addr})")
+            e.read(guard)
+            e.emit(f"{rng.choice(('blt', 'bge'))} {guard}, zero, {skip}")
+        else:
+            # Counted guard: a predictable function of the loop counter.
+            ctr = _CTR[depth]
+            guard = e.pick_dst_temp()
+            e.read(ctr)
+            e.write(guard)
+            e.emit(f"andi {guard}, {ctr}, 1")
+            e.read(guard)
+            e.emit(f"{rng.choice(('beq', 'bne'))} {guard}, zero, {skip}")
+        for _ in range(rng.randint(1, 3)):
+            src = e.pick_defined_temp() or _ACC
+            e.read(src)
+            if rng.random() < 0.3:
+                e.emit(f"st {src}, {8 * rng.choice((0, 1, 2))}({_SCRATCH})")
+            else:
+                e.emit(f"{rng.choice(('add', 'sub', 'xor'))} "
+                       f"{_ACC}, {_ACC}, {src}")
+        e.label(skip)
+
+    def indirect_dispatch(self) -> None:
+        """A counted loop whose body is a jr through the jump table.
+
+        Exactly one dispatch site per program: the case blocks are the
+        jump-table targets built in the prologue, and every case jumps
+        to the shared join before the loop's backedge, so termination
+        stays counted no matter which target fires.
+        """
+        e, rng = self.e, self.rng
+        ctr, bnd = _CTR[0], _BND[0]
+        trips = rng.randint(4, 8)
+        head = e.fresh("ind")
+        join = e.fresh("join")
+        e.emit(f"li {bnd}, {trips}")
+        e.emit(f"li {ctr}, 0")
+        e.label(head)
+        # Index: a data-dependent mix of counter and accumulator.
+        idx = e.pick_dst_temp()
+        e.write(idx)
+        e.emit(f"add {idx}, {ctr}, {_ACC}")
+        e.read(idx)
+        e.write(idx)
+        e.emit(f"andi {idx}, {idx}, {self.fanout - 1}")
+        addr = self.address_of(idx, _JUMPTAB)
+        target = e.pick_dst_temp()
+        e.read(addr)
+        e.write(target)
+        e.emit(f"ld {target}, 0({addr})")
+        e.read(target)
+        e.emit(f"jr {target}")
+        for case in range(self.fanout):
+            e.label(f"case_{case}")
+            src = e.pick_defined_temp() or _ACC
+            e.read(src)
+            op = rng.choice(("add", "xor", "sub"))
+            e.emit(f"{op} {_ACC}, {_ACC}, {src}")
+            e.emit(f"jmp {join}")
+        e.label(join)
+        e.emit(f"addi {ctr}, {ctr}, 1")
+        e.emit(f"blt {ctr}, {bnd}, {head}")
+
+    def call_site(self) -> None:
+        self.call_sites += 1
+        self.e.emit("call fn_0")
+
+    def fp_snippet(self) -> None:
+        e, rng = self.e, self.rng
+        src = e.pick_defined_temp() or _ACC
+        e.read(src)
+        e.emit(f"itof f1, {src}")
+        e.emit(f"{rng.choice(('fadd', 'fsub', 'fmax'))} f0, f0, f1")
+        if rng.random() < 0.3:
+            dst = e.pick_dst_temp()
+            e.write(dst)
+            e.emit(f"fcmplt {dst}, f1, f0")
+
+    # -- helper functions ----------------------------------------------
+    def helpers(self) -> None:
+        if not self.call_sites:
+            return
+        e = self.e
+        depth = self.profile.call_depth
+        for i in range(depth):
+            leaf = i == depth - 1
+            e.label(f"fn_{i}")
+            if not leaf:
+                e.emit("addi sp, sp, -8")
+                e.emit("st ra, 0(sp)")
+            off = 8 * self.rng.randrange(self.array_len)
+            e.emit(f"ld {_HELPER_TMP}, {off}({_VALS})")
+            e.emit(f"add {_ACC}, {_ACC}, {_HELPER_TMP}")
+            if not leaf:
+                e.emit(f"call fn_{i + 1}")
+                e.emit("ld ra, 0(sp)")
+                e.emit("addi sp, sp, 8")
+            e.emit("ret")
+
+
+def generate_source(seed: int, profile: GeneratorProfile, attempt: int = 0) -> str:
+    """One candidate source text (not yet lint-gated)."""
+    return _ProgramBuilder(seed, attempt, profile).build()
+
+
+def generate_program(
+    seed: int, profile: GeneratorProfile | None = None
+) -> GeneratedProgram:
+    """Generate a lint-clean program for ``seed``.
+
+    Candidates failing the linter (or, defensively, the assembler) are
+    discarded and the next derived attempt tried; the result is the
+    first clean candidate, so the function is deterministic in
+    ``(seed, profile)``.  Raises :class:`FuzzGenerationError` when
+    ``profile.max_attempts`` candidates all fail — which indicates a
+    generator bug, not bad luck.
+    """
+    profile = profile or GeneratorProfile()
+    last: str | None = None
+    for attempt in range(profile.max_attempts):
+        source = generate_source(seed, profile, attempt)
+        try:
+            unit = assemble_unit(source)
+        except AssemblerError as exc:
+            last = f"attempt {attempt}: assembler: {exc}"
+            continue
+        report = lint_program(unit.program)
+        if report.clean:
+            return GeneratedProgram(seed, attempt, source, unit, report)
+        last = (
+            f"attempt {attempt}: lint: "
+            + "; ".join(f.render("generated") for f in report.findings[:3])
+        )
+    raise FuzzGenerationError(
+        f"seed {seed}: no lint-clean candidate in "
+        f"{profile.max_attempts} attempts ({last})"
+    )

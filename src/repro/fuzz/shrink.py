@@ -1,0 +1,210 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Reduction runs in three phases, each re-validating the failure against
+the oracle stack after every candidate edit:
+
+1. **block-level** — drop whole label-delimited spans of the text
+   section (a case arm, a helper function, a loop body tail) to
+   fixpoint; this is what collapses a 150-instruction program fast;
+2. **ddmin line-level** — classic Zeller chunked removal over *all*
+   remaining source lines (data directives included), halving the
+   chunk size until single lines;
+3. **single-line sweep** — repeat 1-line removal passes to fixpoint.
+
+A candidate is accepted only if (a) the oracle reproduces the same
+*relaxed* failure key (``OracleOutcome.shrink_key`` — exact signature
+minus the divergent-location index, which legitimately shifts as
+instructions disappear), and (b) the reduced program still has **zero
+lint errors** — minimized repros become permanent regression workloads
+behind the ``fuzz/`` registry namespace, and those must pass
+``repro lint --all`` like every hand-written kernel.  Invalid
+candidates (assembler rejects, different failure, lint errors) are
+simply skipped; the shrinker never needs them to be meaningful.
+
+The oracle-evaluation budget bounds worst-case work; reduction is
+best-effort within it and deterministic (fixed scan order, no
+randomness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import lint_program
+from ..isa import AssemblerError
+from ..isa.data_directives import assemble_unit
+from .bugs import seeded_bug
+from .oracle import (
+    CRASH,
+    DEFAULT_MAX_CYCLES,
+    DEFAULT_MAX_STEPS,
+    OracleOutcome,
+    classify_source,
+)
+
+DEFAULT_BUDGET = 512
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one reduction run."""
+
+    source: str              #: minimized source (original if irreducible)
+    outcome: OracleOutcome   #: oracle outcome of the minimized source
+    original_lines: int
+    final_lines: int
+    evaluations: int         #: oracle runs spent
+    num_instructions: int    #: assembled instruction count of the result
+
+    @property
+    def reduced(self) -> bool:
+        return self.final_lines < self.original_lines
+
+
+class _Reducer:
+    def __init__(
+        self,
+        target_key: str,
+        mode: str,
+        check_invariants: int,
+        max_steps: int,
+        max_cycles: int,
+        bug: str | None,
+        budget: int,
+    ):
+        self.target_key = target_key
+        self.mode = mode
+        self.check_invariants = check_invariants
+        self.max_steps = max_steps
+        self.max_cycles = max_cycles
+        self.bug = bug
+        self.budget = budget
+        self.evaluations = 0
+        self.last_outcome: OracleOutcome | None = None
+
+    def classify(self, source: str) -> OracleOutcome:
+        self.evaluations += 1
+        with seeded_bug(self.bug):
+            return classify_source(
+                source,
+                mode=self.mode,
+                check_invariants=self.check_invariants,
+                max_steps=self.max_steps,
+                max_cycles=self.max_cycles,
+            )
+
+    def valid(self, lines: list[str]) -> bool:
+        """Does this candidate still exhibit the target failure?"""
+        if self.evaluations >= self.budget:
+            return False
+        source = "\n".join(lines) + "\n"
+        outcome = self.classify(source)
+        if outcome.shrink_key != self.target_key:
+            return False
+        if outcome.status != CRASH and not self._lint_ok(source):
+            return False
+        self.last_outcome = outcome
+        return True
+
+    @staticmethod
+    def _lint_ok(source: str) -> bool:
+        try:
+            unit = assemble_unit(source)
+        except AssemblerError:
+            return False
+        return not lint_program(unit.program).errors
+
+    # -- phase 1: label-delimited block spans ---------------------------
+    @staticmethod
+    def _block_spans(lines: list[str]) -> list[tuple[int, int]]:
+        """(start, end) half-open spans from each label to the next."""
+        starts = [
+            i
+            for i, line in enumerate(lines)
+            if line.strip().endswith(":") and not line.lstrip().startswith(".")
+        ]
+        spans = []
+        for pos, start in enumerate(starts):
+            end = starts[pos + 1] if pos + 1 < len(starts) else len(lines)
+            spans.append((start, end))
+        return spans
+
+    def reduce_blocks(self, lines: list[str]) -> list[str]:
+        changed = True
+        while changed and self.evaluations < self.budget:
+            changed = False
+            for start, end in self._block_spans(lines):
+                candidate = lines[:start] + lines[end:]
+                if candidate and self.valid(candidate):
+                    lines = candidate
+                    changed = True
+                    break
+        return lines
+
+    # -- phase 2/3: ddmin over lines ------------------------------------
+    def reduce_lines(self, lines: list[str]) -> list[str]:
+        chunk = max(len(lines) // 2, 1)
+        while chunk >= 1 and self.evaluations < self.budget:
+            removed_any = False
+            i = 0
+            while i < len(lines):
+                candidate = lines[:i] + lines[i + chunk:]
+                if candidate and self.valid(candidate):
+                    lines = candidate
+                    removed_any = True
+                else:
+                    i += chunk
+                if self.evaluations >= self.budget:
+                    break
+            if not removed_any:
+                if chunk == 1:
+                    break
+                chunk = max(chunk // 2, 1)
+            elif chunk > len(lines):
+                chunk = max(len(lines) // 2, 1)
+        return lines
+
+
+def shrink_source(
+    source: str,
+    target_key: str,
+    mode: str = "baseline",
+    check_invariants: int = 64,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    bug: str | None = None,
+    budget: int = DEFAULT_BUDGET,
+) -> ShrinkResult:
+    """Minimize ``source`` while preserving the relaxed failure key.
+
+    ``bug`` applies a :mod:`repro.fuzz.bugs` seeded bug around every
+    oracle evaluation, so fixtures shrink under the same broken
+    semantics that exposed them.
+    """
+    reducer = _Reducer(
+        target_key, mode, check_invariants, max_steps, max_cycles, bug, budget
+    )
+    lines = source.splitlines()
+    original_lines = len(lines)
+    if not reducer.valid(lines):
+        raise ValueError(
+            f"source does not reproduce failure key {target_key!r} "
+            f"(got {reducer.classify(source).shrink_key!r})"
+        )
+    lines = reducer.reduce_blocks(lines)
+    lines = reducer.reduce_lines(lines)
+    final_source = "\n".join(lines) + "\n"
+    outcome = reducer.last_outcome
+    assert outcome is not None
+    try:
+        count = len(assemble_unit(final_source).program)
+    except AssemblerError:
+        count = 0
+    return ShrinkResult(
+        source=final_source,
+        outcome=outcome,
+        original_lines=original_lines,
+        final_lines=len(lines),
+        evaluations=reducer.evaluations,
+        num_instructions=count,
+    )

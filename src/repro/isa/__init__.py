@@ -8,7 +8,12 @@ Block Cache is keyed by :class:`BasicBlock` start PCs.
 
 from .assembler import AssemblerError, assemble
 from .data_directives import AssembledUnit, assemble_unit
-from .interpreter import InterpreterError, InterpreterResult, run_program
+from .interpreter import (
+    InterpreterError,
+    InterpreterResult,
+    InterpreterTimeout,
+    run_program,
+)
 from .instructions import (
     BRANCH_CLASSES,
     CLASS_LATENCY,
@@ -48,6 +53,7 @@ __all__ = [
     "assemble_unit",
     "InterpreterError",
     "InterpreterResult",
+    "InterpreterTimeout",
     "run_program",
     "BRANCH_CLASSES",
     "CLASS_LATENCY",

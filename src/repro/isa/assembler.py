@@ -36,14 +36,40 @@ _MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(\s*([A-Za-z0-9_]+)\s*\)$")
 
 
 class AssemblerError(ValueError):
-    """Raised on any syntax or semantic error, with line information."""
+    """Raised on any syntax or semantic error, with line information.
+
+    Every diagnostic — unknown opcode, malformed operand, bad register
+    name, undefined label, out-of-range immediate — funnels through
+    this one typed exception so tools batch-assembling generated or
+    hand-edited sources (the fuzzer, ``repro lint --source``) never see
+    a bare ``KeyError``/``ValueError`` leak out of the assembler.
+    """
+
+
+#: Immediates must be representable as a signed 64-bit word (the
+#: machine's architectural value width); anything beyond that cannot
+#: round-trip through the register file.
+IMM_MIN = -(1 << 63)
+IMM_MAX = (1 << 63) - 1
 
 
 def _parse_int(text: str, line_no: int) -> int:
     try:
-        return int(text, 0)
+        value = int(text, 0)
     except ValueError:
         raise AssemblerError(f"line {line_no}: bad immediate {text!r}") from None
+    if not IMM_MIN <= value <= IMM_MAX:
+        raise AssemblerError(
+            f"line {line_no}: immediate {text} out of signed 64-bit range"
+        )
+    return value
+
+
+def _parse_reg(text: str, line_no: int) -> int:
+    try:
+        return parse_register(text)
+    except ValueError as exc:
+        raise AssemblerError(f"line {line_no}: {exc}") from None
 
 
 def _split_operands(rest: str) -> list[str]:
@@ -172,15 +198,15 @@ def _encode(
                 f"line {line_no}: expected offset(base) operand, got {operands[1]!r}"
             )
         imm = _parse_int(mem.group(1), line_no)
-        base = parse_register(mem.group(2))
+        base = _parse_reg(mem.group(2), line_no)
         if cls is UopClass.LOAD:
-            dst = parse_register(operands[0])
+            dst = _parse_reg(operands[0], line_no)
             srcs = (base,)
         else:
-            srcs = (parse_register(operands[0]), base)
+            srcs = (_parse_reg(operands[0], line_no), base)
     elif cls is UopClass.BR_COND:
         _require(operands, 3, opcode, line_no)
-        srcs = (parse_register(operands[0]), parse_register(operands[1]))
+        srcs = (_parse_reg(operands[0], line_no), _parse_reg(operands[1], line_no))
         target = resolve_label(operands[2])
     elif cls in (UopClass.BR_JUMP, UopClass.BR_CALL):
         _require(operands, 1, opcode, line_no)
@@ -192,7 +218,7 @@ def _encode(
         srcs = (REG_RA,)
     elif cls is UopClass.BR_IND:
         _require(operands, 1, opcode, line_no)
-        srcs = (parse_register(operands[0]),)
+        srcs = (_parse_reg(operands[0], line_no),)
         if opcode == "callr":
             dst = REG_RA
     else:
@@ -200,11 +226,11 @@ def _encode(
         _require(operands, expected, opcode, line_no)
         pos = 0
         if has_dst:
-            dst = parse_register(operands[pos])
+            dst = _parse_reg(operands[pos], line_no)
             pos += 1
         regs = []
         for _ in range(num_srcs):
-            regs.append(parse_register(operands[pos]))
+            regs.append(_parse_reg(operands[pos], line_no))
             pos += 1
         srcs = tuple(regs)
         if has_imm:

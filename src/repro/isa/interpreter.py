@@ -21,6 +21,24 @@ class InterpreterError(RuntimeError):
     """Raised on runaway programs or control flow leaving the image."""
 
 
+class InterpreterTimeout(InterpreterError):
+    """The program did not halt within the ``max_steps`` budget.
+
+    A typed subclass so batch drivers (the fuzz workers in
+    :mod:`repro.fuzz`) can classify a non-terminating generated program
+    as a *hang* instead of a crash.  ``pc`` is the program counter the
+    interpreter was about to execute and ``steps`` the budget it
+    exhausted.
+    """
+
+    def __init__(self, pc: int, steps: int):
+        super().__init__(
+            f"program did not halt within {steps} steps (pc={pc:#x})"
+        )
+        self.pc = pc
+        self.steps = steps
+
+
 @dataclass
 class InterpreterResult:
     """Final architectural state after sequential execution."""
@@ -81,4 +99,4 @@ def run_program(
             if instr.dst is not None and instr.dst != REG_ZERO:
                 regs[instr.dst] = result
         pc += INSTRUCTION_BYTES
-    raise InterpreterError(f"program did not halt within {max_steps} steps")
+    raise InterpreterTimeout(pc, max_steps)

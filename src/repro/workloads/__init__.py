@@ -14,6 +14,7 @@ from .registry import (
     GAP_NAMES,
     SPEC_NAMES,
     complex_control_flow_names,
+    fuzz_corpus_names,
     lint_registered,
     lint_workload,
     make_category,
@@ -38,6 +39,7 @@ __all__ = [
     "GAP_NAMES",
     "SPEC_NAMES",
     "complex_control_flow_names",
+    "fuzz_corpus_names",
     "lint_registered",
     "lint_workload",
     "make_category",

@@ -153,7 +153,18 @@ def workload_names() -> tuple[str, ...]:
 
 
 def make_workload(name: str, scale: str = "bench") -> Workload:
-    """Construct a workload by name at the given scale."""
+    """Construct a workload by name at the given scale.
+
+    Names under the ``fuzz/`` namespace resolve to minimized fuzz repro
+    records from the corpus (``benchmarks/fuzz/``); they are
+    self-contained programs, so ``scale`` is ignored for them.  The
+    import is lazy — the registry sits below :mod:`repro.fuzz` in the
+    architecture layering and must not import it at module scope.
+    """
+    if name.startswith("fuzz/"):
+        from ..fuzz.corpus import make_corpus_workload
+
+        return make_corpus_workload(name)
     try:
         builder = _BUILDERS[name]
     except KeyError:
@@ -163,6 +174,17 @@ def make_workload(name: str, scale: str = "bench") -> Workload:
     except KeyError:
         raise ValueError(f"unknown scale {scale!r}; use tiny/bench/full") from None
     return builder(**kwargs)
+
+
+def fuzz_corpus_names() -> tuple[str, ...]:
+    """``fuzz/<stem>`` names for every repro record in the corpus.
+
+    Empty when the corpus directory is absent or empty — the fuzz
+    regression namespace only exists once a campaign has findings.
+    """
+    from ..fuzz.corpus import corpus_names
+
+    return corpus_names()
 
 
 def lint_workload(name: str, scale: str = "tiny") -> LintReport:

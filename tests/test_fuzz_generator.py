@@ -1,0 +1,92 @@
+"""The seeded program generator: determinism, lint gate, knob contract."""
+
+import pytest
+
+from repro.fuzz import GeneratorProfile, generate_program
+from repro.isa import run_program
+from repro.isa.data_directives import assemble_unit
+
+# Small enough to keep the whole module fast; still exercises nesting,
+# data-dependent branches, chases, calls, and indirect dispatch.
+FAST = GeneratorProfile(
+    loops=1, loop_depth=2, body_ops=3, pointer_chase=2, call_depth=1,
+    indirect_fanout=2, array_len=16,
+)
+
+SEEDS = range(8)
+
+
+class TestDeterminism:
+    def test_same_seed_same_source(self):
+        a = generate_program(7, FAST)
+        b = generate_program(7, FAST)
+        assert a.source == b.source
+        assert a.attempt == b.attempt
+
+    def test_different_seeds_differ(self):
+        sources = {generate_program(s, FAST).source for s in SEEDS}
+        assert len(sources) > 1
+
+    def test_profile_changes_output(self):
+        fat = GeneratorProfile(
+            loops=2, loop_depth=2, body_ops=6, pointer_chase=2,
+            call_depth=1, indirect_fanout=2, array_len=16,
+        )
+        assert generate_program(3, FAST).source != generate_program(3, fat).source
+
+
+class TestLintGate:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_programs_are_lint_clean(self, seed):
+        generated = generate_program(seed, FAST)
+        assert generated.lint.clean  # no errors AND no warnings
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_programs_halt_in_interpreter(self, seed):
+        generated = generate_program(seed, FAST)
+        unit = assemble_unit(generated.source)
+        result = run_program(unit.program, unit.memory, max_steps=200_000)
+        assert result.halted
+
+    def test_source_reassembles_identically(self):
+        generated = generate_program(5, FAST)
+        unit = assemble_unit(generated.source)
+        assert len(unit.program) == generated.num_instructions
+
+
+class TestProfile:
+    def test_record_round_trip(self):
+        assert GeneratorProfile.from_record(FAST.as_record()) == FAST
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(loops=0),
+            dict(loop_depth=5),
+            dict(trip_min=4, trip_max=2),
+            dict(branch_frac=1.5),
+            dict(array_len=2),
+            dict(max_attempts=0),
+        ],
+    )
+    def test_invalid_knobs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            GeneratorProfile(**bad)
+
+    def test_knobs_shape_the_program(self):
+        no_calls = GeneratorProfile(
+            loops=1, loop_depth=1, body_ops=2, pointer_chase=0,
+            call_depth=0, indirect_fanout=0, branch_frac=0.0, fp_frac=0.0,
+        )
+        source = generate_program(0, no_calls).source
+        assert "call" not in source
+        assert "jr " not in source
+        with_calls = GeneratorProfile(
+            loops=1, loop_depth=1, body_ops=4, pointer_chase=0,
+            call_depth=2, indirect_fanout=4, branch_frac=0.0, fp_frac=0.0,
+        )
+        sources = [generate_program(s, with_calls).source for s in range(6)]
+        # The dispatch loop is unconditional with indirect_fanout > 0;
+        # call sites are drawn from the body-op menu, so scan a few seeds.
+        assert all("jr " in source for source in sources)
+        assert any("call fn_0" in source for source in sources)

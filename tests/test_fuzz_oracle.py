@@ -1,0 +1,114 @@
+"""Differential oracle: classification statuses and signatures."""
+
+import pytest
+
+from repro.fuzz import OracleOutcome, classify_source, seeded_bug
+from repro.fuzz.oracle import CRASH, DIVERGENCE, HANG, PASS
+
+CLEAN = """
+.data
+vals: .word 3, 1, 4, 1, 5
+.text
+    li r1, 0
+    li r2, vals
+    li r3, 0
+    li r4, 5
+top:
+    shli r5, r3, 3
+    add r5, r2, r5
+    ld r6, 0(r5)
+    add r1, r1, r6
+    addi r3, r3, 1
+    blt r3, r4, top
+    halt
+"""
+
+
+class TestClassification:
+    def test_clean_program_passes(self):
+        outcome = classify_source(CLEAN)
+        assert outcome.status == PASS
+        assert outcome.ok
+        assert outcome.signature is None
+        assert outcome.steps > 0
+        assert outcome.cycles > 0
+
+    def test_register_divergence_detected(self):
+        with seeded_bug("addi-imm-one"):
+            outcome = classify_source(CLEAN)
+        assert outcome.status == DIVERGENCE
+        assert outcome.signature.startswith("divergence:register:")
+        assert not outcome.ok
+
+    def test_branch_bug_detected(self):
+        with seeded_bug("blt-off-by-one"):
+            outcome = classify_source(CLEAN)
+        assert outcome.status == DIVERGENCE
+
+    def test_interpreter_hang_classified(self):
+        outcome = classify_source("x: jmp x\nhalt", max_steps=500)
+        assert outcome.status == HANG
+        assert outcome.signature == "hang:InterpreterTimeout"
+
+    def test_assembler_crash_classified(self):
+        outcome = classify_source("frobnicate r1, r2")
+        assert outcome.status == CRASH
+        assert outcome.signature == "crash:AssemblerError"
+
+    def test_memory_divergence_detected(self):
+        # xor-as-or corrupts a value that only ever reaches memory.
+        source = """
+.data
+out: .space 1
+.text
+    li r1, 12
+    li r2, 10
+    xor r3, r1, r2
+    li r4, out
+    st r3, 0(r4)
+    li r3, 0
+    halt
+"""
+        with seeded_bug("xor-as-or"):
+            outcome = classify_source(source)
+        assert outcome.status == DIVERGENCE
+        assert outcome.signature.startswith("divergence:memory:")
+
+
+class TestOutcome:
+    def test_shrink_key_strips_location(self):
+        outcome = OracleOutcome(
+            "divergence", "divergence:register:r7", "r7: 3 != 4", 10, 20
+        )
+        assert outcome.shrink_key == "divergence:register"
+
+    def test_shrink_key_keeps_exception_family(self):
+        outcome = OracleOutcome("crash", "crash:AssemblerError", "x", 0, 0)
+        assert outcome.shrink_key == "crash:AssemblerError"
+
+    def test_record_round_trip(self):
+        outcome = classify_source(CLEAN)
+        assert OracleOutcome.from_record(outcome.as_record()) == outcome
+
+
+class TestSeededBugs:
+    def test_none_is_a_no_op(self):
+        with seeded_bug(None):
+            assert classify_source(CLEAN).ok
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="nonesuch"):
+            with seeded_bug("nonesuch"):
+                pass
+
+    def test_patch_is_restored_on_exit(self):
+        with seeded_bug("addi-imm-one"):
+            assert not classify_source(CLEAN).ok
+        assert classify_source(CLEAN).ok
+
+    def test_bug_only_affects_pipeline_leg(self):
+        # The golden interpreter stays golden: a seeded pipeline bug
+        # must classify as divergence, never as an interpreter crash.
+        with seeded_bug("xor-as-or"):
+            outcome = classify_source(CLEAN)
+        assert outcome.status in (PASS, DIVERGENCE)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.isa import AssemblerError, INSTRUCTION_BYTES, UopClass, assemble
+from repro.isa.assembler import IMM_MAX, IMM_MIN
 from repro.isa.registers import REG_RA
 
 
@@ -109,6 +110,39 @@ class TestErrors:
     def test_error_carries_line_number(self):
         with pytest.raises(AssemblerError, match="line 3"):
             assemble("nop\nnop\nbogus r1\nhalt")
+
+    def test_unknown_opcode_names_the_opcode(self):
+        with pytest.raises(AssemblerError, match=r"line 2.*frobnicate"):
+            assemble("nop\nfrobnicate r1, r2, r3\nhalt")
+
+    def test_bad_register_is_assembler_error_with_line(self):
+        # parse_register's ValueError must surface as a typed
+        # AssemblerError carrying the source line, not leak through.
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nadd r1, r2, r99\nhalt")
+
+    def test_bad_register_in_memory_operand(self):
+        with pytest.raises(AssemblerError, match="line 1"):
+            assemble("ld r1, 0(r99)\nhalt")
+
+    def test_malformed_memory_operand_message(self):
+        with pytest.raises(AssemblerError, match=r"offset\(base\)"):
+            assemble("ld r1, r2\nhalt")
+
+    def test_bad_immediate_is_assembler_error(self):
+        with pytest.raises(AssemblerError, match=r"line 1.*immediate"):
+            assemble("li r1, banana\nhalt")
+
+    def test_out_of_range_immediate_rejected(self):
+        with pytest.raises(AssemblerError, match="line 1"):
+            assemble(f"li r1, {1 << 64}\nhalt")
+
+    def test_extreme_in_range_immediates_accepted(self):
+        program = assemble(
+            f"li r1, {IMM_MAX}\nli r2, {IMM_MIN}\nhalt"
+        )
+        assert program.instructions[0].imm == IMM_MAX
+        assert program.instructions[1].imm == IMM_MIN
 
 
 class TestCommentsAndFormatting:

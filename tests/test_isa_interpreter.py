@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.isa import InterpreterError, assemble, run_program
+from repro.isa import (
+    InterpreterError,
+    InterpreterTimeout,
+    assemble,
+    run_program,
+)
 from repro.memory import MemoryImage
 
 
@@ -94,6 +99,25 @@ class TestFailureModes:
     def test_runaway_raises(self):
         with pytest.raises(InterpreterError, match="did not halt"):
             run_program(assemble("x: jmp x"), max_steps=100)
+
+    def test_runaway_raises_typed_timeout(self):
+        with pytest.raises(InterpreterTimeout) as excinfo:
+            run_program(assemble("x: jmp x"), max_steps=100)
+        assert excinfo.value.steps == 100
+        assert excinfo.value.pc == 0  # the one-instruction self-loop
+
+    def test_timeout_is_an_interpreter_error(self):
+        # Existing catch-all handlers keep working.
+        assert issubclass(InterpreterTimeout, InterpreterError)
+
+    def test_timeout_carries_looping_pc(self):
+        # Budget runs out inside the loop, not on the prologue.
+        with pytest.raises(InterpreterTimeout) as excinfo:
+            run_program(
+                assemble("li r1, 0\nspin: addi r1, r1, 1\njmp spin\nhalt"),
+                max_steps=101,
+            )
+        assert excinfo.value.pc in (4, 8)  # spin body or backedge
 
     def test_falling_off_image_raises(self):
         with pytest.raises(InterpreterError, match="left the image"):

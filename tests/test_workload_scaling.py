@@ -1,0 +1,75 @@
+"""Knob sweeps over the GAP kernel generators.
+
+The registry pins three scales per kernel; these sweeps assert the
+generators stay correct *between* the pinned points — every
+(num_nodes, avg_degree, rounds/iters) combination must build, assemble,
+terminate, and validate against its host-side reference.  Runs use the
+golden interpreter (the validators only read ``pipeline.memory``),
+keeping the whole matrix fast.
+"""
+
+import pytest
+
+from repro.isa import run_program
+from repro.workloads import gap
+
+MAX_STEPS = 5_000_000
+
+
+def _check(workload) -> None:
+    result = run_program(workload.program, workload.memory, max_steps=MAX_STEPS)
+    assert result.halted
+    assert workload.validate(result)
+
+
+class TestBfsScaling:
+    @pytest.mark.parametrize("num_nodes", [40, 150])
+    @pytest.mark.parametrize("avg_degree", [3, 8])
+    def test_validates(self, num_nodes, avg_degree):
+        _check(gap.bfs(num_nodes=num_nodes, avg_degree=avg_degree, seed=11))
+
+    def test_degenerate_degree(self):
+        # Near-disconnected graphs: BFS must still terminate and agree.
+        _check(gap.bfs(num_nodes=60, avg_degree=1, seed=11))
+
+
+class TestCcScaling:
+    @pytest.mark.parametrize("num_nodes", [40, 100])
+    @pytest.mark.parametrize("max_iters", [2, 4])
+    def test_validates(self, num_nodes, max_iters):
+        _check(gap.cc(num_nodes=num_nodes, avg_degree=4, seed=23,
+                      max_iters=max_iters))
+
+    def test_denser_graph(self):
+        _check(gap.cc(num_nodes=60, avg_degree=8, seed=23, max_iters=3))
+
+
+class TestSsspScaling:
+    @pytest.mark.parametrize("num_nodes", [40, 100])
+    @pytest.mark.parametrize("rounds", [1, 3])
+    def test_validates(self, num_nodes, rounds):
+        _check(gap.sssp(num_nodes=num_nodes, avg_degree=4, seed=37,
+                        rounds=rounds))
+
+    def test_denser_graph(self):
+        _check(gap.sssp(num_nodes=60, avg_degree=8, seed=37, rounds=2))
+
+
+class TestPrScaling:
+    @pytest.mark.parametrize("num_nodes", [40, 100])
+    @pytest.mark.parametrize("iters", [1, 3])
+    def test_validates(self, num_nodes, iters):
+        _check(gap.pr(num_nodes=num_nodes, avg_degree=5, seed=41,
+                      iters=iters))
+
+    def test_denser_graph(self):
+        _check(gap.pr(num_nodes=60, avg_degree=10, seed=41, iters=2))
+
+
+class TestSeedIndependence:
+    @pytest.mark.parametrize("seed", [1, 2, 97])
+    @pytest.mark.parametrize("kernel", [gap.bfs, gap.cc, gap.sssp, gap.pr])
+    def test_validates_across_seeds(self, kernel, seed):
+        # The reference and the kernel must agree for *any* graph seed,
+        # not just the registry's pinned ones.
+        _check(kernel(num_nodes=50, avg_degree=4, seed=seed))
