@@ -15,7 +15,12 @@ Commands
              H2P branch and in aggregate
 ``list``     list workloads, scales, and machine modes
 ``figure``   regenerate one paper figure/table on a workload subset
-``bench``    time the cycle kernel and write BENCH_pipeline.json
+``bench``    time the cycle kernel (plus the functional engine and
+             interpreter rates) and write BENCH_pipeline.json
+``sample``   sampled simulation: functional fast-forward to K sample
+             points, parallel detailed windows, extrapolated metrics
+             with confidence intervals (``--validate`` gates the
+             sampled-vs-full error on the pinned matrix)
 ``lint``     statically lint workload programs (or an assembly file)
 ``slice``    static backward slices per branch; ``--oracle`` scores the
              dynamic Backward Dataflow Walk against them
@@ -38,6 +43,9 @@ Examples::
     python -m repro bench --out BENCH_pipeline.json
     python -m repro bench --check
     python -m repro bench --compare benchmarks/perf/baseline.json
+    python -m repro sample bfs --mode tea --scale small --jobs 4
+    python -m repro sample mcf --windows 8 --warmup 2000 --measure 4000
+    python -m repro sample --validate
     python -m repro run bfs --mode tea --scale tiny
     python -m repro run bfs --mode tea --check-invariants 64
     python -m repro inject bfs,xz --kinds tea_outcome_flip,wakeup_drop \\
@@ -84,7 +92,7 @@ def _cmd_list(_args) -> int:
     print("workloads (paper evaluation suite):")
     for name in workload_names():
         print(f"  {name:12s} [{make_category(name)} control flow]")
-    print("\nscales: tiny, bench, full")
+    print("\nscales: tiny, bench, full (+ small for bfs/cc/sssp/pr)")
     print("modes:  " + ", ".join(MODES))
     print("\nfigures: fig5 fig6 fig7 fig8 fig9 fig10 table3")
     return 0
@@ -495,6 +503,23 @@ def _cmd_bench(args) -> int:
           f"{report['geomean_uops_per_sec']:,.0f} uops/s "
           f"(calibrated {report['calibrated_cycles_per_sec']:,.1f}; host "
           f"{report['host']['calibration_mops']:.1f} Mops)")
+    functional = report.get("functional") or {}
+    for row in functional.get("rows", ()):
+        speedup = row["speedup_vs_detailed"]
+        print(
+            f"  functional {row['workload']:>8s}"
+            f"{row['functional_instr_per_sec']:>14,.0f} instr/s"
+            f"  interp {row['interpreter_instr_per_sec']:>12,.0f}"
+            + (f"  {speedup:,.0f}x detailed" if speedup else ""),
+            file=sys.stderr,
+        )
+    if functional.get("geomean_speedup_vs_detailed"):
+        print(
+            f"functional engine: "
+            f"{functional['geomean_functional_instr_per_sec']:,.0f} instr/s "
+            f"geomean, {functional['geomean_speedup_vs_detailed']:,.0f}x "
+            f"the detailed kernel"
+        )
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}")
@@ -513,6 +538,96 @@ def _cmd_bench(args) -> int:
                 f"{args.tolerance:.0%} vs baseline", file=sys.stderr
             )
             return 1
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    from .sampling import run_sampled, validate_sampling, write_report
+
+    if args.validate:
+        # Pinned matrix (bfs/mcf/xz x baseline/tea), pinned knobs; a
+        # single workload narrows it to that workload's cells.
+        from .sampling.validate import PINNED_RUNS
+
+        cells = PINNED_RUNS
+        if args.workload:
+            cells = tuple(
+                (w, m) for w, m in PINNED_RUNS if w == args.workload
+            ) or tuple((args.workload, m) for m in ("baseline", "tea"))
+        print(f"validating sampled vs full detailed runs "
+              f"({len(cells)} cells) ...", file=sys.stderr)
+        report = validate_sampling(
+            cells=cells,
+            scale=args.scale,
+            jobs=args.jobs,
+            seed=args.seed,
+        )
+        for cell in report["cells"]:
+            flag = "ok" if cell["ipc_ok"] and cell["mpki_ok"] else "FAIL"
+            print(
+                f"  {cell['workload']:>8s}/{cell['mode']:<9s}"
+                f" ipc {cell['sampled']['ipc']:.4f} vs "
+                f"{cell['full']['ipc']:.4f} "
+                f"({cell['ipc_rel_error']:.1%})"
+                f"  mpki {cell['sampled']['mpki']:.2f} vs "
+                f"{cell['full']['mpki']:.2f} "
+                f"({cell['mpki_rel_error']:.1%})  {flag}"
+            )
+        summary = report["summary"]
+        print(
+            f"worst error: ipc {summary['worst_ipc_rel_error']:.1%}, "
+            f"mpki {summary['worst_mpki_rel_error']:.1%} "
+            f"({summary['cells']} cells)"
+        )
+        if args.out:
+            write_report(report, args.out)
+            print(f"wrote {args.out}")
+        if not report["ok"]:
+            print("FAIL: sampled estimates outside tolerance",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if not args.workload:
+        print("error: sample requires a workload (or --validate)",
+              file=sys.stderr)
+        return 2
+    report = run_sampled(
+        args.workload,
+        mode=args.mode,
+        scale=args.scale,
+        windows=args.windows,
+        warmup=args.warmup,
+        measure=args.measure,
+        jobs=args.jobs,
+        seed=args.seed,
+        placement=args.placement,
+    )
+    est = report["estimates"]
+    total = report["functional"]["total_instructions"]
+    captured = report["functional"]["captured"]
+    measured = sum(w["instructions"] for w in report["windows"])
+    print(
+        f"{args.workload}/{args.mode} @ {args.scale}: "
+        f"{captured} windows over {total:,} instructions "
+        f"({measured / total:.1%} measured in detail)"
+    )
+
+    def fmt(name: str) -> str:
+        metric = est[name]
+        value = metric["value"]
+        if value is None:
+            return f"{name} n/a"
+        ci = metric.get("ci95")
+        tail = f" +/- {ci:.4f}" if ci is not None else ""
+        return f"{name} {value:.4f}{tail}"
+
+    print("  " + "  ".join(
+        fmt(name) for name in ("ipc", "mpki", "tea_accuracy", "tea_coverage")
+    ))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -626,7 +741,23 @@ def _cmd_slice(args) -> int:
 def _cmd_inject(args) -> int:
     from .verify import FAULT_KINDS, run_fault_campaign
 
-    workloads = tuple(args.workloads.split(","))
+    # ``fuzz`` / ``fuzz/*`` folds every corpus repro record into the
+    # matrix; individual ``fuzz/<stem>`` names pass through directly.
+    expanded: list[str] = []
+    for name in args.workloads.split(","):
+        if name in ("fuzz", "fuzz/*"):
+            from .workloads import fuzz_corpus_names
+
+            corpus = fuzz_corpus_names()
+            if not corpus:
+                print("fuzz corpus is empty; run `repro fuzz` first or "
+                      "point REPRO_FUZZ_CORPUS at a record directory",
+                      file=sys.stderr)
+                return 2
+            expanded.extend(corpus)
+        else:
+            expanded.append(name)
+    workloads = tuple(expanded)
     kinds = tuple(args.kinds.split(",")) if args.kinds else None
     if kinds:
         unknown = sorted(set(kinds) - set(FAULT_KINDS))
@@ -652,6 +783,7 @@ def _cmd_inject(args) -> int:
         scale=args.scale,
         check_invariants=args.check_invariants,
         max_cycles=args.max_cycles,
+        start_cycle=args.start_cycle,
         progress=progress,
     )
     if args.out:
@@ -882,6 +1014,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "fraction for --compare (default 0.30)")
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_sample = sub.add_parser(
+        "sample",
+        help="sampled simulation: functional fast-forward + parallel "
+             "detailed windows",
+    )
+    p_sample.add_argument("workload", nargs="?", default=None)
+    p_sample.add_argument("--mode", default="tea", choices=MODES)
+    p_sample.add_argument("--scale", default="tiny")
+    p_sample.add_argument("--windows", type=int, default=8, metavar="K",
+                          help="detailed windows (default 8)")
+    p_sample.add_argument("--warmup", type=int, default=2000, metavar="N",
+                          help="warmup instructions per window "
+                               "(default 2000)")
+    p_sample.add_argument("--measure", type=int, default=4000, metavar="N",
+                          help="measured instructions per window "
+                               "(default 4000)")
+    p_sample.add_argument("--jobs", type=int, default=0, metavar="N",
+                          help="worker processes (0 = inline; reports are "
+                               "byte-identical either way)")
+    p_sample.add_argument("--seed", type=int, default=0,
+                          help="placement seed (used by --placement random)")
+    p_sample.add_argument("--placement", default="even",
+                          choices=("even", "random"))
+    p_sample.add_argument("--out", default=None, metavar="PATH",
+                          help="write the JSON report")
+    p_sample.add_argument("--validate", action="store_true",
+                          help="sampled-vs-full error table on the pinned "
+                               "matrix; exit 1 outside tolerance")
+    p_sample.set_defaults(func=_cmd_sample)
+
     p_lint = sub.add_parser(
         "lint", help="statically lint workload programs"
     )
@@ -919,8 +1081,9 @@ def build_parser() -> argparse.ArgumentParser:
         "inject", help="seeded microarchitectural fault-injection campaign"
     )
     p_inject.add_argument("workloads", nargs="?", default="bfs,mcf,xz",
-                          help="comma-separated workloads "
-                               "(default: bfs,mcf,xz)")
+                          help="comma-separated workloads; 'fuzz' or "
+                               "'fuzz/*' expands to every corpus repro "
+                               "record (default: bfs,mcf,xz)")
     p_inject.add_argument("--mode", default="tea", choices=MODES)
     p_inject.add_argument("--scale", default="tiny")
     p_inject.add_argument("--kinds", default=None,
@@ -932,6 +1095,10 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="invariant audit period during the campaign")
     p_inject.add_argument("--max-cycles", type=int, default=2_000_000)
+    p_inject.add_argument("--start-cycle", type=int, default=2_000,
+                          metavar="N",
+                          help="earliest cycle a fault may fire; lower it "
+                               "for short fuzz repros (default 2000)")
     p_inject.add_argument("--out", default=None, metavar="PATH",
                           help="write the JSON campaign report")
     p_inject.add_argument("--json", action="store_true",

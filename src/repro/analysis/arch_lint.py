@@ -45,6 +45,7 @@ LAYER_RANKS: dict[str, int] = {
     "workloads": 7,
     "harness": 8,
     "fuzz": 9,
+    "sampling": 9,
     "": 10,
 }
 

@@ -210,7 +210,8 @@ class Pipeline:
                 if self.obs is not None:
                     self.obs.emit("measurement_start")
             if (
-                max_instructions is not None
+                measurement_started
+                and max_instructions is not None
                 and self.stats.retired_instructions >= max_instructions
             ):
                 break

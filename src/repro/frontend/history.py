@@ -110,6 +110,25 @@ class HistoryState:
             push = self._specialize_push()
         push(1)
 
+    # -- warm start --------------------------------------------------------
+    def warm_replay(self, ghr: int, path: int) -> None:
+        """Seed a registered-but-pristine history from raw GHR/path bits.
+
+        Replays all :data:`MAX_HISTORY_BITS` bits of ``ghr`` oldest
+        first through the incremental fold machinery, so every folded
+        register ends up *exactly* as if the original push sequence had
+        run (each fold is a pure function of its last ``length`` pushed
+        bits, and leading zero bits from the pristine state are
+        no-ops).  Used by sampled simulation to restore checkpointed
+        warmup history into a freshly built frontend.
+        """
+        if self.ghr:
+            raise ValueError("warm_replay() requires pristine history")
+        for shift in range(MAX_HISTORY_BITS - 1, -1, -1):
+            self._push_bit((ghr >> shift) & 1)
+        assert self.ghr == ghr & _GHR_MASK
+        self.path = path & _PATH_MASK
+
     # -- recovery ----------------------------------------------------------
     def snapshot(self) -> tuple[int, int, tuple[int, ...]]:
         return (self.ghr, self.path, tuple(self._folds))

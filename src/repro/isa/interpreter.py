@@ -14,7 +14,12 @@ from ..memory.memory_image import MemoryImage
 from .instructions import INSTRUCTION_BYTES, UopClass
 from .program import Program
 from .registers import NUM_ARCH_REGS, REG_ZERO
-from .semantics import branch_taken, branch_target, compute_result, effective_address
+from .semantics import (
+    BRANCH_EVALUATORS,
+    SCALAR_EVALUATORS,
+    branch_target,
+    effective_address,
+)
 
 
 class InterpreterError(RuntimeError):
@@ -67,36 +72,57 @@ def run_program(
     pc = program.entry_pc
     steps = 0
     trace: list = []
+    # Hot-loop hoists: one local load instead of an attribute chain (or
+    # a dict build) per executed instruction.  The semantics handlers
+    # are pre-bound per opcode in SCALAR_EVALUATORS / BRANCH_EVALUATORS.
+    instruction_at = program._by_pc.get
+    mem_load = memory.load
+    mem_store = memory.store
+    trace_append = trace.append
+    scalar_eval = SCALAR_EVALUATORS
+    branch_eval = BRANCH_EVALUATORS
+    halt_cls = UopClass.HALT
+    nop_cls = UopClass.NOP
+    load_cls = UopClass.LOAD
+    store_cls = UopClass.STORE
+    cond_cls = UopClass.BR_COND
+    step_bytes = INSTRUCTION_BYTES
     while steps < max_steps:
-        instr = program.instruction_at(pc)
+        instr = instruction_at(pc)
         if instr is None:
             raise InterpreterError(f"control flow left the image at {pc:#x}")
         steps += 1
         cls = instr.uop_class
-        if cls is UopClass.HALT:
+        if cls is halt_cls:
             return InterpreterResult(regs, memory, steps, True, trace)
-        if cls is UopClass.NOP:
-            pc += INSTRUCTION_BYTES
+        if cls is nop_cls:
+            pc += step_bytes
             continue
-        values = tuple(regs[r] for r in instr.srcs)
+        values = tuple([regs[r] for r in instr.srcs])
         if instr.is_branch:
-            taken = branch_taken(instr, values)
-            result = compute_result(instr, values)
-            if instr.dst is not None and result is not None and instr.dst != REG_ZERO:
-                regs[instr.dst] = result
+            taken = (
+                bool(branch_eval[instr.opcode](values[0], values[1]))
+                if cls is cond_cls
+                else True
+            )
+            dst = instr.dst
+            if dst is not None and dst != REG_ZERO:
+                # call/callr write the return address (the only branch
+                # destinations); see compute_result.
+                regs[dst] = instr.fallthrough_pc
             if collect_trace:
-                trace.append((pc, taken))
+                trace_append((pc, taken))
             pc = branch_target(instr, values) if taken else instr.fallthrough_pc
             continue
-        if cls is UopClass.LOAD:
+        if cls is load_cls:
             addr = effective_address(instr, values)
             if instr.dst != REG_ZERO:
-                regs[instr.dst] = memory.load(addr)
-        elif cls is UopClass.STORE:
-            memory.store(effective_address(instr, values), values[0])
+                regs[instr.dst] = mem_load(addr)
+        elif cls is store_cls:
+            mem_store(effective_address(instr, values), values[0])
         else:
-            result = compute_result(instr, values)
+            result = scalar_eval[instr.opcode](values, instr.imm)
             if instr.dst is not None and instr.dst != REG_ZERO:
                 regs[instr.dst] = result
-        pc += INSTRUCTION_BYTES
+        pc += step_bytes
     raise InterpreterTimeout(pc, max_steps)

@@ -76,6 +76,57 @@ _BRANCH_OPS = {
 }
 
 
+def _bind_rr(fn):
+    return lambda srcs, imm: to_signed64(fn(srcs[0], srcs[1]))
+
+
+def _bind_ri(fn):
+    return lambda srcs, imm: to_signed64(fn(srcs[0], imm))
+
+
+def _bind_fp(fn):
+    return lambda srcs, imm: fn(srcs[0], srcs[1])
+
+
+def _build_evaluators() -> dict:
+    """Pre-bind one ``(srcs, imm) -> value`` handler per scalar opcode.
+
+    Dispatching through this table replaces :func:`compute_result`'s
+    per-step string tests (``op.endswith("i")`` etc.) with a single
+    dict lookup — the interpreter's hot loop and the sampled-simulation
+    functional engine both index it by ``instr.opcode``.  Branch and
+    memory opcodes are deliberately absent: their semantics need the
+    instruction object (targets, effective addresses).
+    """
+    table: dict = {}
+    for op in ("add", "sub", "and", "or", "xor", "shl", "shr", "slt",
+               "sltu", "min", "max", "mul", "div", "rem"):
+        table[op] = _bind_rr(_INT_OPS[op])
+    for op in ("addi", "subi", "andi", "ori", "xori", "shli", "shri",
+               "slti"):
+        table[op] = _bind_ri(_INT_OPS[op[:-1]])
+    table["li"] = lambda srcs, imm: imm
+    table["mov"] = lambda srcs, imm: srcs[0]
+    for op in ("fadd", "fsub", "fmul", "fdiv", "fmin", "fmax"):
+        table[op] = _bind_fp(_FP_OPS[op])
+    table["fmov"] = lambda srcs, imm: srcs[0]
+    # fli encodes a small float immediate scaled by 1/256.
+    table["fli"] = lambda srcs, imm: imm / 256.0
+    table["itof"] = lambda srcs, imm: float(srcs[0])
+    table["ftoi"] = lambda srcs, imm: to_signed64(int(srcs[0]))
+    table["fcmplt"] = lambda srcs, imm: int(srcs[0] < srcs[1])
+    return table
+
+
+#: opcode -> ``(srcs, imm) -> value`` for every ALU/MUL/DIV/FP opcode.
+SCALAR_EVALUATORS = _build_evaluators()
+
+#: opcode -> ``(a, b) -> bool`` for every conditional-branch opcode
+#: (public alias so dispatch-table builders need not reach into the
+#: private op dicts).
+BRANCH_EVALUATORS = dict(_BRANCH_OPS)
+
+
 def compute_result(instr: Instruction, srcs: tuple) -> int | float | None:
     """Compute the destination value of a non-memory, non-branch uop.
 
@@ -84,32 +135,10 @@ def compute_result(instr: Instruction, srcs: tuple) -> int | float | None:
     destination.  ``call``/``callr`` results (the return address) are
     handled here as well since they write ``ra``.
     """
-    op = instr.opcode
+    fn = SCALAR_EVALUATORS.get(instr.opcode)
+    if fn is not None:
+        return fn(srcs, instr.imm)
     cls = instr.uop_class
-    if cls is UopClass.ALU:
-        if op == "li":
-            return instr.imm
-        if op == "mov":
-            return srcs[0]
-        if op.endswith("i") and op != "sltu":
-            base = op[:-1]
-            return to_signed64(_INT_OPS[base](srcs[0], instr.imm))
-        return to_signed64(_INT_OPS[op](srcs[0], srcs[1]))
-    if cls in (UopClass.MUL, UopClass.DIV):
-        return to_signed64(_INT_OPS[op](srcs[0], srcs[1]))
-    if cls is UopClass.FP:
-        if op == "fli":
-            # fli encodes a small float immediate scaled by 1/256.
-            return instr.imm / 256.0
-        if op == "fmov":
-            return srcs[0]
-        if op == "itof":
-            return float(srcs[0])
-        if op == "ftoi":
-            return to_signed64(int(srcs[0]))
-        if op == "fcmplt":
-            return int(srcs[0] < srcs[1])
-        return _FP_OPS[op](srcs[0], srcs[1])
     if cls in (UopClass.BR_CALL, UopClass.BR_IND) and instr.dst is not None:
         return instr.fallthrough_pc
     return None

@@ -390,6 +390,13 @@ class TelemetryAggregator:
                 "transport": self.transport_drops,
                 "duplicates": self.duplicates,
             },
+            # Sampled-simulation lifecycle (zero outside `repro sample`
+            # campaigns; the executor feeds these from the parent bus).
+            "sampled_simulation": {
+                "checkpoints": self.event_counts.get("sample_checkpoint", 0),
+                "windows": self.event_counts.get("sample_window_done", 0),
+                "estimates": self.event_counts.get("sample_estimate", 0),
+            },
             "histograms": self._merged_histograms(),
         }
 

@@ -65,6 +65,12 @@ EVENT_TYPES: frozenset[str] = frozenset(
         "run_finished",        # attempt succeeded; payload has attempts taken
         "run_failed",          # run gave up (kind: fatal/timeout/retryable)
         "run_retried",         # retryable failure; another attempt scheduled
+        # Sampled simulation (repro.sampling.windows, parent-process
+        # bus; cycle is -1, these are wall-clock-side).
+        "sample_plan",         # window placement chosen (count/positions)
+        "sample_checkpoint",   # one functional checkpoint captured
+        "sample_window_done",  # one detailed window settled (ipc/mpki)
+        "sample_estimate",     # extrapolated metrics + confidence bounds
     }
 )
 

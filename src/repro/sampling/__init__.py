@@ -1,0 +1,44 @@
+"""Sampled simulation: functional fast-forward + parallel detailed windows.
+
+The detailed pipeline model retires a few thousand instructions per
+second; the functional engine in :mod:`repro.sampling.functional`
+executes the same programs hundreds of times faster while tracking the
+predictor-warmup state (global/path history, BTB, RAS, per-branch
+misprediction proxies) that a detailed window needs to start hot.
+:mod:`repro.sampling.checkpoint` freezes that state into serializable
+sample points, :mod:`repro.sampling.windows` fans the windows out over
+the campaign process pool and extrapolates IPC/MPKI/TEA metrics with
+confidence intervals, and :mod:`repro.sampling.validate` pins the
+sampled-vs-full error on the tiny golden matrix.
+"""
+
+from .checkpoint import Checkpoint, capture_checkpoints, seed_pipeline
+from .functional import FunctionalEngine, WarmupState, functional_rate
+from .validate import validate_cell, validate_sampling
+from .windows import (
+    DEFAULT_MEASURE,
+    DEFAULT_WARMUP,
+    DEFAULT_WINDOWS,
+    execute_window,
+    place_windows,
+    run_sampled,
+    write_report,
+)
+
+__all__ = [
+    "Checkpoint",
+    "FunctionalEngine",
+    "WarmupState",
+    "capture_checkpoints",
+    "seed_pipeline",
+    "functional_rate",
+    "place_windows",
+    "execute_window",
+    "run_sampled",
+    "write_report",
+    "validate_cell",
+    "validate_sampling",
+    "DEFAULT_WINDOWS",
+    "DEFAULT_WARMUP",
+    "DEFAULT_MEASURE",
+]

@@ -1,0 +1,297 @@
+"""Serializable sample-point checkpoints and pipeline warm-start.
+
+A :class:`Checkpoint` captures everything a detailed window needs to
+resume from a functional fast-forward at instruction ``position``:
+
+* **architectural state** — registers, the sparse memory image, and
+  the next PC,
+* **predictor-warmup state** — the 512-bit global direction history and
+  path history, the BTB warmup map (insertion-ordered ``pc -> target``
+  pairs), the return-address-stack image, per-branch misprediction
+  proxy counts for TEA H2P seeding, and the bounded branch trace of
+  the most recent control-flow events
+  (:class:`~repro.sampling.functional.WarmupState`).
+
+Records are JSON-safe and self-contained, so the window scheduler can
+write one file per sample point and ship the *path* through the
+existing :class:`~repro.harness.executor.CampaignExecutor` RunSpec
+machinery to worker processes.
+
+:func:`seed_pipeline` is the restore side: it warm-starts a freshly
+built :class:`~repro.core.pipeline.Pipeline` *before its first cycle* —
+committed registers enter through the normal rename machinery
+(allocate + write + RAT update, preserving the preg-conservation
+invariant), the branch trace is replayed through the frontend's *real*
+predict/train path (warming the TAGE-SC-L and ITTAGE tables with the
+exact per-branch history context, and leaving the incremental history
+fold registers bit-exact — verified against the checkpointed GHR),
+BTB entries are installed in insertion order (LRU order preserved),
+the RAS is pushed bottom-up, and TEA's H2P table replays the proxy
+misprediction counts.
+Restoring the same checkpoint twice yields bit-identical pipelines, so
+a resumed window is cycle-exact regardless of the serialize/restore
+round-trip (``tests/test_sampling_checkpoint.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..memory.memory_image import MemoryImage
+from .functional import FunctionalEngine, WarmupState
+
+CHECKPOINT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One sample point: architectural + predictor-warmup state."""
+
+    workload: str
+    scale: str
+    position: int                  # instructions executed so far
+    pc: int                        # next instruction to execute
+    registers: tuple = ()
+    memory: tuple = ()             # ((addr, value), ...) sorted
+    ghr: int = 0
+    path: int = 0
+    btb: tuple = ()                # ((pc, target), ...) insertion order
+    ras: tuple = ()                # bottom-up return addresses
+    mispredicts: tuple = ()        # ((pc, count), ...) proxy misses
+    trace: tuple = ()              # recent branch events, oldest first
+    dlines: tuple = ()             # touched data lines, LRU order
+    schema: int = CHECKPOINT_SCHEMA
+    extra: dict = field(default_factory=dict, compare=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        engine: FunctionalEngine,
+        workload: str,
+        scale: str,
+    ) -> "Checkpoint":
+        """Snapshot a paused functional engine at its current position."""
+        warmup = engine.warmup
+        if warmup is None:
+            warmup = WarmupState()
+        misses = warmup.mispredict_counts()
+        return cls(
+            workload=workload,
+            scale=scale,
+            position=engine.instructions_executed,
+            pc=engine.pc,
+            registers=tuple(engine.regs),
+            memory=tuple(sorted(engine.memory.snapshot().items())),
+            ghr=warmup.ghr,
+            path=warmup.path,
+            btb=tuple(warmup.btb.items()),
+            ras=tuple(warmup.ras),
+            mispredicts=tuple(sorted(misses.items())),
+            trace=tuple(warmup.trace),
+            # LLC capacity bounds how much LRU depth can matter.
+            dlines=tuple(warmup.dlines)[-16384:],
+        )
+
+    # ------------------------------------------------------------------
+    def as_record(self) -> dict:
+        """JSON-safe dict (GHR as hex — 512 bits stay compact)."""
+        return {
+            "schema": self.schema,
+            "workload": self.workload,
+            "scale": self.scale,
+            "position": self.position,
+            "pc": self.pc,
+            "registers": list(self.registers),
+            "memory": [[addr, value] for addr, value in self.memory],
+            "ghr": f"{self.ghr:x}",
+            "path": self.path,
+            "btb": [[pc, target] for pc, target in self.btb],
+            "ras": list(self.ras),
+            "mispredicts": [[pc, n] for pc, n in self.mispredicts],
+            "trace": [list(event) for event in self.trace],
+            "dlines": list(self.dlines),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Checkpoint":
+        if record.get("schema") != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"unsupported checkpoint schema {record.get('schema')!r}"
+            )
+        return cls(
+            workload=record["workload"],
+            scale=record["scale"],
+            position=record["position"],
+            pc=record["pc"],
+            registers=tuple(record["registers"]),
+            memory=tuple(
+                (addr, value) for addr, value in record["memory"]
+            ),
+            ghr=int(record["ghr"], 16),
+            path=record["path"],
+            btb=tuple((pc, target) for pc, target in record["btb"]),
+            ras=tuple(record["ras"]),
+            mispredicts=tuple(
+                (pc, n) for pc, n in record["mispredicts"]
+            ),
+            trace=tuple(
+                tuple(event) for event in record.get("trace", [])
+            ),
+            dlines=tuple(record.get("dlines", [])),
+        )
+
+    def save(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.as_record(), sort_keys=True) + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Checkpoint":
+        return cls.from_record(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    def fresh_memory(self) -> MemoryImage:
+        """A new memory image holding the checkpointed words."""
+        return MemoryImage(dict(self.memory))
+
+
+def seed_pipeline(pipeline, checkpoint: Checkpoint) -> None:
+    """Warm-start a freshly built pipeline from a checkpoint.
+
+    Must be called before the pipeline's first cycle.  The pipeline's
+    memory image is *not* touched here — build it with
+    ``Pipeline(program, checkpoint.fresh_memory(), config)``.
+    """
+    if pipeline.cycle != 0 or pipeline.rob:
+        raise ValueError("seed_pipeline() requires an unstarted pipeline")
+    # Architectural registers flow through the normal rename path so
+    # every invariant (preg conservation, RAT consistency) holds.
+    prf = pipeline.prf
+    rat = pipeline.rat
+    for reg, value in enumerate(checkpoint.registers):
+        if reg == 0 or value == 0:
+            continue
+        preg = prf.allocate()
+        if preg is None:  # pragma: no cover - 47 regs vs hundreds of pregs
+            raise RuntimeError("physical register file exhausted while seeding")
+        prf.write(preg, value)
+        rat.set(reg, preg)
+        pipeline.committed_regs[reg] = value
+    # Resume fetch at the checkpointed PC.
+    frontend = pipeline.frontend
+    frontend.next_pc = checkpoint.pc
+    # BTB image first (oldest information), so trace replay below
+    # refreshes the recently-used entries into MRU position.
+    for pc, target in checkpoint.btb:
+        frontend.btb.install(pc, target)
+    _replay_trace(frontend, checkpoint)
+    for return_address in checkpoint.ras:
+        frontend.ras.push(return_address)
+    # Cache warmth.  The static code image is small relative to the
+    # L1I, so code the program has been executing is resident; data
+    # lines replay in LRU order so the L1D/LLC tag arrays keep the
+    # most-recently-touched working set.
+    if checkpoint.position > 0:
+        hierarchy = pipeline.hierarchy
+        code_lines = sorted(
+            {instr.pc & ~63 for instr in pipeline.program.instructions}
+        )
+        for line in code_lines:
+            hierarchy.llc.fill(line)
+            hierarchy.l1i.fill(line)
+        for line in checkpoint.dlines:
+            hierarchy.llc.fill(line)
+            hierarchy.l1d.fill(line)
+    # TEA chain-training inputs: hottest proxy-misprediction branches
+    # first so H2P capacity goes to them under eviction pressure.
+    if pipeline.tea is not None:
+        ranked = sorted(
+            checkpoint.mispredicts, key=lambda item: (-item[1], item[0])
+        )
+        for pc, count in ranked:
+            pipeline.tea.h2p.seed(pc, count)
+
+
+def _replay_trace(frontend, checkpoint: Checkpoint) -> None:
+    """Replay the branch trace through the real predictor train path.
+
+    Each event is processed exactly as the decoupled frontend would on
+    the correct path: predict with the current history context, train
+    with the actual outcome, then push the history bits.  Because every
+    global-history push is traced and the trace depth exceeds the
+    512-bit history window, the incremental fold registers come out
+    bit-exact — verified against the checkpointed GHR below.
+    """
+    history = frontend.history
+    if checkpoint.trace:
+        cond = frontend.cond
+        indirect = frontend.indirect
+        btb = frontend.btb
+        for event in checkpoint.trace:
+            kind = event[0]
+            if kind == "c":
+                _, pc, taken, target = event
+                pred = cond.predict(pc, target < pc)
+                cond.train(pc, bool(taken), pred)
+                if taken:
+                    btb.install(pc, target)
+                history.push_conditional(bool(taken))
+            elif kind == "i":
+                _, pc, target = event
+                pred = indirect.predict(pc)
+                indirect.train(pc, target, pred)
+                btb.install(pc, target)
+                history.push_target(pc, target)
+            elif kind == "j":
+                _, pc, target = event
+                btb.install(pc, target)
+                history.push_target(pc, target)
+            else:  # "r": returns train only the RAS (seeded separately)
+                _, pc, target = event
+                history.push_target(pc, target)
+        if history.ghr != checkpoint.ghr:
+            raise RuntimeError(
+                "branch-trace replay diverged from the checkpointed "
+                f"global history at pc {checkpoint.pc:#x}"
+            )
+        # The trace bounds taken-transfer depth, not path depth; pin
+        # the path register to the checkpointed value directly.
+        history.path = checkpoint.path
+    elif checkpoint.ghr:
+        # Trace-less checkpoint (warmup tracking disabled): fall back
+        # to bit-exact history replay without table warming.
+        history.warm_replay(checkpoint.ghr, checkpoint.path)
+
+
+def capture_checkpoints(
+    workload,
+    positions,
+    workload_name: str | None = None,
+    scale: str = "bench",
+) -> list[Checkpoint]:
+    """Fast-forward one functional pass, checkpointing at ``positions``.
+
+    ``positions`` are instruction counts (ascending); duplicates are
+    collapsed.  A position at or beyond the halt point yields no
+    checkpoint (the window would have nothing to measure).
+    """
+    engine = FunctionalEngine(workload.program, workload.fresh_memory())
+    name = workload_name or workload.name
+    checkpoints: list[Checkpoint] = []
+    last = -1
+    for position in sorted(set(positions)):
+        if position <= last:
+            continue
+        engine.advance(position - engine.instructions_executed)
+        if engine.halted:
+            break
+        checkpoints.append(
+            Checkpoint.capture(engine, name, scale)
+        )
+        last = position
+    return checkpoints

@@ -1,0 +1,618 @@
+"""Fast functional execution engine for sampled simulation.
+
+The golden interpreter (:mod:`repro.isa.interpreter`) dispatches on the
+instruction object every step.  For sampled simulation we fast-forward
+through millions of instructions, so this engine *pre-compiles* every
+static instruction into a Python closure over the register list, the
+memory image's backing dict, and the instruction's constants.  The main
+loop is then just ``idx = code[idx]()`` — each closure performs its
+architectural effect and returns the index of the next instruction.
+Measured ≥50× the detailed kernel's instruction rate (the acceptance
+bar; ``repro bench`` records the honest numbers).
+
+Architectural semantics are *identical* to the golden interpreter —
+``tests/test_sampling_functional.py`` asserts register/memory/count
+equality, and error/timeout behavior matches (:class:`InterpreterError`
+with the same message when control leaves the image,
+:class:`InterpreterTimeout` on budget exhaustion).
+
+In-stride the engine also maintains lightweight **predictor-warmup
+state** for checkpointing (:mod:`repro.sampling.checkpoint`):
+
+* the 512-bit global direction history and 32-bit path history, updated
+  exactly as the decoupled frontend updates them for *correct-path*
+  branches (conditional outcome bits; a ``1`` plus path bits per taken
+  control transfer),
+* a BTB warmup map ``pc -> last taken target`` in insertion order,
+* a return-address-stack image (bounded at the frontend's RAS depth),
+* per-branch misprediction proxy counts — conditional branches run a
+  2-bit bimodal counter, returns check the RAS image, indirect jumps a
+  last-target cell — which seed the TEA H2P table so chain training
+  starts promptly inside a detailed window,
+* a bounded **branch trace** of the most recent control-flow events
+  (:data:`TRACE_DEPTH`).  Checkpoint restore replays the trace through
+  the detailed frontend's *real* predict/train path, so the TAGE-SC-L
+  and ITTAGE tables start a window warm — the single biggest accuracy
+  lever (cold tagged tables inflate window MPKI far more than sampling
+  noise does).
+
+The warmup state is deliberately an approximation (a real frontend
+also follows wrong paths and recovers); the detailed window's own
+warmup phase absorbs the residual error, and the sampled-vs-full
+validation harness (:mod:`repro.sampling.validate`) measures what
+remains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..frontend.history import MAX_HISTORY_BITS, PATH_HISTORY_BITS
+from ..isa.instructions import UopClass
+from ..isa.interpreter import InterpreterError, InterpreterTimeout
+from ..isa.program import Program
+from ..isa.registers import NUM_ARCH_REGS, REG_ZERO
+from ..isa.semantics import (
+    BRANCH_EVALUATORS,
+    SCALAR_EVALUATORS,
+    to_signed64,
+)
+from ..memory.memory_image import MemoryImage
+
+_GHR_MASK = (1 << MAX_HISTORY_BITS) - 1
+_PATH_MASK = (1 << PATH_HISTORY_BITS) - 1
+_WORD_ALIGN = ~7
+_LINE_ALIGN = ~63
+
+#: RAS image depth — matches FrontendConfig.ras_depth's default.
+RAS_DEPTH = 32
+
+#: Branch-trace depth.  Every traced event pushes at least one global
+#: history bit, so 4096 events always covers the full 512-bit history
+#: window and gives the tagged predictor tables several visits per hot
+#: branch during replay.
+TRACE_DEPTH = 4096
+
+#: Instructions executed per inner dispatch batch.  Large enough that
+#: per-batch bookkeeping amortizes to nothing, small enough that
+#: ``advance()`` overshoot never happens (the loop is sliced to the
+#: exact remaining count anyway).
+_BATCH = 1 << 16
+
+
+class _Halt(Exception):
+    """Internal control-flow signal: the halt closure fired."""
+
+
+class WarmupState:
+    """Predictor-warmup state tracked in-stride by the engine.
+
+    ``cond_cells``/``ind_cells`` map branch PC to a mutable two-slot
+    list — ``[bimodal_counter, misses]`` for conditionals and
+    ``[last_target, misses]`` for returns/indirect jumps.  The shared
+    one-element cells (``ghr_cell``/``path_cell``) exist so compiled
+    closures can mutate them without attribute lookups.
+
+    ``trace`` holds the last :data:`TRACE_DEPTH` control-flow events as
+    tuples — ``("c", pc, taken, target)`` for conditionals and
+    ``(kind, pc, target)`` with kind ``"j"`` (direct jump/call),
+    ``"r"`` (return), or ``"i"`` (jr/callr) for taken transfers — in
+    program order, oldest first.
+
+    ``dlines`` maps touched 64-byte data-line addresses to ``None`` in
+    recency order (oldest first): every load/store re-inserts its line
+    at the end, so iterating the keys replays the LRU order into the
+    detailed window's L1D/LLC tag arrays at restore.
+    """
+
+    __slots__ = ("ghr_cell", "path_cell", "btb", "ras",
+                 "cond_cells", "ind_cells", "trace", "dlines")
+
+    def __init__(self) -> None:
+        self.ghr_cell = [0]
+        self.path_cell = [0]
+        self.btb: dict[int, int] = {}
+        self.ras: list[int] = []
+        self.cond_cells: dict[int, list] = {}
+        self.ind_cells: dict[int, list] = {}
+        self.trace: deque = deque(maxlen=TRACE_DEPTH)
+        self.dlines: dict[int, None] = {}
+
+    @property
+    def ghr(self) -> int:
+        return self.ghr_cell[0]
+
+    @property
+    def path(self) -> int:
+        return self.path_cell[0]
+
+    def mispredict_counts(self) -> dict[int, int]:
+        """Per-branch-PC proxy misprediction counts (H2P seeding)."""
+        counts: dict[int, int] = {}
+        for pc, cell in self.cond_cells.items():
+            if cell[1]:
+                counts[pc] = counts.get(pc, 0) + cell[1]
+        for pc, cell in self.ind_cells.items():
+            if cell[1]:
+                counts[pc] = counts.get(pc, 0) + cell[1]
+        return counts
+
+
+class FunctionalEngine:
+    """Closure-compiled functional executor bound to one program+memory.
+
+    The engine owns its register file and mutates ``memory`` in place
+    (pass a fresh :class:`MemoryImage`).  ``advance(n)`` executes
+    exactly ``n`` instructions (fewer only on halt), so callers can
+    stop precisely at sample points.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        memory: MemoryImage | None = None,
+        track_warmup: bool = True,
+    ):
+        self.program = program
+        self.memory = memory if memory is not None else MemoryImage()
+        self.regs: list = [0] * NUM_ARCH_REGS
+        self.warmup = WarmupState() if track_warmup else None
+        self.instructions_executed = 0
+        self.halted = False
+        # Cell recording an off-image target resolved at runtime; the
+        # shared trailing sentinel (index -1) raises with its value.
+        self._bad_pc = [0]
+        self._pcs: list[int] = []
+        self._idx_of_pc: dict[int, int] = {}
+        self._code: list = []
+        self._compile()
+        self._idx = self._idx_of_pc[program.entry_pc]
+
+    # ------------------------------------------------------------------
+    @property
+    def pc(self) -> int:
+        """The PC of the next instruction to execute."""
+        return self._pcs[self._idx]
+
+    def advance(self, count: int) -> int:
+        """Execute up to ``count`` instructions; returns the number run.
+
+        Stops early only on HALT (the halt instruction itself counts as
+        executed, matching the golden interpreter).  Raises
+        :class:`InterpreterError` if control leaves the image.
+        """
+        if self.halted or count <= 0:
+            return 0
+        code = self._code
+        idx = self._idx
+        executed = 0
+        while executed < count:
+            batch = count - executed
+            if batch > _BATCH:
+                batch = _BATCH
+            it = iter(range(batch))
+            try:
+                for _ in it:
+                    idx = code[idx]()
+            except _Halt:
+                # The halt step itself counts (interpreter parity).
+                executed += batch - it.__length_hint__()
+                self.halted = True
+                self._idx = idx
+                self.instructions_executed += executed
+                return executed
+            except InterpreterError:
+                # The faulting fetch is not an executed instruction
+                # (the sentinel closure consumed one iteration).
+                self.instructions_executed += (
+                    executed + batch - it.__length_hint__() - 1
+                )
+                raise
+            executed += batch
+        self._idx = idx
+        self.instructions_executed += executed
+        return executed
+
+    def run_to_halt(self, max_steps: int = 5_000_000) -> int:
+        """Run until HALT; returns total instructions executed.
+
+        Raises :class:`InterpreterTimeout` (with the next PC and the
+        budget) when ``max_steps`` is exhausted first — the same
+        contract as :func:`repro.isa.interpreter.run_program`.
+        """
+        remaining = max_steps - self.instructions_executed
+        if remaining > 0:
+            self.advance(remaining)
+        if not self.halted:
+            raise InterpreterTimeout(self.pc, max_steps)
+        return self.instructions_executed
+
+    # ==================================================================
+    # Compilation
+    # ==================================================================
+    def _error_closure(self, pc: int):
+        def off_image():
+            raise InterpreterError(
+                f"control flow left the image at {pc:#x}"
+            )
+
+        return off_image
+
+    def _compile(self) -> None:
+        """Compile every static instruction into a dispatch closure."""
+        instrs = sorted(
+            self.program.instructions, key=lambda instr: instr.pc
+        )
+        self._pcs = [instr.pc for instr in instrs]
+        idx_of = {instr.pc: i for i, instr in enumerate(instrs)}
+        self._idx_of_pc = idx_of
+        code: list = [None] * len(instrs)
+        self._code = code
+
+        # Error closures for *statically known* off-image successors sit
+        # after the instruction closures; their (positive) index is the
+        # compiled successor.  The final sentinel handles *runtime*
+        # off-image targets via Python's -1 indexing, reading the PC
+        # from the shared bad-pc cell.
+        error_of: dict[int, int] = {}
+
+        def error_index(pc: int) -> int:
+            index = error_of.get(pc)
+            if index is None:
+                index = len(code)
+                code.append(self._error_closure(pc))
+                error_of[pc] = index
+            return index
+
+        def resolve(pc: int) -> int:
+            index = idx_of.get(pc)
+            return index if index is not None else error_index(pc)
+
+        for i, instr in enumerate(instrs):
+            code[i] = self._compile_one(instr, resolve)
+
+        bad = self._bad_pc
+
+        def runtime_off_image():
+            raise InterpreterError(
+                f"control flow left the image at {bad[0]:#x}"
+            )
+
+        code.append(runtime_off_image)
+
+    def _compile_one(self, instr, resolve):
+        """Build the closure for one instruction.
+
+        Everything the closure needs is captured as a local: the
+        register list, the memory dict, source/destination indices,
+        immediates, the pre-resolved successor index, and (for
+        branches) the warmup cells.  The hot path therefore performs no
+        attribute or global lookups at all.
+        """
+        regs = self.regs
+        words = self.memory._words
+        ts64 = to_signed64
+        op = instr.opcode
+        cls = instr.uop_class
+        srcs = instr.srcs
+        dst = instr.dst if instr.dst != REG_ZERO else None
+        imm = instr.imm
+        fall_pc = instr.fallthrough_pc
+
+        if cls is UopClass.HALT:
+            def halt():
+                raise _Halt
+
+            return halt
+
+        if cls is UopClass.BR_COND:
+            return self._compile_cond(instr, resolve)
+        if cls is UopClass.BR_JUMP:
+            return self._compile_jump(instr, resolve)
+        if cls is UopClass.BR_CALL:
+            return self._compile_call(instr, resolve)
+        if cls in (UopClass.BR_RET, UopClass.BR_IND):
+            return self._compile_indirect(instr)
+
+        nxt = resolve(fall_pc)
+
+        if cls is UopClass.NOP:
+            def nop():
+                return nxt
+
+            return nop
+
+        warm = self.warmup
+        if cls is UopClass.LOAD:
+            a = srcs[0]
+            if warm is None:
+                if dst is None:
+                    def load_zero():
+                        return nxt
+
+                    return load_zero
+
+                def load():
+                    regs[dst] = words.get(
+                        ts64(regs[a] + imm) & _WORD_ALIGN, 0
+                    )
+                    return nxt
+
+                return load
+            dlines = warm.dlines
+            if dst is None:
+                def load_zero_warm():
+                    line = ts64(regs[a] + imm) & _LINE_ALIGN
+                    if line in dlines:
+                        del dlines[line]
+                    dlines[line] = None
+                    return nxt
+
+                return load_zero_warm
+
+            def load_warm():
+                addr = ts64(regs[a] + imm) & _WORD_ALIGN
+                regs[dst] = words.get(addr, 0)
+                line = addr & _LINE_ALIGN
+                if line in dlines:
+                    del dlines[line]
+                dlines[line] = None
+                return nxt
+
+            return load_warm
+
+        if cls is UopClass.STORE:
+            v, b = srcs
+            if warm is None:
+                def store():
+                    words[ts64(regs[b] + imm) & _WORD_ALIGN] = regs[v]
+                    return nxt
+
+                return store
+            dlines = warm.dlines
+
+            def store_warm():
+                addr = ts64(regs[b] + imm) & _WORD_ALIGN
+                words[addr] = regs[v]
+                line = addr & _LINE_ALIGN
+                if line in dlines:
+                    del dlines[line]
+                dlines[line] = None
+                return nxt
+
+            return store_warm
+
+        # Scalar ALU/MUL/DIV/FP — pre-bound semantics handler.
+        fn = SCALAR_EVALUATORS[op]
+        if dst is None:
+            if not srcs:
+                def scalar_zero0():
+                    return nxt
+
+                return scalar_zero0
+
+            def scalar_zero():
+                fn(tuple([regs[r] for r in srcs]), imm)
+                return nxt
+
+            return scalar_zero
+        if len(srcs) == 2:
+            a, b = srcs
+
+            def scalar2():
+                regs[dst] = fn((regs[a], regs[b]), imm)
+                return nxt
+
+            return scalar2
+        if len(srcs) == 1:
+            a = srcs[0]
+
+            def scalar1():
+                regs[dst] = fn((regs[a],), imm)
+                return nxt
+
+            return scalar1
+
+        def scalar0():
+            regs[dst] = fn((), imm)
+            return nxt
+
+        return scalar0
+
+    # -- branch compilation --------------------------------------------
+    def _compile_cond(self, instr, resolve):
+        regs = self.regs
+        a, b = instr.srcs
+        cmp = BRANCH_EVALUATORS[instr.opcode]
+        taken_idx = resolve(instr.target)
+        fall_idx = resolve(instr.fallthrough_pc)
+        warm = self.warmup
+        if warm is None:
+            def cond_plain():
+                return taken_idx if cmp(regs[a], regs[b]) else fall_idx
+
+            return cond_plain
+        ghr = warm.ghr_cell
+        btb = warm.btb
+        pc = instr.pc
+        target = instr.target
+        cell = warm.cond_cells.setdefault(pc, [0, 0])
+        trace = warm.trace
+        taken_event = ("c", pc, 1, target)
+        fall_event = ("c", pc, 0, target)
+
+        def cond():
+            if cmp(regs[a], regs[b]):
+                trace.append(taken_event)
+                ghr[0] = ((ghr[0] << 1) | 1) & _GHR_MASK
+                if cell[0] < 2:
+                    cell[1] += 1
+                if cell[0] < 3:
+                    cell[0] += 1
+                btb[pc] = target
+                return taken_idx
+            trace.append(fall_event)
+            ghr[0] = (ghr[0] << 1) & _GHR_MASK
+            if cell[0] >= 2:
+                cell[1] += 1
+            if cell[0] > 0:
+                cell[0] -= 1
+            return fall_idx
+
+        return cond
+
+    def _compile_jump(self, instr, resolve):
+        warm = self.warmup
+        target_idx = resolve(instr.target)
+        if warm is None:
+            def jump_plain():
+                return target_idx
+
+            return jump_plain
+        ghr = warm.ghr_cell
+        path = warm.path_cell
+        btb = warm.btb
+        pc = instr.pc
+        target = instr.target
+        bits = ((pc >> 2) ^ (target >> 2)) & 0x7
+        trace = warm.trace
+        event = ("j", pc, target)
+
+        def jump():
+            trace.append(event)
+            ghr[0] = ((ghr[0] << 1) | 1) & _GHR_MASK
+            path[0] = ((path[0] << 3) | bits) & _PATH_MASK
+            btb[pc] = target
+            return target_idx
+
+        return jump
+
+    def _compile_call(self, instr, resolve):
+        regs = self.regs
+        warm = self.warmup
+        target_idx = resolve(instr.target)
+        dst = instr.dst if instr.dst != REG_ZERO else None
+        fall_pc = instr.fallthrough_pc
+        if warm is None:
+            if dst is None:
+                def call_plain_zero():
+                    return target_idx
+
+                return call_plain_zero
+
+            def call_plain():
+                regs[dst] = fall_pc
+                return target_idx
+
+            return call_plain
+        ghr = warm.ghr_cell
+        path = warm.path_cell
+        btb = warm.btb
+        ras = warm.ras
+        pc = instr.pc
+        target = instr.target
+        bits = ((pc >> 2) ^ (target >> 2)) & 0x7
+        trace = warm.trace
+        event = ("j", pc, target)
+
+        def call():
+            trace.append(event)
+            if dst is not None:
+                regs[dst] = fall_pc
+            if len(ras) >= RAS_DEPTH:
+                del ras[0]
+            ras.append(fall_pc)
+            ghr[0] = ((ghr[0] << 1) | 1) & _GHR_MASK
+            path[0] = ((path[0] << 3) | bits) & _PATH_MASK
+            btb[pc] = target
+            return target_idx
+
+        return call
+
+    def _compile_indirect(self, instr):
+        """ret / jr / callr: target comes from a register at runtime."""
+        regs = self.regs
+        idx_of = self._idx_of_pc
+        bad = self._bad_pc
+        warm = self.warmup
+        a = instr.srcs[0]
+        dst = instr.dst if instr.dst != REG_ZERO else None
+        pc = instr.pc
+        fall_pc = instr.fallthrough_pc
+        is_ret = instr.uop_class is UopClass.BR_RET
+        pc_bits = pc >> 2
+        if warm is None:
+            def indirect_plain():
+                if dst is not None:
+                    regs[dst] = fall_pc
+                target = int(regs[a])
+                nxt = idx_of.get(target)
+                if nxt is None:
+                    bad[0] = target
+                    return -1
+                return nxt
+
+            return indirect_plain
+        ghr = warm.ghr_cell
+        path = warm.path_cell
+        btb = warm.btb
+        ras = warm.ras
+        cell = warm.ind_cells.setdefault(pc, [None, 0])
+        trace = warm.trace
+        kind = "r" if is_ret else "i"
+
+        def indirect():
+            target = int(regs[a])
+            trace.append((kind, pc, target))
+            if is_ret:
+                # RAS proxy: a miss is a return whose target does not
+                # match the warm RAS top (underflow counts as a miss).
+                if ras:
+                    if ras.pop() != target:
+                        cell[1] += 1
+                else:
+                    cell[1] += 1
+            else:
+                # Last-target proxy for jr/callr (BTB-style).
+                if cell[0] != target:
+                    if cell[0] is not None:
+                        cell[1] += 1
+                    cell[0] = target
+                btb[pc] = target
+                if dst is not None:
+                    # callr: write ra and push the return address.
+                    regs[dst] = fall_pc
+                    if len(ras) >= RAS_DEPTH:
+                        del ras[0]
+                    ras.append(fall_pc)
+            ghr[0] = ((ghr[0] << 1) | 1) & _GHR_MASK
+            path[0] = (
+                ((path[0] << 3) | ((pc_bits ^ (target >> 2)) & 0x7))
+                & _PATH_MASK
+            )
+            nxt = idx_of.get(target)
+            if nxt is None:
+                bad[0] = target
+                return -1
+            return nxt
+
+        return indirect
+
+
+def functional_rate(
+    program: Program,
+    memory: MemoryImage | None = None,
+    max_steps: int = 5_000_000,
+) -> tuple[int, float]:
+    """Run a program to halt; returns ``(instructions, seconds)``.
+
+    Timing covers execution only (compilation excluded), mirroring how
+    ``repro bench`` times ``Pipeline.run`` after construction.
+    """
+    import time
+
+    engine = FunctionalEngine(program, memory)
+    start = time.perf_counter()
+    executed = engine.run_to_halt(max_steps)
+    elapsed = time.perf_counter() - start
+    return executed, elapsed

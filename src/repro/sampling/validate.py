@@ -1,0 +1,142 @@
+"""Sampled-vs-full validation on the tiny golden matrix.
+
+Ground truth: sampled simulation is only worth its speedup if the
+extrapolated metrics track a full detailed run.  This harness runs
+every pinned cell (the ``repro bench`` matrix —
+bfs/mcf/xz × baseline/tea) both ways at ``tiny`` scale, reports
+per-cell relative error for IPC and MPKI alongside the sampled
+confidence intervals, and gates on the acceptance tolerances
+(IPC within ±5%, MPKI within ±10%).  ``repro sample --validate``
+and the CI sampled-simulation smoke job both consume the report;
+EXPERIMENTS.md records a pinned copy of the error table.
+"""
+
+from __future__ import annotations
+
+from ..harness.bench import PINNED_RUNS
+from ..harness.runner import run_workload
+from .windows import run_sampled
+
+VALIDATE_SCHEMA = 1
+
+#: Acceptance tolerances (relative error vs the full detailed run).
+IPC_TOLERANCE = 0.05
+MPKI_TOLERANCE = 0.10
+
+#: Tiny-matrix window knobs.  Tiny runs are short (~9-12k instructions)
+#: and phase-heavy, so validation leans on coverage: 7 windows of 1400
+#: measured instructions each, warm-started 2000 instructions ahead.
+#: Measured worst-case error at these knobs: IPC 1.8%, MPKI 7.8%
+#: (EXPERIMENTS.md records the pinned table).
+VALIDATE_WINDOWS = 7
+VALIDATE_WARMUP = 2000
+VALIDATE_MEASURE = 1400
+
+
+def _relative_error(sampled: float, full: float) -> float:
+    if full == 0.0:
+        return 0.0 if sampled == 0.0 else float("inf")
+    return abs(sampled - full) / abs(full)
+
+
+def validate_cell(
+    workload: str,
+    mode: str,
+    scale: str = "tiny",
+    windows: int = VALIDATE_WINDOWS,
+    warmup: int = VALIDATE_WARMUP,
+    measure: int = VALIDATE_MEASURE,
+    jobs: int = 0,
+    seed: int = 0,
+    max_cycles: int = 30_000_000,
+) -> dict:
+    """Run one (workload, mode) cell sampled and full; returns the row."""
+    full = run_workload(
+        workload, mode, scale, max_cycles=max_cycles
+    ).stats
+    sampled = run_sampled(
+        workload,
+        mode,
+        scale,
+        windows=windows,
+        warmup=warmup,
+        measure=measure,
+        jobs=jobs,
+        seed=seed,
+    )
+    est = sampled["estimates"]
+    ipc_err = _relative_error(est["ipc"]["value"], full.ipc)
+    mpki_err = _relative_error(est["mpki"]["value"], full.mpki)
+    return {
+        "workload": workload,
+        "mode": mode,
+        "scale": scale,
+        "full": {
+            "instructions": full.retired_instructions,
+            "cycles": full.cycles,
+            "ipc": full.ipc,
+            "mpki": full.mpki,
+        },
+        "sampled": {
+            "windows": sampled["functional"]["captured"],
+            "ipc": est["ipc"]["value"],
+            "ipc_ci95": est["ipc"]["ci95"],
+            "mpki": est["mpki"]["value"],
+            "mpki_ci95": est["mpki"]["ci95"],
+        },
+        "ipc_rel_error": ipc_err,
+        "mpki_rel_error": mpki_err,
+        "ipc_ok": ipc_err <= IPC_TOLERANCE,
+        "mpki_ok": mpki_err <= MPKI_TOLERANCE,
+    }
+
+
+def validate_sampling(
+    cells=PINNED_RUNS,
+    scale: str = "tiny",
+    windows: int = VALIDATE_WINDOWS,
+    warmup: int = VALIDATE_WARMUP,
+    measure: int = VALIDATE_MEASURE,
+    jobs: int = 0,
+    seed: int = 0,
+) -> dict:
+    """Sampled-vs-full error table over the pinned matrix.
+
+    The report's ``ok`` is the CI gate: every cell must be inside both
+    tolerances.  No wall-clock fields — the report is deterministic for
+    fixed inputs, independent of ``jobs``.
+    """
+    rows = [
+        validate_cell(
+            workload,
+            mode,
+            scale,
+            windows=windows,
+            warmup=warmup,
+            measure=measure,
+            jobs=jobs,
+            seed=seed,
+        )
+        for workload, mode in cells
+    ]
+    worst_ipc = max((row["ipc_rel_error"] for row in rows), default=0.0)
+    worst_mpki = max((row["mpki_rel_error"] for row in rows), default=0.0)
+    return {
+        "schema": VALIDATE_SCHEMA,
+        "kind": "sampled_validation",
+        "scale": scale,
+        "plan": {
+            "windows": windows,
+            "warmup": warmup,
+            "measure": measure,
+            "seed": seed,
+        },
+        "tolerances": {"ipc": IPC_TOLERANCE, "mpki": MPKI_TOLERANCE},
+        "cells": rows,
+        "summary": {
+            "cells": len(rows),
+            "worst_ipc_rel_error": worst_ipc,
+            "worst_mpki_rel_error": worst_mpki,
+        },
+        "ok": all(row["ipc_ok"] and row["mpki_ok"] for row in rows),
+    }

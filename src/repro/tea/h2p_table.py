@@ -55,6 +55,17 @@ class H2PTable:
         cset.popitem(last=False)
         self.evictions += 1
 
+    def seed(self, pc: int, mispredicts: int) -> None:
+        """Warm-start an entry from a checkpointed misprediction count.
+
+        Replays ``mispredicts`` training events through the normal
+        insertion/eviction path (clamped by the counter's saturation),
+        so sampled-simulation windows start with the H2P population the
+        functional fast-forward observed instead of a cold table.
+        """
+        for _ in range(min(mispredicts, self.config.h2p_counter_max)):
+            self.record_mispredict(pc)
+
     def is_h2p(self, pc: int) -> bool:
         """True when the branch is currently classified hard-to-predict."""
         counter = self._set_for(pc).get(pc)

@@ -4,6 +4,8 @@
 of three scales:
 
 * ``tiny``  — seconds-long runs for unit/integration tests,
+* ``small`` — between tiny and bench (~20-30k instructions); sized for
+  sampled-simulation demos and smoke tests (a few workloads only),
 * ``bench`` — the default used by the benchmark harness (tens of
   thousands of instructions; large enough for H2P training, Fill
   Buffer walks, and stable IPC),
@@ -25,21 +27,25 @@ from .base import SIMPLE, Workload
 _SCALES: dict[str, dict[str, dict]] = {
     "bfs": {
         "tiny": dict(num_nodes=150, avg_degree=5, seed=11),
+        "small": dict(num_nodes=300, avg_degree=6, seed=11),
         "bench": dict(num_nodes=700, avg_degree=8, seed=11),
         "full": dict(num_nodes=4000, avg_degree=10, seed=11),
     },
     "cc": {
         "tiny": dict(num_nodes=80, avg_degree=4, seed=23, max_iters=3),
+        "small": dict(num_nodes=160, avg_degree=5, seed=23, max_iters=3),
         "bench": dict(num_nodes=320, avg_degree=6, seed=23, max_iters=4),
         "full": dict(num_nodes=1500, avg_degree=8, seed=23, max_iters=8),
     },
     "sssp": {
         "tiny": dict(num_nodes=80, avg_degree=4, seed=37, rounds=2),
+        "small": dict(num_nodes=160, avg_degree=5, seed=37, rounds=2),
         "bench": dict(num_nodes=300, avg_degree=6, seed=37, rounds=3),
         "full": dict(num_nodes=1200, avg_degree=8, seed=37, rounds=6),
     },
     "pr": {
         "tiny": dict(num_nodes=80, avg_degree=5, seed=41, iters=2),
+        "small": dict(num_nodes=160, avg_degree=6, seed=41, iters=2),
         "bench": dict(num_nodes=260, avg_degree=8, seed=41, iters=2),
         "full": dict(num_nodes=1200, avg_degree=10, seed=41, iters=4),
     },
@@ -172,7 +178,10 @@ def make_workload(name: str, scale: str = "bench") -> Workload:
     try:
         kwargs = _SCALES[name][scale]
     except KeyError:
-        raise ValueError(f"unknown scale {scale!r}; use tiny/bench/full") from None
+        raise ValueError(
+            f"unknown scale {scale!r} for {name!r}; "
+            "use tiny/bench/full (or small where registered)"
+        ) from None
     return builder(**kwargs)
 
 

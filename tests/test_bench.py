@@ -89,3 +89,31 @@ class TestBenchCli:
         )
         assert code == 1
         assert "FAIL" in capsys.readouterr().err
+
+
+class TestFunctionalBench:
+    def test_functional_section_records_speedup(self):
+        from repro.harness.bench import functional_bench
+
+        detailed = [bench_cell("bfs", "baseline", scale="tiny", repeat=1)]
+        section = functional_bench(
+            (("bfs", "baseline"),), scale="tiny", repeat=1,
+            detailed_cells=detailed,
+        )
+        (row,) = section["rows"]
+        assert row["workload"] == "bfs"
+        assert row["instructions"] > 0
+        assert row["functional_instr_per_sec"] > 0
+        assert row["interpreter_instr_per_sec"] > 0
+        # The tentpole acceptance floor: the functional engine must be
+        # at least 50x the detailed kernel's instruction rate.
+        assert row["speedup_vs_detailed"] >= 50
+        assert section["geomean_speedup_vs_detailed"] >= 50
+        assert "warmup tracking ON" in section["methodology"]
+
+    def test_run_bench_embeds_functional_section(self):
+        from repro.harness.bench import run_bench
+
+        report = run_bench((("xz", "baseline"),), scale="tiny", repeat=1)
+        assert report["functional"]["rows"]
+        assert report["functional"]["rows"][0]["workload"] == "xz"

@@ -208,3 +208,41 @@ class TestRunTelemetryFlags:
         out = capsys.readouterr().out
         assert "campaign:" in out
         assert "1/1 done" in out
+
+
+class TestSample:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sample", "bfs"])
+        assert args.mode == "tea"
+        assert args.scale == "tiny"
+        assert args.windows == 8
+        assert args.warmup == 2000
+        assert args.measure == 4000
+        assert args.jobs == 0
+        assert args.placement == "even"
+
+    def test_requires_workload_or_validate(self, capsys):
+        assert main(["sample"]) == 2
+        assert "workload" in capsys.readouterr().err
+
+    def test_sampled_run_writes_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "sampled.json"
+        code = main([
+            "sample", "bfs", "--mode", "tea", "--scale", "tiny",
+            "--windows", "3", "--warmup", "500", "--measure", "1000",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "ipc" in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert report["kind"] == "sampled"
+        assert report["estimates"]["ipc"]["value"] > 0
+
+    def test_validate_gate_passes_on_pinned_cells(self, capsys):
+        code = main(["sample", "bfs", "--validate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst error" in out
+        assert "FAIL" not in out

@@ -136,3 +136,52 @@ class TestObservability:
                               observe=True, fault_plan=plan)
         counts = result.observation.event_type_counts()
         assert counts.get("fault_injected") == 1
+
+
+class TestFuzzCorpusIntegration:
+    """Fuzz repro records fold into the fault-injection matrix."""
+
+    @pytest.fixture()
+    def corpus_workload(self, tmp_path, monkeypatch):
+        from repro.fuzz import GeneratorProfile, run_fuzz_campaign
+        from repro.fuzz.corpus import CORPUS_ENV
+        from repro.workloads import fuzz_corpus_names
+
+        corpus = tmp_path / "corpus"
+        run_fuzz_campaign(
+            [0, 1, 2],
+            profile=GeneratorProfile(loops=1, body_ops=3),
+            bug="addi-imm-one",
+            shrink=False,
+            corpus_dir=corpus,
+        )
+        monkeypatch.setenv(CORPUS_ENV, str(corpus))
+        names = fuzz_corpus_names()
+        assert names, "seeded-bug campaign produced no repro record"
+        return names[0]
+
+    def test_inject_accepts_fuzz_workload(self, corpus_workload):
+        report = run_fault_campaign(
+            workloads=(corpus_workload,),
+            kinds=("mem_delay",),
+            seeds=1,
+            mode="tea",
+            start_cycle=1,
+            max_cycles=200_000,
+        )
+        (cell,) = report["cells"]
+        assert cell["workload"] == corpus_workload
+        # A timing-only delay applies even on a short repro and must
+        # leave the architectural result validating green.
+        assert cell["outcome"] == "benign"
+        assert report["ok"]
+
+    def test_inject_cli_expands_fuzz_glob(self, corpus_workload, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "inject", "fuzz/*", "--kinds", "mem_delay",
+            "--seeds", "1", "--start-cycle", "1",
+        ])
+        assert code == 0
+        assert corpus_workload in capsys.readouterr().err

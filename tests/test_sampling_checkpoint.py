@@ -1,0 +1,128 @@
+"""Tests for sample-point checkpoints and pipeline warm-start."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core.pipeline import Pipeline
+from repro.harness.runner import make_config
+from repro.sampling.checkpoint import (
+    Checkpoint,
+    capture_checkpoints,
+    seed_pipeline,
+)
+from repro.sampling.functional import FunctionalEngine
+from repro.workloads import make_workload
+
+
+def _checkpoint_at(name: str, position: int) -> Checkpoint:
+    workload = make_workload(name, "tiny")
+    engine = FunctionalEngine(workload.program, workload.fresh_memory())
+    engine.advance(position)
+    return Checkpoint.capture(engine, name, "tiny")
+
+
+def _window_stats(checkpoint: Checkpoint, mode="tea", warmup=500,
+                  measure=1000):
+    workload = make_workload(checkpoint.workload, checkpoint.scale)
+    config = replace(
+        make_config(mode),
+        warmup_instructions=warmup,
+        max_instructions=measure,
+        max_cycles=2_000_000,
+    )
+    pipeline = Pipeline(
+        workload.program, checkpoint.fresh_memory(), config
+    )
+    seed_pipeline(pipeline, checkpoint)
+    return pipeline.run().as_dict()
+
+
+class TestRoundTrip:
+    def test_record_round_trip_is_lossless(self):
+        checkpoint = _checkpoint_at("bfs", 3000)
+        record = json.loads(json.dumps(checkpoint.as_record()))
+        assert Checkpoint.from_record(record) == checkpoint
+
+    def test_file_round_trip_is_lossless(self, tmp_path):
+        checkpoint = _checkpoint_at("xz", 2000)
+        path = checkpoint.save(tmp_path / "ckpt.json")
+        assert Checkpoint.load(path) == checkpoint
+
+    def test_from_record_rejects_unknown_schema(self):
+        record = _checkpoint_at("bfs", 100).as_record()
+        record["schema"] = 999
+        with pytest.raises(ValueError):
+            Checkpoint.from_record(record)
+
+    def test_captured_state_is_nontrivial(self):
+        checkpoint = _checkpoint_at("bfs", 3000)
+        assert checkpoint.position == 3000
+        assert any(checkpoint.registers)
+        assert checkpoint.memory
+        assert checkpoint.ghr > 0
+        assert checkpoint.btb
+        assert checkpoint.trace
+        assert checkpoint.dlines
+
+
+class TestSeededWindows:
+    @pytest.mark.parametrize("mode", ["baseline", "tea"])
+    def test_restored_window_is_cycle_exact(self, mode):
+        """Serialize/restore must not perturb the resumed window."""
+        checkpoint = _checkpoint_at("bfs", 3000)
+        restored = Checkpoint.from_record(
+            json.loads(json.dumps(checkpoint.as_record()))
+        )
+        assert _window_stats(checkpoint, mode) == \
+            _window_stats(restored, mode)
+
+    def test_same_checkpoint_seeds_identical_pipelines(self):
+        checkpoint = _checkpoint_at("xz", 2000)
+        assert _window_stats(checkpoint) == _window_stats(checkpoint)
+
+    def test_seeded_history_matches_checkpoint(self):
+        checkpoint = _checkpoint_at("bfs", 3000)
+        workload = make_workload("bfs", "tiny")
+        pipeline = Pipeline(
+            workload.program, checkpoint.fresh_memory(),
+            make_config("tea"),
+        )
+        seed_pipeline(pipeline, checkpoint)
+        history = pipeline.frontend.history
+        assert history.ghr == checkpoint.ghr
+        assert history.path == checkpoint.path
+        assert pipeline.frontend.next_pc == checkpoint.pc
+
+    def test_seed_requires_unstarted_pipeline(self):
+        checkpoint = _checkpoint_at("bfs", 1000)
+        workload = make_workload("bfs", "tiny")
+        pipeline = Pipeline(
+            workload.program, checkpoint.fresh_memory(),
+            make_config("baseline"),
+        )
+        pipeline.run(max_instructions=50, max_cycles=10_000)
+        with pytest.raises(ValueError):
+            seed_pipeline(pipeline, checkpoint)
+
+
+class TestCaptureCheckpoints:
+    def test_positions_past_halt_yield_no_checkpoint(self):
+        workload = make_workload("sssp", "tiny")
+        total = FunctionalEngine(
+            workload.program, workload.fresh_memory()
+        ).run_to_halt(5_000_000)
+        checkpoints = capture_checkpoints(
+            make_workload("sssp", "tiny"),
+            [0, total // 2, total + 1000],
+            workload_name="sssp", scale="tiny",
+        )
+        assert [c.position for c in checkpoints] == [0, total // 2]
+
+    def test_duplicate_positions_collapse(self):
+        checkpoints = capture_checkpoints(
+            make_workload("bfs", "tiny"), [500, 500, 500],
+            workload_name="bfs", scale="tiny",
+        )
+        assert [c.position for c in checkpoints] == [500]

@@ -1,0 +1,120 @@
+"""Tests for the fast functional execution mode (`repro.sampling`)."""
+
+import pytest
+
+from repro.isa import run_program
+from repro.sampling.functional import (
+    FunctionalEngine,
+    WarmupState,
+    functional_rate,
+)
+from repro.workloads import make_workload
+
+
+class TestArchitecturalEquivalence:
+    @pytest.mark.parametrize("name", ["bfs", "xz", "mcf"])
+    def test_matches_golden_interpreter(self, name):
+        workload = make_workload(name, "tiny")
+        ref = run_program(workload.program, workload.fresh_memory())
+
+        engine = FunctionalEngine(workload.program, workload.fresh_memory())
+        executed = engine.run_to_halt(5_000_000)
+
+        assert engine.halted
+        assert executed == ref.instructions_executed
+        assert list(engine.regs) == list(ref.registers)
+        assert engine.memory.snapshot() == ref.memory.snapshot()
+
+    def test_equivalence_holds_without_warmup_tracking(self):
+        workload = make_workload("sssp", "tiny")
+        ref = run_program(workload.program, workload.fresh_memory())
+        engine = FunctionalEngine(
+            workload.program, workload.fresh_memory(), track_warmup=False
+        )
+        engine.run_to_halt(5_000_000)
+        assert engine.warmup is None
+        assert list(engine.regs) == list(ref.registers)
+        assert engine.memory.snapshot() == ref.memory.snapshot()
+
+
+class TestAdvance:
+    def test_advance_stops_exactly_at_count(self):
+        workload = make_workload("bfs", "tiny")
+        engine = FunctionalEngine(workload.program, workload.fresh_memory())
+        assert engine.advance(1000) == 1000
+        assert engine.instructions_executed == 1000
+        assert not engine.halted
+
+    def test_advance_resumes_to_same_final_state(self):
+        workload = make_workload("bfs", "tiny")
+        whole = FunctionalEngine(workload.program, workload.fresh_memory())
+        total = whole.run_to_halt(5_000_000)
+
+        pieces = FunctionalEngine(workload.program, workload.fresh_memory())
+        executed = 0
+        for chunk in (1, 7, 500, 5_000_000):
+            executed += pieces.advance(chunk)
+        assert pieces.halted
+        assert executed == total
+        assert list(pieces.regs) == list(whole.regs)
+        assert pieces.memory.snapshot() == whole.memory.snapshot()
+
+    def test_run_to_halt_times_out_like_the_interpreter(self):
+        from repro.isa.interpreter import InterpreterTimeout
+
+        workload = make_workload("bfs", "tiny")
+        engine = FunctionalEngine(workload.program, workload.fresh_memory())
+        with pytest.raises(InterpreterTimeout):
+            engine.run_to_halt(max_steps=100)
+        assert not engine.halted
+
+
+class TestWarmupState:
+    def test_warmup_state_populates_in_stride(self):
+        workload = make_workload("bfs", "tiny")
+        engine = FunctionalEngine(workload.program, workload.fresh_memory())
+        engine.run_to_halt(5_000_000)
+        warmup = engine.warmup
+        assert warmup.ghr > 0
+        assert warmup.btb  # taken transfers recorded
+        assert warmup.trace  # bounded branch-event trace
+        assert warmup.dlines  # touched 64-byte data lines
+        for line in warmup.dlines:
+            assert line % 64 == 0
+        assert all(count > 0 for count in
+                   warmup.mispredict_counts().values())
+
+    def test_trace_events_are_well_formed(self):
+        workload = make_workload("xz", "tiny")
+        engine = FunctionalEngine(workload.program, workload.fresh_memory())
+        engine.run_to_halt(5_000_000)
+        kinds = set()
+        for event in engine.warmup.trace:
+            kinds.add(event[0])
+            if event[0] == "c":
+                assert len(event) == 4  # ("c", pc, taken, target)
+                assert event[2] in (0, 1)
+            else:
+                assert len(event) == 3  # (kind, pc, target)
+        assert kinds <= {"c", "i", "j", "r"}
+        assert "c" in kinds
+
+    def test_fresh_warmup_state_is_empty(self):
+        warmup = WarmupState()
+        assert warmup.ghr == 0
+        assert warmup.path == 0
+        assert not warmup.btb
+        assert not warmup.trace
+        assert not warmup.dlines
+        assert warmup.mispredict_counts() == {}
+
+
+class TestFunctionalRate:
+    def test_rate_measures_full_run(self):
+        workload = make_workload("bfs", "tiny")
+        ref = run_program(workload.program, workload.fresh_memory())
+        executed, elapsed = functional_rate(
+            workload.program, workload.fresh_memory()
+        )
+        assert executed == ref.instructions_executed
+        assert elapsed > 0.0

@@ -88,3 +88,38 @@ def test_workload_validates_on_baseline(name):
     assert stats.retired_instructions > 1000
     assert stats.mpki > 0.5, f"{name} MPKI too low: {stats.mpki}"
     assert wl.category == make_category(name)
+
+
+class TestSmallScale:
+    """`small` sits between tiny and bench for sampled-simulation demos."""
+
+    SMALL_NAMES = ("bfs", "cc", "sssp", "pr")
+
+    @pytest.mark.parametrize("name", SMALL_NAMES)
+    def test_small_sits_between_tiny_and_bench(self, name):
+        from repro.sampling.functional import FunctionalEngine
+
+        def instructions(scale):
+            workload = make_workload(name, scale)
+            engine = FunctionalEngine(
+                workload.program, workload.fresh_memory(),
+                track_warmup=False,
+            )
+            return engine.run_to_halt(50_000_000)
+
+        tiny, small, bench = map(
+            instructions, ("tiny", "small", "bench")
+        )
+        assert tiny < small < bench
+
+    @pytest.mark.parametrize("name", SMALL_NAMES)
+    def test_small_validates_on_baseline(self, name):
+        workload = make_workload(name, "small")
+        pipeline = Pipeline(workload.program, workload.memory, SimConfig())
+        pipeline.run(max_cycles=2_000_000)
+        assert pipeline.halted
+        assert workload.validate(pipeline)
+
+    def test_small_is_opt_in_per_workload(self):
+        with pytest.raises(ValueError, match="small where registered"):
+            make_workload("mcf", "small")
