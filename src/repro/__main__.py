@@ -520,6 +520,12 @@ def _cmd_bench(args) -> int:
             f"geomean, {functional['geomean_speedup_vs_detailed']:,.0f}x "
             f"the detailed kernel"
         )
+    sampling = report.get("sampling") or {}
+    if sampling.get("geomean_speedup"):
+        print(
+            f"sampling fast-forward: one-pass capture "
+            f"{sampling['geomean_speedup']:.2f}x the two-pass pipeline"
+        )
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}")
@@ -736,6 +742,80 @@ def _cmd_slice(args) -> int:
         print(f"{pc:>#10x} {str(sl.line or '-'):>5s} {sl.size:>5d} "
               f"{len(sl.masks):>7d}  {','.join(flags) or '-'}")
     return 0
+
+
+def _cmd_chains(args) -> int:
+    from .analysis.chains import (
+        analyze_chains,
+        build_chain_report,
+        render_chain_report,
+        run_chain_oracle,
+    )
+    from .workloads import make_workload
+
+    # ``fuzz`` / ``fuzz/*`` folds every corpus repro record into the
+    # static classification sweep (same expansion as ``repro inject``).
+    expanded: list[str] = []
+    for name in args.workload.split(","):
+        if name in ("fuzz", "fuzz/*"):
+            from .workloads import fuzz_corpus_names
+
+            corpus = fuzz_corpus_names()
+            if not corpus:
+                print("fuzz corpus is empty; run `repro fuzz` first or "
+                      "point REPRO_FUZZ_CORPUS at a record directory",
+                      file=sys.stderr)
+                return 2
+            expanded.extend(corpus)
+        else:
+            expanded.append(name)
+
+    if args.mask and not args.oracle:
+        print("chains: --mask requires --oracle", file=sys.stderr)
+        return 2
+    if args.mask_out and len(expanded) != 1:
+        print("chains: --mask-out wants exactly one workload",
+              file=sys.stderr)
+        return 2
+
+    reports: dict[str, dict] = {}
+    unsound_total = 0
+    for name in expanded:
+        if args.oracle:
+            report = run_chain_oracle(
+                name, args.scale, args.mode, use_mask=args.mask
+            )
+            unsound_total += report["soundness"]["unsound_total"]
+        else:
+            chains = analyze_chains(
+                make_workload(name, args.scale).program
+            )
+            report = build_chain_report(chains, workload=name)
+        reports[name] = report
+
+    payload = reports[expanded[0]] if len(expanded) == 1 else reports
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote chain report to {args.out}", file=sys.stderr)
+    if args.mask_out:
+        report = reports[expanded[0]]
+        with open(args.mask_out, "w") as fh:
+            json.dump(
+                {
+                    "workload": expanded[0],
+                    "scale": args.scale,
+                    "branch_mask": report["allow_mask"],
+                },
+                fh, indent=2, sort_keys=True,
+            )
+        print(f"wrote allow mask to {args.mask_out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports.values():
+            print(render_chain_report(report))
+    return 1 if unsound_total else 0
 
 
 def _cmd_inject(args) -> int:
@@ -1076,6 +1156,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_slice.add_argument("--out", default=None, metavar="PATH",
                          help="with --oracle: also write the JSON report")
     p_slice.set_defaults(func=_cmd_slice)
+
+    p_chains = sub.add_parser(
+        "chains", help="static precomputation chains: classification, "
+                       "soundness oracle, allow mask"
+    )
+    p_chains.add_argument("workload",
+                          help="workload name or comma-separated list; "
+                               "'fuzz' or 'fuzz/*' expands to every corpus "
+                               "repro record")
+    p_chains.add_argument("--scale", default="tiny")
+    p_chains.add_argument("--mode", default="tea", choices=MODES,
+                          help="machine mode for --oracle (must have TEA)")
+    p_chains.add_argument("--oracle", action="store_true",
+                          help="run a TEA simulation, verify every Backward "
+                               "Dataflow Walk against its static chain, and "
+                               "reconcile the timeliness model; exit 1 on "
+                               "any unsound chain")
+    p_chains.add_argument("--mask", action="store_true",
+                          help="with --oracle: run with the static allow "
+                               "mask installed (chainable branches only)")
+    p_chains.add_argument("--json", action="store_true",
+                          help="emit the report(s) as JSON")
+    p_chains.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the JSON report")
+    p_chains.add_argument("--mask-out", default=None, metavar="PATH",
+                          help="write the TeaConfig.branch_mask allow list "
+                               "(single workload only)")
+    p_chains.set_defaults(func=_cmd_chains)
 
     p_inject = sub.add_parser(
         "inject", help="seeded microarchitectural fault-injection campaign"

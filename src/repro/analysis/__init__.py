@@ -22,12 +22,26 @@ discovers dynamically at run time:
   Walk's chain membership against the static slices, per H2P branch
   (precision/recall, emitted through the obs bus and ``repro slice
   --oracle``).
+* :mod:`repro.analysis.chains` — static precomputation chains per
+  conditional branch (live-ins, depth, latency), a three-way branch
+  classification (trivially-predictable / chainable / unchainable)
+  exported as a ``TeaConfig.branch_mask`` allow mask, a per-chain
+  runtime soundness oracle over the ``walk_done`` firehose, and a
+  static timeliness cost model reconciled against measured lead times
+  (``repro chains``).
 * :mod:`repro.analysis.arch_lint` — AST-based architecture-layering
   lint over the Python source tree itself (import DAG
   ``isa -> core/frontend -> tea -> harness/obs -> __main__``).
 """
 
 from .cfg import CFG, build_cfg
+from .chains import (
+    ChainBudgets,
+    ChainUnsound,
+    ProgramChains,
+    StaticChain,
+    analyze_chains,
+)
 from .dataflow import DataflowResult, MemLoc, analyze_dataflow
 from .lint import Finding, LintReport, lint_program
 from .slicer import BranchSlice, ProgramSlices, slice_program
@@ -44,4 +58,9 @@ __all__ = [
     "BranchSlice",
     "ProgramSlices",
     "slice_program",
+    "ChainBudgets",
+    "ChainUnsound",
+    "ProgramChains",
+    "StaticChain",
+    "analyze_chains",
 ]

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 from functools import partial
 from pathlib import Path
+from typing import Iterable
 
-from ..harness.executor import CampaignExecutor, RunSpec
+from ..harness.executor import CampaignExecutor, RunOutcome, RunSpec
 from .bugs import seeded_bug
 from .corpus import make_repro_record, record_name, write_record
 from .generator import GeneratorProfile, generate_program
@@ -100,7 +101,7 @@ def execute_fuzz_spec(
     }
 
 
-def _outcome_of(run_outcome) -> tuple[OracleOutcome, bool]:
+def _outcome_of(run_outcome: RunOutcome) -> tuple[OracleOutcome, bool]:
     """Map an executor cell to ``(oracle outcome, synthetic)``.
 
     ``synthetic`` marks classifications invented for executor-level
@@ -109,20 +110,22 @@ def _outcome_of(run_outcome) -> tuple[OracleOutcome, bool]:
     it.
     """
     if run_outcome.ok:
-        return OracleOutcome.from_record(run_outcome.stats["fuzz"]), False
+        stats = run_outcome.stats or {}
+        return OracleOutcome.from_record(stats["fuzz"]), False
+    failure = run_outcome.failure
+    assert failure is not None  # non-ok outcomes always carry one
     if run_outcome.status == "timeout":
         return (
             OracleOutcome(
-                "hang", "hang:WallClockTimeout",
-                run_outcome.failure.message, 0, 0,
+                "hang", "hang:WallClockTimeout", failure.message, 0, 0,
             ),
             True,
         )
     return (
         OracleOutcome(
             "crash",
-            f"crash:{run_outcome.failure.exception}",
-            run_outcome.failure.message,
+            f"crash:{failure.exception}",
+            failure.message,
             0,
             0,
         ),
@@ -131,7 +134,7 @@ def _outcome_of(run_outcome) -> tuple[OracleOutcome, bool]:
 
 
 def run_fuzz_campaign(
-    seeds,
+    seeds: Iterable[int],
     mode: str = "baseline",
     check_invariants: int = 64,
     jobs: int = 0,
@@ -154,11 +157,12 @@ def run_fuzz_campaign(
     evaluation.  Every oracle-reproducible unique failure is written to
     ``corpus_dir`` as a repro record, shrunk or not.
     """
-    seeds = sorted(set(int(s) for s in seeds))
+    seed_list = sorted(set(int(s) for s in seeds))
     profile = profile or GeneratorProfile()
     profile_record = profile.as_record()
     specs = [
-        fuzz_spec(seed, mode, check_invariants, max_cycles) for seed in seeds
+        fuzz_spec(seed, mode, check_invariants, max_cycles)
+        for seed in seed_list
     ]
     executor = CampaignExecutor(
         jobs=jobs,
@@ -220,8 +224,8 @@ def run_fuzz_campaign(
         "check_invariants": check_invariants,
         "profile": profile_record,
         "seeded_bug": bug,
-        "seeds": seeds,
-        "num_seeds": len(seeds),
+        "seeds": seed_list,
+        "num_seeds": len(seed_list),
         "counts": counts,
         "num_unique_failures": len(unique_failures),
         "unique_failures": unique_failures,

@@ -20,8 +20,13 @@ import json
 import os
 import re
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .oracle import OracleOutcome, classify_source
+
+if TYPE_CHECKING:
+    from ..core.pipeline import Pipeline
+    from ..workloads.base import Workload
 
 RECORD_SCHEMA = 1
 
@@ -87,7 +92,7 @@ def write_record(record: dict, directory: Path | None = None) -> Path:
 
 
 def load_record(path: Path) -> dict:
-    record = json.loads(Path(path).read_text())
+    record: dict = json.loads(Path(path).read_text())
     if record.get("schema") != RECORD_SCHEMA:
         raise ValueError(
             f"{path}: unsupported repro record schema {record.get('schema')!r}"
@@ -128,7 +133,9 @@ def replay_record(record: dict) -> OracleOutcome:
         )
 
 
-def make_corpus_workload(name: str, directory: Path | None = None):
+def make_corpus_workload(
+    name: str, directory: Path | None = None
+) -> "Workload":
     """Build the regression :class:`Workload` for ``fuzz/<stem>``.
 
     The validator diffs the pipeline's committed registers and memory
@@ -152,7 +159,7 @@ def make_corpus_workload(name: str, directory: Path | None = None):
     record = load_record(path)
     unit = assemble_unit(record["source"])
 
-    def validate(pipeline) -> bool:
+    def validate(pipeline: "Pipeline") -> bool:
         ref = run_program(
             unit.program, MemoryImage(unit.memory.snapshot())
         )

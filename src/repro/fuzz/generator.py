@@ -156,7 +156,7 @@ class _Emitter:
     final store.
     """
 
-    def __init__(self, rng: random.Random):
+    def __init__(self, rng: random.Random) -> None:
         self.rng = rng
         self.lines: list[str] = []
         self.defined: set[str] = {"zero"}
@@ -197,7 +197,7 @@ class _Emitter:
 
 
 class _ProgramBuilder:
-    def __init__(self, seed: int, attempt: int, profile: GeneratorProfile):
+    def __init__(self, seed: int, attempt: int, profile: GeneratorProfile) -> None:
         self.profile = profile
         self.rng = random.Random(f"repro.fuzz:{seed}:{attempt}")
         self.e = _Emitter(self.rng)

@@ -71,7 +71,7 @@ class _Reducer:
         max_cycles: int,
         bug: str | None,
         budget: int,
-    ):
+    ) -> None:
         self.target_key = target_key
         self.mode = mode
         self.check_invariants = check_invariants

@@ -135,6 +135,7 @@ def run_bench(
     geomean_cps = _geomean([c["cycles_per_sec"] for c in cells])
     geomean_ups = _geomean([c["uops_per_sec"] for c in cells])
     functional = functional_bench(runs, scale, repeat, cells)
+    sampling = sampling_bench(runs, scale, repeat)
     return {
         "schema": SCHEMA_VERSION,
         "bench": "pipeline",
@@ -148,6 +149,7 @@ def run_bench(
         },
         "runs": cells,
         "functional": functional,
+        "sampling": sampling,
         "geomean_cycles_per_sec": round(geomean_cps, 1),
         "geomean_uops_per_sec": round(geomean_ups, 1),
         "calibrated_cycles_per_sec": round(geomean_cps / calibration, 1),
@@ -261,6 +263,106 @@ FunctionalEngine` **with warmup tracking on** — the exact
             "fastest detailed mode per workload (conservative)"
         ),
     }
+
+
+def sampling_bench(
+    runs: tuple[tuple[str, str], ...] = PINNED_RUNS,
+    scale: str = "tiny",
+    repeat: int = 3,
+) -> dict:
+    """Time the sampled-simulation functional phase, one pass vs two.
+
+    The window scheduler used to run one functional pass to count
+    instructions and a second to capture checkpoints;
+    :func:`~repro.sampling.checkpoint.run_and_capture` folds both into
+    a single pass with a bounded snapshot reservoir.  This times both
+    shapes on the pinned workloads with the scheduler's default window
+    plan and records the honest speedup — after asserting the two
+    produce identical checkpoints (a faster capture that captures
+    something else must never publish a number).
+    """
+    from ..sampling.checkpoint import capture_checkpoints, run_and_capture
+    from ..sampling.functional import FunctionalEngine
+    from ..sampling.windows import (
+        DEFAULT_MEASURE,
+        DEFAULT_WARMUP,
+        DEFAULT_WINDOWS,
+        FASTFORWARD_MAX_STEPS,
+        place_windows,
+    )
+
+    def plan(total: int) -> list[int]:
+        starts = place_windows(total, DEFAULT_WINDOWS, DEFAULT_MEASURE)
+        return sorted({max(0, s - DEFAULT_WARMUP) for s in starts})
+
+    rows = []
+    for name in dict.fromkeys(workload for workload, _ in runs):
+        best_one = best_two = None
+        one_pass = two_pass = None
+        total = 0
+        for _ in range(max(1, repeat)):
+            workload = make_workload(name, scale)
+            t0 = time.perf_counter()
+            total, one_pass = run_and_capture(
+                workload, plan, workload_name=name, scale=scale,
+                max_steps=FASTFORWARD_MAX_STEPS,
+            )
+            wall = time.perf_counter() - t0
+            if best_one is None or wall < best_one:
+                best_one = wall
+        for _ in range(max(1, repeat)):
+            workload = make_workload(name, scale)
+            t0 = time.perf_counter()
+            counted = FunctionalEngine(
+                workload.program, workload.fresh_memory()
+            ).run_to_halt(FASTFORWARD_MAX_STEPS)
+            two_pass = capture_checkpoints(
+                make_workload(name, scale), plan(counted),
+                workload_name=name, scale=scale,
+            )
+            wall = time.perf_counter() - t0
+            if best_two is None or wall < best_two:
+                best_two = wall
+        if one_pass != two_pass:
+            raise RuntimeError(
+                f"one-pass/two-pass checkpoint divergence on {name} "
+                "-- refusing to record a speedup"
+            )
+        rows.append(
+            {
+                "workload": name,
+                "scale": scale,
+                "instructions": total,
+                "checkpoints": len(one_pass),
+                "one_pass_wall_s": round(best_one, 6),
+                "two_pass_wall_s": round(best_two, 6),
+                "speedup": round(best_two / best_one, 2) if best_one else None,
+            }
+        )
+    return {
+        "rows": rows,
+        "geomean_speedup": round(
+            _geomean([r["speedup"] for r in rows if r["speedup"]]), 2
+        ),
+        "methodology": (
+            "best-of-repeat wall time; default window plan "
+            f"({_bench_plan_note()}); one-pass run_and_capture vs "
+            "count-then-capture, checkpoints asserted identical"
+        ),
+    }
+
+
+def _bench_plan_note() -> str:
+    from ..sampling.windows import (
+        DEFAULT_MEASURE,
+        DEFAULT_WARMUP,
+        DEFAULT_WINDOWS,
+    )
+
+    return (
+        f"{DEFAULT_WINDOWS} windows, warmup {DEFAULT_WARMUP}, "
+        f"measure {DEFAULT_MEASURE}"
+    )
 
 
 def compare_reports(current: dict, baseline: dict) -> dict:

@@ -196,6 +196,7 @@ def run_workload(
     check_invariants: int = 0,
     fault_plan: object | None = None,
     profile: bool = False,
+    config: SimConfig | None = None,
 ) -> RunResult:
     """Simulate one workload under one machine mode, to completion.
 
@@ -217,10 +218,15 @@ def run_workload(
     ``profile=True`` enables the per-stage wall-clock self-profiler
     (:mod:`repro.obs.profiler`); the profiler comes back on
     ``RunResult.profiler``.  Profiling never perturbs simulated state.
+
+    ``config`` replaces the mode-derived :class:`SimConfig` (e.g. a TEA
+    config carrying a static branch mask); ``mode`` is still recorded
+    on the result for reporting.
     """
     if isinstance(workload, str):
         workload = make_workload(workload, scale)
-    config = make_config(mode)
+    if config is None:
+        config = make_config(mode)
     if check_invariants or fault_plan is not None:
         config = replace(
             config, check_invariants=check_invariants, fault_plan=fault_plan

@@ -52,6 +52,11 @@ EVENT_TYPES: frozenset[str] = frozenset(
         "branch_resolved",     # main resolution outcome of a TEA-relevant branch
         "slice_oracle",        # static-slicer vs dynamic-walk chain comparison
                                # (per H2P branch; repro.analysis.oracle)
+        # Static chain analysis (repro.analysis.chains).
+        "chain_oracle",        # per-branch runtime-chain soundness verdict
+        "chain_unsound",       # a runtime chain escaped its static bound
+        "tea_mask_denied",     # static branch mask vetoed an H2P branch
+                               # (once per PC; chain slots never allocated)
         # Runtime verification (repro.verify).
         "invariant_violation", # the checker found an illegal machine state
         "fault_injected",      # a planned fault was applied (kind in payload)

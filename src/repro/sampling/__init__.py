@@ -12,8 +12,18 @@ confidence intervals, and :mod:`repro.sampling.validate` pins the
 sampled-vs-full error on the tiny golden matrix.
 """
 
-from .checkpoint import Checkpoint, capture_checkpoints, seed_pipeline
-from .functional import FunctionalEngine, WarmupState, functional_rate
+from .checkpoint import (
+    Checkpoint,
+    capture_checkpoints,
+    run_and_capture,
+    seed_pipeline,
+)
+from .functional import (
+    EngineSnapshot,
+    FunctionalEngine,
+    WarmupState,
+    functional_rate,
+)
 from .validate import validate_cell, validate_sampling
 from .windows import (
     DEFAULT_MEASURE,
@@ -27,9 +37,11 @@ from .windows import (
 
 __all__ = [
     "Checkpoint",
+    "EngineSnapshot",
     "FunctionalEngine",
     "WarmupState",
     "capture_checkpoints",
+    "run_and_capture",
     "seed_pipeline",
     "functional_rate",
     "place_windows",

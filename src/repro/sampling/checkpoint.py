@@ -38,9 +38,15 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..memory.memory_image import MemoryImage
-from .functional import FunctionalEngine, WarmupState
+from .functional import EngineSnapshot, FunctionalEngine, WarmupState
+
+if TYPE_CHECKING:
+    from ..core.pipeline import Pipeline
+    from ..frontend.decoupled import DecoupledFrontend
+    from ..workloads.base import Workload
 
 CHECKPOINT_SCHEMA = 1
 
@@ -160,7 +166,7 @@ class Checkpoint:
         return MemoryImage(dict(self.memory))
 
 
-def seed_pipeline(pipeline, checkpoint: Checkpoint) -> None:
+def seed_pipeline(pipeline: "Pipeline", checkpoint: Checkpoint) -> None:
     """Warm-start a freshly built pipeline from a checkpoint.
 
     Must be called before the pipeline's first cycle.  The pipeline's
@@ -217,7 +223,9 @@ def seed_pipeline(pipeline, checkpoint: Checkpoint) -> None:
             pipeline.tea.h2p.seed(pc, count)
 
 
-def _replay_trace(frontend, checkpoint: Checkpoint) -> None:
+def _replay_trace(
+    frontend: "DecoupledFrontend", checkpoint: Checkpoint
+) -> None:
     """Replay the branch trace through the real predictor train path.
 
     Each event is processed exactly as the decoupled frontend would on
@@ -269,8 +277,8 @@ def _replay_trace(frontend, checkpoint: Checkpoint) -> None:
 
 
 def capture_checkpoints(
-    workload,
-    positions,
+    workload: "Workload",
+    positions: Iterable[int],
     workload_name: str | None = None,
     scale: str = "bench",
 ) -> list[Checkpoint]:
@@ -295,3 +303,85 @@ def capture_checkpoints(
         )
         last = position
     return checkpoints
+
+
+#: Snapshot reservoir bound for :func:`run_and_capture`.  Rewinding to
+#: any position then replays at most ~total/SNAPSHOT_SLOTS instructions
+#: from the nearest snapshot; the resident copies stay cheap (sparse
+#: memory images plus bounded warmup state).
+SNAPSHOT_SLOTS = 32
+
+#: Initial snapshot spacing.  Small enough that the registered bench
+#: scales (tens to hundreds of thousands of instructions) fill the
+#: reservoir and rewinds stay short; stride doubling keeps the
+#: snapshot count bounded however long the run turns out to be.
+_INITIAL_STRIDE = 1 << 12
+
+
+def run_and_capture(
+    workload: "Workload",
+    plan: Callable[[int], Iterable[int]],
+    workload_name: str | None = None,
+    scale: str = "bench",
+    max_steps: int = 5_000_000,
+) -> tuple[int, list[Checkpoint]]:
+    """One functional pass: instruction count *and* checkpoint capture.
+
+    The window scheduler needs the total instruction count before it
+    can place checkpoints, which used to cost two full functional
+    passes.  This runs the program once, keeping a stride-doubling
+    reservoir of at most :data:`SNAPSHOT_SLOTS` engine snapshots; after
+    halt, ``plan(total)`` chooses the checkpoint positions and each one
+    is materialized by restoring the nearest snapshot at or below it
+    and advancing the residual — bit-identical to
+    :func:`capture_checkpoints` (``tests/test_sampling_checkpoint.py``)
+    at a fraction of the replay cost.
+
+    Raises :class:`InterpreterTimeout` when ``max_steps`` is exhausted
+    before halt, matching :meth:`FunctionalEngine.run_to_halt`.
+    """
+    from bisect import bisect_right
+
+    from ..isa.interpreter import InterpreterTimeout
+
+    engine = FunctionalEngine(workload.program, workload.fresh_memory())
+    name = workload_name or workload.name
+    snapshots: list[EngineSnapshot] = [engine.snapshot()]
+    stride = _INITIAL_STRIDE
+    while not engine.halted:
+        remaining = max_steps - engine.instructions_executed
+        if remaining <= 0:
+            raise InterpreterTimeout(engine.pc, max_steps)
+        # A snapshot copies the live state, so space them at least one
+        # state-size apart: memory-heavy workloads take fewer, cheaper
+        # snapshots instead of drowning in dict copies.
+        state = len(engine.memory._words)
+        if engine.warmup is not None:
+            state += len(engine.warmup.dlines)
+        engine.advance(min(max(stride, state), remaining))
+        if engine.halted:
+            break
+        snapshots.append(engine.snapshot())
+        if len(snapshots) > SNAPSHOT_SLOTS:
+            # Halve the reservoir, double the stride: granularity
+            # degrades gracefully as the run turns out to be long.
+            snapshots = snapshots[::2]
+            stride *= 2
+    total = engine.instructions_executed
+
+    snap_positions = [snap.position for snap in snapshots]
+    checkpoints: list[Checkpoint] = []
+    last = -1
+    for position in sorted(set(plan(total))):
+        if position <= last or position >= total:
+            continue
+        nearest = bisect_right(snap_positions, position) - 1
+        at = engine.instructions_executed
+        # Restore when behind the target, or when a snapshot lands
+        # closer than the engine's current position (jump forward).
+        if at > position or snap_positions[nearest] > at or engine.halted:
+            engine.restore(snapshots[nearest])
+        engine.advance(position - engine.instructions_executed)
+        checkpoints.append(Checkpoint.capture(engine, name, scale))
+        last = position
+    return total, checkpoints

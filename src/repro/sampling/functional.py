@@ -46,9 +46,10 @@ remains.
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
 from ..frontend.history import MAX_HISTORY_BITS, PATH_HISTORY_BITS
-from ..isa.instructions import UopClass
+from ..isa.instructions import Instruction, UopClass
 from ..isa.interpreter import InterpreterError, InterpreterTimeout
 from ..isa.program import Program
 from ..isa.registers import NUM_ARCH_REGS, REG_ZERO
@@ -137,6 +138,50 @@ class WarmupState:
                 counts[pc] = counts.get(pc, 0) + cell[1]
         return counts
 
+    def clone(self) -> "WarmupState":
+        """Deep copy (container insertion orders preserved — the BTB
+        and data-line maps carry LRU order in their key order)."""
+        out = WarmupState()
+        out.ghr_cell[0] = self.ghr_cell[0]
+        out.path_cell[0] = self.path_cell[0]
+        out.btb = dict(self.btb)
+        out.ras = list(self.ras)
+        out.cond_cells = {pc: list(c) for pc, c in self.cond_cells.items()}
+        out.ind_cells = {pc: list(c) for pc, c in self.ind_cells.items()}
+        out.trace = deque(self.trace, maxlen=TRACE_DEPTH)
+        out.dlines = dict(self.dlines)
+        return out
+
+
+class EngineSnapshot:
+    """In-memory resume point of a paused :class:`FunctionalEngine`.
+
+    Holds *copies* of everything the engine mutates, so a snapshot
+    stays valid while the engine runs on.  Restoring is exact: a
+    restore followed by ``advance(n)`` reproduces bit-identical state
+    to having paused at ``position + n`` in the first place (the
+    one-pass checkpoint capture in :mod:`repro.sampling.checkpoint`
+    leans on this to rewind instead of re-running from the start).
+    """
+
+    __slots__ = ("position", "pc", "halted", "regs", "words", "warmup")
+
+    def __init__(
+        self,
+        position: int,
+        pc: int,
+        halted: bool,
+        regs: list,
+        words: dict,
+        warmup: WarmupState | None,
+    ) -> None:
+        self.position = position
+        self.pc = pc
+        self.halted = halted
+        self.regs = regs
+        self.words = words
+        self.warmup = warmup
+
 
 class FunctionalEngine:
     """Closure-compiled functional executor bound to one program+memory.
@@ -152,7 +197,7 @@ class FunctionalEngine:
         program: Program,
         memory: MemoryImage | None = None,
         track_warmup: bool = True,
-    ):
+    ) -> None:
         self.program = program
         self.memory = memory if memory is not None else MemoryImage()
         self.regs: list = [0] * NUM_ARCH_REGS
@@ -213,6 +258,53 @@ class FunctionalEngine:
         self.instructions_executed += executed
         return executed
 
+    def snapshot(self) -> EngineSnapshot:
+        """Copy the engine's complete mutable state at this position."""
+        return EngineSnapshot(
+            position=self.instructions_executed,
+            pc=self._pcs[self._idx],
+            halted=self.halted,
+            regs=list(self.regs),
+            words=dict(self.memory._words),
+            warmup=None if self.warmup is None else self.warmup.clone(),
+        )
+
+    def restore(self, snap: EngineSnapshot) -> None:
+        """Rewind (or jump forward) to a snapshot, in place.
+
+        The compiled closures capture the register list, the memory
+        dict, and the per-branch warmup cells *by object*, so restore
+        mutates those containers rather than rebinding them — no
+        recompilation, and the snapshot object stays reusable.
+        """
+        self.regs[:] = snap.regs
+        words = self.memory._words
+        words.clear()
+        words.update(snap.words)
+        self.instructions_executed = snap.position
+        self.halted = snap.halted
+        self._idx = self._idx_of_pc[snap.pc]
+        warm = self.warmup
+        if warm is not None and snap.warmup is not None:
+            src = snap.warmup
+            warm.ghr_cell[0] = src.ghr_cell[0]
+            warm.path_cell[0] = src.path_cell[0]
+            warm.btb.clear()
+            warm.btb.update(src.btb)
+            warm.ras[:] = src.ras
+            # Every static branch has its cell from compile time; the
+            # closures hold the cell lists, so update them in place.
+            for pc, cell in warm.cond_cells.items():
+                s = src.cond_cells.get(pc)
+                cell[0], cell[1] = (s[0], s[1]) if s else (0, 0)
+            for pc, cell in warm.ind_cells.items():
+                s = src.ind_cells.get(pc)
+                cell[0], cell[1] = (s[0], s[1]) if s else (None, 0)
+            warm.trace.clear()
+            warm.trace.extend(src.trace)
+            warm.dlines.clear()
+            warm.dlines.update(src.dlines)
+
     def run_to_halt(self, max_steps: int = 5_000_000) -> int:
         """Run until HALT; returns total instructions executed.
 
@@ -230,8 +322,8 @@ class FunctionalEngine:
     # ==================================================================
     # Compilation
     # ==================================================================
-    def _error_closure(self, pc: int):
-        def off_image():
+    def _error_closure(self, pc: int) -> Callable[[], int]:
+        def off_image() -> int:
             raise InterpreterError(
                 f"control flow left the image at {pc:#x}"
             )
@@ -273,14 +365,16 @@ class FunctionalEngine:
 
         bad = self._bad_pc
 
-        def runtime_off_image():
+        def runtime_off_image() -> int:
             raise InterpreterError(
                 f"control flow left the image at {bad[0]:#x}"
             )
 
         code.append(runtime_off_image)
 
-    def _compile_one(self, instr, resolve):
+    def _compile_one(
+        self, instr: Instruction, resolve: Callable[[int], int]
+    ) -> Callable[[], int]:
         """Build the closure for one instruction.
 
         Everything the closure needs is captured as a local: the
@@ -300,7 +394,7 @@ class FunctionalEngine:
         fall_pc = instr.fallthrough_pc
 
         if cls is UopClass.HALT:
-            def halt():
+            def halt() -> int:
                 raise _Halt
 
             return halt
@@ -317,7 +411,7 @@ class FunctionalEngine:
         nxt = resolve(fall_pc)
 
         if cls is UopClass.NOP:
-            def nop():
+            def nop() -> int:
                 return nxt
 
             return nop
@@ -327,12 +421,12 @@ class FunctionalEngine:
             a = srcs[0]
             if warm is None:
                 if dst is None:
-                    def load_zero():
+                    def load_zero() -> int:
                         return nxt
 
                     return load_zero
 
-                def load():
+                def load() -> int:
                     regs[dst] = words.get(
                         ts64(regs[a] + imm) & _WORD_ALIGN, 0
                     )
@@ -341,7 +435,7 @@ class FunctionalEngine:
                 return load
             dlines = warm.dlines
             if dst is None:
-                def load_zero_warm():
+                def load_zero_warm() -> int:
                     line = ts64(regs[a] + imm) & _LINE_ALIGN
                     if line in dlines:
                         del dlines[line]
@@ -350,7 +444,7 @@ class FunctionalEngine:
 
                 return load_zero_warm
 
-            def load_warm():
+            def load_warm() -> int:
                 addr = ts64(regs[a] + imm) & _WORD_ALIGN
                 regs[dst] = words.get(addr, 0)
                 line = addr & _LINE_ALIGN
@@ -364,14 +458,14 @@ class FunctionalEngine:
         if cls is UopClass.STORE:
             v, b = srcs
             if warm is None:
-                def store():
+                def store() -> int:
                     words[ts64(regs[b] + imm) & _WORD_ALIGN] = regs[v]
                     return nxt
 
                 return store
             dlines = warm.dlines
 
-            def store_warm():
+            def store_warm() -> int:
                 addr = ts64(regs[b] + imm) & _WORD_ALIGN
                 words[addr] = regs[v]
                 line = addr & _LINE_ALIGN
@@ -386,12 +480,12 @@ class FunctionalEngine:
         fn = SCALAR_EVALUATORS[op]
         if dst is None:
             if not srcs:
-                def scalar_zero0():
+                def scalar_zero0() -> int:
                     return nxt
 
                 return scalar_zero0
 
-            def scalar_zero():
+            def scalar_zero() -> int:
                 fn(tuple([regs[r] for r in srcs]), imm)
                 return nxt
 
@@ -399,7 +493,7 @@ class FunctionalEngine:
         if len(srcs) == 2:
             a, b = srcs
 
-            def scalar2():
+            def scalar2() -> int:
                 regs[dst] = fn((regs[a], regs[b]), imm)
                 return nxt
 
@@ -407,20 +501,22 @@ class FunctionalEngine:
         if len(srcs) == 1:
             a = srcs[0]
 
-            def scalar1():
+            def scalar1() -> int:
                 regs[dst] = fn((regs[a],), imm)
                 return nxt
 
             return scalar1
 
-        def scalar0():
+        def scalar0() -> int:
             regs[dst] = fn((), imm)
             return nxt
 
         return scalar0
 
     # -- branch compilation --------------------------------------------
-    def _compile_cond(self, instr, resolve):
+    def _compile_cond(
+        self, instr: Instruction, resolve: Callable[[int], int]
+    ) -> Callable[[], int]:
         regs = self.regs
         a, b = instr.srcs
         cmp = BRANCH_EVALUATORS[instr.opcode]
@@ -428,7 +524,7 @@ class FunctionalEngine:
         fall_idx = resolve(instr.fallthrough_pc)
         warm = self.warmup
         if warm is None:
-            def cond_plain():
+            def cond_plain() -> int:
                 return taken_idx if cmp(regs[a], regs[b]) else fall_idx
 
             return cond_plain
@@ -441,7 +537,7 @@ class FunctionalEngine:
         taken_event = ("c", pc, 1, target)
         fall_event = ("c", pc, 0, target)
 
-        def cond():
+        def cond() -> int:
             if cmp(regs[a], regs[b]):
                 trace.append(taken_event)
                 ghr[0] = ((ghr[0] << 1) | 1) & _GHR_MASK
@@ -461,11 +557,13 @@ class FunctionalEngine:
 
         return cond
 
-    def _compile_jump(self, instr, resolve):
+    def _compile_jump(
+        self, instr: Instruction, resolve: Callable[[int], int]
+    ) -> Callable[[], int]:
         warm = self.warmup
         target_idx = resolve(instr.target)
         if warm is None:
-            def jump_plain():
+            def jump_plain() -> int:
                 return target_idx
 
             return jump_plain
@@ -478,7 +576,7 @@ class FunctionalEngine:
         trace = warm.trace
         event = ("j", pc, target)
 
-        def jump():
+        def jump() -> int:
             trace.append(event)
             ghr[0] = ((ghr[0] << 1) | 1) & _GHR_MASK
             path[0] = ((path[0] << 3) | bits) & _PATH_MASK
@@ -487,7 +585,9 @@ class FunctionalEngine:
 
         return jump
 
-    def _compile_call(self, instr, resolve):
+    def _compile_call(
+        self, instr: Instruction, resolve: Callable[[int], int]
+    ) -> Callable[[], int]:
         regs = self.regs
         warm = self.warmup
         target_idx = resolve(instr.target)
@@ -495,12 +595,12 @@ class FunctionalEngine:
         fall_pc = instr.fallthrough_pc
         if warm is None:
             if dst is None:
-                def call_plain_zero():
+                def call_plain_zero() -> int:
                     return target_idx
 
                 return call_plain_zero
 
-            def call_plain():
+            def call_plain() -> int:
                 regs[dst] = fall_pc
                 return target_idx
 
@@ -515,7 +615,7 @@ class FunctionalEngine:
         trace = warm.trace
         event = ("j", pc, target)
 
-        def call():
+        def call() -> int:
             trace.append(event)
             if dst is not None:
                 regs[dst] = fall_pc
@@ -529,7 +629,7 @@ class FunctionalEngine:
 
         return call
 
-    def _compile_indirect(self, instr):
+    def _compile_indirect(self, instr: Instruction) -> Callable[[], int]:
         """ret / jr / callr: target comes from a register at runtime."""
         regs = self.regs
         idx_of = self._idx_of_pc
@@ -542,7 +642,7 @@ class FunctionalEngine:
         is_ret = instr.uop_class is UopClass.BR_RET
         pc_bits = pc >> 2
         if warm is None:
-            def indirect_plain():
+            def indirect_plain() -> int:
                 if dst is not None:
                     regs[dst] = fall_pc
                 target = int(regs[a])
@@ -561,7 +661,7 @@ class FunctionalEngine:
         trace = warm.trace
         kind = "r" if is_ret else "i"
 
-        def indirect():
+        def indirect() -> int:
             target = int(regs[a])
             trace.append((kind, pc, target))
             if is_ret:

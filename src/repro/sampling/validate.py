@@ -13,6 +13,8 @@ EXPERIMENTS.md records a pinned copy of the error table.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..harness.bench import PINNED_RUNS
 from ..harness.runner import run_workload
 from .windows import run_sampled
@@ -92,7 +94,7 @@ def validate_cell(
 
 
 def validate_sampling(
-    cells=PINNED_RUNS,
+    cells: Iterable[tuple[str, str]] = PINNED_RUNS,
     scale: str = "tiny",
     windows: int = VALIDATE_WINDOWS,
     warmup: int = VALIDATE_WARMUP,

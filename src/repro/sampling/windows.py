@@ -1,9 +1,11 @@
 """Sample-window scheduling, parallel execution, and extrapolation.
 
-The pFSA-shaped pipeline: one functional pass counts the program's
-instructions, window start positions are placed (evenly spaced or
-seeded-random), a second functional pass captures a
-:class:`~repro.sampling.checkpoint.Checkpoint` at each position, and
+The pFSA-shaped pipeline: a single functional pass counts the
+program's instructions while keeping a bounded snapshot reservoir
+(:func:`~repro.sampling.checkpoint.run_and_capture`), window start
+positions are placed (evenly spaced or seeded-random), a
+:class:`~repro.sampling.checkpoint.Checkpoint` is materialized at each
+position by rewinding to the nearest snapshot, and
 each checkpoint becomes one *detailed window* — a short
 warmup+measurement run of the cycle-exact pipeline, warm-started from
 the checkpoint.  Windows ship through the existing
@@ -29,12 +31,15 @@ import math
 import random
 import tempfile
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..harness.executor import CampaignExecutor, RunSpec
 from ..harness.runner import make_config
 from ..workloads import make_workload
-from .checkpoint import Checkpoint, capture_checkpoints
-from .functional import FunctionalEngine
+from .checkpoint import Checkpoint, run_and_capture
+
+if TYPE_CHECKING:
+    from ..obs.hub import Observation
 
 SAMPLE_SCHEMA = 1
 
@@ -147,7 +152,7 @@ def run_sampled(
     timeout: float | None = None,
     retries: int = 2,
     workdir: str | Path | None = None,
-    observation=None,
+    observation: "Observation | None" = None,
     max_steps: int = FASTFORWARD_MAX_STEPS,
 ) -> dict:
     """Run one sampled simulation; returns the JSON-safe report.
@@ -159,16 +164,28 @@ def run_sampled(
     unit = make_workload(workload, scale)
     bus = observation.bus if observation is not None else None
 
-    # Pass 1: functional run to halt — total instruction count.
-    engine = FunctionalEngine(unit.program, unit.fresh_memory())
-    total = engine.run_to_halt(max_steps)
+    # One functional pass counts instructions AND captures checkpoints:
+    # the planner sees the discovered total, places the measured-segment
+    # starts, and backs each up by the warmup length to its checkpoint
+    # (clamped at zero — the first window measures the genuinely cold
+    # start; distinct windows may share a checkpoint when their warmups
+    # clamp).
+    planned: dict = {}
 
-    # Measured-segment starts; each backs up by the warmup length to
-    # its checkpoint (clamped at zero — the first window measures the
-    # genuinely cold start with however much warmup fits before it).
-    starts = place_windows(total, windows, measure, placement, seed)
-    plans = [(start, max(0, start - warmup)) for start in starts]
-    positions = sorted({position for _, position in plans})
+    def planner(total: int) -> list[int]:
+        starts = place_windows(total, windows, measure, placement, seed)
+        planned["starts"] = starts
+        planned["plans"] = [
+            (start, max(0, start - warmup)) for start in starts
+        ]
+        return sorted({position for _, position in planned["plans"]})
+
+    total, checkpoints = run_and_capture(
+        unit, planner, workload_name=workload, scale=scale,
+        max_steps=max_steps,
+    )
+    starts, plans = planned["starts"], planned["plans"]
+    by_position = {ckpt.position: ckpt for ckpt in checkpoints}
     if bus is not None:
         bus.emit(
             "sample_plan",
@@ -177,14 +194,6 @@ def run_sampled(
             windows=len(starts),
             total_instructions=total,
         )
-
-    # Pass 2: functional re-run capturing one checkpoint per position
-    # (distinct windows may share one when their warmups clamp to 0).
-    checkpoints = capture_checkpoints(
-        make_workload(workload, scale), positions,
-        workload_name=workload, scale=scale,
-    )
-    by_position = {ckpt.position: ckpt for ckpt in checkpoints}
     if bus is not None:
         for ckpt in checkpoints:
             bus.emit(
@@ -293,8 +302,17 @@ def _estimate(pooled: float, per_window: list[float]) -> dict:
 
 
 def _build_report(
-    workload, mode, scale, windows, warmup, measure, placement, seed,
-    total, positions, rows,
+    workload: str,
+    mode: str,
+    scale: str,
+    windows: int,
+    warmup: int,
+    measure: int,
+    placement: str,
+    seed: int,
+    total: int,
+    positions: list[int],
+    rows: list[dict],
 ) -> dict:
     window_rows = []
     instr = cycles = mispredicts = 0

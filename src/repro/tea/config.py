@@ -75,6 +75,12 @@ class TeaConfig:
     use_masks: bool = True
     only_loops: bool = False
     early_resolution: bool = True
+    # Static pre-screen (repro.analysis.chains): when set, only branch
+    # PCs in this allow mask may be treated as H2P — denied branches
+    # never seed Backward Dataflow Walks, so no chain slots, walks, or
+    # early flushes are ever spent on them.  ``None`` disables masking
+    # (every branch is eligible, the paper's behaviour).
+    branch_mask: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         def require(condition: bool, message: str) -> None:
@@ -134,6 +140,16 @@ class TeaConfig:
             f"TeaConfig.h2p_ways ({self.h2p_ways}) cannot exceed "
             f"h2p_entries ({self.h2p_entries})",
         )
+        if self.branch_mask is not None:
+            require(
+                all(isinstance(pc, int) and pc >= 0 for pc in self.branch_mask),
+                "TeaConfig.branch_mask must hold non-negative branch PCs",
+            )
+            require(
+                tuple(sorted(set(self.branch_mask))) == self.branch_mask,
+                "TeaConfig.branch_mask must be sorted and duplicate-free "
+                "(it participates in config digests)",
+            )
         require(
             0 <= self.h2p_threshold < self.h2p_counter_max,
             f"TeaConfig.h2p_threshold ({self.h2p_threshold}) must satisfy "

@@ -99,6 +99,14 @@ class TeaController:
         self._global_correct = 0
         self._global_total = 0
         self.killed = False
+        # Static pre-screen (repro.analysis.chains): an allow mask of
+        # branch PCs.  Denied branches are never flagged H2P in the
+        # Fill Buffer, so they cannot seed walks or own chains.  The
+        # denial event fires once per PC to keep the bus quiet.
+        self._branch_mask: frozenset[int] | None = (
+            frozenset(cfg.branch_mask) if cfg.branch_mask is not None else None
+        )
+        self._mask_denied: set[int] = set()
 
     # ==================================================================
     # Retirement side: H2P training + Fill Buffer + periodic tasks
@@ -139,6 +147,13 @@ class TeaController:
         block = self.p.program.block_containing(instr.pc)
         if block is None:
             return
+        is_h2p = instr.is_branch and self.h2p.is_h2p(instr.pc)
+        if is_h2p and self._branch_mask is not None and instr.pc not in self._branch_mask:
+            is_h2p = False
+            if instr.pc not in self._mask_denied:
+                self._mask_denied.add(instr.pc)
+                if self.p.obs is not None:
+                    self.p.obs.emit("tea_mask_denied", pc=instr.pc)
         self.fill_buffer.insert(
             FillEntry(
                 pc=instr.pc,
@@ -147,7 +162,7 @@ class TeaController:
                 is_load=instr.is_load,
                 is_store=instr.is_store,
                 mem_addr=uop.mem_addr,
-                is_h2p_branch=instr.is_branch and self.h2p.is_h2p(instr.pc),
+                is_h2p_branch=is_h2p,
                 chain_seed=uop.in_chain,
                 bb_start=block.start_pc,
                 bb_offset=(instr.pc - block.start_pc) // INSTRUCTION_BYTES,

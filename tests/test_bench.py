@@ -117,3 +117,19 @@ class TestFunctionalBench:
         report = run_bench((("xz", "baseline"),), scale="tiny", repeat=1)
         assert report["functional"]["rows"]
         assert report["functional"]["rows"][0]["workload"] == "xz"
+        assert report["sampling"]["rows"][0]["workload"] == "xz"
+
+
+class TestSamplingBench:
+    def test_sampling_section_records_one_pass_speedup(self):
+        from repro.harness.bench import sampling_bench
+
+        section = sampling_bench((("bfs", "tea"),), scale="tiny", repeat=1)
+        (row,) = section["rows"]
+        assert row["workload"] == "bfs"
+        assert row["instructions"] > 0
+        assert row["checkpoints"] > 0
+        assert row["one_pass_wall_s"] > 0
+        assert row["two_pass_wall_s"] > 0
+        assert section["geomean_speedup"] > 0
+        assert "checkpoints asserted identical" in section["methodology"]

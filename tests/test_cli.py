@@ -129,6 +129,44 @@ class TestSliceCommand:
         assert report["summary"]["min_precision_direct"] >= 0.90
 
 
+class TestChainsCommand:
+    def test_chains_table(self, capsys):
+        assert main(["chains", "bfs"]) == 0
+        out = capsys.readouterr().out
+        assert "conditional branches" in out
+        assert "chainable" in out
+
+    def test_chains_json_and_mask_out(self, tmp_path, capsys):
+        import json
+
+        mask_path = tmp_path / "mask.json"
+        assert main([
+            "chains", "bfs", "--json", "--mask-out", str(mask_path),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        mask = json.loads(mask_path.read_text())
+        assert mask["workload"] == "bfs"
+        assert mask["branch_mask"] == payload["allow_mask"]
+
+    def test_chains_oracle_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "chains.json"
+        code = main(["chains", "xz", "--oracle", "--out", str(out_path)])
+        assert code == 0
+        assert "soundness: 0 unsound" in capsys.readouterr().out
+        report = json.loads(out_path.read_text())
+        assert report["soundness"]["unsound_total"] == 0
+
+    def test_chains_mask_requires_oracle(self, capsys):
+        assert main(["chains", "bfs", "--mask"]) == 2
+
+    def test_chains_mask_out_wants_one_workload(self, capsys):
+        assert main([
+            "chains", "bfs,mcf", "--mask-out", "/tmp/never.json",
+        ]) == 2
+
+
 class TestStatsEventsFile:
     """``repro stats --events``: clear errors, never tracebacks."""
 

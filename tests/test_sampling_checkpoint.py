@@ -10,6 +10,7 @@ from repro.harness.runner import make_config
 from repro.sampling.checkpoint import (
     Checkpoint,
     capture_checkpoints,
+    run_and_capture,
     seed_pipeline,
 )
 from repro.sampling.functional import FunctionalEngine
@@ -126,3 +127,52 @@ class TestCaptureCheckpoints:
             workload_name="bfs", scale="tiny",
         )
         assert [c.position for c in checkpoints] == [500]
+
+
+class TestOnePassCapture:
+    """run_and_capture: one functional pass must equal count + capture."""
+
+    def test_matches_two_pass_capture(self):
+        workload = make_workload("bfs", "tiny")
+        total_two = FunctionalEngine(
+            workload.program, workload.fresh_memory()
+        ).run_to_halt(5_000_000)
+        positions = [0, 400, total_two // 2, total_two - 1]
+        two = capture_checkpoints(
+            make_workload("bfs", "tiny"), positions,
+            workload_name="bfs", scale="tiny",
+        )
+        total_one, one = run_and_capture(
+            make_workload("bfs", "tiny"), lambda total: positions,
+            workload_name="bfs", scale="tiny",
+        )
+        assert total_one == total_two
+        assert one == two
+
+    def test_planner_sees_the_true_total(self):
+        workload = make_workload("sssp", "tiny")
+        expected = FunctionalEngine(
+            workload.program, workload.fresh_memory()
+        ).run_to_halt(5_000_000)
+        seen = []
+        total, checkpoints = run_and_capture(
+            make_workload("sssp", "tiny"),
+            lambda t: (seen.append(t), [t // 2, t + 1000])[1],
+            workload_name="sssp", scale="tiny",
+        )
+        assert seen == [expected] and total == expected
+        # Positions past halt yield no checkpoint (capture parity).
+        assert [c.position for c in checkpoints] == [expected // 2]
+
+    def test_snapshot_restore_is_exact(self):
+        workload = make_workload("mcf", "tiny")
+        engine = FunctionalEngine(workload.program, workload.fresh_memory())
+        engine.advance(1000)
+        snap = engine.snapshot()
+        engine.advance(2000)
+        reference = Checkpoint.capture(engine, "mcf", "tiny")
+        engine.advance(500)  # drift past the reference point
+        engine.restore(snap)
+        assert engine.instructions_executed == 1000
+        engine.advance(2000)
+        assert Checkpoint.capture(engine, "mcf", "tiny") == reference
