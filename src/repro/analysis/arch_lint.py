@@ -46,6 +46,7 @@ LAYER_RANKS: dict[str, int] = {
     "harness": 8,
     "fuzz": 9,
     "sampling": 9,
+    "service": 9,
     "": 10,
 }
 

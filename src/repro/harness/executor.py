@@ -37,6 +37,7 @@ import hashlib
 import json
 import multiprocessing as mp
 import os
+import random as _random
 import time
 import traceback
 import warnings
@@ -97,13 +98,20 @@ class RunSpec:
     max_cycles: int = 30_000_000
     seed: int = 0
     check_invariants: int = 0   # repro.verify audit period (0 = off)
+    # Deterministic microarchitectural fault injection (repro.verify):
+    # when ``fault_kind`` is set the worker attaches a single-fault
+    # FaultPlan seeded with ``fault_seed``.  The campaign service's
+    # chaos harness uses this to run faulted cells through the normal
+    # job path.
+    fault_kind: str = ""
+    fault_seed: int = 0
 
     @property
     def key(self) -> str:
         return f"{self.workload}/{self.mode}"
 
     def as_record(self) -> dict:
-        return {
+        record = {
             "workload": self.workload,
             "mode": self.mode,
             "scale": self.scale,
@@ -111,6 +119,10 @@ class RunSpec:
             "seed": self.seed,
             "check_invariants": self.check_invariants,
         }
+        if self.fault_kind:
+            record["fault_kind"] = self.fault_kind
+            record["fault_seed"] = self.fault_seed
+        return record
 
     @classmethod
     def from_record(cls, record: dict) -> "RunSpec":
@@ -239,22 +251,88 @@ class RunOutcome:
 # ======================================================================
 # Checkpoint journal (JSONL, append-only, corruption-tolerant)
 # ======================================================================
+def read_journal_lines(
+    text: str,
+) -> tuple[list[tuple[int, dict]], dict[str, int]]:
+    """Parse newline-delimited JSON records, tolerating torn records.
+
+    A crash mid-append can leave a *torn* record anywhere in the file —
+    a partial line with the next record appended to it without an
+    intervening newline (``{"spe{"spec": ...}``).  A plain
+    line-by-line loader would discard the good record glued to the torn
+    prefix; this reader *resynchronizes*: on a line that fails to parse
+    whole, it scans forward for the next position where a complete JSON
+    object decodes and recovers every object embedded in the line.
+
+    Returns ``(records, counters)`` where records are ``(lineno, dict)``
+    pairs in file order and ``counters`` tallies the damage:
+    ``{"recovered": objects salvaged from torn lines,
+    "skipped": lines with nothing salvageable}`` — callers surface
+    these as warnings/metrics rather than silently dropping data.
+    """
+    decoder = json.JSONDecoder()
+    records: list[tuple[int, dict]] = []
+    counters = {"recovered": 0, "skipped": 0}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            obj = json.loads(stripped)
+        except json.JSONDecodeError:
+            pass
+        else:
+            if isinstance(obj, dict):
+                records.append((lineno, obj))
+            else:
+                counters["skipped"] += 1
+            continue
+        # Torn line: resynchronize on the next decodable JSON object.
+        pos, salvaged = 0, 0
+        while True:
+            start = stripped.find("{", pos)
+            if start < 0:
+                break
+            try:
+                obj, end = decoder.raw_decode(stripped, start)
+            except json.JSONDecodeError:
+                pos = start + 1
+                continue
+            if isinstance(obj, dict):
+                records.append((lineno, obj))
+                salvaged += 1
+                pos = end
+            else:
+                pos = start + 1
+        counters["recovered"] += salvaged
+        if not salvaged:
+            counters["skipped"] += 1
+    return records, counters
+
+
 def load_checkpoint(path: str | Path) -> dict[str, RunOutcome]:
-    """Load a JSONL campaign journal, tolerating a truncated or corrupt
-    trailing record (the normal aftermath of a crash mid-append): bad
-    lines are skipped with a warning, never raised.  Later records for
-    the same cell win."""
+    """Load a JSONL campaign journal, tolerating corruption anywhere in
+    the file: a truncated trailing line (the normal aftermath of a
+    crash mid-append) *and* a torn mid-file record are handled by
+    resynchronizing on the next decodable JSON object
+    (:func:`read_journal_lines`); unrecoverable lines are skipped with
+    a warning, never raised.  Later records for the same cell win."""
     path = Path(path)
     outcomes: dict[str, RunOutcome] = {}
     if not path.exists():
         return outcomes
-    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-        if not line.strip():
-            continue
+    records, counters = read_journal_lines(path.read_text())
+    if counters["recovered"] or counters["skipped"]:
+        warnings.warn(
+            f"{path}: journal damage — recovered {counters['recovered']} "
+            f"torn record(s), skipped {counters['skipped']} "
+            f"unrecoverable line(s)",
+            stacklevel=2,
+        )
+    for lineno, record in records:
         try:
-            record = json.loads(line)
             outcome = RunOutcome.from_record(record)
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        except (KeyError, TypeError) as exc:
             warnings.warn(
                 f"{path}:{lineno}: skipping corrupt checkpoint record "
                 f"({type(exc).__name__}: {exc})",
@@ -302,6 +380,13 @@ def execute_spec(record: dict) -> dict:
     if relay is not None:
         observe = Observation(record_events=False)
         relay.attach(observe)
+    fault_plan = None
+    if spec.fault_kind:
+        from ..verify import FaultPlan
+
+        fault_plan = FaultPlan(
+            seed=spec.fault_seed, kinds=(spec.fault_kind,)
+        )
     result = run_workload(
         spec.workload,
         spec.mode,
@@ -309,6 +394,7 @@ def execute_spec(record: dict) -> dict:
         max_cycles=spec.max_cycles,
         observe=observe,
         check_invariants=spec.check_invariants,
+        fault_plan=fault_plan,
     )
     if relay is not None:
         relay.send_snapshot(stats=result.stats, final=True)
@@ -379,6 +465,25 @@ class CampaignExecutor:
     it (module-level functions only when ``jobs>=1`` — workers pickle
     the callable).  ``sleep``/``clock`` are injectable for backoff
     tests.
+
+    Retry backoff is exponential with seeded multiplicative *jitter*
+    (``delay = backoff * factor**(attempt-1) * (1 + jitter * u)``,
+    ``u ~ U[0,1)`` from ``random.Random(jitter_seed)``), so a burst of
+    simultaneous failures does not re-launch in lockstep; ``jitter=0``
+    restores the pure exponential schedule.
+
+    ``retry_timeouts=True`` reclassifies per-run wall-clock timeouts as
+    retryable: the hung worker is terminated and *replaced* by a fresh
+    attempt (within the ``retries`` budget) instead of journaling a
+    terminal ``timeout`` cell.  The campaign service uses this as its
+    hung-worker replacement mechanism.
+
+    ``stop`` is a zero-argument drain hook polled between launches:
+    once it returns true, no further cell is started, active workers
+    are terminated *without journaling* their unfinished cells, and
+    :meth:`run` returns only the cells that settled — the journal plus
+    a later ``resume=True`` run picks up exactly where the drain cut
+    off.
     """
 
     def __init__(
@@ -388,28 +493,38 @@ class CampaignExecutor:
         retries: int = 2,
         backoff: float = 0.5,
         backoff_factor: float = 2.0,
+        jitter: float = 0.1,
+        jitter_seed: int = 0,
+        retry_timeouts: bool = False,
         task=None,
         observation=None,
         sleep=time.sleep,
         clock=time.monotonic,
         telemetry=None,
         telemetry_sample: dict | None = None,
+        stop=None,
     ):
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
         self.jobs = jobs
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        self.retry_timeouts = retry_timeouts
         self.task = task or execute_spec
         self.observation = observation
         # Campaign telemetry: a repro.obs.aggregate.TelemetryAggregator
         # receiving worker relay streams (None = telemetry off).
         self.telemetry = telemetry
         self.telemetry_sample = telemetry_sample
+        self.stop = stop
+        self._jitter_rng = _random.Random(jitter_seed)
         self._worker_counter = 0
         self._sleep = sleep
         self._clock = clock
@@ -459,11 +574,21 @@ class CampaignExecutor:
         if pending:
             execute = self._run_inline if self.jobs == 0 else self._run_pool
             execute(pending, outcomes, journal)
-        return [outcomes[spec.key] for spec in specs]
+        # A drain (``stop`` hook) leaves unfinished cells unsettled;
+        # they are simply absent from the returned list and stay
+        # resumable from the journal.
+        return [outcomes[spec.key] for spec in specs if spec.key in outcomes]
 
     # -- shared bookkeeping --------------------------------------------
-    def _backoff_delay(self, attempt: int) -> float:
-        return self.backoff * (self.backoff_factor ** (attempt - 1))
+    def _stopping(self) -> bool:
+        return self.stop is not None and bool(self.stop())
+
+    def _backoff_delay(self, attempt: int) -> tuple[float, float]:
+        """``(base, jittered)`` delay before re-attempting."""
+        base = self.backoff * (self.backoff_factor ** (attempt - 1))
+        if self.jitter <= 0:
+            return base, base
+        return base, base * (1.0 + self.jitter * self._jitter_rng.random())
 
     def _settle(
         self,
@@ -513,9 +638,10 @@ class CampaignExecutor:
         return kind == RETRYABLE and item.attempt <= self.retries
 
     def _requeue(self, item: _Attempt, pending: deque) -> None:
-        delay = self._backoff_delay(item.attempt)
+        backoff, delay = self._backoff_delay(item.attempt)
         self._emit(
-            "run_retried", item.spec, attempt=item.attempt, delay=delay,
+            "run_retried", item.spec,
+            attempt=item.attempt, backoff=backoff, delay=delay,
         )
         if self.telemetry is not None:
             self.telemetry.on_run_retried(item.spec.key)
@@ -530,6 +656,8 @@ class CampaignExecutor:
     # -- inline (jobs == 0) --------------------------------------------
     def _run_inline(self, pending: deque, outcomes: dict, journal) -> None:
         while pending:
+            if self._stopping():
+                return
             item = pending.popleft()
             now = self._clock()
             if item.ready_at > now:
@@ -663,12 +791,17 @@ class CampaignExecutor:
             )
 
         def cancel(entry: dict) -> None:
-            """Terminate an over-deadline worker; journal a timeout."""
+            """Terminate an over-deadline worker: replace it with a
+            fresh attempt when ``retry_timeouts`` allows, otherwise
+            journal a terminal timeout cell."""
             active.remove(entry)
             entry["conn"].close()
             proc, item = entry["proc"], entry["item"]
             proc.terminate()
             proc.join()
+            if self.retry_timeouts and self._should_retry(item, RETRYABLE):
+                self._requeue(item, pending)
+                return
             failure = self._failure(
                 item,
                 TIMEOUT,
@@ -690,6 +823,17 @@ class CampaignExecutor:
             )
 
         while pending or active:
+            if self._stopping():
+                # Graceful drain: terminate active workers without
+                # journaling their cells (the journal keeps only
+                # *settled* cells, so resume recomputes exactly these).
+                for entry in list(active):
+                    entry["conn"].close()
+                    entry["proc"].terminate()
+                    entry["proc"].join()
+                active.clear()
+                pending.clear()
+                return
             now = self._clock()
             # Launch every ready pending item into free slots.
             launched = True
@@ -702,13 +846,17 @@ class CampaignExecutor:
                         launched = True
                         break
             if not active:
-                # Everything pending is backing off; sleep to the first.
+                # Everything pending is backing off; sleep to the first
+                # (in short slices when a drain hook could fire).
                 next_ready = min(item.ready_at for item in pending)
-                self._sleep(max(0.0, next_ready - self._clock()))
+                doze = max(0.0, next_ready - self._clock())
+                if self.stop is not None:
+                    doze = min(doze, 0.25)
+                self._sleep(doze)
                 continue
             # Wait for a result, the nearest deadline, or the next
             # backoff expiry — whichever comes first.
-            wait_for = 60.0
+            wait_for = 60.0 if self.stop is None else 0.25
             if self.timeout is not None:
                 nearest = min(
                     e["item"].started + self.timeout for e in active

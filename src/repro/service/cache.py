@@ -1,0 +1,127 @@
+"""Content-addressed result cache for campaign cells.
+
+The simulator is deterministic: a cell's outcome is a pure function of
+its :class:`~repro.harness.executor.RunSpec` *and* of the machine
+configuration the mode expands to.  The cache key therefore hashes the
+canonical spec record together with the PR 2 config digest — two jobs
+asking for the same ``(workload, mode, scale, seed, ...)`` cell under
+the same config share one simulation, and a config change (different
+digest) transparently invalidates every cached cell of that mode.
+
+Integrity: each entry stores a sha256 checksum of its canonical
+payload, verified on every read.  A corrupt entry (bit rot, torn
+write) is counted, *deleted*, and treated as a miss — the cell simply
+re-simulates; the cache can never serve bad data silently.  Writes go
+through a temp file + :func:`os.replace` so a crash mid-put leaves
+either the old entry or none, never a torn one.
+
+Only ``status == "ok"`` outcomes are cached: failures may be transient
+(and retried runs are exactly the point of the service), so they are
+recomputed on each job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..harness.executor import RunOutcome, RunSpec
+
+
+def cache_key(spec: RunSpec) -> str:
+    """Stable content hash of one cell: spec record + config digest."""
+    payload = json.dumps(
+        {"spec": spec.as_record(), "config": spec.config_digest()},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _checksum(record: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(record, sort_keys=True).encode()
+    ).hexdigest()
+
+
+class ResultCache:
+    """Directory of checksummed cell outcomes keyed by content hash."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.integrity_failures = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> RunOutcome | None:
+        """Cached outcome for this cell, or ``None`` (counted as miss).
+
+        The returned outcome carries ``resumed=True`` (it was not
+        simulated by this run) and ``attempts``/``duration`` zeroed —
+        wall-clock facts of the original run are deliberately not
+        replayed, keeping cached and fresh reports byte-identical.
+        """
+        path = self._path(cache_key(spec))
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            if path.exists():
+                self.integrity_failures += 1
+                path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        payload = entry.get("payload")
+        if (
+            not isinstance(payload, dict)
+            or entry.get("checksum") != _checksum(payload)
+        ):
+            self.integrity_failures += 1
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        try:
+            outcome = RunOutcome.from_record(payload)
+        except (KeyError, TypeError):
+            self.integrity_failures += 1
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, outcome: RunOutcome) -> bool:
+        """Store an ``ok`` outcome; atomic, idempotent. Returns whether
+        the outcome was cacheable."""
+        if not outcome.ok:
+            return False
+        payload = outcome.as_record()
+        # Normalize run-local wall-clock facts out of the stored record
+        # so cache hits reproduce the deterministic report exactly.
+        payload["attempts"] = 1
+        payload["duration"] = 0.0
+        entry = {
+            "key": cache_key(outcome.spec),
+            "checksum": _checksum(payload),
+            "payload": payload,
+        }
+        path = self._path(entry["key"])
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(entry, fh, sort_keys=True, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return True
+
+    def counters(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "integrity_failures": self.integrity_failures,
+            "entries": sum(1 for _ in self.root.glob("*.json")),
+        }

@@ -1,0 +1,354 @@
+"""Chaos harness: hammer the campaign service and prove it holds.
+
+Two orthogonal fault planes are exercised at once:
+
+* **process faults** — the worker task (:func:`chaos_execute_spec`)
+  deterministically kills, hangs, or crashes its own worker process on
+  the *first* attempt of designated cells, exercising the executor's
+  worker-replacement machinery (timeout + terminate + retry/backoff);
+* **microarchitectural faults** — jobs carrying ``fault_kind`` route
+  through the PR 5 :class:`~repro.verify.FaultPlan` inside the
+  simulation itself, exercising failure attribution end to end.
+
+On top of that, :func:`run_chaos_campaign` runs concurrent submitting
+clients, ``SIGKILL``\\ s the server mid-campaign, restarts it on the
+same state dir, and hands the evidence (journal, reports, metrics,
+reference reports from a fault-free serial run) to the pure classifier
+in :mod:`repro.verify.chaos`, which asserts: no job lost, none
+duplicated, no report corrupted, and cached cells never re-simulated.
+
+Process-fault firing is exactly-once per cell across retries *and*
+server restarts: each cell claims a marker file with
+``O_CREAT | O_EXCL`` (fsynced before the fault lands), so the retried
+attempt finds the marker and runs clean — which is what makes the
+final report provably identical to the fault-free reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from ..harness.executor import CampaignExecutor, execute_spec
+from .client import ServiceClient
+from .jobs import JobSpec
+from .journal import replay_journal
+from .server import build_job_report
+
+#: Process-level fault kinds the chaos task can apply to a worker.
+CHAOS_KINDS = ("worker_crash", "worker_hang", "worker_flaky")
+
+#: Environment variable pointing workers at the chaos plan directory.
+CHAOS_ENV = "REPRO_CHAOS_DIR"
+
+
+def write_chaos_plan(
+    chaos_dir: str | Path,
+    seed: int = 0,
+    kinds: tuple[str, ...] = CHAOS_KINDS,
+    hang_seconds: float = 60.0,
+) -> Path:
+    """Lay out a chaos directory: ``plan.json`` + empty ``markers/``."""
+    chaos_dir = Path(chaos_dir)
+    (chaos_dir / "markers").mkdir(parents=True, exist_ok=True)
+    unknown = set(kinds) - set(CHAOS_KINDS)
+    if unknown:
+        raise ValueError(f"unknown chaos kind(s): {sorted(unknown)}")
+    (chaos_dir / "plan.json").write_text(
+        json.dumps(
+            {
+                "seed": seed,
+                "kinds": list(kinds),
+                "hang_seconds": hang_seconds,
+            }
+        )
+    )
+    return chaos_dir
+
+
+def _assigned_kind(plan: dict, cell_id: str) -> str:
+    """Deterministic fault choice for a cell (stable across restarts)."""
+    digest = hashlib.sha256(
+        f"{plan.get('seed', 0)}:{cell_id}".encode()
+    ).hexdigest()
+    kinds = plan.get("kinds") or list(CHAOS_KINDS)
+    return kinds[int(digest, 16) % len(kinds)]
+
+
+def chaos_execute_spec(record: dict) -> dict:
+    """Worker task: maybe fault this process once, then simulate.
+
+    Module-level and picklable, so it works under the process pool.
+    Reads the plan from ``$REPRO_CHAOS_DIR`` (inherited from the
+    server); with no plan ambient it degrades to :func:`execute_spec`.
+    """
+    chaos_dir = os.environ.get(CHAOS_ENV, "")
+    if chaos_dir:
+        try:
+            plan = json.loads(Path(chaos_dir, "plan.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            plan = None
+        if plan is not None:
+            cell_id = hashlib.sha256(
+                json.dumps(record, sort_keys=True).encode()
+            ).hexdigest()[:24]
+            marker = Path(chaos_dir, "markers", cell_id)
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                fd = -1  # already faulted this cell once; run clean
+            if fd >= 0:
+                kind = _assigned_kind(plan, cell_id)
+                # Make the claim durable BEFORE the fault lands, so a
+                # crash cannot double-fire on retry.
+                os.write(fd, kind.encode())
+                os.fsync(fd)
+                os.close(fd)
+                if kind == "worker_crash":
+                    os._exit(23)
+                elif kind == "worker_hang":
+                    time.sleep(float(plan.get("hang_seconds", 60.0)))
+                elif kind == "worker_flaky":
+                    raise OSError("chaos: injected transient worker fault")
+    return execute_spec(record)
+
+
+# ======================================================================
+# The campaign
+# ======================================================================
+def reference_reports(job_records: list[dict]) -> dict[str, bytes]:
+    """Fault-free serial reports keyed by idempotency token, via the
+    same builder the server uses — the byte-identity baseline."""
+    reports: dict[str, bytes] = {}
+    for index, record in enumerate(job_records, start=1):
+        spec = JobSpec.from_record(record)
+        executor = CampaignExecutor(jobs=0, retries=0)
+        outcomes = {o.key: o for o in executor.run(spec.cell_specs())}
+        token = str(record.get("token") or f"job-{index}")
+        reports[token] = build_job_report(
+            spec, [outcomes[s.key] for s in spec.cell_specs()]
+        )
+    return reports
+
+
+def default_chaos_jobs(seed: int = 0) -> list[dict]:
+    """A small but representative job mix: plain cells, a sim-fault
+    cell, and a deliberate resubmit of job 1's cells (all cache hits)."""
+    return [
+        {
+            "workloads": ["xz"], "modes": ["baseline", "tea"],
+            "scale": "tiny", "seed": seed, "priority": 1,
+            "token": "chaos-1",
+        },
+        {
+            "workloads": ["mcf"], "modes": ["tea"],
+            "scale": "tiny", "seed": seed, "priority": 5,
+            "fault_kind": "mem_delay", "fault_seed": seed + 7,
+            "token": "chaos-2",
+        },
+        # Byte-for-byte the same matrix as job 1: every cell must come
+        # from the cache (asserted via digest-hit counters).  Submitted
+        # only after its donor cells settled — *after* the restart, so
+        # this also proves the cache survives a SIGKILL.
+        {
+            "workloads": ["xz"], "modes": ["baseline", "tea"],
+            "scale": "tiny", "seed": seed, "priority": 0,
+            "token": "chaos-3",
+        },
+    ]
+
+
+def cache_probe_tokens(job_records: list[dict]) -> set[str]:
+    """Tokens of jobs whose every cell appears in an *earlier* job —
+    these must complete with zero simulated cells."""
+    seen: set[tuple] = set()
+    probes: set[str] = set()
+    for index, record in enumerate(job_records, start=1):
+        spec = JobSpec.from_record(record)
+        cells = {
+            tuple(sorted(s.as_record().items())) for s in spec.cell_specs()
+        }
+        token = str(record.get("token") or f"job-{index}")
+        if cells and cells <= seen:
+            probes.add(token)
+        seen |= cells
+    return probes
+
+
+def _serve_argv(state_dir: Path, config: dict) -> list[str]:
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--state-dir", str(state_dir),
+        "--port", "0",
+        "--workers", str(config.get("workers", 1)),
+        "--run-timeout", str(config.get("run_timeout", 10.0)),
+        "--retries", str(config.get("retries", 3)),
+        "--backoff", str(config.get("backoff", 0.1)),
+    ]
+    if config.get("chaos_dir"):
+        argv += ["--chaos-dir", str(config["chaos_dir"])]
+    return argv
+
+
+def _start_server(state_dir: Path, config: dict) -> subprocess.Popen:
+    (Path(state_dir) / "endpoint.json").unlink(missing_ok=True)
+    # The child must import repro regardless of the caller's cwd.
+    src = str(Path(__file__).resolve().parents[2])
+    existing = os.environ.get("PYTHONPATH", "")
+    env = {
+        **os.environ,
+        "PYTHONPATH": src + (os.pathsep + existing if existing else ""),
+    }
+    return subprocess.Popen(
+        _serve_argv(state_dir, config),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def run_chaos_campaign(
+    state_dir: str | Path,
+    job_records: list[dict] | None = None,
+    seed: int = 0,
+    kill_after_jobs: int = 1,
+    run_timeout: float = 10.0,
+    log=print,
+) -> dict:
+    """The full scenario; returns the classifier's report dict.
+
+    1. Compute fault-free reference reports serially (no service).
+    2. Start the server with the chaos worker task armed.
+    3. Submit the main jobs from concurrent client threads
+       (idempotency tokens on; one duplicate-token submit races
+       deliberately).  Cache-probe jobs (cells ⊆ earlier jobs) are
+       held back until their donors settle.
+    4. After ``kill_after_jobs`` jobs are terminal, SIGKILL the server.
+    5. Restart on the same state dir; wait out the main jobs; submit
+       the cache probes (all hits — the cache survived the kill).
+    6. SIGTERM-drain, then fetch journal + reports and classify.
+    """
+    from ..verify.chaos import classify_chaos
+
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    records = (
+        job_records if job_records is not None else default_chaos_jobs(seed)
+    )
+    tokens = [
+        str(r.get("token") or f"job-{i}")
+        for i, r in enumerate(records, start=1)
+    ]
+    if len(set(tokens)) != len(tokens):
+        raise ValueError("chaos job records need distinct tokens")
+    probes = cache_probe_tokens(records)
+    main = [r for r, t in zip(records, tokens) if t not in probes]
+    held = [r for r, t in zip(records, tokens) if t in probes]
+
+    log(f"chaos: computing {len(records)} fault-free reference report(s)")
+    reference = reference_reports(records)
+
+    chaos_dir = write_chaos_plan(
+        state_dir / "chaos", seed=seed, hang_seconds=run_timeout * 6
+    )
+    config = {
+        "workers": 1,
+        "run_timeout": run_timeout,
+        "retries": 3,
+        "backoff": 0.1,
+        "chaos_dir": chaos_dir,
+    }
+
+    log("chaos: starting service (worker faults armed)")
+    proc = _start_server(state_dir, config)
+    submitted: list[dict] = []
+    lock = threading.Lock()
+
+    def submit(record: dict) -> None:
+        client = ServiceClient.from_endpoint(state_dir, wait=30.0)
+        response = client.submit(record, deadline=120.0)
+        with lock:
+            submitted.append({"token": record.get("token"), **response})
+
+    threads = [
+        threading.Thread(target=submit, args=(record,)) for record in main
+    ]
+    # A deliberate duplicate-token race: must dedupe server-side.
+    threads.append(threading.Thread(target=submit, args=(dict(main[0]),)))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    client = ServiceClient.from_endpoint(state_dir, wait=30.0)
+    main_ids = sorted({entry["id"] for entry in submitted})
+    log(f"chaos: {len(submitted)} submit(s) → {len(main_ids)} distinct job(s)")
+
+    deadline = time.monotonic() + 600.0
+    while time.monotonic() < deadline:
+        try:
+            done = [
+                j for j in client.jobs()
+                if j["state"] in ("done", "failed", "cancelled")
+            ]
+        except (ConnectionError, OSError):
+            done = []
+        if len(done) >= min(kill_after_jobs, len(main_ids)):
+            break
+        time.sleep(0.2)
+
+    log(f"chaos: SIGKILL server (pid {proc.pid}) mid-campaign")
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+
+    log("chaos: restarting on the same state dir")
+    proc = _start_server(state_dir, config)
+    client = ServiceClient.from_endpoint(state_dir, wait=30.0)
+    try:
+        for job_id in main_ids:
+            client.wait(job_id, timeout=600.0)
+        for record in held:
+            submit(record)
+        job_ids = sorted({entry["id"] for entry in submitted})
+        for job_id in job_ids:
+            client.wait(job_id, timeout=600.0)
+        reports = {
+            job_id: client.result_bytes(job_id) for job_id in job_ids
+        }
+        metrics = client.metrics()
+        statuses = {job_id: client.status(job_id) for job_id in job_ids}
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - drain hung
+            proc.kill()
+            proc.wait()
+
+    replay = replay_journal(state_dir / "service.journal.jsonl")
+    evidence = {
+        "submitted": submitted,
+        "job_ids": job_ids,
+        "tokens": {e["id"]: e["token"] for e in submitted},
+        "cache_probes": sorted(probes),
+        "statuses": statuses,
+        "reports": {k: v.decode() for k, v in reports.items()},
+        "reference": {k: v.decode() for k, v in reference.items()},
+        "metrics": metrics,
+        "duplicate_terminals": dict(replay.duplicate_terminals),
+        "drain_exit_code": proc.returncode,
+    }
+    report = classify_chaos(evidence)
+    log(
+        "chaos: "
+        + ("PASS" if report["ok"] else "FAIL")
+        + f" — {json.dumps(report['summary'])}"
+    )
+    return report

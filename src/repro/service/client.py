@@ -1,0 +1,200 @@
+"""Thin blocking client for the campaign service (``repro submit`` &c).
+
+Built on :mod:`http.client` — one fresh connection per request, so the
+client survives server restarts transparently: a submit that lands
+during a restart retries on connection errors until ``deadline``
+expires, and 429/503 backpressure responses honor ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+
+from .server import RETRY_AFTER_SECONDS
+
+
+class ServiceError(RuntimeError):
+    """A request failed terminally (4xx other than backpressure)."""
+
+    def __init__(self, status: int, payload: dict):
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+
+
+class ServiceClient:
+    """Address one service instance by host/port."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_endpoint(
+        cls, state_dir: str | Path, wait: float = 10.0
+    ) -> "ServiceClient":
+        """Connect via the ``endpoint.json`` a server writes on bind,
+        polling up to ``wait`` seconds for it to appear."""
+        path = Path(state_dir) / "endpoint.json"
+        deadline = time.monotonic() + wait
+        while True:
+            try:
+                endpoint = json.loads(path.read_text())
+                return cls(endpoint["host"], endpoint["port"])
+            except (OSError, json.JSONDecodeError, KeyError):
+                if time.monotonic() >= deadline:
+                    raise RuntimeError(
+                        f"no service endpoint at {path} after {wait}s"
+                    ) from None
+                time.sleep(0.05)
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict, bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            retry_after = response.getheader("Retry-After")
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(raw.decode() or "{}")
+        except json.JSONDecodeError:
+            decoded = {}
+        if isinstance(decoded, dict) and retry_after is not None:
+            decoded.setdefault("retry_after", retry_after)
+        return response.status, decoded, raw
+
+    # -- API ------------------------------------------------------------
+    def health(self) -> dict:
+        status, payload, _ = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def metrics(self) -> dict:
+        status, payload, _ = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def submit(self, record: dict, deadline: float = 60.0) -> dict:
+        """Submit a job record, riding out backpressure and restarts.
+
+        429/503 → sleep ``Retry-After`` and retry; connection errors
+        (server restarting) → short sleep and retry; gives up after
+        ``deadline`` seconds.  Pass a ``"token"`` key for idempotency —
+        a retry that lands twice dedupes server-side.
+        """
+        until = time.monotonic() + deadline
+        while True:
+            try:
+                status, payload, _ = self._request("POST", "/jobs", record)
+            except (ConnectionError, OSError, http.client.HTTPException):
+                if time.monotonic() >= until:
+                    raise
+                time.sleep(0.2)
+                continue
+            if status in (200, 201):
+                return payload
+            if status in (429, 503):
+                if time.monotonic() >= until:
+                    raise ServiceError(status, payload)
+                time.sleep(
+                    float(payload.get("retry_after", RETRY_AFTER_SECONDS))
+                )
+                continue
+            raise ServiceError(status, payload)
+
+    def jobs(self) -> list[dict]:
+        status, payload, _ = self._request("GET", "/jobs")
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        status, payload, _ = self._request("GET", f"/jobs/{job_id}")
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def cancel(self, job_id: str) -> dict:
+        status, payload, _ = self._request("POST", f"/jobs/{job_id}/cancel")
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The stored report, byte-for-byte as the server wrote it."""
+        status, payload, raw = self._request("GET", f"/jobs/{job_id}/result")
+        if status != 200:
+            raise ServiceError(status, payload)
+        return raw
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> dict:
+        """Poll until the job is terminal; returns the final summary.
+
+        Tolerates the server restarting mid-wait (connection errors are
+        retried until ``timeout``).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                summary = self.status(job_id)
+            except (ConnectionError, OSError, http.client.HTTPException):
+                summary = None
+            if summary is not None and summary["state"] in (
+                "done", "failed", "cancelled"
+            ):
+                return summary
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str, limit: int = 1000):
+        """Iterate SSE progress payloads until the ``done`` event.
+
+        Yields ``(event, payload_dict)`` pairs; the stream ends when
+        the server closes the connection after the job goes terminal.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    response.status,
+                    json.loads(response.read().decode() or "{}"),
+                )
+            event = "message"
+            for _ in range(limit):
+                line = response.fp.readline()
+                if not line:
+                    return
+                text = line.decode().strip()
+                if text.startswith("event:"):
+                    event = text.partition(":")[2].strip()
+                elif text.startswith("data:"):
+                    payload = json.loads(text.partition(":")[2].strip())
+                    yield event, payload
+                    if event == "done":
+                        return
+        finally:
+            conn.close()

@@ -1,0 +1,142 @@
+"""Chaos-campaign classification: did the service actually hold?
+
+Pure functions over plain dicts — the *evidence* bundle assembled by
+:func:`repro.service.chaos.run_chaos_campaign` (kept import-free of
+``repro.service`` so the verify layer stays below it in the import
+DAG).  The classifier enforces the service's durability contract:
+
+* **nothing lost** — every acknowledged submission reached a terminal
+  state with a stored, checksummed result;
+* **nothing duplicated** — idempotency tokens deduped concurrent
+  resubmits, and no job has more than one terminal journal record;
+* **nothing corrupted** — every final report is byte-identical to the
+  fault-free serial reference for the same job spec;
+* **nothing recomputed** — cache-probe jobs (cells all previously
+  simulated) completed with zero freshly simulated cells, proven by
+  the digest-hit counters;
+* **clean drain** — the final SIGTERM drain exited 0 and the cache
+  never served a checksum-mismatched entry.
+"""
+
+from __future__ import annotations
+
+TERMINAL = ("done", "failed", "cancelled")
+
+
+def _check(violations: list, ok: bool, message: str) -> bool:
+    if not ok:
+        violations.append(message)
+    return ok
+
+
+def classify_chaos(evidence: dict) -> dict:
+    """Classify one chaos campaign; returns ``{"ok", "summary",
+    "checks", "violations"}``."""
+    violations: list[str] = []
+    checks: dict[str, bool] = {}
+
+    submitted = evidence.get("submitted", [])
+    job_ids = list(evidence.get("job_ids", []))
+    tokens = evidence.get("tokens", {})
+    statuses = evidence.get("statuses", {})
+    reports = evidence.get("reports", {})
+    reference = evidence.get("reference", {})
+    metrics = evidence.get("metrics", {})
+
+    # -- nothing lost ---------------------------------------------------
+    checks["all_terminal"] = _check(
+        violations,
+        all(
+            statuses.get(job_id, {}).get("state") in TERMINAL
+            for job_id in job_ids
+        )
+        and bool(job_ids),
+        "a submitted job never reached a terminal state",
+    )
+    checks["all_reported"] = _check(
+        violations,
+        all(job_id in reports for job_id in job_ids),
+        "a terminal job has no fetchable result",
+    )
+
+    # -- nothing duplicated ---------------------------------------------
+    by_token: dict[str, set[str]] = {}
+    for entry in submitted:
+        token = str(entry.get("token") or "")
+        if token:
+            by_token.setdefault(token, set()).add(entry["id"])
+    checks["token_dedupe"] = _check(
+        violations,
+        all(len(ids) == 1 for ids in by_token.values()),
+        "one idempotency token produced multiple job ids",
+    )
+    duplicate_terminals = evidence.get("duplicate_terminals", {})
+    checks["exactly_once_terminal"] = _check(
+        violations,
+        not duplicate_terminals,
+        f"duplicate terminal journal records: {duplicate_terminals}",
+    )
+
+    # -- nothing corrupted ----------------------------------------------
+    corrupted = []
+    compared = 0
+    for job_id in job_ids:
+        token = tokens.get(job_id)
+        expected = reference.get(token)
+        if expected is None:
+            continue
+        compared += 1
+        if reports.get(job_id) != expected:
+            corrupted.append(job_id)
+    checks["reports_byte_identical"] = _check(
+        violations,
+        compared > 0 and not corrupted,
+        f"report(s) differ from the fault-free reference: {corrupted}"
+        if corrupted
+        else "no report could be compared against a reference",
+    )
+
+    # -- nothing recomputed ---------------------------------------------
+    probes = set(evidence.get("cache_probes", []))
+    probe_ids = [j for j in job_ids if tokens.get(j) in probes]
+    recomputed = [
+        job_id
+        for job_id in probe_ids
+        if statuses.get(job_id, {}).get("cells", {}).get("simulated", 1) != 0
+        or statuses.get(job_id, {}).get("cells", {}).get("cached", -1)
+        != statuses.get(job_id, {}).get("cells", {}).get("total", 0)
+    ]
+    checks["cached_cells_not_recomputed"] = _check(
+        violations,
+        not probes or (bool(probe_ids) and not recomputed),
+        f"cache-probe job(s) re-simulated cached cells: {recomputed}"
+        if recomputed
+        else "cache-probe tokens never became jobs",
+    )
+
+    # -- integrity + drain ----------------------------------------------
+    cache = metrics.get("cache", {})
+    checks["cache_integrity"] = _check(
+        violations,
+        cache.get("integrity_failures", 1) == 0,
+        f"cache served/detected corrupt entries: {cache}",
+    )
+    checks["clean_drain"] = _check(
+        violations,
+        evidence.get("drain_exit_code", None) == 0,
+        f"drain exit code was {evidence.get('drain_exit_code')!r}, not 0",
+    )
+
+    return {
+        "ok": not violations,
+        "checks": checks,
+        "violations": violations,
+        "summary": {
+            "jobs": len(job_ids),
+            "submits": len(submitted),
+            "compared_reports": compared,
+            "cache_probe_jobs": len(probe_ids),
+            "cache_hits": cache.get("hits", 0),
+            "failed_checks": sum(1 for ok in checks.values() if not ok),
+        },
+    }

@@ -98,7 +98,7 @@ class TestTolerantLoading:
         CampaignExecutor(jobs=0, task=_ok_task).run(specs, checkpoint=path)
         with open(path, "a") as fh:
             fh.write('{"spec": {"workload": "mcf", "mo')  # crash mid-append
-        with pytest.warns(UserWarning, match="corrupt checkpoint record"):
+        with pytest.warns(UserWarning, match="journal damage"):
             data = load_campaign(path)
         assert set(data["runs"]) == {"xz/baseline", "xz/tea"}
 

@@ -1,0 +1,175 @@
+"""Chaos harness tests: classifier units, the exactly-once worker
+fault task, and the full kill-and-restart chaos campaign."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.chaos import (
+    CHAOS_ENV,
+    CHAOS_KINDS,
+    _assigned_kind,
+    cache_probe_tokens,
+    chaos_execute_spec,
+    default_chaos_jobs,
+    run_chaos_campaign,
+    write_chaos_plan,
+)
+from repro.verify import classify_chaos
+
+
+# ----------------------------------------------------------------------
+# Classifier units (pure dicts in, verdict out)
+# ----------------------------------------------------------------------
+def good_evidence():
+    report = json.dumps({"cells": [1]})
+    return {
+        "submitted": [
+            {"token": "t1", "id": "j1"},
+            {"token": "t1", "id": "j1"},   # deduped resubmit
+            {"token": "t2", "id": "j2"},
+        ],
+        "job_ids": ["j1", "j2"],
+        "tokens": {"j1": "t1", "j2": "t2"},
+        "cache_probes": ["t2"],
+        "statuses": {
+            "j1": {"state": "done",
+                   "cells": {"total": 2, "cached": 0, "simulated": 2}},
+            "j2": {"state": "done",
+                   "cells": {"total": 2, "cached": 2, "simulated": 0}},
+        },
+        "reports": {"j1": report, "j2": report},
+        "reference": {"t1": report, "t2": report},
+        "metrics": {"cache": {"hits": 2, "integrity_failures": 0}},
+        "duplicate_terminals": {},
+        "drain_exit_code": 0,
+    }
+
+
+class TestClassifier:
+    def test_clean_campaign_passes(self):
+        report = classify_chaos(good_evidence())
+        assert report["ok"], report["violations"]
+        assert all(report["checks"].values())
+
+    def test_lost_job_detected(self):
+        evidence = good_evidence()
+        evidence["statuses"]["j2"]["state"] = "running"
+        report = classify_chaos(evidence)
+        assert not report["ok"]
+        assert not report["checks"]["all_terminal"]
+
+    def test_duplicated_token_detected(self):
+        evidence = good_evidence()
+        evidence["submitted"][1]["id"] = "j9"   # token t1 → two ids
+        report = classify_chaos(evidence)
+        assert not report["checks"]["token_dedupe"]
+
+    def test_duplicate_terminal_detected(self):
+        evidence = good_evidence()
+        evidence["duplicate_terminals"] = {"j1": 1}
+        report = classify_chaos(evidence)
+        assert not report["checks"]["exactly_once_terminal"]
+
+    def test_corrupted_report_detected(self):
+        evidence = good_evidence()
+        evidence["reports"]["j1"] = json.dumps({"cells": [999]})
+        report = classify_chaos(evidence)
+        assert not report["checks"]["reports_byte_identical"]
+
+    def test_recomputed_cache_probe_detected(self):
+        evidence = good_evidence()
+        evidence["statuses"]["j2"]["cells"] = {
+            "total": 2, "cached": 1, "simulated": 1,
+        }
+        report = classify_chaos(evidence)
+        assert not report["checks"]["cached_cells_not_recomputed"]
+
+    def test_unclean_drain_detected(self):
+        evidence = good_evidence()
+        evidence["drain_exit_code"] = -9
+        report = classify_chaos(evidence)
+        assert not report["checks"]["clean_drain"]
+
+
+# ----------------------------------------------------------------------
+# The chaos worker task
+# ----------------------------------------------------------------------
+class TestChaosTask:
+    def test_fault_fires_exactly_once_per_cell(self, tmp_path, monkeypatch):
+        chaos_dir = write_chaos_plan(
+            tmp_path, seed=3, kinds=("worker_flaky",)
+        )
+        monkeypatch.setenv(CHAOS_ENV, str(chaos_dir))
+        calls = []
+        monkeypatch.setattr(
+            "repro.service.chaos.execute_spec",
+            lambda record: calls.append(record) or {"stats": {}},
+        )
+        record = {"workload": "xz", "mode": "baseline", "scale": "tiny"}
+        with pytest.raises(OSError, match="chaos"):
+            chaos_execute_spec(record)
+        assert not calls                      # faulted before simulating
+        assert chaos_execute_spec(record) == {"stats": {}}   # retry clean
+        assert len(calls) == 1
+        # A different cell faults independently.
+        other = dict(record, mode="tea")
+        with pytest.raises(OSError, match="chaos"):
+            chaos_execute_spec(other)
+
+    def test_no_plan_degrades_to_plain_execution(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        monkeypatch.setattr(
+            "repro.service.chaos.execute_spec", lambda record: {"ok": 1}
+        )
+        assert chaos_execute_spec({"workload": "xz"}) == {"ok": 1}
+
+    def test_kind_assignment_deterministic(self):
+        plan = {"seed": 42, "kinds": list(CHAOS_KINDS)}
+        kinds = {_assigned_kind(plan, f"cell-{i}") for i in range(64)}
+        assert kinds == set(CHAOS_KINDS)      # all kinds reachable
+        assert _assigned_kind(plan, "cell-0") == _assigned_kind(
+            plan, "cell-0"
+        )
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            write_chaos_plan(tmp_path, kinds=("worker_meltdown",))
+
+
+class TestCacheProbes:
+    def test_probe_detection(self):
+        records = default_chaos_jobs(seed=0)
+        assert cache_probe_tokens(records) == {"chaos-3"}
+
+    def test_distinct_cells_are_not_probes(self):
+        records = [
+            {"workloads": ["xz"], "modes": ["baseline"], "token": "a"},
+            {"workloads": ["xz"], "modes": ["tea"], "token": "b"},
+        ]
+        assert cache_probe_tokens(records) == set()
+
+
+# ----------------------------------------------------------------------
+# The full campaign: concurrent clients, worker faults, SIGKILL +
+# restart, byte-identical reports, cache survival — the PR's
+# acceptance scenario.
+# ----------------------------------------------------------------------
+class TestChaosCampaign:
+    def test_campaign_survives_and_classifies_clean(self, tmp_path):
+        logs = []
+        report = run_chaos_campaign(
+            tmp_path / "chaos-state",
+            seed=0,
+            kill_after_jobs=1,
+            run_timeout=15.0,
+            log=logs.append,
+        )
+        assert report["ok"], (report["violations"], logs)
+        assert report["summary"]["compared_reports"] == 3
+        assert report["summary"]["cache_probe_jobs"] == 1
+        assert report["summary"]["cache_hits"] >= 2
+        # The worker faults actually fired (markers are claims).
+        markers = list((tmp_path / "chaos-state" / "chaos" / "markers").iterdir())
+        assert markers, "no chaos fault ever fired"

@@ -123,6 +123,7 @@ class TestInlineRetryBackoff:
             jobs=0,
             retries=2,
             backoff=0.5,
+            jitter=0.0,
             task=flaky,
             observation=obs,
             sleep=delays.append,
@@ -132,7 +133,7 @@ class TestInlineRetryBackoff:
         assert outcome.ok
         assert outcome.attempts == 3
         assert len(attempts) == 3
-        # Exponential backoff: 0.5s then 1.0s.
+        # Pure exponential backoff with jitter off: 0.5s then 1.0s.
         assert delays == pytest.approx([0.5, 1.0])
         assert obs.bus.counts["run_retried"] == 2
         assert obs.metrics.counter("campaign.run_retried").value == 2
@@ -426,3 +427,185 @@ class TestOutcomeRoundtrip:
         assert not result.ok
         assert result.failure == "timeout"
         assert result.ipc == 0.0
+
+
+def hang_once_task(record):
+    """Hangs on the first attempt per cell (marker files, so it works
+    across worker processes), then completes — exercises hung-worker
+    replacement under ``retry_timeouts``."""
+    marker = os.path.join(
+        os.environ["FLAKY_DIR"], "hang_" + record["workload"]
+    )
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        time.sleep(60)
+    return ok_task(record)
+
+
+def marker_task(record):
+    """Completes normally but drops a marker file the parent's ``stop``
+    hook can watch — cross-process drain trigger."""
+    marker = os.path.join(os.environ["FLAKY_DIR"], "drain_marker")
+    with open(marker, "w") as fh:
+        fh.write(record["workload"])
+    return ok_task(record)
+
+
+class TestBackoffJitter:
+    def test_jitter_is_seeded_and_bounded(self):
+        def always_down(record):
+            raise OSError("still down")
+
+        def delays_for(seed):
+            delays = []
+            CampaignExecutor(
+                jobs=0, retries=3, backoff=0.5, jitter=0.25,
+                jitter_seed=seed, task=always_down,
+                sleep=delays.append, clock=lambda: 0.0,
+            ).run([SPECS[0]])
+            return delays
+
+        first = delays_for(7)
+        assert len(first) == 3
+        for attempt, delay in enumerate(first, start=1):
+            base = 0.5 * 2 ** (attempt - 1)
+            assert base <= delay < base * 1.25
+        # Same seed replays the same schedule; another seed desyncs,
+        # so a burst of failures does not re-launch in lockstep.
+        assert delays_for(7) == first
+        assert delays_for(8) != first
+
+    def test_run_retried_event_carries_backoff_schedule(self):
+        def always_down(record):
+            raise OSError("still down")
+
+        obs = Observation()
+        got = []
+        obs.bus.subscribe(got.append, ("run_retried",))
+        executor = CampaignExecutor(
+            jobs=0, retries=2, backoff=0.5, jitter=0.5, jitter_seed=3,
+            task=always_down, observation=obs,
+            sleep=lambda s: None, clock=lambda: 0.0,
+        )
+        [outcome] = executor.run([SPECS[0]])
+        assert outcome.status == "failed"
+        assert [e.data["attempt"] for e in got] == [1, 2]
+        assert got[0].data["backoff"] == pytest.approx(0.5)
+        assert got[1].data["backoff"] == pytest.approx(1.0)
+        for event in got:
+            base = event.data["backoff"]
+            assert base <= event.data["delay"] <= base * 1.5
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            CampaignExecutor(jobs=0, jitter=-0.1)
+
+
+class TestRetryTimeouts:
+    def test_hung_worker_replaced_and_cell_retried(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("FLAKY_DIR", str(tmp_path))
+        obs = Observation()
+        executor = CampaignExecutor(
+            jobs=1, timeout=1.0, retries=1, backoff=0.05,
+            retry_timeouts=True, task=hang_once_task, observation=obs,
+        )
+        [outcome] = executor.run([RunSpec("slow", "baseline", "tiny")])
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert obs.bus.counts["run_retried"] == 1
+
+    def test_timeout_retry_budget_exhausted(self):
+        executor = CampaignExecutor(
+            jobs=1, timeout=0.5, retries=1, backoff=0.05,
+            retry_timeouts=True, task=hang_task,
+        )
+        [outcome] = executor.run([RunSpec("slow", "baseline", "tiny")])
+        assert outcome.status == "timeout"
+        assert outcome.attempts == 2
+
+
+class TestDrainStop:
+    def test_inline_stop_leaves_cells_unsettled_and_resumable(
+        self, tmp_path
+    ):
+        path = tmp_path / "cp.jsonl"
+        done = []
+
+        def task(record):
+            done.append(record["workload"])
+            return ok_task(record)
+
+        outcomes = CampaignExecutor(
+            jobs=0, task=task, stop=lambda: len(done) >= 2,
+        ).run(SPECS, checkpoint=path)
+        # run() returns only settled cells; the rest stay unsettled.
+        assert len(outcomes) == 2
+        assert done == ["alpha", "beta"]
+
+        resumed = CampaignExecutor(jobs=0, task=task).run(
+            SPECS, checkpoint=path, resume=True
+        )
+        assert len(resumed) == 4
+        assert done == ["alpha", "beta", "gamma", "delta"]
+
+    def test_pool_stop_drains_workers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("FLAKY_DIR", str(tmp_path))
+        marker = tmp_path / "drain_marker"
+        path = tmp_path / "cp.jsonl"
+        outcomes = CampaignExecutor(
+            jobs=1, task=marker_task, stop=marker.exists,
+        ).run(SPECS, checkpoint=path)
+        assert 0 < len(outcomes) < len(SPECS)
+        assert all(o.ok for o in outcomes)
+        # Settled cells were journaled before the drain; a resume
+        # completes exactly the remainder.
+        assert len(load_checkpoint(path)) == len(outcomes)
+        resumed = CampaignExecutor(jobs=0, task=ok_task).run(
+            SPECS, checkpoint=path, resume=True
+        )
+        assert len(resumed) == len(SPECS)
+        assert all(o.ok for o in resumed)
+
+
+class TestTornJournalRecovery:
+    def test_read_journal_lines_resyncs_glued_record(self):
+        from repro.harness.executor import read_journal_lines
+
+        good = json.dumps({"k": 1})
+        text = good + "\n" + '{"torn": ' + good + "\nnot json at all\n"
+        records, counters = read_journal_lines(text)
+        assert [record for _, record in records] == [{"k": 1}, {"k": 1}]
+        assert counters["recovered"] == 1
+        assert counters["skipped"] == 1
+
+    def test_mid_file_torn_record_recovered_with_warning(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        CampaignExecutor(jobs=0, task=ok_task).run(SPECS, checkpoint=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        # Simulate a torn write: record 1 loses its tail and record 2
+        # lands glued onto the same line without a newline.
+        glued = lines[1][:10] + lines[2]
+        path.write_text("\n".join([lines[0], glued, lines[3]]) + "\n")
+        with pytest.warns(UserWarning, match="journal damage"):
+            outcomes = load_checkpoint(path)
+        assert set(outcomes) == {
+            SPECS[0].key, SPECS[2].key, SPECS[3].key,
+        }
+        # The salvaged journal still resumes: only the lost cell reruns.
+        executed = []
+
+        def counting(record):
+            executed.append(record["workload"])
+            return ok_task(record)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            resumed = CampaignExecutor(jobs=0, task=counting).run(
+                SPECS, checkpoint=path, resume=True
+            )
+        assert executed == ["beta"]
+        assert len(resumed) == 4
